@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for the text-indexing substrate: index
+//! construction and query evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use corpus::TestBedConfig;
+use textindex::{InvertedIndex, SearchEngine};
+
+fn bench_index_build(c: &mut Criterion) {
+    let bed = TestBedConfig::tiny(1).build();
+    let docs = bed.databases[0].db.documents().to_vec();
+    c.bench_function("index/build_small_db", |b| {
+        b.iter(|| InvertedIndex::build(black_box(&docs)))
+    });
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let bed = TestBedConfig::tiny(2).build();
+    let db = &bed.databases[0].db;
+    let engine = SearchEngine::new(db.index());
+    let mut group = c.benchmark_group("index/query");
+    for n_terms in [1usize, 2, 4] {
+        let query: Vec<u32> = bed.queries[0].terms.iter().copied().cycle().take(n_terms).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n_terms), &query, |b, q| {
+            b.iter(|| engine.search(black_box(q), 20))
+        });
+    }
+    group.finish();
+}
+
+fn bench_stemming(c: &mut Criterion) {
+    let words = ["classification", "databases", "hypertension", "running", "selection"];
+    c.bench_function("index/porter_stem_5_words", |b| {
+        b.iter(|| {
+            for w in &words {
+                black_box(textindex::porter_stem(w));
+            }
+        })
+    });
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = "Database selection is an important step when searching over large \
+                numbers of distributed text databases; the selection task relies on \
+                statistical summaries of the database contents.";
+    c.bench_function("index/tokenize_paragraph", |b| b.iter(|| textindex::tokenize(black_box(text))));
+}
+
+fn bench_match_counts(c: &mut Criterion) {
+    let bed = TestBedConfig::tiny(3).build();
+    let db = &bed.databases[0].db;
+    let engine = SearchEngine::new(db.index());
+    let mut rng = StdRng::seed_from_u64(3);
+    let words: Vec<u32> = (0..64).map(|_| {
+        use rand::Rng;
+        bed.seed_lexicon[rng.gen_range(0..bed.seed_lexicon.len())]
+    }).collect();
+    c.bench_function("index/match_count_64_words", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &w in &words {
+                total += engine.match_count(w);
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_queries,
+    bench_stemming,
+    bench_tokenize,
+    bench_match_counts
+);
+criterion_main!(benches);

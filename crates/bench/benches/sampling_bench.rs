@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the sampling pipeline: QBS and FPS
+//! document sampling, size estimation, and frequency estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use corpus::TestBedConfig;
+use dbselect_core::freqest::FrequencyEstimator;
+use sampling::{
+    fps_sample, qbs_sample, sample_resample, FpsConfig, ProbeClassifier, QbsConfig,
+    SizeEstimationConfig,
+};
+
+fn bench_qbs(c: &mut Criterion) {
+    let bed = TestBedConfig::tiny(5).build();
+    let db = &bed.databases[0].db;
+    let config = QbsConfig { target_sample_size: 40, ..Default::default() };
+    c.bench_function("sampling/qbs_40_docs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            qbs_sample(black_box(db), &bed.seed_lexicon, &config, &mut rng)
+        })
+    });
+}
+
+fn bench_fps(c: &mut Criterion) {
+    let mut bed = TestBedConfig::tiny(6).build();
+    let mut rng = StdRng::seed_from_u64(6);
+    let examples = bed.training_documents(4, &mut rng);
+    let classifier = ProbeClassifier::train(&bed.hierarchy, &examples, 5);
+    let db = &bed.databases[0].db;
+    let config = FpsConfig::default();
+    c.bench_function("sampling/fps_full_probe", |b| {
+        b.iter(|| fps_sample(black_box(db), &bed.hierarchy, &classifier, &config))
+    });
+}
+
+fn bench_classifier_training(c: &mut Criterion) {
+    let mut bed = TestBedConfig::tiny(7).build();
+    let mut rng = StdRng::seed_from_u64(7);
+    let examples = bed.training_documents(4, &mut rng);
+    c.bench_function("sampling/train_probe_classifier", |b| {
+        b.iter(|| ProbeClassifier::train(black_box(&bed.hierarchy), &examples, 5))
+    });
+}
+
+fn bench_size_estimation(c: &mut Criterion) {
+    let bed = TestBedConfig::tiny(8).build();
+    let db = &bed.databases[0].db;
+    let mut rng = StdRng::seed_from_u64(8);
+    let qbs = QbsConfig { target_sample_size: 40, ..Default::default() };
+    let sample = qbs_sample(db, &bed.seed_lexicon, &qbs, &mut rng);
+    c.bench_function("sampling/sample_resample", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            sample_resample(black_box(db), &sample, &SizeEstimationConfig::default(), &mut rng)
+        })
+    });
+}
+
+fn bench_frequency_estimation(c: &mut Criterion) {
+    let bed = TestBedConfig::tiny(9).build();
+    let db = &bed.databases[0].db;
+    let mut rng = StdRng::seed_from_u64(10);
+    let qbs = QbsConfig { target_sample_size: 60, checkpoint_interval: 15, ..Default::default() };
+    let sample = qbs_sample(db, &bed.seed_lexicon, &qbs, &mut rng);
+    c.bench_function("sampling/mandelbrot_regression", |b| {
+        b.iter(|| FrequencyEstimator::from_checkpoints(black_box(&sample.checkpoints)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_qbs,
+    bench_fps,
+    bench_classifier_training,
+    bench_size_estimation,
+    bench_frequency_estimation
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for database selection: per-algorithm scoring
+//! throughput, the adaptive uncertainty test, and hierarchical descent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use bench::experiment::{profile_collection, AlgoKind, HarnessConfig};
+use corpus::TestBedConfig;
+use dbselect_core::summary::SummaryView;
+use sampling::SamplerKind;
+use selection::{
+    adaptive_rank, rank_databases, AdaptiveConfig, CollectionContext, HierarchicalSelector,
+    ShrinkageMode, SummaryPair,
+};
+
+fn fixture() -> (corpus::TestBed, bench::experiment::ProfiledCollection) {
+    let mut bed = TestBedConfig::tiny(30).build();
+    let config = HarnessConfig::new(SamplerKind::Qbs, true, 30);
+    let profiled = profile_collection(&mut bed, &config);
+    (bed, profiled)
+}
+
+fn bench_flat_ranking(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let views: Vec<&dyn SummaryView> =
+        profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+    let query = &bed.queries[0].terms;
+    let mut group = c.benchmark_group("selection/flat_rank");
+    for algo_kind in AlgoKind::all() {
+        let algo = algo_kind.build(&profiled);
+        group.bench_with_input(BenchmarkId::from_parameter(algo_kind.name()), &algo, |b, a| {
+            b.iter(|| rank_databases(black_box(a.as_ref()), query, &views))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_decision(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let pairs: Vec<SummaryPair<'_>> = profiled
+        .summaries
+        .iter()
+        .zip(&profiled.shrunk)
+        .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
+        .collect();
+    let query = &bed.queries[0].terms;
+    let mut group = c.benchmark_group("selection/adaptive_rank");
+    for algo_kind in AlgoKind::all() {
+        let algo = algo_kind.build(&profiled);
+        group.bench_with_input(BenchmarkId::from_parameter(algo_kind.name()), &algo, |b, a| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(31);
+                let config = AdaptiveConfig { mode: ShrinkageMode::Adaptive, ..Default::default() };
+                adaptive_rank(black_box(a.as_ref()), query, &pairs, &config, &mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let selector = HierarchicalSelector::new(
+        &bed.hierarchy,
+        &profiled.summaries,
+        &profiled.classifications,
+        &profiled.category_summaries,
+    );
+    let algo = AlgoKind::Cori.build(&profiled);
+    let query = &bed.queries[0].terms;
+    c.bench_function("selection/hierarchical_rank", |b| {
+        b.iter(|| selector.rank(black_box(algo.as_ref()), query, 10))
+    });
+}
+
+fn bench_collection_context(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let views: Vec<&dyn SummaryView> =
+        profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+    let query = &bed.queries[0].terms;
+    c.bench_function("selection/collection_context", |b| {
+        b.iter(|| CollectionContext::build(black_box(query), &views))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flat_ranking,
+    bench_adaptive_decision,
+    bench_hierarchical,
+    bench_collection_context
+);
+criterion_main!(benches);

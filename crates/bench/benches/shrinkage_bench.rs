@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the shrinkage machinery: category
+//! aggregation, the held-out EM, and lazy shrunk-summary lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use corpus::TestBedConfig;
+use dbselect_core::category_summary::{CategorySummaries, CategoryWeighting};
+use dbselect_core::hierarchy::CategoryId;
+use dbselect_core::shrinkage::{shrink, ShrinkageConfig};
+use dbselect_core::summary::{ContentSummary, SummaryView};
+use sampling::{qbs_sample, QbsConfig};
+
+struct Fixture {
+    bed: corpus::TestBed,
+    summaries: Vec<ContentSummary>,
+    classifications: Vec<CategoryId>,
+}
+
+fn fixture() -> Fixture {
+    let bed = TestBedConfig::tiny(20).build();
+    let mut rng = StdRng::seed_from_u64(20);
+    let config = QbsConfig { target_sample_size: 60, ..Default::default() };
+    let summaries: Vec<ContentSummary> = bed
+        .databases
+        .iter()
+        .map(|d| {
+            let sample = qbs_sample(&d.db, &bed.seed_lexicon, &config, &mut rng);
+            sample.raw_summary()
+        })
+        .collect();
+    let classifications = bed.true_categories();
+    Fixture { bed, summaries, classifications }
+}
+
+fn bench_category_aggregation(c: &mut Criterion) {
+    let f = fixture();
+    let refs: Vec<(CategoryId, &ContentSummary)> =
+        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let mut group = c.benchmark_group("shrinkage/aggregate_categories");
+    for weighting in [CategoryWeighting::BySize, CategoryWeighting::Uniform] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{weighting:?}")),
+            &weighting,
+            |b, &w| b.iter(|| CategorySummaries::build(black_box(&f.bed.hierarchy), &refs, w)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_em(c: &mut Criterion) {
+    let f = fixture();
+    let refs: Vec<(CategoryId, &ContentSummary)> =
+        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let cats = CategorySummaries::build(&f.bed.hierarchy, &refs, CategoryWeighting::BySize);
+    let comps = cats.components_for(&f.bed.hierarchy, f.classifications[0], &f.summaries[0], true);
+    let config = ShrinkageConfig { uniform_p: 1.0 / f.bed.dict.len() as f64, ..Default::default() };
+    c.bench_function("shrinkage/em_one_database", |b| {
+        b.iter(|| shrink(black_box(&f.summaries[0]), &comps, &config))
+    });
+}
+
+fn bench_shrunk_lookup(c: &mut Criterion) {
+    let f = fixture();
+    let refs: Vec<(CategoryId, &ContentSummary)> =
+        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let cats = CategorySummaries::build(&f.bed.hierarchy, &refs, CategoryWeighting::BySize);
+    let comps = cats.components_for(&f.bed.hierarchy, f.classifications[0], &f.summaries[0], true);
+    let config = ShrinkageConfig { uniform_p: 1e-5, ..Default::default() };
+    let shrunk = shrink(&f.summaries[0], &comps, &config);
+    let probes: Vec<u32> = (0..256).collect();
+    c.bench_function("shrinkage/lazy_p_df_256_lookups", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &t in &probes {
+                acc += shrunk.p_df(t);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_component_cache(c: &mut Criterion) {
+    let f = fixture();
+    let refs: Vec<(CategoryId, &ContentSummary)> =
+        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let cats = CategorySummaries::build(&f.bed.hierarchy, &refs, CategoryWeighting::BySize);
+    // Warm the cache once, then measure the amortized per-database cost.
+    let _ = cats.components_for(&f.bed.hierarchy, f.classifications[0], &f.summaries[0], true);
+    c.bench_function("shrinkage/components_cached", |b| {
+        b.iter(|| {
+            cats.components_for(
+                black_box(&f.bed.hierarchy),
+                f.classifications[0],
+                &f.summaries[0],
+                true,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_category_aggregation,
+    bench_em,
+    bench_shrunk_lookup,
+    bench_component_cache
+);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the persistence layer: serialization and
+//! deserialization throughput of a profiled collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use corpus::TestBedConfig;
+use sampling::{profile_qbs, PipelineConfig};
+use store::{CollectionStore, StoredDatabase};
+
+fn build_fixture() -> CollectionStore {
+    let bed = TestBedConfig::tiny(40).build();
+    let mut rng = StdRng::seed_from_u64(40);
+    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let databases = bed
+        .databases
+        .iter()
+        .map(|tdb| {
+            let profile = profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng);
+            StoredDatabase {
+                name: tdb.name.clone(),
+                classification: tdb.category,
+                summary: profile.summary,
+                sample_docs: profile.sample.docs.into_iter().map(|d| d.tokens).collect(),
+            }
+        })
+        .collect();
+    CollectionStore { dict: bed.dict.clone(), hierarchy: bed.hierarchy.clone(), databases }
+}
+
+fn bench_write(c: &mut Criterion) {
+    let store = build_fixture();
+    c.bench_function("store/serialize", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            store.write_to(&mut bytes).unwrap();
+            black_box(bytes)
+        })
+    });
+}
+
+fn bench_read(c: &mut Criterion) {
+    let store = build_fixture();
+    let mut bytes = Vec::new();
+    store.write_to(&mut bytes).unwrap();
+    c.bench_function("store/deserialize", |b| {
+        b.iter(|| CollectionStore::read_from(black_box(&mut bytes.as_slice())).unwrap())
+    });
+}
+
+fn bench_reshrink(c: &mut Criterion) {
+    let store = build_fixture();
+    c.bench_function("store/shrink_all_on_load", |b| {
+        b.iter(|| store.shrink_all(black_box(dbselect_core::category_summary::CategoryWeighting::BySize)))
+    });
+}
+
+criterion_group!(benches, bench_write, bench_read, bench_reshrink);
+criterion_main!(benches);

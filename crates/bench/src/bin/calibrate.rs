@@ -1,0 +1,67 @@
+//! Calibration diagnostic: empirical distributions of the per-word
+//! normalized score dispersion, per algorithm and query-length regime.
+//! Used to set the thresholds documented in DESIGN.md §6.
+
+use bench::experiment::{profile_collection, AlgoKind, HarnessConfig};
+use corpus::TestBedConfig;
+use dbselect_core::summary::SummaryView;
+use dbselect_core::uncertainty::{score_distribution, UncertaintyConfig, WordPosterior};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use selection::CollectionContext;
+
+fn main() {
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    for set in ["trec4", "trec6"] {
+        let config = match set {
+            "trec4" => TestBedConfig::trec4_like(),
+            _ => TestBedConfig::trec6_like(),
+        };
+        let mut bed = config.scaled_down(scale).build();
+        let hc = HarnessConfig::new(sampling::SamplerKind::Qbs, true, 1);
+        let profiled = profile_collection(&mut bed, &hc);
+        let views: Vec<&dyn SummaryView> =
+            profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+        for algo_kind in AlgoKind::all() {
+            let algo = algo_kind.build(&profiled);
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut raw_cvs = vec![];
+            let mut pw_sqrt = vec![];   // CV*sqrt(n)  (sum-form normalization)
+            let mut pw_geo = vec![];    // geometric per-word CV (product-form)
+            for q in bed.queries.iter().take(15) {
+                let n = q.terms.len();
+                let ctx = CollectionContext::build(&q.terms, &views);
+                for s in profiled.summaries.iter().take(25) {
+                    let default = algo.default_score(&q.terms, s, &ctx);
+                    let gamma = s.gamma().unwrap_or(-2.0);
+                    let posteriors: Vec<WordPosterior> = q.terms.iter().map(|&w| {
+                        let sdf = s.word(w).map_or(0, |st| st.sample_df);
+                        WordPosterior::new(sdf, s.sample_size(), s.db_size(), gamma, 160)
+                    }).collect();
+                    let dist = score_distribution(&posteriors, s.db_size(),
+                        |p| algo.score_with_df_fractions(&q.terms, p, s, &ctx) - default,
+                        &mut rng, &UncertaintyConfig::default());
+                    if dist.mean > 0.0 {
+                        let cv = dist.std_dev / dist.mean;
+                        raw_cvs.push(cv);
+                        pw_sqrt.push(cv * (n as f64).sqrt());
+                        pw_geo.push(((1.0 + cv * cv).powf(1.0 / n as f64) - 1.0).sqrt());
+                    } else {
+                        raw_cvs.push(f64::INFINITY);
+                        pw_sqrt.push(f64::INFINITY);
+                        pw_geo.push(f64::INFINITY);
+                    }
+                }
+            }
+            let q = |v: &mut Vec<f64>, p: f64| {
+                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v[((v.len() as f64 - 1.0) * p) as usize]
+            };
+            println!("{set} {}: raw CV q50={:.2} q80={:.2} q90={:.2} | CV*sqrt(n) q50={:.2} q80={:.2} q90={:.2} | geo q50={:.3} q80={:.3} q90={:.3}",
+                algo_kind.name(),
+                q(&mut raw_cvs.clone(), 0.5), q(&mut raw_cvs.clone(), 0.8), q(&mut raw_cvs.clone(), 0.9),
+                q(&mut pw_sqrt.clone(), 0.5), q(&mut pw_sqrt.clone(), 0.8), q(&mut pw_sqrt.clone(), 0.9),
+                q(&mut pw_geo.clone(), 0.5), q(&mut pw_geo.clone(), 0.8), q(&mut pw_geo.clone(), 0.9));
+        }
+    }
+}

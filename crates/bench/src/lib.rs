@@ -1,0 +1,14 @@
+//! `bench` — the experiment harness that regenerates every table and
+//! figure of the paper's evaluation (see `EXPERIMENTS.md` at the repository
+//! root for the experiment index), plus Criterion micro-benchmarks.
+//!
+//! The heavy lifting lives in [`experiment`]; the `repro` binary provides
+//! the command-line entry points.
+
+pub mod experiment;
+pub mod report;
+
+pub use experiment::{
+    profile_collection, run_selection, shrink_collection, AlgoKind, HarnessConfig,
+    ProfiledCollection, SelectionRun, Strategy,
+};

@@ -1,0 +1,64 @@
+//! Plain-text table and series formatting for the experiment binaries,
+//! shaped to echo the paper's tables and figures.
+
+/// Print a fixed-width table with a title, header row, and rows.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    println!("{}", "=".repeat(title.len()));
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Print an `R_k` series (one figure line) as `k: value` pairs.
+pub fn print_series(label: &str, ks: &[usize], values: &[f64]) {
+    let cells: Vec<String> =
+        ks.iter().zip(values).map(|(k, v)| format!("R{k}={v:.3}")).collect();
+    println!("{label:<24} {}", cells.join("  "));
+}
+
+/// Format a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f3_formats_three_decimals() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(1.0), "1.000");
+    }
+
+    #[test]
+    fn print_table_does_not_panic_on_ragged_rows() {
+        print_table("T", &["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+    }
+
+    #[test]
+    fn print_series_handles_mismatched_and_empty_input() {
+        print_series("empty", &[], &[]);
+        print_series("label", &[1, 5, 10], &[0.1, 0.25, 0.333]);
+    }
+
+    #[test]
+    fn print_table_with_no_rows() {
+        print_table("Empty", &["col"], &[]);
+    }
+}

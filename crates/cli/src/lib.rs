@@ -1,0 +1,493 @@
+//! Library backing the `dbselect` command-line tool.
+//!
+//! The CLI turns directories of plain-text files into "uncooperative"
+//! databases, profiles them exactly the way the paper's metasearcher would
+//! (query-based sampling, size and frequency estimation), persists the
+//! result as a [`CollectionStore`], and routes queries against it with
+//! adaptive shrinkage.
+//!
+//! Everything is a plain function over a store so the commands are unit
+//! testable; `main.rs` only parses arguments.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dbselect_core::category_summary::CategoryWeighting;
+use dbselect_core::hierarchy::Hierarchy;
+use dbselect_core::summary::ContentSummary;
+use sampling::{profile_qbs_many, PipelineConfig, QbsConfig};
+use selection::{
+    adaptive_rank, AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode,
+    SummaryPair,
+};
+use store::{CollectionStore, StoredDatabase};
+use textindex::{Analyzer, Document, IndexedDatabase, TermDict};
+
+/// One database to index: a name, a category path, and a directory of text
+/// files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbSpec {
+    /// Database name.
+    pub name: String,
+    /// Slash-separated category path (e.g. `Health/Heart`).
+    pub category: String,
+    /// Directory whose files become the database's documents.
+    pub dir: String,
+}
+
+impl DbSpec {
+    /// Parse a `name=Category/Path=directory` argument.
+    pub fn parse(arg: &str) -> Result<Self, String> {
+        let mut parts = arg.splitn(3, '=');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(name), Some(category), Some(dir))
+                if !name.is_empty() && !dir.is_empty() =>
+            {
+                Ok(DbSpec {
+                    name: name.to_string(),
+                    category: category.to_string(),
+                    dir: dir.to_string(),
+                })
+            }
+            _ => Err(format!("expected NAME=CATEGORY/PATH=DIR, got `{arg}`")),
+        }
+    }
+}
+
+/// Indexing options.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexOptions {
+    /// Target QBS sample size (ignored with `full`).
+    pub sample_size: usize,
+    /// Build *perfect* summaries by reading every document (cooperative
+    /// mode) instead of sampling.
+    pub full: bool,
+    /// Sampling seed.
+    pub seed: u64,
+    /// Profiling threads (results are thread-count independent).
+    pub threads: usize,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        IndexOptions { sample_size: 300, full: false, seed: 42, threads }
+    }
+}
+
+/// Read every regular file in `dir` (sorted by name for determinism) as one
+/// document.
+fn read_documents(
+    dir: &Path,
+    analyzer: &Analyzer,
+    dict: &mut TermDict,
+) -> io::Result<Vec<Document>> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_file())
+        .collect();
+    paths.sort();
+    let mut docs = Vec::with_capacity(paths.len());
+    for (i, path) in paths.iter().enumerate() {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        docs.push(Document::from_text(i as u32, &text, analyzer, dict));
+    }
+    Ok(docs)
+}
+
+/// `dbselect index`: profile the given directories and build a store.
+pub fn build_store(specs: &[DbSpec], options: &IndexOptions) -> io::Result<CollectionStore> {
+    let analyzer = Analyzer::english();
+    let mut dict = TermDict::new();
+    let mut hierarchy = Hierarchy::new("Root");
+
+    // Load all databases first (the dictionary is shared).
+    let mut loaded = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let docs = read_documents(Path::new(&spec.dir), &analyzer, &mut dict)?;
+        if docs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{}: no readable documents in {}", spec.name, spec.dir),
+            ));
+        }
+        let category = hierarchy.ensure_path(&spec.category);
+        loaded.push((spec.name.clone(), category, IndexedDatabase::new(spec.name.clone(), docs)));
+    }
+
+    // The QBS bootstrap lexicon: the most document-frequent words across
+    // the collection (standing in for an English dictionary).
+    let mut df_totals: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for (_, _, db) in &loaded {
+        for (term, list) in db.index().terms() {
+            *df_totals.entry(term).or_insert(0) += list.document_frequency();
+        }
+    }
+    let mut by_df: Vec<(usize, u32)> = df_totals.into_iter().map(|(t, c)| (c, t)).collect();
+    by_df.sort_unstable_by(|a, b| b.cmp(a));
+    let lexicon: Vec<u32> = by_df.into_iter().take(2000).map(|(_, t)| t).collect();
+
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        qbs: QbsConfig { target_sample_size: options.sample_size, ..Default::default() },
+        ..Default::default()
+    };
+    let databases = if options.full {
+        loaded
+            .into_iter()
+            .map(|(name, classification, db)| StoredDatabase {
+                name,
+                classification,
+                summary: ContentSummary::perfect(&db),
+                sample_docs: Vec::new(),
+            })
+            .collect()
+    } else {
+        let dbs: Vec<&IndexedDatabase> = loaded.iter().map(|(_, _, db)| db).collect();
+        let profiles =
+            profile_qbs_many(&dbs, &lexicon, &pipeline, options.seed, options.threads);
+        loaded
+            .iter()
+            .zip(profiles)
+            .map(|((name, classification, _), profile)| StoredDatabase {
+                name: name.clone(),
+                classification: *classification,
+                summary: profile.summary,
+                sample_docs: profile.sample.docs.into_iter().map(|d| d.tokens).collect(),
+            })
+            .collect()
+    };
+    Ok(CollectionStore { dict, hierarchy, databases })
+}
+
+/// Which scoring algorithm `dbselect select` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CliAlgorithm {
+    /// bGlOSS.
+    BGloss,
+    /// CORI (default).
+    #[default]
+    Cori,
+    /// Language modelling.
+    Lm,
+    /// ReDDE over the stored samples (no shrinkage; requires a store built
+    /// by sampling, not `--full`).
+    Redde,
+}
+
+impl CliAlgorithm {
+    /// Parse a `--algo` value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "bgloss" => Ok(CliAlgorithm::BGloss),
+            "cori" => Ok(CliAlgorithm::Cori),
+            "lm" => Ok(CliAlgorithm::Lm),
+            "redde" => Ok(CliAlgorithm::Redde),
+            other => Err(format!("unknown algorithm `{other}` (bgloss|cori|lm|redde)")),
+        }
+    }
+}
+
+/// Parse a `--shrinkage` value.
+pub fn parse_shrinkage(s: &str) -> Result<ShrinkageMode, String> {
+    match s {
+        "adaptive" => Ok(ShrinkageMode::Adaptive),
+        "always" => Ok(ShrinkageMode::Always),
+        "never" => Ok(ShrinkageMode::Never),
+        other => Err(format!("unknown shrinkage mode `{other}` (adaptive|always|never)")),
+    }
+}
+
+/// `dbselect select`: rank databases for a query. Returns the rendered
+/// report.
+pub fn select(
+    store: &CollectionStore,
+    query_words: &[String],
+    algo: CliAlgorithm,
+    shrinkage: ShrinkageMode,
+    k: usize,
+    seed: u64,
+) -> String {
+    let analyzer = Analyzer::english();
+    let mut query = Vec::new();
+    let mut unknown = Vec::new();
+    for word in query_words {
+        match analyzer.analyze_term(word).and_then(|t| store.dict.lookup(&t)) {
+            Some(id) if !query.contains(&id) => query.push(id),
+            Some(_) => {}
+            None => unknown.push(word.clone()),
+        }
+    }
+    let mut out = String::new();
+    if !unknown.is_empty() {
+        let _ = writeln!(out, "note: dropping words never seen while profiling: {unknown:?}");
+    }
+    if query.is_empty() {
+        let _ = writeln!(out, "no usable query words; nothing selected");
+        return out;
+    }
+
+    if algo == CliAlgorithm::Redde {
+        return select_redde(store, &query, k, out);
+    }
+
+    let shrunk = store.shrink_all(CategoryWeighting::BySize);
+    let algorithm: Box<dyn SelectionAlgorithm> = match algo {
+        CliAlgorithm::BGloss => Box::new(BGloss),
+        CliAlgorithm::Cori => Box::new(Cori::default()),
+        CliAlgorithm::Lm => Box::new(Lm::new(0.5, &store.root_summary(CategoryWeighting::BySize))),
+        CliAlgorithm::Redde => unreachable!("handled above"),
+    };
+    let pairs: Vec<SummaryPair<'_>> = store
+        .databases
+        .iter()
+        .zip(&shrunk)
+        .map(|(db, r)| SummaryPair { unshrunk: &db.summary, shrunk: r })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = AdaptiveConfig { mode: shrinkage, ..Default::default() };
+    let outcome = adaptive_rank(algorithm.as_ref(), &query, &pairs, &config, &mut rng);
+
+    let _ = writeln!(out, "top databases ({} scoring, {shrinkage:?} shrinkage):", algorithm.name());
+    for r in outcome.ranking.iter().take(k) {
+        let db = &store.databases[r.index];
+        let marker = if outcome.used_shrinkage[r.index] { " [shrunk]" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12.6}  ({}){marker}",
+            db.name,
+            r.score,
+            store.hierarchy.full_name(db.classification),
+        );
+    }
+    if outcome.ranking.is_empty() {
+        let _ = writeln!(out, "  (no database has evidence for this query)");
+    }
+    out
+}
+
+/// ReDDE selection over the stored samples.
+fn select_redde(store: &CollectionStore, query: &[u32], k: usize, mut out: String) -> String {
+    use selection::{Redde, ReddeConfig};
+    let samples: Vec<Vec<Document>> = store
+        .databases
+        .iter()
+        .map(|db| {
+            db.sample_docs
+                .iter()
+                .enumerate()
+                .map(|(i, tokens)| Document::from_tokens(i as u32, tokens.clone()))
+                .collect()
+        })
+        .collect();
+    if samples.iter().all(|s| s.is_empty()) {
+        let _ = writeln!(out, "this store holds no samples (built with --full?); ReDDE unavailable");
+        return out;
+    }
+    let sizes: Vec<f64> = store.databases.iter().map(|db| db.summary.db_size()).collect();
+    let redde = Redde::build(&samples, &sizes, ReddeConfig::default());
+    let ranking = redde.rank(query);
+    let _ = writeln!(out, "top databases (ReDDE estimated relevant documents):");
+    for r in ranking.iter().take(k) {
+        let db = &store.databases[r.index];
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12.1}  ({})",
+            db.name,
+            r.score,
+            store.hierarchy.full_name(db.classification),
+        );
+    }
+    if ranking.is_empty() {
+        let _ = writeln!(out, "  (no sampled document matches the query)");
+    }
+    out
+}
+
+/// `dbselect inspect`: describe the store (or one database). Returns the
+/// rendered report.
+pub fn inspect(store: &CollectionStore, db_name: Option<&str>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "store: {} databases, {} terms, {} categories",
+        store.databases.len(),
+        store.dict.len(),
+        store.hierarchy.len()
+    );
+    for db in &store.databases {
+        if let Some(filter) = db_name {
+            if db.name != filter {
+                continue;
+            }
+        }
+        let s = &db.summary;
+        let _ = writeln!(
+            out,
+            "\n{} — {} (|D̂| = {:.0}, sample {} docs, vocabulary {})",
+            db.name,
+            store.hierarchy.full_name(db.classification),
+            s.db_size(),
+            s.sample_size(),
+            s.vocabulary_size()
+        );
+        let mut words: Vec<(u32, f64)> = s.iter().map(|(t, st)| (t, st.df)).collect();
+        words.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for (term, df) in words.into_iter().take(10) {
+            let _ = writeln!(
+                out,
+                "    {:<20} df ≈ {:>8.1}   p̂(w|D) = {:.4}",
+                store.dict.term(term),
+                df,
+                s.p_df(term)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_corpus(root: &Path) {
+        let heart = root.join("heart");
+        let soccer = root.join("soccer");
+        std::fs::create_dir_all(&heart).unwrap();
+        std::fs::create_dir_all(&soccer).unwrap();
+        let heart_docs = [
+            "The heart pumps blood through the arteries",
+            "Hypertension strains the heart and raises blood pressure",
+            "Cardiac surgery repairs damaged heart valves",
+            "Cholesterol narrows the coronary arteries of the heart",
+        ];
+        let soccer_docs = [
+            "The striker scored a goal in the final minute",
+            "The league championship went to the home team",
+            "A penalty kick decided the soccer match",
+        ];
+        for (i, text) in heart_docs.iter().enumerate() {
+            std::fs::write(heart.join(format!("doc{i}.txt")), text).unwrap();
+        }
+        for (i, text) in soccer_docs.iter().enumerate() {
+            std::fs::write(soccer.join(format!("doc{i}.txt")), text).unwrap();
+        }
+    }
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dbselect-cli-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn specs(root: &Path) -> Vec<DbSpec> {
+        vec![
+            DbSpec {
+                name: "heart-db".into(),
+                category: "Health/Heart".into(),
+                dir: root.join("heart").to_string_lossy().into_owned(),
+            },
+            DbSpec {
+                name: "soccer-db".into(),
+                category: "Sports/Soccer".into(),
+                dir: root.join("soccer").to_string_lossy().into_owned(),
+            },
+        ]
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let spec = DbSpec::parse("medline=Health/Medicine=/data/medline").unwrap();
+        assert_eq!(spec.name, "medline");
+        assert_eq!(spec.category, "Health/Medicine");
+        assert_eq!(spec.dir, "/data/medline");
+        assert!(DbSpec::parse("missing-parts").is_err());
+        assert!(DbSpec::parse("=cat=dir").is_err());
+    }
+
+    #[test]
+    fn index_select_inspect_round_trip() {
+        let root = temp_root("e2e");
+        write_corpus(&root);
+        let options = IndexOptions { full: true, ..Default::default() };
+        let store = build_store(&specs(&root), &options).unwrap();
+        assert_eq!(store.databases.len(), 2);
+
+        // Save + reload through the file format.
+        let path = root.join("collection.store");
+        store.save(&path).unwrap();
+        let store = CollectionStore::load(&path).unwrap();
+
+        // A heart query selects the heart database first.
+        let report = select(
+            &store,
+            &["hypertension".into(), "blood".into()],
+            CliAlgorithm::Cori,
+            ShrinkageMode::Adaptive,
+            5,
+            1,
+        );
+        let heart_pos = report.find("heart-db").expect("heart-db selected");
+        assert!(report.find("soccer-db").is_none_or(|p| p > heart_pos));
+
+        // Inspect mentions both databases and their categories.
+        let info = inspect(&store, None);
+        assert!(info.contains("Root/Health/Heart"));
+        assert!(info.contains("Root/Sports/Soccer"));
+        let only = inspect(&store, Some("soccer-db"));
+        assert!(only.contains("soccer-db"));
+        assert!(!only.contains("heart-db"));
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn sampled_indexing_works_too() {
+        let root = temp_root("sampled");
+        write_corpus(&root);
+        let options = IndexOptions { sample_size: 3, full: false, seed: 7, threads: 2 };
+        let store = build_store(&specs(&root), &options).unwrap();
+        for db in &store.databases {
+            assert!(db.summary.sample_size() <= 3 + 1);
+            assert!(db.summary.vocabulary_size() > 0);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn unknown_words_are_reported_not_fatal() {
+        let root = temp_root("unknown");
+        write_corpus(&root);
+        let store =
+            build_store(&specs(&root), &IndexOptions { full: true, ..Default::default() }).unwrap();
+        let report = select(
+            &store,
+            &["xylophone".into()],
+            CliAlgorithm::BGloss,
+            ShrinkageMode::Never,
+            5,
+            1,
+        );
+        assert!(report.contains("dropping words"));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn empty_directory_is_an_error() {
+        let root = temp_root("empty");
+        std::fs::create_dir_all(root.join("nothing")).unwrap();
+        let spec = DbSpec {
+            name: "x".into(),
+            category: "A".into(),
+            dir: root.join("nothing").to_string_lossy().into_owned(),
+        };
+        assert!(build_store(&[spec], &IndexOptions::default()).is_err());
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

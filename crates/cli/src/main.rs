@@ -1,0 +1,142 @@
+//! `dbselect` — profile directories of text files as uncooperative
+//! databases, persist their content summaries, and route queries with
+//! shrinkage-based database selection.
+//!
+//! ```text
+//! dbselect index --out STORE [--sample N | --full] [--threads N] NAME=CATEGORY/PATH=DIR ...
+//! dbselect select --store STORE [--algo bgloss|cori|lm|redde]
+//!                 [--shrinkage adaptive|always|never] [-k N] WORD ...
+//! dbselect inspect --store STORE [--db NAME]
+//! ```
+
+use cli::{build_store, inspect, parse_shrinkage, select, CliAlgorithm, DbSpec, IndexOptions};
+use selection::ShrinkageMode;
+use store::CollectionStore;
+
+fn main() {
+    if let Err(message) = run() {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("index") => cmd_index(&args[1..]),
+        Some("select") => cmd_select(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+dbselect — shrinkage-based text database selection
+
+USAGE:
+  dbselect index --out STORE [--sample N | --full] [--threads N] NAME=CATEGORY/PATH=DIR ...
+  dbselect select --store STORE [--algo bgloss|cori|lm|redde]
+                  [--shrinkage adaptive|always|never] [-k N] WORD ...
+  dbselect inspect --store STORE [--db NAME]
+";
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let mut out = None;
+    let mut options = IndexOptions::default();
+    let mut specs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(next_value(&mut it, "--out")?),
+            "--sample" => {
+                options.sample_size = next_value(&mut it, "--sample")?
+                    .parse()
+                    .map_err(|_| "--sample expects an integer".to_string())?;
+            }
+            "--full" => options.full = true,
+            "--threads" => {
+                options.threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer".to_string())?;
+            }
+            "--seed" => {
+                options.seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            spec => specs.push(DbSpec::parse(spec)?),
+        }
+    }
+    let out = out.ok_or("index requires --out STORE")?;
+    if specs.is_empty() {
+        return Err("index requires at least one NAME=CATEGORY/PATH=DIR spec".into());
+    }
+    let store = build_store(&specs, &options).map_err(|e| e.to_string())?;
+    store.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} databases ({} terms) -> {out}",
+        store.databases.len(),
+        store.dict.len()
+    );
+    Ok(())
+}
+
+fn cmd_select(args: &[String]) -> Result<(), String> {
+    let mut store_path = None;
+    let mut algo = CliAlgorithm::default();
+    let mut shrinkage = ShrinkageMode::Adaptive;
+    let mut k = 5usize;
+    let mut seed = 42u64;
+    let mut words = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_path = Some(next_value(&mut it, "--store")?),
+            "--algo" => algo = CliAlgorithm::parse(&next_value(&mut it, "--algo")?)?,
+            "--shrinkage" => shrinkage = parse_shrinkage(&next_value(&mut it, "--shrinkage")?)?,
+            "-k" => {
+                k = next_value(&mut it, "-k")?
+                    .parse()
+                    .map_err(|_| "-k expects an integer".to_string())?;
+            }
+            "--seed" => {
+                seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            word => words.push(word.to_string()),
+        }
+    }
+    let store_path = store_path.ok_or("select requires --store STORE")?;
+    if words.is_empty() {
+        return Err("select requires at least one query word".into());
+    }
+    let store = CollectionStore::load(&store_path).map_err(|e| e.to_string())?;
+    print!("{}", select(&store, &words, algo, shrinkage, k, seed));
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let mut store_path = None;
+    let mut db = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_path = Some(next_value(&mut it, "--store")?),
+            "--db" => db = Some(next_value(&mut it, "--db")?),
+            other => return Err(format!("unknown inspect option `{other}`")),
+        }
+    }
+    let store_path = store_path.ok_or("inspect requires --store STORE")?;
+    let store = CollectionStore::load(&store_path).map_err(|e| e.to_string())?;
+    print!("{}", inspect(&store, db.as_deref()));
+    Ok(())
+}
+
+fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    it.next().cloned().ok_or_else(|| format!("missing value for {flag}"))
+}

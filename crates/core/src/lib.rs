@@ -1,0 +1,69 @@
+//! `dbselect-core` — the primary contribution of the reproduced paper:
+//! shrinkage-based content summaries for text database selection.
+//!
+//! Reproduces Ipeirotis & Gravano, *"When one Sample is not Enough:
+//! Improving Text Database Selection Using Shrinkage"* (SIGMOD 2004):
+//!
+//! * [`summary`] — database content summaries (Definitions 1 and 2);
+//! * [`hierarchy`] — topic hierarchies, including the 72-node ODP-like tree
+//!   of the paper's experiments;
+//! * [`category_summary`] — category content summaries (Definition 3,
+//!   Equation 1) with overlap subtraction;
+//! * [`shrinkage`] — shrunk summaries via EM over the category path
+//!   (Definition 4, Figure 2);
+//! * [`freqest`] — absolute word-frequency estimation via Mandelbrot's law
+//!   (Appendix A);
+//! * [`uncertainty`] — the score-uncertainty estimation that decides, per
+//!   query and database, whether shrinkage should be applied (Section 4,
+//!   Appendix B, Figure 3).
+//!
+//! # Quick tour
+//!
+//! ```
+//! use dbselect_core::prelude::*;
+//! use textindex::Document;
+//!
+//! // A two-level hierarchy and two tiny "databases".
+//! let mut h = Hierarchy::new("Root");
+//! let health = h.add_child(Hierarchy::ROOT, "Health");
+//! let heart = h.add_child(health, "Heart");
+//!
+//! // Database sample: term 1 = "blood", term 2 = "hypertension".
+//! let d1_docs = vec![Document::from_tokens(0, vec![1])];
+//! let d2_docs = vec![Document::from_tokens(0, vec![1, 2])];
+//! let s1 = ContentSummary::from_sample(d1_docs.iter(), 100.0);
+//! let s2 = ContentSummary::from_sample(d2_docs.iter(), 100.0);
+//!
+//! let cats = CategorySummaries::build(&h, &[(heart, &s1), (heart, &s2)],
+//!                                     CategoryWeighting::BySize);
+//! let comps = cats.components_for(&h, heart, &s1, true);
+//! let shrunk = shrink(&s1, &comps, &ShrinkageConfig::default());
+//!
+//! // "hypertension" (term 2) was missing from D1's sample, but the shrunk
+//! // summary recovers it from the sibling database.
+//! assert_eq!(s1.p_df(2), 0.0);
+//! assert!(shrunk.p_df(2) > 0.0);
+//! ```
+
+pub mod category_summary;
+pub mod freqest;
+pub mod hierarchy;
+pub mod shrinkage;
+pub mod summary;
+pub mod uncertainty;
+
+/// The most commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::category_summary::{CategorySummaries, CategoryWeighting, SummaryComponent};
+    pub use crate::freqest::{
+        apply_frequency_estimation, checkpoint, FrequencyEstimator, MandelbrotCheckpoint,
+    };
+    pub use crate::hierarchy::{Category, CategoryId, Hierarchy};
+    pub use crate::shrinkage::{shrink, ProbabilityModel, ShrinkageConfig, ShrunkSummary};
+    pub use crate::summary::{ContentSummary, SummaryView, WordStats};
+    pub use crate::uncertainty::{
+        score_distribution, ScoreDistribution, UncertaintyConfig, WordPosterior,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,432 @@
+//! Shrinkage-based content summaries (Section 3.2 of the paper).
+//!
+//! A database `D` classified under categories `C_1 (root), …, C_m` gets a
+//! *shrunk* summary
+//!
+//! ```text
+//! p̂_R(w|D) = λ_{m+1}·p̂(w|D) + Σ_{i=1..m} λ_i·p̂(w|C_i) + λ_0·p̂(w|C_0)
+//! ```
+//!
+//! where `C_0` is a dummy category assigning the same probability to every
+//! word, and the mixture weights `λ_i` (summing to 1) are computed by the
+//! expectation-maximization procedure of Figure 2. The EM runs once per
+//! probability model — document-frequency (Definitions 1/2) and
+//! term-frequency (the LM variant of Section 5.3) — because the paper notes
+//! the algorithms adapt to the LM model "by substituting this definition of
+//! p(w|D)".
+//!
+//! [`ShrunkSummary`] evaluates the mixture *lazily*: it keeps the database's
+//! own probabilities plus `Arc`-shared category components (whose memory is
+//! amortized across all databases under the same categories) and computes
+//! `p̂_R(w|D)` on lookup. Materializing every shrunk summary over the union
+//! vocabulary would cost memory proportional to |databases| × |global
+//! vocabulary|, which is prohibitive for web-scale collections.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use textindex::TermId;
+
+use crate::category_summary::SummaryComponent;
+use crate::summary::{ContentSummary, SummaryView};
+
+/// Tuning knobs for the EM computation.
+#[derive(Debug, Clone, Copy)]
+pub struct ShrinkageConfig {
+    /// Convergence threshold: stop when no `λ_i` moves by more than this.
+    pub epsilon: f64,
+    /// Hard iteration cap (EM converges in a handful of iterations here).
+    pub max_iterations: usize,
+    /// The probability `p̂(w|C_0)` that the dummy uniform category assigns
+    /// to *every* word. A natural choice is `1 / |global vocabulary|`.
+    pub uniform_p: f64,
+}
+
+impl Default for ShrinkageConfig {
+    fn default() -> Self {
+        ShrinkageConfig { epsilon: 1e-6, max_iterations: 500, uniform_p: 1e-6 }
+    }
+}
+
+/// Which word-probability model a set of mixture weights was fit on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbabilityModel {
+    /// `p̂(w|D)` = fraction of documents containing `w` (Definition 2).
+    DocumentFrequency,
+    /// `p̂(w|D) = tf(w,D) / Σ tf` (the LM variant, Section 5.3).
+    TermFrequency,
+}
+
+/// The shrunk content summary `R̂(D)` of one database (Definition 4).
+#[derive(Debug, Clone)]
+pub struct ShrunkSummary {
+    db_size: f64,
+    word_count: f64,
+    uniform_p: f64,
+    /// Mixture weights for the document-frequency model, ordered
+    /// `[λ_0 (uniform), λ_1 (root), …, λ_m (leaf category), λ_{m+1} (D)]`.
+    lambdas_df: Vec<f64>,
+    /// Mixture weights fit on the term-frequency model, same order.
+    lambdas_tf: Vec<f64>,
+    /// The database's own probabilities under both models.
+    db_p_df: HashMap<TermId, f64>,
+    db_p_tf: HashMap<TermId, f64>,
+    /// Category components, root first, shared across sibling databases.
+    components: Vec<Arc<SummaryComponent>>,
+}
+
+impl ShrunkSummary {
+    /// Mixture weights under the document-frequency model:
+    /// `[λ_0 (uniform), λ_1 (root), …, λ_m, λ_{m+1} (database)]`.
+    pub fn lambdas(&self) -> &[f64] {
+        &self.lambdas_df
+    }
+
+    /// Mixture weights under the term-frequency model.
+    pub fn lambdas_tf(&self) -> &[f64] {
+        &self.lambdas_tf
+    }
+
+    /// The union vocabulary of the database and its category components —
+    /// every word with non-default probability, ascending.
+    pub fn vocabulary(&self) -> Vec<TermId> {
+        let mut seen: HashSet<TermId> = self.db_p_df.keys().copied().collect();
+        for comp in &self.components {
+            seen.extend(comp.p_df.keys().copied());
+        }
+        let mut v: Vec<TermId> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate over `(term, p̂_R(w|D))` for the union vocabulary.
+    pub fn iter_df(&self) -> impl Iterator<Item = (TermId, f64)> + '_ {
+        self.vocabulary().into_iter().map(move |t| (t, SummaryView::p_df(self, t)))
+    }
+
+    /// Number of words with explicit probability in the shrunk summary.
+    pub fn vocabulary_size(&self) -> usize {
+        self.vocabulary().len()
+    }
+
+    fn mix(
+        &self,
+        term: TermId,
+        lambdas: &[f64],
+        db_p: &HashMap<TermId, f64>,
+        model_df: bool,
+    ) -> f64 {
+        let mut p = lambdas[0] * self.uniform_p;
+        for (comp, &lambda) in self.components.iter().zip(&lambdas[1..]) {
+            if lambda == 0.0 {
+                continue;
+            }
+            let map = if model_df { &comp.p_df } else { &comp.p_tf };
+            if let Some(&cp) = map.get(&term) {
+                p += lambda * cp;
+            }
+        }
+        if let Some(&dp) = db_p.get(&term) {
+            p += lambdas[lambdas.len() - 1] * dp;
+        }
+        p
+    }
+}
+
+impl SummaryView for ShrunkSummary {
+    fn db_size(&self) -> f64 {
+        self.db_size
+    }
+
+    fn p_df(&self, term: TermId) -> f64 {
+        self.mix(term, &self.lambdas_df, &self.db_p_df, true)
+    }
+
+    fn p_tf(&self, term: TermId) -> f64 {
+        self.mix(term, &self.lambdas_tf, &self.db_p_tf, false)
+    }
+
+    fn word_count(&self) -> f64 {
+        self.word_count
+    }
+}
+
+/// Run the EM of Figure 2 for one probability model, with *held-out*
+/// (deleted-interpolation) weighting.
+///
+/// * `db_words` — `(word, sample_df)` for every word of `Ŝ(D)` (the E-step
+///   sums over `w ∈ Ŝ(D)`);
+/// * `db_p(w)` — the database's own estimate for `w`;
+/// * `component_p[i]` — `p̂(w|C_{i+1})` maps, root first.
+///
+/// The mixture weights exist to make `R̂(D)` generalize beyond the sample.
+/// McCallum et al. [22] therefore fit λ on *held-out* data: the database
+/// component is estimated from part of the training data and the
+/// responsibilities are computed on the rest, so words the database model
+/// would not have covered push weight toward the categories. Figure 2's
+/// "simple version" omits this; run verbatim on the very sample that
+/// defines `p̂(w|D)`, the database component dominates every word it has
+/// seen and EM degenerates to `λ_{m+1} → 1`. We emulate the held-out fit in
+/// expectation: under a random half split, a word observed in `s` sample
+/// documents is absent from the training half with probability `2^{-s}`, so
+/// each word contributes a second, `2^{-s}`-weighted responsibility row in
+/// which the database probability is zeroed. Frequent words are unaffected;
+/// singletons vote half of their mass as if the database had never seen
+/// them — which is exactly the generalization question shrinkage answers.
+///
+/// Returns `[λ_0, λ_1, …, λ_m, λ_{m+1}]`.
+fn em_mixture_weights(
+    db_words: &[(TermId, u32)],
+    db_p: &HashMap<TermId, f64>,
+    component_p: &[&HashMap<TermId, f64>],
+    config: &ShrinkageConfig,
+) -> Vec<f64> {
+    let m = component_p.len();
+    let k = m + 2; // uniform + m categories + database
+    let mut lambdas = vec![1.0 / k as f64; k];
+    if db_words.is_empty() {
+        return lambdas;
+    }
+    // Precompute per-word component probabilities plus the held-out weight.
+    let mut probs: Vec<(Vec<f64>, f64)> = Vec::with_capacity(db_words.len());
+    for &(w, sample_df) in db_words {
+        let mut row = Vec::with_capacity(k);
+        row.push(config.uniform_p);
+        for comp in component_p {
+            row.push(comp.get(&w).copied().unwrap_or(0.0));
+        }
+        row.push(db_p.get(&w).copied().unwrap_or(0.0));
+        let heldout_weight = 0.5f64.powi(sample_df.min(60) as i32);
+        probs.push((row, heldout_weight));
+    }
+    let mut betas = vec![0.0f64; k];
+    for _ in 0..config.max_iterations {
+        // Expectation: β_i = Σ_w λ_i·p_i(w) / p̂_R(w), with each word also
+        // contributing its held-out variant (database component deleted).
+        betas.iter_mut().for_each(|b| *b = 0.0);
+        for (row, heldout) in &probs {
+            let mixture: f64 = row.iter().zip(&lambdas).map(|(p, l)| p * l).sum();
+            if mixture > 0.0 {
+                let weight = 1.0 - heldout;
+                for (beta, (p, l)) in betas.iter_mut().zip(row.iter().zip(&lambdas)) {
+                    *beta += weight * l * p / mixture;
+                }
+            }
+            if *heldout > 0.0 {
+                // The deleted row: same categories, database term removed.
+                let db_term = lambdas[k - 1] * row[k - 1];
+                let mixture_deleted = mixture - db_term;
+                if mixture_deleted > 0.0 {
+                    for (beta, (p, l)) in
+                        betas.iter_mut().take(k - 1).zip(row.iter().zip(&lambdas))
+                    {
+                        *beta += heldout * l * p / mixture_deleted;
+                    }
+                }
+            }
+        }
+        let total: f64 = betas.iter().sum();
+        if total <= 0.0 {
+            break;
+        }
+        // Maximization: λ_i = β_i / Σ_j β_j.
+        let mut delta = 0.0f64;
+        for (lambda, beta) in lambdas.iter_mut().zip(&betas) {
+            let new = beta / total;
+            delta = delta.max((new - *lambda).abs());
+            *lambda = new;
+        }
+        if delta < config.epsilon {
+            break;
+        }
+    }
+    // Zero is an absorbing state for EM mixture weights; floor them so the
+    // shrunk summary keeps the paper's property that "virtually every word
+    // appears with non-zero probability in every shrunk content summary".
+    let floor = 1e-9;
+    for l in &mut lambdas {
+        *l = l.max(floor);
+    }
+    let total: f64 = lambdas.iter().sum();
+    for l in &mut lambdas {
+        *l /= total;
+    }
+    lambdas
+}
+
+/// Compute the shrunk content summary `R̂(D)` for a database.
+///
+/// `components` are the category summaries along `D`'s classification path
+/// (root first), typically produced by
+/// [`crate::category_summary::CategorySummaries::components_for`].
+pub fn shrink(
+    db_summary: &ContentSummary,
+    components: &[Arc<SummaryComponent>],
+    config: &ShrinkageConfig,
+) -> ShrunkSummary {
+    // Sorted so the EM's floating-point sums are order-stable: the same
+    // summary always yields bit-identical mixture weights.
+    let mut db_words: Vec<(TermId, u32)> =
+        db_summary.iter().map(|(t, s)| (t, s.sample_df)).collect();
+    db_words.sort_unstable();
+    let db_p_df: HashMap<TermId, f64> =
+        db_summary.iter().map(|(t, _)| (t, db_summary.p_df(t))).collect();
+    let db_p_tf: HashMap<TermId, f64> =
+        db_summary.iter().map(|(t, _)| (t, db_summary.p_tf(t))).collect();
+
+    let comp_df: Vec<&HashMap<TermId, f64>> = components.iter().map(|c| &c.p_df).collect();
+    let comp_tf: Vec<&HashMap<TermId, f64>> = components.iter().map(|c| &c.p_tf).collect();
+
+    let lambdas_df = em_mixture_weights(&db_words, &db_p_df, &comp_df, config);
+    let lambdas_tf = em_mixture_weights(&db_words, &db_p_tf, &comp_tf, config);
+
+    ShrunkSummary {
+        db_size: db_summary.db_size(),
+        word_count: db_summary.total_tf(),
+        uniform_p: config.uniform_p,
+        lambdas_df,
+        lambdas_tf,
+        db_p_df,
+        db_p_tf,
+        components: components.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use textindex::Document;
+
+    fn summary_from(docs: &[Vec<TermId>], db_size: f64) -> ContentSummary {
+        let docs: Vec<Document> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::from_tokens(i as u32, t.clone()))
+            .collect();
+        ContentSummary::from_sample(docs.iter(), db_size)
+    }
+
+    fn component(entries: &[(TermId, f64)]) -> Arc<SummaryComponent> {
+        Arc::new(SummaryComponent {
+            p_df: entries.iter().copied().collect(),
+            p_tf: entries.iter().copied().collect(),
+        })
+    }
+
+    #[test]
+    fn lambdas_sum_to_one() {
+        let db = summary_from(&[vec![1, 2], vec![1, 3]], 100.0);
+        let comps = vec![component(&[(1, 0.5), (4, 0.2)]), component(&[(2, 0.9)])];
+        let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
+        let sum: f64 = shrunk.lambdas().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "λ sums to 1, got {sum}");
+        assert_eq!(shrunk.lambdas().len(), 4); // uniform + 2 categories + db
+        assert!(shrunk.lambdas().iter().all(|&l| l >= 0.0));
+    }
+
+    #[test]
+    fn database_weight_dominates_matching_category() {
+        // The database summary should usually receive the highest λ (the
+        // paper: "the λ_{m+1} weight ... is usually highest").
+        let db = summary_from(&[vec![1, 2], vec![1], vec![2], vec![1, 2]], 1000.0);
+        // Category roughly agrees with the database but less sharply.
+        let comps = vec![component(&[(1, 0.3), (2, 0.2), (9, 0.1)])];
+        let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
+        let l = shrunk.lambdas();
+        assert!(l[2] > l[0], "database λ exceeds uniform λ: {l:?}");
+        assert!(l[2] > 0.3, "database λ substantial: {l:?}");
+    }
+
+    #[test]
+    fn shrunk_summary_covers_category_words() {
+        // Word 42 is absent from the database sample but present in the
+        // category — the whole point of shrinkage (the "hypertension"
+        // example of the paper's Figure 1). The category must genuinely
+        // resemble the database for EM to give it weight.
+        let db = summary_from(&[vec![1], vec![1, 2]], 50.0);
+        let comps = vec![component(&[(1, 0.9), (2, 0.9), (42, 0.25)])];
+        let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
+        assert!(shrunk.p_df(42) > 0.0, "category word gains probability");
+        assert!(
+            shrunk.p_df(42) > shrunk.p_df(777),
+            "category word outranks a never-seen word"
+        );
+    }
+
+    #[test]
+    fn unseen_words_get_uniform_floor() {
+        let db = summary_from(&[vec![1]], 10.0);
+        let config = ShrinkageConfig { uniform_p: 1e-4, ..Default::default() };
+        let shrunk = shrink(&db, &[component(&[(1, 0.5)])], &config);
+        let floor = shrunk.p_df(99_999);
+        assert!(floor > 0.0);
+        assert!((floor - shrunk.lambdas()[0] * 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_database_summary_returns_uniform_lambdas() {
+        let db = summary_from(&[], 0.0);
+        let shrunk = shrink(&db, &[component(&[(1, 0.5)])], &ShrinkageConfig::default());
+        let l = shrunk.lambdas();
+        assert_eq!(l.len(), 3);
+        for &li in l {
+            assert!((li - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shrunk_p_is_convex_combination() {
+        // p̂_R(w) must lie between min and max of the component estimates.
+        let db = summary_from(&[vec![1], vec![1], vec![2]], 30.0);
+        let comps = vec![component(&[(1, 0.1), (2, 0.8)])];
+        let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
+        let p1_db: f64 = 2.0 / 3.0;
+        let p1 = shrunk.p_df(1);
+        assert!(p1 <= p1_db.max(0.1) + 1e-12 && p1 >= 0.0);
+        // And mixture with positive db weight keeps db words positive.
+        assert!(p1 > 0.0);
+    }
+
+    #[test]
+    fn em_is_deterministic() {
+        let db = summary_from(&[vec![1, 2], vec![3]], 100.0);
+        let comps = vec![component(&[(1, 0.5), (7, 0.3)]), component(&[(3, 0.2)])];
+        let a = shrink(&db, &comps, &ShrinkageConfig::default());
+        let b = shrink(&db, &comps, &ShrinkageConfig::default());
+        assert_eq!(a.lambdas(), b.lambdas());
+    }
+
+    #[test]
+    fn effectively_contains_applies_rounding_to_shrunk_probabilities() {
+        let db = summary_from(&[vec![1]], 100.0);
+        let comps = vec![component(&[(42, 0.2)])];
+        let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
+        // Word 42's shrunk probability times 100 docs rounds to >= 1 iff
+        // p >= 0.005.
+        assert_eq!(shrunk.effectively_contains(42), shrunk.p_df(42) * 100.0 >= 0.5);
+    }
+
+    #[test]
+    fn vocabulary_is_union_of_db_and_components() {
+        let db = summary_from(&[vec![5, 2]], 10.0);
+        let comps = vec![component(&[(2, 0.3), (9, 0.1)])];
+        let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
+        assert_eq!(shrunk.vocabulary(), vec![2, 5, 9]);
+        assert_eq!(shrunk.vocabulary_size(), 3);
+        let from_iter: Vec<TermId> = shrunk.iter_df().map(|(t, _)| t).collect();
+        assert_eq!(from_iter, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn components_are_shared_not_copied() {
+        let db1 = summary_from(&[vec![1]], 10.0);
+        let db2 = summary_from(&[vec![2]], 10.0);
+        let shared = component(&[(1, 0.4), (2, 0.4)]);
+        let s1 = shrink(&db1, std::slice::from_ref(&shared), &ShrinkageConfig::default());
+        let s2 = shrink(&db2, std::slice::from_ref(&shared), &ShrinkageConfig::default());
+        // Three holders of the same allocation: `shared`, s1, s2.
+        assert_eq!(Arc::strong_count(&shared), 3);
+        drop((s1, s2));
+        assert_eq!(Arc::strong_count(&shared), 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! Score-uncertainty estimation for adaptive shrinkage (Section 4 and
+//! Appendix B of the paper).
+//!
+//! Given a query `q = [w₁ … wₙ]` and a database `D` sampled by `S`, where
+//! word `w_k` appeared in `s_k` of the `|S|` sample documents, the paper
+//! asks: *how uncertain is the selection score `s(q, D)` implied by the
+//! sample?* For every possible document-frequency combination `d₁ … dₙ` it
+//! weighs
+//!
+//! * the likelihood `p(s_k | d_k)` — binomial with `|S|` trials and success
+//!   probability `d_k / |D|`, and
+//! * the prior `p(d_k) ∝ d_k^γ` — the power law of word frequencies, with
+//!   `γ = 1/α − 1` from the Mandelbrot fit (Appendix A),
+//!
+//! and examines the mean and variance of the scores the selection algorithm
+//! would assign across random `d₁ … dₙ` combinations. When the standard
+//! deviation exceeds the mean, the sample-based score is deemed unreliable
+//! and the shrunk content summary is used instead (Figure 3).
+//!
+//! Exhaustive enumeration over all `|D|ⁿ` combinations is infeasible; as the
+//! paper notes, almost all combinations have negligible probability and the
+//! moments converge after a few hundred random combinations. We therefore
+//! discretize each word's posterior on a log-spaced grid and Monte-Carlo
+//! sample combinations until the running mean and variance stabilize.
+
+use rand::Rng;
+
+/// Tuning knobs for the Monte-Carlo moment estimation.
+#[derive(Debug, Clone, Copy)]
+pub struct UncertaintyConfig {
+    /// Hard cap on sampled `d₁ … dₙ` combinations.
+    pub max_draws: usize,
+    /// How often (in draws) convergence is checked.
+    pub check_every: usize,
+    /// Stop when mean and standard deviation both move less than this
+    /// relative amount between checks.
+    pub rel_tolerance: f64,
+    /// Number of grid points for each word's posterior support.
+    pub grid_points: usize,
+}
+
+impl Default for UncertaintyConfig {
+    fn default() -> Self {
+        UncertaintyConfig { max_draws: 2000, check_every: 100, rel_tolerance: 0.02, grid_points: 160 }
+    }
+}
+
+/// Discretized posterior `p(d | s)` over the true document frequency of one
+/// query word.
+#[derive(Debug, Clone)]
+pub struct WordPosterior {
+    /// Candidate document frequencies.
+    support: Vec<f64>,
+    /// Cumulative probabilities aligned with `support` (last entry = 1).
+    cumulative: Vec<f64>,
+}
+
+impl WordPosterior {
+    /// Build the posterior for a word observed in `sample_df` of
+    /// `sample_size` sample documents, for a database of `db_size` documents
+    /// whose word-frequency power-law exponent is `gamma`.
+    ///
+    /// The prior follows Appendix B: `p(d) ∝ d^γ` for `d ≥ 1`. A word absent
+    /// from the sample (`sample_df = 0`) may also be absent from the
+    /// database; `d = 0` is given the same prior mass as `d = 1`, a choice
+    /// the paper leaves open (its sums start at the smallest frequency).
+    pub fn new(
+        sample_df: u32,
+        sample_size: u32,
+        db_size: f64,
+        gamma: f64,
+        grid_points: usize,
+    ) -> Self {
+        let d_max = db_size.max(1.0);
+        let s = f64::from(sample_df);
+        let n = f64::from(sample_size);
+        let supports = grid(sample_df == 0, d_max, grid_points.max(8));
+        let mut log_weights = Vec::with_capacity(supports.len());
+        for &d in &supports {
+            log_weights.push(log_posterior(d, s, n, d_max, gamma));
+        }
+        // Bucket widths: the grid is non-uniform, so each point stands for a
+        // band of integer frequencies.
+        let weights: Vec<f64> = normalize(&supports, &log_weights);
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        // Guard against an all-zero posterior (degenerate input): fall back
+        // to a point mass at the scaled sample estimate.
+        if acc <= 0.0 {
+            let point = if n > 0.0 { (s / n * d_max).max(0.0) } else { 0.0 };
+            return WordPosterior { support: vec![point], cumulative: vec![1.0] };
+        }
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        WordPosterior { support: supports, cumulative }
+    }
+
+    /// Draw one candidate document frequency.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => self.support[i.min(self.support.len() - 1)],
+        }
+    }
+
+    /// Posterior mean (used in tests and diagnostics).
+    pub fn mean(&self) -> f64 {
+        let mut prev = 0.0;
+        let mut mean = 0.0;
+        for (d, c) in self.support.iter().zip(&self.cumulative) {
+            mean += d * (c - prev);
+            prev = *c;
+        }
+        mean
+    }
+}
+
+/// Log of `p(s|d)·p(d)` up to constants. `d`, `s`, `n` (=|S|), `d_max`
+/// (=|D|) are all in documents.
+fn log_posterior(d: f64, s: f64, n: f64, d_max: f64, gamma: f64) -> f64 {
+    if d <= 0.0 {
+        // Only reachable for s = 0: likelihood 1, prior mass as at d = 1.
+        return if s == 0.0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    let p = (d / d_max).min(1.0);
+    let mut ll = 0.0;
+    if s > 0.0 {
+        ll += s * p.ln();
+    }
+    if n - s > 0.0 {
+        if p >= 1.0 {
+            return f64::NEG_INFINITY; // d = |D| but some sample docs lack w
+        }
+        ll += (n - s) * (1.0 - p).ln();
+    }
+    ll + gamma * d.ln()
+}
+
+/// Log-spaced integer grid over `[1, d_max]`, optionally including 0.
+fn grid(include_zero: bool, d_max: f64, points: usize) -> Vec<f64> {
+    let mut support = Vec::with_capacity(points + 1);
+    if include_zero {
+        support.push(0.0);
+    }
+    if d_max <= points as f64 {
+        support.extend((1..=d_max as u64).map(|d| d as f64));
+        return support;
+    }
+    let log_max = d_max.ln();
+    let mut last = 0.0f64;
+    for i in 0..points {
+        let d = (log_max * i as f64 / (points - 1) as f64).exp().round();
+        if d > last {
+            support.push(d);
+            last = d;
+        }
+    }
+    support
+}
+
+/// Convert log weights to probabilities, weighting each grid point by the
+/// width of the frequency band it represents (trapezoidal).
+fn normalize(support: &[f64], log_weights: &[f64]) -> Vec<f64> {
+    let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max_lw.is_finite() {
+        return vec![0.0; support.len()];
+    }
+    let mut weights = Vec::with_capacity(support.len());
+    for (i, lw) in log_weights.iter().enumerate() {
+        let lo = if i == 0 { support[0] } else { support[i - 1] };
+        let hi = if i + 1 == support.len() { support[i] } else { support[i + 1] };
+        let width = ((hi - lo) / 2.0).max(1.0);
+        weights.push((lw - max_lw).exp() * width);
+    }
+    weights
+}
+
+/// Estimated moments of the score distribution for one (query, database)
+/// pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreDistribution {
+    /// Mean of the scores over sampled frequency combinations.
+    pub mean: f64,
+    /// Standard deviation of those scores.
+    pub std_dev: f64,
+    /// Number of combinations actually examined.
+    pub draws: usize,
+}
+
+impl ScoreDistribution {
+    /// The Content Summary Selection rule of Figure 3: use the shrunk
+    /// summary when the score's standard deviation exceeds its mean.
+    pub fn should_use_shrinkage(&self) -> bool {
+        self.std_dev > self.mean
+    }
+}
+
+/// Monte-Carlo estimate of the score distribution.
+///
+/// `score_fn` receives one `p_k = d_k/|D|` per query word and returns the
+/// selection score the base algorithm would assign under those frequencies.
+pub fn score_distribution<R: Rng + ?Sized>(
+    posteriors: &[WordPosterior],
+    db_size: f64,
+    mut score_fn: impl FnMut(&[f64]) -> f64,
+    rng: &mut R,
+    config: &UncertaintyConfig,
+) -> ScoreDistribution {
+    let d_max = db_size.max(1.0);
+    let mut ps = vec![0.0f64; posteriors.len()];
+    // Welford running moments.
+    let mut count = 0usize;
+    let mut mean = 0.0f64;
+    let mut m2 = 0.0f64;
+    let mut last_mean = f64::INFINITY;
+    let mut last_std = f64::INFINITY;
+    while count < config.max_draws {
+        for (p, posterior) in ps.iter_mut().zip(posteriors) {
+            *p = posterior.sample(rng) / d_max;
+        }
+        let score = score_fn(&ps);
+        count += 1;
+        let delta = score - mean;
+        mean += delta / count as f64;
+        m2 += delta * (score - mean);
+        if count.is_multiple_of(config.check_every) && count >= 2 * config.check_every {
+            let std = (m2 / count as f64).sqrt();
+            let mean_stable = (mean - last_mean).abs() <= config.rel_tolerance * mean.abs().max(1e-12);
+            let std_stable = (std - last_std).abs() <= config.rel_tolerance * std.abs().max(1e-12);
+            if mean_stable && std_stable {
+                return ScoreDistribution { mean, std_dev: std, draws: count };
+            }
+            last_mean = mean;
+            last_std = std;
+        }
+    }
+    let std = if count > 0 { (m2 / count as f64).sqrt() } else { 0.0 };
+    ScoreDistribution { mean, std_dev: std, draws: count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn posterior_concentrates_near_scaled_sample_frequency() {
+        // Word in 50 of 100 sample docs, database of 1000 docs → true df
+        // near 500.
+        let post = WordPosterior::new(50, 100, 1000.0, -2.0, 160);
+        let mean = post.mean();
+        assert!((300.0..700.0).contains(&mean), "posterior mean {mean} near 500");
+    }
+
+    #[test]
+    fn rare_word_posterior_skews_low() {
+        // Word absent from a 100-doc sample of a 10_000-doc database: with a
+        // decreasing power-law prior the posterior must sit at small d.
+        let post = WordPosterior::new(0, 100, 10_000.0, -2.0, 160);
+        assert!(post.mean() < 200.0, "mean {} should be small", post.mean());
+    }
+
+    #[test]
+    fn absent_word_can_draw_zero() {
+        let post = WordPosterior::new(0, 100, 1000.0, -2.0, 160);
+        let mut rng = rng();
+        let zeros = (0..500).filter(|_| post.sample(&mut rng) == 0.0).count();
+        assert!(zeros > 0, "d = 0 must be reachable for s = 0");
+    }
+
+    #[test]
+    fn present_word_never_draws_zero() {
+        let post = WordPosterior::new(3, 100, 1000.0, -2.0, 160);
+        let mut rng = rng();
+        for _ in 0..500 {
+            assert!(post.sample(&mut rng) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn small_database_uses_exact_support() {
+        let post = WordPosterior::new(2, 10, 50.0, -2.0, 160);
+        // Support is all integers 1..=50.
+        assert_eq!(post.support.len(), 50);
+        assert_eq!(post.support[0], 1.0);
+        assert_eq!(*post.support.last().unwrap(), 50.0);
+    }
+
+    #[test]
+    fn score_distribution_zero_variance_for_constant_score() {
+        let posteriors = vec![WordPosterior::new(10, 100, 1000.0, -2.0, 64)];
+        let dist =
+            score_distribution(&posteriors, 1000.0, |_| 7.5, &mut rng(), &UncertaintyConfig::default());
+        assert!((dist.mean - 7.5).abs() < 1e-12);
+        assert!(dist.std_dev < 1e-12);
+        assert!(!dist.should_use_shrinkage());
+        assert!(dist.draws < 2000, "constant score converges early");
+    }
+
+    #[test]
+    fn uncertain_word_triggers_shrinkage_for_product_scores() {
+        // bGlOSS-like score: |D| · Π p_k. A word with s = 0 makes the score
+        // wildly uncertain (often 0, sometimes large).
+        let posteriors = vec![WordPosterior::new(0, 100, 100_000.0, -1.8, 160)];
+        let dist = score_distribution(
+            &posteriors,
+            100_000.0,
+            |ps| 100_000.0 * ps.iter().product::<f64>(),
+            &mut rng(),
+            &UncertaintyConfig::default(),
+        );
+        assert!(dist.should_use_shrinkage(), "std {} vs mean {}", dist.std_dev, dist.mean);
+    }
+
+    #[test]
+    fn well_sampled_word_does_not_trigger_shrinkage() {
+        // Word in 80 of 100 sample docs of a 200-doc database: p is pinned
+        // near 0.8, so a p-proportional score is stable.
+        let posteriors = vec![WordPosterior::new(80, 100, 200.0, -2.0, 160)];
+        let dist = score_distribution(
+            &posteriors,
+            200.0,
+            |ps| ps[0],
+            &mut rng(),
+            &UncertaintyConfig::default(),
+        );
+        assert!(!dist.should_use_shrinkage(), "std {} vs mean {}", dist.std_dev, dist.mean);
+    }
+
+    #[test]
+    fn moments_are_reproducible_with_seeded_rng() {
+        let posteriors = vec![WordPosterior::new(5, 100, 5000.0, -2.0, 160)];
+        let score = |ps: &[f64]| ps[0] * 100.0;
+        let a = score_distribution(&posteriors, 5000.0, score, &mut rng(), &UncertaintyConfig::default());
+        let b = score_distribution(&posteriors, 5000.0, score, &mut rng(), &UncertaintyConfig::default());
+        assert_eq!(a, b);
+    }
+}
+
+impl WordPosterior {
+    /// First and second moments `(E[d], E[d²])` of the posterior —
+    /// exact over the discretized support.
+    pub fn raw_moments(&self) -> (f64, f64) {
+        let mut prev = 0.0;
+        let mut m1 = 0.0;
+        let mut m2 = 0.0;
+        for (d, c) in self.support.iter().zip(&self.cumulative) {
+            let p = c - prev;
+            m1 += d * p;
+            m2 += d * d * p;
+            prev = *c;
+        }
+        (m1, m2)
+    }
+}
+
+/// Exact score-distribution moments for *product-form* scores over
+/// independent words — the shortcut Section 4 describes: "for a large class
+/// of database selection algorithms that assume independence between the
+/// query words ... we can calculate the variance for each query word
+/// separately, and then combine them into the final score variance."
+///
+/// The score is `scale · Π_k (a_k·p_k + b_k)` with `p_k = d_k/|D|`
+/// (bGlOSS: `scale = |D|, a = 1, b = 0`; LM: `scale = 1,
+/// a_k = λ·conversion_k, b_k = (1−λ)·p̂(w_k|G)`). By independence,
+/// `E[Π f_k] = Π E[f_k]` and `E[(Π f_k)²] = Π E[f_k²]`, giving the mean and
+/// variance in closed form — no Monte-Carlo sampling, no randomness.
+pub fn product_score_distribution(
+    posteriors: &[WordPosterior],
+    db_size: f64,
+    scale: f64,
+    coefficients: &[(f64, f64)],
+) -> ScoreDistribution {
+    assert_eq!(posteriors.len(), coefficients.len());
+    let d_max = db_size.max(1.0);
+    let mut mean = scale;
+    let mut second = scale * scale;
+    for (posterior, &(a, b)) in posteriors.iter().zip(coefficients) {
+        let (m1, m2) = posterior.raw_moments();
+        let (p1, p2) = (m1 / d_max, m2 / (d_max * d_max));
+        // E[a·p + b] and E[(a·p + b)²].
+        mean *= a * p1 + b;
+        second *= a * a * p2 + 2.0 * a * b * p1 + b * b;
+    }
+    let variance = (second - mean * mean).max(0.0);
+    ScoreDistribution { mean, std_dev: variance.sqrt(), draws: 0 }
+}
+
+#[cfg(test)]
+mod product_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn raw_moments_match_definition_on_small_support() {
+        // Small db → exact integer support; verify against brute force.
+        let post = WordPosterior::new(2, 10, 20.0, -1.5, 64);
+        let (m1, m2) = post.raw_moments();
+        assert!(m1 > 0.0 && m2 >= m1 * m1 - 1e-9);
+        // Var >= 0 and E[d²] >= E[d]² (Jensen).
+        assert!(m2 + 1e-12 >= m1 * m1);
+    }
+
+    #[test]
+    fn exact_moments_agree_with_monte_carlo_for_bgloss() {
+        let posteriors = vec![
+            WordPosterior::new(5, 100, 2000.0, -2.0, 160),
+            WordPosterior::new(0, 100, 2000.0, -2.0, 160),
+        ];
+        let coeffs = vec![(1.0, 0.0); 2];
+        let exact = product_score_distribution(&posteriors, 2000.0, 2000.0, &coeffs);
+        // Monte-Carlo estimate of the same score.
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = UncertaintyConfig { max_draws: 60_000, check_every: 60_000, ..Default::default() };
+        let mc = score_distribution(
+            &posteriors,
+            2000.0,
+            |p| 2000.0 * p.iter().product::<f64>(),
+            &mut rng,
+            &config,
+        );
+        let mean_err = (exact.mean - mc.mean).abs() / exact.mean.max(1e-12);
+        assert!(mean_err < 0.1, "exact {} vs MC {}", exact.mean, mc.mean);
+        let std_err = (exact.std_dev - mc.std_dev).abs() / exact.std_dev.max(1e-12);
+        assert!(std_err < 0.15, "exact σ {} vs MC σ {}", exact.std_dev, mc.std_dev);
+    }
+
+    #[test]
+    fn affine_coefficients_shift_the_mean() {
+        let posteriors = vec![WordPosterior::new(10, 100, 1000.0, -2.0, 160)];
+        let bare = product_score_distribution(&posteriors, 1000.0, 1.0, &[(1.0, 0.0)]);
+        let smoothed = product_score_distribution(&posteriors, 1000.0, 1.0, &[(0.5, 0.2)]);
+        assert!((smoothed.mean - (0.5 * bare.mean + 0.2)).abs() < 1e-12);
+        assert!(smoothed.std_dev < bare.std_dev, "smoothing shrinks dispersion");
+    }
+
+    #[test]
+    fn exact_distribution_is_deterministic() {
+        let posteriors = vec![WordPosterior::new(3, 100, 5000.0, -1.8, 160)];
+        let a = product_score_distribution(&posteriors, 5000.0, 5000.0, &[(1.0, 0.0)]);
+        let b = product_score_distribution(&posteriors, 5000.0, 5000.0, &[(1.0, 0.0)]);
+        assert_eq!(a, b);
+        assert_eq!(a.draws, 0, "no sampling involved");
+    }
+}

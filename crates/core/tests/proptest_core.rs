@@ -1,0 +1,181 @@
+//! Property-based tests for the core shrinkage machinery: summaries,
+//! category aggregation, the EM mixture weights, frequency estimation, and
+//! the uncertainty posteriors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dbselect_core::category_summary::{CategorySummaries, CategoryWeighting, SummaryComponent};
+use dbselect_core::freqest::{fit_mandelbrot, linear_regression, FrequencyEstimator};
+use dbselect_core::hierarchy::Hierarchy;
+use dbselect_core::shrinkage::{shrink, ShrinkageConfig};
+use dbselect_core::summary::{ContentSummary, SummaryView};
+use dbselect_core::uncertainty::WordPosterior;
+use textindex::Document;
+
+fn sample_docs() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..40, 1..25), 1..15)
+}
+
+fn component_entries() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    prop::collection::vec((0u32..60, 1e-6..0.9f64), 0..30)
+}
+
+proptest! {
+    /// p̂(w|D) of a sample summary is always a valid fraction, and the
+    /// tf-based probabilities sum to 1 over the vocabulary.
+    #[test]
+    fn summary_probabilities_are_valid(docs in sample_docs(), scale in 1.0..100.0f64) {
+        let documents: Vec<Document> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::from_tokens(i as u32, t.clone()))
+            .collect();
+        let db_size = documents.len() as f64 * scale;
+        let summary = ContentSummary::from_sample(documents.iter(), db_size);
+        let mut p_tf_total = 0.0;
+        for (term, stats) in summary.iter() {
+            let p = summary.p_df(term);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "p_df {p}");
+            prop_assert!(stats.df <= db_size + 1e-9);
+            p_tf_total += summary.p_tf(term);
+        }
+        prop_assert!((p_tf_total - 1.0).abs() < 1e-9);
+    }
+
+    /// Shrinkage mixture weights always form a probability simplex, and the
+    /// shrunk probability of any word stays within [0, 1].
+    #[test]
+    fn shrinkage_lambdas_form_simplex(
+        docs in sample_docs(),
+        comp_a in component_entries(),
+        comp_b in component_entries(),
+        probe in 0u32..80,
+    ) {
+        let documents: Vec<Document> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::from_tokens(i as u32, t.clone()))
+            .collect();
+        let summary = ContentSummary::from_sample(documents.iter(), 500.0);
+        let mk = |entries: &[(u32, f64)]| {
+            Arc::new(SummaryComponent {
+                p_df: entries.iter().copied().collect(),
+                p_tf: entries.iter().copied().collect(),
+            })
+        };
+        let comps = vec![mk(&comp_a), mk(&comp_b)];
+        let shrunk = shrink(&summary, &comps, &ShrinkageConfig::default());
+        let sum: f64 = shrunk.lambdas().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "λ sum {sum}");
+        prop_assert!(shrunk.lambdas().iter().all(|&l| (0.0..=1.0).contains(&l)));
+        let sum_tf: f64 = shrunk.lambdas_tf().iter().sum();
+        prop_assert!((sum_tf - 1.0).abs() < 1e-6);
+        let p = shrunk.p_df(probe);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&p), "shrunk p {p}");
+    }
+
+    /// Category aggregation preserves total probability mass: the category
+    /// p̂(w|C) lies between the member databases' minimum and maximum p̂.
+    #[test]
+    fn category_p_is_between_member_ps(
+        df_a in 0u32..50, size_a in 50u32..200,
+        df_b in 0u32..50, size_b in 50u32..200,
+    ) {
+        let mk = |df: u32, size: u32| {
+            let docs: Vec<Document> = (0..size)
+                .map(|i| Document::from_tokens(i, if i < df { vec![7] } else { vec![8] }))
+                .collect();
+            ContentSummary::from_sample(docs.iter(), f64::from(size))
+        };
+        let a = mk(df_a, size_a);
+        let b = mk(df_b, size_b);
+        let mut h = Hierarchy::new("Root");
+        let cat = h.add_child(Hierarchy::ROOT, "C");
+        let cats = CategorySummaries::build(&h, &[(cat, &a), (cat, &b)], CategoryWeighting::BySize);
+        let summary = cats.category_summary(cat);
+        let p = summary.p_df(7);
+        let (lo, hi) = (a.p_df(7).min(b.p_df(7)), a.p_df(7).max(b.p_df(7)));
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{lo} <= {p} <= {hi}");
+    }
+
+    /// Linear regression residuals are orthogonal to x (normal equations).
+    #[test]
+    fn regression_satisfies_normal_equations(
+        pts in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 3..40)
+    ) {
+        if let Some((slope, intercept)) = linear_regression(&pts) {
+            let dot: f64 = pts.iter().map(|&(x, y)| (y - slope * x - intercept) * x).sum();
+            let scale: f64 = pts.iter().map(|&(x, _)| x * x).sum::<f64>().max(1.0);
+            prop_assert!(dot.abs() / scale < 1e-6, "residual·x = {dot}");
+        }
+    }
+
+    /// Mandelbrot fitting on an exact power law recovers its parameters.
+    #[test]
+    fn mandelbrot_fit_recovers_parameters(alpha in -2.0..-0.2f64, log_beta in 0.0..8.0f64) {
+        let curve: Vec<(f64, f64)> = (1..=40)
+            .map(|r| (r as f64, (log_beta + alpha * (r as f64).ln()).exp()))
+            .collect();
+        let (a, lb) = fit_mandelbrot(&curve).unwrap();
+        prop_assert!((a - alpha).abs() < 1e-6);
+        prop_assert!((lb - log_beta).abs() < 1e-6);
+    }
+
+    /// Frequency estimates are always within [0, |D|] and decrease with
+    /// rank.
+    #[test]
+    fn frequency_estimates_bounded_and_monotone(
+        a1 in -0.2..0.2f64, a2 in -2.0..-0.3f64,
+        b1 in 0.0..1.5f64, b2 in -2.0..4.0f64,
+        size in 100.0..100_000.0f64,
+    ) {
+        let est = FrequencyEstimator { a1, a2, b1, b2 };
+        let mut prev = f64::INFINITY;
+        for rank in [1usize, 2, 5, 10, 100, 1000] {
+            let df = est.estimate_df(rank, size);
+            prop_assert!((0.0..=size).contains(&df));
+            prop_assert!(df <= prev + 1e-9, "df not decreasing at rank {rank}");
+            prev = df;
+        }
+    }
+
+    /// Word posteriors only produce frequencies within [0, |D|], and a word
+    /// observed in the sample never draws zero.
+    #[test]
+    fn posterior_draws_in_range(
+        sample_df in 0u32..100,
+        db_size in 100.0..50_000.0f64,
+        gamma in -3.0..-0.5f64,
+        seed in 0u64..1000,
+    ) {
+        let sample_size = 100u32.max(sample_df);
+        let posterior = WordPosterior::new(sample_df, sample_size, db_size, gamma, 80);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let d = posterior.sample(&mut rng);
+            prop_assert!((0.0..=db_size).contains(&d));
+            if sample_df > 0 {
+                prop_assert!(d >= 1.0, "observed word drew zero frequency");
+            }
+        }
+    }
+}
+
+#[test]
+fn shrunk_summary_view_is_consistent_with_iteration() {
+    let docs = [Document::from_tokens(0, vec![1, 2]), Document::from_tokens(1, vec![2, 3])];
+    let summary = ContentSummary::from_sample(docs.iter(), 100.0);
+    let comp = Arc::new(SummaryComponent {
+        p_df: HashMap::from([(2, 0.4), (9, 0.2)]),
+        p_tf: HashMap::from([(2, 0.4), (9, 0.2)]),
+    });
+    let shrunk = shrink(&summary, &[comp], &ShrinkageConfig::default());
+    for (term, p) in shrunk.iter_df() {
+        assert!((shrunk.p_df(term) - p).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,33 @@
+//! `corpus` — synthetic hierarchical text corpora with ground truth.
+//!
+//! The paper's evaluation data (TREC4, TREC6, and 315 real web databases,
+//! Section 5.1) is proprietary, so this crate generates statistical
+//! stand-ins from a hierarchical topic model: databases classified into the
+//! 72-node ODP-like hierarchy, Zipfian vocabularies shared along category
+//! paths, TREC-style queries with matched length distributions, and
+//! relevance judgments derived from each document's generative topic.
+//! See `DESIGN.md` §3 for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use corpus::TestBedConfig;
+//!
+//! let bed = TestBedConfig::tiny(42).build();
+//! assert_eq!(bed.databases.len(), 12);
+//! assert!(bed.total_docs() > 0);
+//! // Every database is classified under a leaf of the hierarchy.
+//! for db in &bed.databases {
+//!     assert!(bed.hierarchy.is_leaf(db.category));
+//! }
+//! ```
+
+pub mod model;
+pub mod queries;
+pub mod testbed;
+pub mod zipf;
+
+pub use model::{CorpusModel, TopicModelConfig};
+pub use queries::{generate_queries, Query, QueryLengthModel};
+pub use testbed::{AssignmentModel, SizeModel, TestBed, TestBedConfig, TestDatabase};
+pub use zipf::DiscreteDist;

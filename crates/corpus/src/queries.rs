@@ -1,0 +1,193 @@
+//! Query and relevance-judgment generation.
+//!
+//! The paper evaluates selection accuracy with TREC-4 queries 201–250
+//! (long: 8–34 words, mean 16.75) and TREC-6 queries 301–350 (short: 2–5
+//! words, mean 2.75), plus NIST relevance judgments. We generate queries
+//! with matching length statistics from the same topic model that produced
+//! the documents, and derive relevance from the *generative* topic of each
+//! document — a ground truth correlated with topical content but not
+//! identical to lexical match, like human judgments.
+
+use rand::Rng;
+use textindex::TermId;
+
+use dbselect_core::hierarchy::CategoryId;
+
+use crate::model::CorpusModel;
+
+
+/// The two query-length regimes of the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryLengthModel {
+    /// TREC-4-like: 8–34 words, mean ≈ 16.75.
+    TrecLong,
+    /// TREC-6-like: 2–5 words, mean ≈ 2.75.
+    TrecShort,
+}
+
+impl QueryLengthModel {
+    /// Draw a query length.
+    pub fn sample_len<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match self {
+            // 8 + Exp(mean 8.75), truncated at 34: mean lands near 16.
+            QueryLengthModel::TrecLong => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let extra = (-8.75 * u.ln()).round() as usize;
+                (8 + extra).min(34)
+            }
+            // Weights chosen so the mean is exactly 2.75 (the TREC-6 value):
+            // P(2)=.5, P(3)=.3, P(4)=.15, P(5)=.05.
+            QueryLengthModel::TrecShort => {
+                let u: f64 = rng.gen();
+                if u < 0.50 {
+                    2
+                } else if u < 0.80 {
+                    3
+                } else if u < 0.95 {
+                    4
+                } else {
+                    5
+                }
+            }
+        }
+    }
+}
+
+/// One evaluation query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Query number (position in the query set).
+    pub id: usize,
+    /// Distinct query terms, in generation order.
+    pub terms: Vec<TermId>,
+    /// The topical content terms (subset of `terms`): these define
+    /// relevance, the rest is background phrasing.
+    pub content_terms: Vec<TermId>,
+    /// The leaf category expressing the query's information need.
+    pub topic: CategoryId,
+}
+
+/// Generate `n` queries against `model`. Each query picks a random leaf
+/// topic; its words are drawn mostly from that leaf's (and its ancestors')
+/// topic vocabulary, with some general background words mixed in, echoing
+/// how TREC topic statements read.
+pub fn generate_queries<R: Rng + ?Sized>(
+    model: &CorpusModel,
+    n: usize,
+    length_model: QueryLengthModel,
+    rng: &mut R,
+) -> Vec<Query> {
+    let leaves = model.leaves();
+    (0..n)
+        .map(|id| {
+            let topic = leaves[rng.gen_range(0..leaves.len())];
+            generate_query(model, id, topic, length_model, rng)
+        })
+        .collect()
+}
+
+fn generate_query<R: Rng + ?Sized>(
+    model: &CorpusModel,
+    id: usize,
+    topic: CategoryId,
+    length_model: QueryLengthModel,
+    rng: &mut R,
+) -> Query {
+    let target_len = length_model.sample_len(rng);
+    let mut terms: Vec<TermId> = Vec::with_capacity(target_len);
+    let mut content_terms: Vec<TermId> = Vec::new();
+    // Draw until we have `target_len` *distinct* words (bounded retries so a
+    // tiny vocabulary cannot loop forever).
+    let mut attempts = 0;
+    while terms.len() < target_len && attempts < target_len * 20 {
+        attempts += 1;
+        // The first word is always a *specific* (tail) topical term so every
+        // query has a content word; other words are either further specific
+        // terms, broad (head) topical context, or background phrasing.
+        let (term, specific) = if terms.is_empty() || rng.gen::<f64>() < 0.35 {
+            (model.sample_topic_query_token(topic, 1.0, rng), true)
+        } else if rng.gen::<f64>() < 0.55 {
+            (model.sample_topic_query_token(topic, 0.0, rng), false)
+        } else {
+            (model.sample_background_token(rng), false)
+        };
+        if terms.contains(&term) {
+            continue;
+        }
+        terms.push(term);
+        // Only the specific terms define relevance: a document about the
+        // broad topic that never mentions the specific need is not relevant
+        // — mirroring how TREC assessors read narrow topic statements.
+        if specific {
+            content_terms.push(term);
+        }
+    }
+    Query { id, terms, content_terms, topic }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::TopicModelConfig;
+    use dbselect_core::hierarchy::Hierarchy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use textindex::TermDict;
+
+    fn model() -> CorpusModel {
+        let mut dict = TermDict::new();
+        let config = TopicModelConfig {
+            global_vocab: 300,
+            node_vocab: 60,
+            db_vocab: 10,
+            ..Default::default()
+        };
+        CorpusModel::new(Hierarchy::odp_like(), config, &mut dict)
+    }
+
+    #[test]
+    fn short_queries_match_trec6_statistics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lens: Vec<usize> =
+            (0..5000).map(|_| QueryLengthModel::TrecShort.sample_len(&mut rng)).collect();
+        assert!(lens.iter().all(|&l| (2..=5).contains(&l)));
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((mean - 2.75).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn long_queries_match_trec4_statistics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let lens: Vec<usize> =
+            (0..5000).map(|_| QueryLengthModel::TrecLong.sample_len(&mut rng)).collect();
+        assert!(lens.iter().all(|&l| (8..=34).contains(&l)));
+        let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((14.0..20.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn queries_have_distinct_terms_and_content_words() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(13);
+        for q in generate_queries(&m, 30, QueryLengthModel::TrecShort, &mut rng) {
+            let mut sorted = q.terms.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), q.terms.len(), "terms distinct");
+            assert!(!q.content_terms.is_empty(), "every query has a content term");
+            for c in &q.content_terms {
+                assert!(q.terms.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn query_topics_are_leaves() {
+        let m = model();
+        let mut rng = StdRng::seed_from_u64(14);
+        let leaves = m.leaves().to_vec();
+        for q in generate_queries(&m, 20, QueryLengthModel::TrecLong, &mut rng) {
+            assert!(leaves.contains(&q.topic));
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Test-bed assembly: databases, queries, and relevance judgments for the
+//! three data sets of the paper's evaluation (Section 5.1), generated from
+//! the hierarchical topic model.
+//!
+//! * [`TestBedConfig::trec4_like`] — 100 topically-focused databases plus
+//!   long queries (TREC-4 regime);
+//! * [`TestBedConfig::trec6_like`] — the same database shape with short
+//!   queries (TREC-6 regime);
+//! * [`TestBedConfig::web_like`] — 315 databases, 5 per leaf category plus
+//!   extras, with log-uniform sizes spanning orders of magnitude (the Web
+//!   set's defining property: its larger databases make sampled summaries
+//!   less complete, which is where shrinkage helps most).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use textindex::{Document, IndexedDatabase, RemoteDatabase, TermDict, TermId};
+
+use dbselect_core::hierarchy::{CategoryId, Hierarchy};
+
+use crate::model::{CorpusModel, TopicModelConfig};
+use crate::queries::{generate_queries, Query, QueryLengthModel};
+use crate::zipf::sample_log_uniform;
+
+/// How database sizes (document counts) are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeModel {
+    /// Uniform over `[lo, hi]` — the TREC sets' k-means clusters.
+    Uniform(usize, usize),
+    /// Log-uniform over `[lo, hi]` — the Web set's heavy-tailed sizes.
+    LogUniform(usize, usize),
+}
+
+impl SizeModel {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match *self {
+            SizeModel::Uniform(lo, hi) => rng.gen_range(lo..=hi),
+            SizeModel::LogUniform(lo, hi) => sample_log_uniform(rng, lo, hi),
+        }
+    }
+}
+
+/// How databases are assigned home categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentModel {
+    /// Each database gets a uniformly random leaf (TREC clustering: multiple
+    /// databases may share a topic, some topics may be empty).
+    RandomLeaf,
+    /// `per_leaf` databases for every leaf, plus `extra` on random leaves
+    /// (the Web set: "top-5 from each of the 54 leaf categories ... plus
+    /// other arbitrarily selected web sites").
+    PerLeaf {
+        /// Databases per leaf category.
+        per_leaf: usize,
+        /// Additional databases on random leaves.
+        extra: usize,
+    },
+}
+
+/// Everything needed to build a [`TestBed`].
+#[derive(Debug, Clone)]
+pub struct TestBedConfig {
+    /// Data-set name, used in database names and reports.
+    pub name: String,
+    /// Master RNG seed: the same config always builds the same test bed.
+    pub seed: u64,
+    /// Number of databases (only for [`AssignmentModel::RandomLeaf`]).
+    pub num_databases: usize,
+    /// Database size distribution.
+    pub sizes: SizeModel,
+    /// Category assignment scheme.
+    pub assignment: AssignmentModel,
+    /// Number of evaluation queries.
+    pub num_queries: usize,
+    /// Query length regime.
+    pub query_len: QueryLengthModel,
+    /// Topic model parameters.
+    pub topics: TopicModelConfig,
+}
+
+impl TestBedConfig {
+    /// The TREC4-like set: 100 topical databases, long queries.
+    pub fn trec4_like() -> Self {
+        TestBedConfig {
+            name: "TREC4".into(),
+            seed: 0x7254_0004,
+            num_databases: 100,
+            // The paper's TREC4 set holds ~567k documents in 100 k-means
+            // clusters (~5.7k docs each), so a 300-document sample covers
+            // only a few percent of a database — the regime shrinkage is
+            // designed for.
+            sizes: SizeModel::Uniform(1500, 9000),
+            assignment: AssignmentModel::RandomLeaf,
+            num_queries: 50,
+            query_len: QueryLengthModel::TrecLong,
+            topics: TopicModelConfig::default(),
+        }
+    }
+
+    /// The TREC6-like set: same database shape, short queries, new seed.
+    pub fn trec6_like() -> Self {
+        TestBedConfig {
+            name: "TREC6".into(),
+            seed: 0x7254_0006,
+            num_databases: 100,
+            sizes: SizeModel::Uniform(1500, 9000),
+            assignment: AssignmentModel::RandomLeaf,
+            num_queries: 50,
+            query_len: QueryLengthModel::TrecShort,
+            topics: TopicModelConfig::default(),
+        }
+    }
+
+    /// The Web-like set: 315 databases (5 per leaf + 45 extra) with
+    /// log-uniform sizes spanning ~2 orders of magnitude.
+    pub fn web_like() -> Self {
+        TestBedConfig {
+            name: "Web".into(),
+            seed: 0x0077_EB00,
+            num_databases: 315,
+            sizes: SizeModel::LogUniform(100, 5000),
+            assignment: AssignmentModel::PerLeaf { per_leaf: 5, extra: 45 },
+            num_queries: 50,
+            query_len: QueryLengthModel::TrecShort,
+            topics: TopicModelConfig::default(),
+        }
+    }
+
+    /// A miniature test bed for unit and integration tests: a handful of
+    /// small databases over the full hierarchy, built in milliseconds.
+    pub fn tiny(seed: u64) -> Self {
+        TestBedConfig {
+            name: "Tiny".into(),
+            seed,
+            num_databases: 12,
+            sizes: SizeModel::Uniform(40, 120),
+            assignment: AssignmentModel::RandomLeaf,
+            num_queries: 10,
+            query_len: QueryLengthModel::TrecShort,
+            topics: TopicModelConfig {
+                global_vocab: 1500,
+                node_vocab: 120,
+                db_vocab: 40,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Shrink database counts and sizes by `factor` (for quick experiment
+    /// runs). Query counts are preserved.
+    pub fn scaled_down(mut self, factor: usize) -> Self {
+        let f = factor.max(1);
+        self.num_databases = (self.num_databases / f).max(4);
+        self.sizes = match self.sizes {
+            SizeModel::Uniform(lo, hi) => SizeModel::Uniform((lo / f).max(20), (hi / f).max(40)),
+            SizeModel::LogUniform(lo, hi) => {
+                SizeModel::LogUniform((lo / f).max(20), (hi / f).max(60))
+            }
+        };
+        if let AssignmentModel::PerLeaf { per_leaf, extra } = self.assignment {
+            self.assignment = AssignmentModel::PerLeaf {
+                per_leaf: (per_leaf / f).max(1),
+                extra: extra / f,
+            };
+        }
+        self
+    }
+
+    /// Generate the test bed.
+    pub fn build(&self) -> TestBed {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut dict = TermDict::new();
+        let model = CorpusModel::new(Hierarchy::odp_like(), self.topics, &mut dict);
+        let leaves = model.leaves().to_vec();
+
+        // Decide home categories.
+        let homes: Vec<CategoryId> = match self.assignment {
+            AssignmentModel::RandomLeaf => (0..self.num_databases)
+                .map(|_| leaves[rng.gen_range(0..leaves.len())])
+                .collect(),
+            AssignmentModel::PerLeaf { per_leaf, extra } => {
+                let mut homes = Vec::new();
+                for &leaf in &leaves {
+                    homes.extend(std::iter::repeat_n(leaf, per_leaf));
+                }
+                homes.extend((0..extra).map(|_| leaves[rng.gen_range(0..leaves.len())]));
+                homes
+            }
+        };
+
+        // Generate databases.
+        let mut databases = Vec::with_capacity(homes.len());
+        for (idx, &home) in homes.iter().enumerate() {
+            let size = self.sizes.sample(&mut rng);
+            let db_lm = model.make_db_lm(idx, &mut dict);
+            // The database's own spin on its topic vocabularies: which
+            // specific topical words it features heavily.
+            let path_lms = model.make_db_path_lms(home, &mut rng);
+            let mut docs = Vec::with_capacity(size);
+            let mut focus = Vec::with_capacity(size);
+            for doc_id in 0..size {
+                let f = model.sample_focus(home, &mut rng);
+                focus.push(f);
+                docs.push(model.generate_document_for_db(
+                    doc_id as u32,
+                    f,
+                    &db_lm,
+                    Some(&path_lms),
+                    &mut rng,
+                ));
+            }
+            let name = format!("{}-db{idx:03}", self.name);
+            databases.push(TestDatabase {
+                name,
+                category: home,
+                db: IndexedDatabase::new(format!("{}-db{idx:03}", self.name), docs),
+                doc_focus: focus,
+            });
+        }
+
+        // Queries and relevance.
+        let queries = generate_queries(&model, self.num_queries, self.query_len, &mut rng);
+        let relevance = compute_relevance(&databases, &queries);
+
+        let hierarchy = model.hierarchy().clone();
+        let seed_lexicon = model.seed_lexicon(2000);
+        TestBed {
+            name: self.name.clone(),
+            dict,
+            hierarchy,
+            databases,
+            queries,
+            relevance,
+            seed_lexicon,
+            model,
+        }
+    }
+}
+
+/// One generated database plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct TestDatabase {
+    /// Database name, e.g. `Web-db042`.
+    pub name: String,
+    /// True home category (a leaf) — the "Google Directory classification".
+    pub category: CategoryId,
+    /// The searchable database.
+    pub db: IndexedDatabase,
+    /// Per-document topical focus (ground truth for relevance).
+    pub doc_focus: Vec<CategoryId>,
+}
+
+/// A complete evaluation test bed.
+pub struct TestBed {
+    /// Data-set name.
+    pub name: String,
+    /// The shared term dictionary.
+    pub dict: TermDict,
+    /// The classification hierarchy.
+    pub hierarchy: Hierarchy,
+    /// All databases with ground truth.
+    pub databases: Vec<TestDatabase>,
+    /// Evaluation queries.
+    pub queries: Vec<Query>,
+    /// `relevance[q][d]` = number of documents in database `d` relevant to
+    /// query `q` (the `r(q, D)` of the Rk metric).
+    pub relevance: Vec<Vec<u32>>,
+    /// Common words to bootstrap query-based sampling (the "English
+    /// dictionary" role).
+    pub seed_lexicon: Vec<TermId>,
+    /// The generative model (kept for producing *labeled training
+    /// documents* for the probe classifier — the stand-in for the
+    /// ODP-labeled pages QProber trains on).
+    pub model: CorpusModel,
+}
+
+impl TestBed {
+    /// Total number of documents across all databases.
+    pub fn total_docs(&self) -> usize {
+        self.databases.iter().map(|d| d.db.num_docs()).sum()
+    }
+
+    /// The true classification of every database, in database order.
+    pub fn true_categories(&self) -> Vec<CategoryId> {
+        self.databases.iter().map(|d| d.category).collect()
+    }
+
+    /// Document-level relevance ground truth: is document `doc` of database
+    /// `db` relevant to query `query_index`? (Same definition the
+    /// `relevance` matrix aggregates.)
+    pub fn is_relevant(&self, query_index: usize, db: usize, doc: u32) -> bool {
+        let q = &self.queries[query_index];
+        let tdb = &self.databases[db];
+        let Some(document) = tdb.db.fetch(doc) else { return false };
+        tdb.doc_focus[doc as usize] == q.topic
+            && q.content_terms.iter().any(|&t| document.contains_term(t))
+    }
+
+    /// Total relevant documents for a query across the whole collection.
+    pub fn total_relevant(&self, query_index: usize) -> u64 {
+        self.relevance[query_index].iter().map(|&r| u64::from(r)).sum()
+    }
+
+    /// Generate `per_leaf` labeled training documents for every leaf
+    /// category — the external directory-labeled corpus a probe classifier
+    /// trains on. Uses a private vocabulary slot so no database's
+    /// site-specific words leak into the probes.
+    pub fn training_documents<R: Rng + ?Sized>(
+        &mut self,
+        per_leaf: usize,
+        rng: &mut R,
+    ) -> Vec<(CategoryId, Document)> {
+        // A dedicated "training site" vocabulary, separate from every
+        // database's private vocabulary.
+        let train_lm = self.model.make_db_lm(1_000_000, &mut self.dict);
+        let mut out = Vec::new();
+        for &leaf in self.model.leaves().to_vec().iter() {
+            for i in 0..per_leaf {
+                let doc = self.model.generate_document(i as u32, leaf, &train_lm, rng);
+                out.push((leaf, doc));
+            }
+        }
+        out
+    }
+}
+
+/// A document is relevant to a query iff it was generated with the query's
+/// topic as its focus *and* it mentions at least one of the query's content
+/// words — topical aboutness plus lexical evidence, mimicking how assessors
+/// judge pooled TREC documents.
+fn compute_relevance(databases: &[TestDatabase], queries: &[Query]) -> Vec<Vec<u32>> {
+    queries
+        .iter()
+        .map(|q| {
+            databases
+                .iter()
+                .map(|tdb| {
+                    let mut matched: HashSet<u32> = HashSet::new();
+                    for &term in &q.content_terms {
+                        if let Some(list) = tdb.db.index().posting_list(term) {
+                            matched.extend(list.postings.iter().map(|&(d, _)| d));
+                        }
+                    }
+                    matched
+                        .into_iter()
+                        .filter(|&doc| tdb.doc_focus[doc as usize] == q.topic)
+                        .count() as u32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_testbed_builds_consistently() {
+        let bed = TestBedConfig::tiny(1).build();
+        assert_eq!(bed.databases.len(), 12);
+        assert_eq!(bed.queries.len(), 10);
+        assert_eq!(bed.relevance.len(), 10);
+        assert_eq!(bed.relevance[0].len(), 12);
+        for tdb in &bed.databases {
+            assert_eq!(tdb.doc_focus.len(), tdb.db.num_docs());
+            assert!(bed.hierarchy.is_leaf(tdb.category));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_testbed() {
+        let a = TestBedConfig::tiny(5).build();
+        let b = TestBedConfig::tiny(5).build();
+        assert_eq!(a.total_docs(), b.total_docs());
+        assert_eq!(a.relevance, b.relevance);
+        assert_eq!(a.dict.len(), b.dict.len());
+    }
+
+    #[test]
+    fn different_seed_different_testbed() {
+        let a = TestBedConfig::tiny(5).build();
+        let b = TestBedConfig::tiny(6).build();
+        assert_ne!(a.relevance, b.relevance);
+    }
+
+    #[test]
+    fn relevance_concentrates_on_matching_topic_databases() {
+        let bed = TestBedConfig::tiny(7).build();
+        // For each query, the databases whose home category equals the query
+        // topic should collectively hold more relevant docs per database
+        // than the others.
+        let mut on_topic_total = 0u64;
+        let mut on_topic_dbs = 0u64;
+        let mut off_topic_total = 0u64;
+        let mut off_topic_dbs = 0u64;
+        for (qi, q) in bed.queries.iter().enumerate() {
+            for (di, tdb) in bed.databases.iter().enumerate() {
+                if tdb.category == q.topic {
+                    on_topic_total += u64::from(bed.relevance[qi][di]);
+                    on_topic_dbs += 1;
+                } else {
+                    off_topic_total += u64::from(bed.relevance[qi][di]);
+                    off_topic_dbs += 1;
+                }
+            }
+        }
+        if on_topic_dbs > 0 && off_topic_dbs > 0 {
+            let on = on_topic_total as f64 / on_topic_dbs as f64;
+            let off = off_topic_total as f64 / off_topic_dbs as f64;
+            assert!(on > off, "on-topic avg {on} should exceed off-topic avg {off}");
+        }
+    }
+
+    #[test]
+    fn per_leaf_assignment_covers_every_leaf() {
+        let mut config = TestBedConfig::tiny(9);
+        config.assignment = AssignmentModel::PerLeaf { per_leaf: 1, extra: 2 };
+        let bed = config.build();
+        let leaves: HashSet<_> = bed.hierarchy.leaves().into_iter().collect();
+        let homes: HashSet<_> = bed.databases.iter().map(|d| d.category).collect();
+        assert_eq!(homes, leaves);
+        assert_eq!(bed.databases.len(), 54 + 2);
+    }
+
+    #[test]
+    fn scaled_down_shrinks_counts() {
+        let config = TestBedConfig::trec4_like().scaled_down(10);
+        assert_eq!(config.num_databases, 10);
+        if let SizeModel::Uniform(lo, hi) = config.sizes {
+            assert_eq!((lo, hi), (150, 900));
+        } else {
+            panic!("expected uniform sizes");
+        }
+    }
+
+    #[test]
+    fn seed_lexicon_is_nonempty_and_interned() {
+        let bed = TestBedConfig::tiny(3).build();
+        assert!(!bed.seed_lexicon.is_empty());
+        // All lexicon words resolve in the dictionary.
+        for &t in bed.seed_lexicon.iter().take(20) {
+            assert!(bed.dict.term(t).starts_with('g'));
+        }
+    }
+}

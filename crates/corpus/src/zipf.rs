@@ -1,0 +1,192 @@
+//! Random sampling primitives for corpus generation: discrete distributions
+//! (cumulative-table based), Zipfian word distributions, and a couple of
+//! continuous helpers built on `rand` alone.
+//!
+//! Zipfian term distributions are the load-bearing piece: the paper's whole
+//! premise is that "Zipf's law practically guarantees" that samples miss
+//! low-frequency words, so the generator must produce realistically
+//! heavy-tailed vocabularies.
+
+use rand::Rng;
+
+/// A discrete distribution over arbitrary items, sampled in `O(log n)` via
+/// binary search on the cumulative weights.
+#[derive(Debug, Clone)]
+pub struct DiscreteDist<T> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Copy> DiscreteDist<T> {
+    /// Build from `(item, weight)` pairs. Weights must be non-negative with
+    /// a positive sum.
+    ///
+    /// # Panics
+    /// Panics if the weights are empty or sum to zero.
+    pub fn new(pairs: impl IntoIterator<Item = (T, f64)>) -> Self {
+        let mut items = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            debug_assert!(w >= 0.0);
+            acc += w;
+            items.push(item);
+            cumulative.push(acc);
+        }
+        assert!(acc > 0.0, "discrete distribution needs positive total weight");
+        for c in &mut cumulative {
+            *c /= acc;
+        }
+        DiscreteDist { items, cumulative }
+    }
+
+    /// Draw one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        let u: f64 = rng.gen();
+        let i = match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) | Err(i) => i,
+        };
+        self.items[i.min(self.items.len() - 1)]
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The items, in insertion order.
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+}
+
+/// A Zipf–Mandelbrot distribution over the item indices `0..n`:
+/// `P(rank r) ∝ 1 / (r + 1 + shift)^exponent`.
+pub fn zipf_weights(n: usize, exponent: f64, shift: f64) -> impl Iterator<Item = f64> {
+    (0..n).map(move |r| 1.0 / (r as f64 + 1.0 + shift).powf(exponent))
+}
+
+/// Build a Zipfian distribution over `items` (rank = position).
+pub fn zipf_over<T: Copy>(items: &[T], exponent: f64, shift: f64) -> DiscreteDist<T> {
+    DiscreteDist::new(items.iter().copied().zip(zipf_weights(items.len(), exponent, shift)))
+}
+
+/// Build a *jittered* Zipfian distribution: each weight is multiplied by an
+/// independent log-normal factor `exp(σ·N(0,1))`. This is how individual
+/// databases get their own spin on a shared topic vocabulary — a word can
+/// be frequent in one database and nearly absent from a topical sibling
+/// (the paper's "hemophilia in 0.1% of PubMed" example).
+pub fn zipf_jittered<T: Copy, R: Rng + ?Sized>(
+    items: &[T],
+    exponent: f64,
+    sigma: f64,
+    rng: &mut R,
+) -> DiscreteDist<T> {
+    DiscreteDist::new(
+        items
+            .iter()
+            .copied()
+            .zip(zipf_weights(items.len(), exponent, 0.0))
+            .map(|(item, w)| (item, w * (sigma * sample_normal(rng)).exp())),
+    )
+}
+
+/// A standard-normal draw via Box–Muller (the `rand` crate alone has no
+/// normal distribution).
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal draw with the given median and log-space sigma.
+pub fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    median * (sigma * sample_normal(rng)).exp()
+}
+
+/// An integer drawn log-uniformly from `[lo, hi]` — the shape of the Web
+/// data set's database sizes (100 to ~376,000 documents in the paper).
+pub fn sample_log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: usize, hi: usize) -> usize {
+    assert!(lo >= 1 && hi >= lo);
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let v = rng.gen_range(llo..=lhi).exp().round() as usize;
+    v.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn discrete_dist_respects_weights() {
+        let d = DiscreteDist::new([(0usize, 1.0), (1, 3.0)]);
+        let mut rng = rng();
+        let ones = (0..10_000).filter(|_| d.sample(&mut rng) == 1).count();
+        let frac = ones as f64 / 10_000.0;
+        assert!((frac - 0.75).abs() < 0.03, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn discrete_dist_rejects_zero_weights() {
+        let _ = DiscreteDist::new([(0usize, 0.0)]);
+    }
+
+    #[test]
+    fn zipf_is_heavy_tailed() {
+        let items: Vec<usize> = (0..1000).collect();
+        let d = zipf_over(&items, 1.0, 0.0);
+        let mut rng = rng();
+        let mut counts = vec![0usize; 1000];
+        // 5000 draws over 1000 ranks: tail words expect < 1 occurrence.
+        for _ in 0..5_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[100] * 10);
+        let unseen = counts.iter().filter(|&&c| c == 0).count();
+        assert!(unseen > 50, "Zipf tail leaves many words unseen, got {unseen}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_with_sane_median() {
+        let mut rng = rng();
+        let mut samples: Vec<f64> = (0..5000).map(|_| sample_lognormal(&mut rng, 120.0, 0.3)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(samples[0] > 0.0);
+        let median = samples[2500];
+        assert!((median - 120.0).abs() < 10.0, "median {median}");
+    }
+
+    #[test]
+    fn log_uniform_stays_in_bounds_and_skews_low() {
+        let mut rng = rng();
+        let samples: Vec<usize> = (0..5000).map(|_| sample_log_uniform(&mut rng, 100, 10_000)).collect();
+        assert!(samples.iter().all(|&s| (100..=10_000).contains(&s)));
+        let below_1000 = samples.iter().filter(|&&s| s < 1000).count();
+        // log-uniform: P(< 1000) = ln(10)/ln(100) = 0.5.
+        let frac = below_1000 as f64 / 5000.0;
+        assert!((frac - 0.5).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

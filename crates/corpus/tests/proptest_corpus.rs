@@ -1,0 +1,91 @@
+//! Property-based tests for the synthetic corpus generator: structural
+//! invariants of test beds under arbitrary seeds and scales.
+
+use proptest::prelude::*;
+
+use corpus::{QueryLengthModel, SizeModel, TestBedConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any tiny test bed upholds its structural invariants.
+    #[test]
+    fn testbed_structural_invariants(seed in 0u64..10_000) {
+        let bed = TestBedConfig::tiny(seed).build();
+        // Relevance matrix shape.
+        prop_assert_eq!(bed.relevance.len(), bed.queries.len());
+        for row in &bed.relevance {
+            prop_assert_eq!(row.len(), bed.databases.len());
+        }
+        for (qi, q) in bed.queries.iter().enumerate() {
+            // Relevance never exceeds a database's document count.
+            for (di, &r) in bed.relevance[qi].iter().enumerate() {
+                prop_assert!(r as usize <= bed.databases[di].db.num_docs());
+            }
+            // Query invariants.
+            prop_assert!(!q.terms.is_empty());
+            prop_assert!(!q.content_terms.is_empty());
+            prop_assert!(bed.hierarchy.is_leaf(q.topic));
+        }
+        for tdb in &bed.databases {
+            prop_assert_eq!(tdb.doc_focus.len(), tdb.db.num_docs());
+            // All focus categories are leaves.
+            for &f in &tdb.doc_focus {
+                prop_assert!(bed.hierarchy.is_leaf(f));
+            }
+            // Documents are non-empty and ids are positional.
+            for (i, doc) in tdb.db.documents().iter().enumerate() {
+                prop_assert_eq!(doc.id as usize, i);
+                prop_assert!(!doc.is_empty());
+            }
+        }
+    }
+
+    /// Relevance judgments are consistent with their definition: a doc
+    /// counts iff its focus matches the query topic and it contains a
+    /// content word.
+    #[test]
+    fn relevance_matches_definition(seed in 0u64..2_000) {
+        let bed = TestBedConfig::tiny(seed).build();
+        for (qi, q) in bed.queries.iter().enumerate().take(3) {
+            for (di, tdb) in bed.databases.iter().enumerate().take(4) {
+                let expected = tdb
+                    .db
+                    .documents()
+                    .iter()
+                    .filter(|doc| {
+                        tdb.doc_focus[doc.id as usize] == q.topic
+                            && q.content_terms.iter().any(|&t| doc.contains_term(t))
+                    })
+                    .count() as u32;
+                prop_assert_eq!(bed.relevance[qi][di], expected);
+            }
+        }
+    }
+
+    /// Query lengths respect their regime's bounds for any seed.
+    #[test]
+    fn query_lengths_in_bounds(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let long = QueryLengthModel::TrecLong.sample_len(&mut rng);
+            prop_assert!((8..=34).contains(&long));
+            let short = QueryLengthModel::TrecShort.sample_len(&mut rng);
+            prop_assert!((2..=5).contains(&short));
+        }
+    }
+
+    /// Database sizes respect the configured model.
+    #[test]
+    fn database_sizes_in_bounds(seed in 0u64..3_000) {
+        let mut config = TestBedConfig::tiny(seed);
+        config.sizes = SizeModel::LogUniform(30, 90);
+        config.num_databases = 6;
+        let bed = config.build();
+        for tdb in &bed.databases {
+            prop_assert!((30..=90).contains(&tdb.db.num_docs()));
+        }
+    }
+}

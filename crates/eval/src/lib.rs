@@ -1,0 +1,19 @@
+//! `eval` — the evaluation machinery of Section 6:
+//!
+//! * [`metrics`] — content-summary quality: weighted/unweighted recall and
+//!   precision, Spearman rank correlation, KL divergence (Tables 4–9);
+//! * [`mod@rk`] — the `R_k` database-selection accuracy metric (Figures 4–5);
+//! * [`merged`] — document-level precision/recall/AP over *merged*
+//!   metasearch result lists (steps 2–3 of the metasearching loop);
+//! * [`stats`] — means, Spearman's ρ, and the paired t-test behind the
+//!   paper's significance claims.
+
+pub mod merged;
+pub mod metrics;
+pub mod rk;
+pub mod stats;
+
+pub use merged::{average_precision, precision_at_k, recall_at_k};
+pub use metrics::{summary_quality, EvaluatedSummary, SummaryQuality};
+pub use rk::{accumulated_relevant, ideal_relevant, mean_rk, rk, rk_for_ranking};
+pub use stats::{mean, paired_t_test, pearson, spearman, PairedTTest};

@@ -1,0 +1,114 @@
+//! Document-level evaluation of *merged* metasearch results.
+//!
+//! Database selection (the paper's focus) is step (1) of metasearching;
+//! steps (2)–(3) forward the query and merge the per-database result lists.
+//! Given doc-level relevance ground truth, these metrics measure the final
+//! merged ranking the user actually sees: precision at `k`, recall at `k`,
+//! and (interpolated-free) average precision.
+
+/// A merged result list: `(database index, document id)` pairs, best first.
+pub type MergedList = [(usize, u32)];
+
+/// Precision@k: the fraction of the top-`k` merged results that are
+/// relevant. Lists shorter than `k` are penalized (missing slots count as
+/// non-relevant), matching trec_eval's convention.
+pub fn precision_at_k(
+    merged: &MergedList,
+    mut is_relevant: impl FnMut(usize, u32) -> bool,
+    k: usize,
+) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let hits = merged.iter().take(k).filter(|&&(db, doc)| is_relevant(db, doc)).count();
+    hits as f64 / k as f64
+}
+
+/// Recall@k: the fraction of all relevant documents that appear in the
+/// top-`k`. Returns `None` when there are no relevant documents at all.
+pub fn recall_at_k(
+    merged: &MergedList,
+    mut is_relevant: impl FnMut(usize, u32) -> bool,
+    total_relevant: u64,
+    k: usize,
+) -> Option<f64> {
+    if total_relevant == 0 {
+        return None;
+    }
+    let hits = merged.iter().take(k).filter(|&&(db, doc)| is_relevant(db, doc)).count();
+    Some(hits as f64 / total_relevant as f64)
+}
+
+/// Average precision of the merged list: the mean of precision values at
+/// each relevant document's rank, divided by the total number of relevant
+/// documents. Returns `None` when there are no relevant documents.
+pub fn average_precision(
+    merged: &MergedList,
+    mut is_relevant: impl FnMut(usize, u32) -> bool,
+    total_relevant: u64,
+) -> Option<f64> {
+    if total_relevant == 0 {
+        return None;
+    }
+    let mut hits = 0u64;
+    let mut sum = 0.0;
+    for (rank0, &(db, doc)) in merged.iter().enumerate() {
+        if is_relevant(db, doc) {
+            hits += 1;
+            sum += hits as f64 / (rank0 + 1) as f64;
+        }
+    }
+    Some(sum / total_relevant as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Relevant documents: (0, 1), (0, 3), (1, 2).
+    fn rel(db: usize, doc: u32) -> bool {
+        matches!((db, doc), (0, 1) | (0, 3) | (1, 2))
+    }
+
+    #[test]
+    fn precision_counts_relevant_prefix() {
+        let merged = [(0, 1), (1, 9), (1, 2), (0, 2)];
+        assert_eq!(precision_at_k(&merged, rel, 1), 1.0);
+        assert_eq!(precision_at_k(&merged, rel, 2), 0.5);
+        assert!((precision_at_k(&merged, rel, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&merged, rel, 0), 0.0);
+    }
+
+    #[test]
+    fn short_lists_are_penalized() {
+        let merged = [(0, 1)];
+        assert_eq!(precision_at_k(&merged, rel, 10), 0.1);
+    }
+
+    #[test]
+    fn recall_uses_total_relevant() {
+        let merged = [(0, 1), (1, 2)];
+        assert!((recall_at_k(&merged, rel, 3, 10).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(recall_at_k(&merged, rel, 0, 10), None);
+    }
+
+    #[test]
+    fn perfect_ranking_has_ap_one() {
+        let merged = [(0, 1), (0, 3), (1, 2), (9, 9)];
+        assert!((average_precision(&merged, rel, 3).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn late_relevant_documents_lower_ap() {
+        let early = [(0, 1), (9, 9), (9, 8)];
+        let late = [(9, 9), (9, 8), (0, 1)];
+        let ap_early = average_precision(&early, rel, 3).unwrap();
+        let ap_late = average_precision(&late, rel, 3).unwrap();
+        assert!(ap_early > ap_late);
+    }
+
+    #[test]
+    fn no_relevant_documents_is_undefined() {
+        assert_eq!(average_precision(&[(0, 9)], rel, 0), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `R_k` database-selection accuracy metric (Section 6.2):
+//!
+//! ```text
+//! R_k = A(q, D⃗, k) / A(q, D⃗_H, k)
+//! ```
+//!
+//! where `A(q, D⃗, k)` is the total number of relevant documents in the
+//! top-`k` databases of ranking `D⃗`, and `D⃗_H` is the hypothetical perfect
+//! ranking by true relevant-document counts. `R_k = 1` for a perfect
+//! choice of `k` databases, `0` for a useless one. A selection algorithm
+//! may return fewer than `k` databases (databases at their default score
+//! are "not selected"); the missing slots contribute nothing.
+
+use selection::RankedDatabase;
+
+/// Total relevant documents in the top-`k` of `ranking`.
+/// `relevant[d]` is `r(q, D_d)` for database index `d`.
+pub fn accumulated_relevant(ranking: &[usize], relevant: &[u32], k: usize) -> u64 {
+    ranking.iter().take(k).map(|&d| u64::from(relevant[d])).sum()
+}
+
+/// The best achievable top-`k` relevant total (the perfect rank `D⃗_H`).
+pub fn ideal_relevant(relevant: &[u32], k: usize) -> u64 {
+    let mut counts: Vec<u32> = relevant.to_vec();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    counts.iter().take(k).map(|&c| u64::from(c)).sum()
+}
+
+/// `R_k` for a ranking expressed as database indices. Returns `None` when
+/// the query has no relevant documents anywhere (the metric is undefined
+/// and the paper's averages skip such queries).
+pub fn rk(ranking: &[usize], relevant: &[u32], k: usize) -> Option<f64> {
+    let ideal = ideal_relevant(relevant, k);
+    if ideal == 0 {
+        return None;
+    }
+    Some(accumulated_relevant(ranking, relevant, k) as f64 / ideal as f64)
+}
+
+/// Convenience adapter for [`selection::RankedDatabase`] rankings.
+pub fn rk_for_ranking(ranking: &[RankedDatabase], relevant: &[u32], k: usize) -> Option<f64> {
+    let indices: Vec<usize> = ranking.iter().map(|r| r.index).collect();
+    rk(&indices, relevant, k)
+}
+
+/// Mean `R_k` over queries, skipping undefined ones. Returns 0 when every
+/// query is undefined.
+pub fn mean_rk(rankings: &[Vec<usize>], relevance: &[Vec<u32>], k: usize) -> f64 {
+    let values: Vec<f64> =
+        rankings.iter().zip(relevance).filter_map(|(r, rel)| rk(r, rel, k)).collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let relevant = vec![0, 10, 5, 0, 2];
+        let ranking = vec![1, 2, 4, 0, 3];
+        assert_eq!(rk(&ranking, &relevant, 2), Some(1.0));
+        assert_eq!(rk(&ranking, &relevant, 3), Some(1.0));
+    }
+
+    #[test]
+    fn reversed_ranking_scores_low() {
+        let relevant = vec![10, 0, 0];
+        let ranking = vec![1, 2, 0];
+        assert_eq!(rk(&ranking, &relevant, 2), Some(0.0));
+        assert_eq!(rk(&ranking, &relevant, 3), Some(1.0));
+    }
+
+    #[test]
+    fn partial_rankings_contribute_nothing_for_missing_slots() {
+        let relevant = vec![10, 8, 6];
+        let ranking = vec![0]; // algorithm selected only one database
+        assert_eq!(rk(&ranking, &relevant, 2), Some(10.0 / 18.0));
+    }
+
+    #[test]
+    fn undefined_when_no_relevant_documents() {
+        assert_eq!(rk(&[0, 1], &[0, 0], 2), None);
+    }
+
+    #[test]
+    fn mean_rk_skips_undefined_queries() {
+        let rankings = vec![vec![0, 1], vec![0, 1]];
+        // Query 0: R_1 = 5/10; query 1 has no relevant docs → skipped, so
+        // the mean is 0.5 rather than being dragged down by an (undefined) 0.
+        let relevance = vec![vec![5, 10], vec![0, 0]];
+        assert!((mean_rk(&rankings, &relevance, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rk_for_ranking_adapts_scored_rankings() {
+        let ranking = vec![
+            RankedDatabase { index: 2, score: 9.0 },
+            RankedDatabase { index: 0, score: 1.0 },
+        ];
+        let relevant = vec![1, 0, 9];
+        assert_eq!(rk_for_ranking(&ranking, &relevant, 1), Some(1.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! Statistical utilities: means, ranks with ties, Spearman rank
+//! correlation, and the paired t-test the paper uses for its significance
+//! claims ("a paired t-test showed significance at the 0.01% level").
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample variance with Bessel's correction (0 for fewer than 2 values).
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Fractional ranks (1-based) with ties receiving their average rank —
+/// the convention Spearman's coefficient requires.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap());
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j share the average of ranks i+1..=j+1.
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation coefficient between two paired samples,
+/// computed as the Pearson correlation of average ranks (handles ties).
+/// Returns `None` for fewer than 2 pairs or zero rank variance.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return None;
+    }
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    pearson(&rx, &ry)
+}
+
+/// Pearson correlation. `None` when either side has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx).powi(2);
+        syy += (y - my).powi(2);
+    }
+    let _ = n;
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Result of a paired t-test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedTTest {
+    /// The t statistic of the mean difference `a - b`.
+    pub t: f64,
+    /// Degrees of freedom (`n - 1`).
+    pub df: usize,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Mean of the differences.
+    pub mean_diff: f64,
+}
+
+/// Paired t-test for `a[i] - b[i]`. Returns `None` for fewer than 2 pairs
+/// or a zero-variance difference (in which case the samples are identical
+/// or deterministically offset).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<PairedTTest> {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let md = mean(&diffs);
+    let var = sample_variance(&diffs);
+    if var <= 0.0 {
+        return None;
+    }
+    let t = md / (var / n as f64).sqrt();
+    let df = n - 1;
+    let p_value = 2.0 * student_t_sf(t.abs(), df as f64);
+    Some(PairedTTest { t, df, p_value, mean_diff: md })
+}
+
+/// Survival function `P(T > t)` of Student's t distribution with `df`
+/// degrees of freedom, via the regularized incomplete beta function.
+pub fn student_t_sf(t: f64, df: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    0.5 * incomplete_beta(df / 2.0, 0.5, x)
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the standard
+/// continued-fraction expansion (Numerical Recipes' `betacf` scheme).
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_5e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for g in G {
+        y += 1.0;
+        ser += g / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((sample_variance(&[2.0, 4.0, 6.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_handle_ties() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 5.0]);
+        assert_eq!(ranks, vec![2.0, 3.5, 3.5, 1.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_and_reverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [9.0, 7.0, 5.0, 3.0];
+        assert!((spearman(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_uncorrelated_is_near_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let ys = [3.0, 8.0, 1.0, 6.0, 2.0, 7.0, 4.0, 5.0];
+        let rho = spearman(&xs, &ys).unwrap();
+        assert!(rho.abs() < 0.5, "rho {rho}");
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(5) = 24.
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        let v = incomplete_beta(2.0, 3.0, 0.3);
+        let w = incomplete_beta(3.0, 2.0, 0.7);
+        assert!((v + w - 1.0).abs() < 1e-12);
+        assert_eq!(incomplete_beta(1.0, 1.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(1.0, 1.0, 1.0), 1.0);
+        // I_x(1,1) = x (uniform).
+        assert!((incomplete_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_distribution_tail_known_value() {
+        // For df → large, t = 1.96 gives one-sided tail ≈ 0.025.
+        let tail = student_t_sf(1.96, 1000.0);
+        assert!((tail - 0.025).abs() < 0.002, "tail {tail}");
+        // df = 1 (Cauchy): P(T > 1) = 0.25.
+        assert!((student_t_sf(1.0, 1.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paired_t_test_detects_consistent_improvement() {
+        let a: Vec<f64> = (0..30).map(|i| 0.6 + 0.01 * (i % 5) as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| x - 0.05 - 0.001 * (a.len() as f64)).collect();
+        // Add noise-free but non-constant differences.
+        let b: Vec<f64> = b.iter().enumerate().map(|(i, x)| x + 0.001 * (i % 3) as f64).collect();
+        let result = paired_t_test(&a, &b).unwrap();
+        assert!(result.mean_diff > 0.0);
+        assert!(result.p_value < 0.001, "p = {}", result.p_value);
+    }
+
+    #[test]
+    fn paired_t_test_no_difference_is_insignificant() {
+        let a = [0.5, 0.6, 0.7, 0.4, 0.55, 0.62, 0.48];
+        let b = [0.52, 0.58, 0.71, 0.39, 0.56, 0.60, 0.49];
+        let result = paired_t_test(&a, &b).unwrap();
+        assert!(result.p_value > 0.05, "p = {}", result.p_value);
+    }
+
+    #[test]
+    fn paired_t_test_degenerate_inputs() {
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+        assert!(paired_t_test(&[1.0, 2.0], &[0.0, 1.0]).is_none(), "constant difference");
+    }
+}

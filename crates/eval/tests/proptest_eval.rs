@@ -1,0 +1,113 @@
+//! Property-based tests for the evaluation metrics: every metric must stay
+//! in its documented range for arbitrary summaries, rankings, and samples.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use eval::metrics::{summary_quality, EvaluatedSummary};
+use eval::rk::{ideal_relevant, rk};
+use eval::stats::{average_ranks, incomplete_beta, paired_t_test, spearman, student_t_sf};
+
+fn word_map() -> impl Strategy<Value = HashMap<u32, f64>> {
+    prop::collection::hash_map(0u32..40, 1e-6..1.0f64, 0..25)
+}
+
+fn evaluated(words: HashMap<u32, f64>) -> EvaluatedSummary {
+    EvaluatedSummary { p_df: words.clone(), p_tf: words }
+}
+
+proptest! {
+    /// Recall, precision ∈ [0, 1]; Spearman ∈ [−1, 1]; KL ≥ 0.
+    #[test]
+    fn metric_ranges(a in word_map(), b in word_map()) {
+        let q = summary_quality(&evaluated(a), &evaluated(b));
+        for v in [q.weighted_recall, q.unweighted_recall, q.weighted_precision, q.unweighted_precision] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{v}");
+        }
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&q.spearman));
+        prop_assert!(q.kl_divergence >= 0.0, "KL {}", q.kl_divergence);
+    }
+
+    /// A summary compared with itself is perfect on every metric.
+    #[test]
+    fn self_comparison_is_perfect(a in word_map()) {
+        prop_assume!(a.len() >= 2);
+        let e = evaluated(a);
+        let q = summary_quality(&e, &e);
+        prop_assert!((q.weighted_recall - 1.0).abs() < 1e-9);
+        prop_assert!((q.unweighted_precision - 1.0).abs() < 1e-9);
+        prop_assert!(q.kl_divergence < 1e-9);
+    }
+
+    /// `R_k` is within [0, 1] for any ranking, and equals 1 for the ideal
+    /// ranking.
+    #[test]
+    fn rk_bounds(relevant in prop::collection::vec(0u32..100, 1..30), k in 1usize..10) {
+        let n = relevant.len();
+        let identity: Vec<usize> = (0..n).collect();
+        if let Some(v) = rk(&identity, &relevant, k) {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+        }
+        // Ideal ranking scores exactly 1 whenever defined.
+        let mut by_rel: Vec<usize> = (0..n).collect();
+        by_rel.sort_by_key(|&i| std::cmp::Reverse(relevant[i]));
+        if ideal_relevant(&relevant, k) > 0 {
+            prop_assert_eq!(rk(&by_rel, &relevant, k), Some(1.0));
+        }
+    }
+
+    /// Average ranks are a permutation-invariant assignment summing to
+    /// n(n+1)/2.
+    #[test]
+    fn average_ranks_sum_invariant(xs in prop::collection::vec(-100.0..100.0f64, 1..40)) {
+        let ranks = average_ranks(&xs);
+        let n = xs.len() as f64;
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-6);
+    }
+
+    /// Spearman is symmetric and bounded.
+    #[test]
+    fn spearman_symmetric(pairs in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 2..30)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let (Some(a), Some(b)) = (spearman(&xs, &ys), spearman(&ys, &xs)) {
+            prop_assert!((a - b).abs() < 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&a));
+        }
+    }
+
+    /// The t survival function is a valid tail probability, monotonically
+    /// decreasing in t.
+    #[test]
+    fn t_tail_is_probability(t in 0.0..20.0f64, df in 1.0..200.0f64) {
+        let tail = student_t_sf(t, df);
+        prop_assert!((0.0..=0.5).contains(&tail), "tail {tail}");
+        let tail_further = student_t_sf(t + 1.0, df);
+        prop_assert!(tail_further <= tail + 1e-12);
+    }
+
+    /// Incomplete beta is a CDF in x: bounded and non-decreasing.
+    #[test]
+    fn incomplete_beta_is_cdf(a in 0.2..20.0f64, b in 0.2..20.0f64, x in 0.0..1.0f64) {
+        let v = incomplete_beta(a, b, x);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        let v2 = incomplete_beta(a, b, (x + 0.05).min(1.0));
+        prop_assert!(v2 >= v - 1e-9);
+    }
+
+    /// A paired t-test p-value is in (0, 1].
+    #[test]
+    fn t_test_p_value_valid(
+        a in prop::collection::vec(0.0..1.0f64, 3..40),
+        noise in prop::collection::vec(-0.2..0.2f64, 3..40),
+    ) {
+        let n = a.len().min(noise.len());
+        let b: Vec<f64> = a.iter().zip(&noise).take(n).map(|(x, e)| x + e).collect();
+        if let Some(result) = paired_t_test(&a[..n], &b) {
+            prop_assert!(result.p_value > 0.0 && result.p_value <= 1.0, "p {}", result.p_value);
+            prop_assert_eq!(result.df, n - 1);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Parallel database profiling.
+//!
+//! Profiling a large collection is embarrassingly parallel — each database
+//! is sampled independently. These helpers fan the work out over scoped
+//! threads while keeping the result **independent of the thread count**:
+//! every database gets its own RNG seeded from `base_seed` and its index,
+//! so `threads = 1` and `threads = 32` produce identical profiles.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use textindex::{RemoteDatabase, TermId};
+
+use dbselect_core::hierarchy::Hierarchy;
+
+use crate::probes::ProbeSource;
+use crate::pipeline::{profile_fps, profile_qbs, DatabaseProfile, PipelineConfig};
+
+/// The per-database RNG: decorrelated from neighbours via SplitMix64-style
+/// mixing of the index into the base seed.
+fn db_rng(base_seed: u64, index: usize) -> StdRng {
+    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Run `work(index)` for every index in `0..n` over `threads` scoped
+/// threads, collecting the results in index order.
+fn fan_out<T: Send>(n: usize, threads: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = threads.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let slots_ptr = std::sync::Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let work = &work;
+            handles.push(scope.spawn(move || {
+                let mut produced = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return produced;
+                    }
+                    produced.push((i, work(i)));
+                }
+            }));
+        }
+        for handle in handles {
+            let produced = handle.join().expect("profiling worker panicked");
+            let mut guard = slots_ptr.lock().expect("slot mutex poisoned");
+            for (i, value) in produced {
+                guard[i] = Some(value);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
+/// Profile every database with QBS in parallel. Deterministic in
+/// `base_seed` regardless of `threads`.
+pub fn profile_qbs_many<D: RemoteDatabase + Sync>(
+    databases: &[D],
+    seed_lexicon: &[TermId],
+    config: &PipelineConfig,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<DatabaseProfile> {
+    fan_out(databases.len(), threads, |i| {
+        let mut rng = db_rng(base_seed, i);
+        profile_qbs(&databases[i], seed_lexicon, config, &mut rng)
+    })
+}
+
+/// Profile every database with FPS in parallel. Deterministic in
+/// `base_seed` regardless of `threads`.
+pub fn profile_fps_many<D: RemoteDatabase + Sync, P: ProbeSource + Sync>(
+    databases: &[D],
+    hierarchy: &Hierarchy,
+    classifier: &P,
+    config: &PipelineConfig,
+    base_seed: u64,
+    threads: usize,
+) -> Vec<DatabaseProfile> {
+    fan_out(databases.len(), threads, |i| {
+        let mut rng = db_rng(base_seed, i);
+        profile_fps(&databases[i], hierarchy, classifier, config, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ProbeClassifier;
+    use corpus::TestBedConfig;
+    use textindex::IndexedDatabase;
+
+    fn fixture() -> (corpus::TestBed, Vec<IndexedDatabase>) {
+        let bed = TestBedConfig::tiny(61).build();
+        let dbs = bed.databases.iter().map(|d| d.db.clone()).collect();
+        (bed, dbs)
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (bed, dbs) = fixture();
+        let config = PipelineConfig { frequency_estimation: true, ..Default::default() };
+        let one = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 99, 1);
+        let four = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 99, 4);
+        assert_eq!(one.len(), four.len());
+        for (a, b) in one.iter().zip(&four) {
+            assert_eq!(a.summary.db_size(), b.summary.db_size());
+            assert_eq!(a.summary.vocabulary_size(), b.summary.vocabulary_size());
+            assert_eq!(a.sample.docs, b.sample.docs);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_samples() {
+        let (bed, dbs) = fixture();
+        let config = PipelineConfig::default();
+        let a = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 1, 2);
+        let b = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 2, 2);
+        assert!(
+            a.iter().zip(&b).any(|(x, y)| x.sample.docs != y.sample.docs),
+            "independent seeds should sample differently"
+        );
+    }
+
+    #[test]
+    fn results_are_in_database_order() {
+        let (bed, dbs) = fixture();
+        let config = PipelineConfig::default();
+        let profiles = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 5, 3);
+        // Each profile's sample documents must come from its own database:
+        // spot-check by verifying sampled doc ids exist in that database.
+        for (profile, db) in profiles.iter().zip(&dbs) {
+            for doc in &profile.sample.docs {
+                assert!(db.fetch(doc.id).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn fps_parallel_classifies_every_database() {
+        let (mut bed, dbs) = fixture();
+        let mut rng = StdRng::seed_from_u64(61);
+        let examples = bed.training_documents(5, &mut rng);
+        let classifier = ProbeClassifier::train(&bed.hierarchy, &examples, 6);
+        let config = PipelineConfig::default();
+        let profiles =
+            profile_fps_many(&dbs, &bed.hierarchy, &classifier, &config, 7, 4);
+        assert_eq!(profiles.len(), dbs.len());
+        for p in &profiles {
+            assert!(p.classification.is_some());
+        }
+    }
+
+    #[test]
+    fn zero_databases_is_fine() {
+        let (bed, _) = fixture();
+        let dbs: Vec<IndexedDatabase> = Vec::new();
+        let config = PipelineConfig::default();
+        assert!(profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 1, 8).is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Unit tests for the summary-construction pipelines (kept in a separate
+//! module file to keep `pipeline.rs` focused on the logic).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use textindex::{Document, IndexedDatabase};
+
+use crate::pipeline::{profile_qbs, summarize, PipelineConfig};
+use crate::qbs::QbsConfig;
+use crate::sample::DocumentSample;
+
+/// A 200-document database with a Zipf-ish document frequency curve.
+fn fixture_db() -> IndexedDatabase {
+    let docs: Vec<Document> = (0..200u32)
+        .map(|i| {
+            let terms: Vec<u32> = (0..50).filter(|&t| i % (t + 1) == 0).collect();
+            Document::from_tokens(i, terms)
+        })
+        .collect();
+    IndexedDatabase::new("pipeline-fixture", docs)
+}
+
+#[test]
+fn raw_pipeline_uses_sample_as_collection() {
+    let db = fixture_db();
+    let mut rng = StdRng::seed_from_u64(1);
+    let config = PipelineConfig {
+        frequency_estimation: false,
+        qbs: QbsConfig { target_sample_size: 50, ..Default::default() },
+        ..Default::default()
+    };
+    let profile = profile_qbs(&db, &[0, 1, 2], &config, &mut rng);
+    assert_eq!(profile.summary.db_size(), profile.sample.len() as f64);
+    assert!(profile.classification.is_none(), "QBS does not classify");
+}
+
+#[test]
+fn frequency_estimated_pipeline_rescales_to_size_estimate() {
+    let db = fixture_db();
+    let mut rng = StdRng::seed_from_u64(2);
+    let config = PipelineConfig {
+        frequency_estimation: true,
+        qbs: QbsConfig { target_sample_size: 80, checkpoint_interval: 20, ..Default::default() },
+        ..Default::default()
+    };
+    let profile = profile_qbs(&db, &[0, 1, 2], &config, &mut rng);
+    // The size estimate is at least the sample size and γ is recorded for
+    // the uncertainty machinery.
+    assert!(profile.summary.db_size() >= profile.sample.len() as f64);
+    assert!(profile.summary.gamma().is_some());
+    // Probe words carry exact database frequencies.
+    let (&term, &df) = profile
+        .sample
+        .exact_df
+        .iter()
+        .next()
+        .expect("QBS issued at least one single-word query");
+    assert_eq!(profile.summary.word(term).unwrap().df, f64::from(df));
+}
+
+#[test]
+fn summarize_without_checkpoints_falls_back_to_size_scaling() {
+    let db = fixture_db();
+    let mut rng = StdRng::seed_from_u64(3);
+    // A sample too small for any Mandelbrot checkpoint.
+    let config = PipelineConfig {
+        frequency_estimation: true,
+        qbs: QbsConfig { target_sample_size: 8, checkpoint_interval: 1000, ..Default::default() },
+        ..Default::default()
+    };
+    let sample = crate::qbs::qbs_sample(&db, &[0, 1], &config.qbs, &mut rng);
+    assert!(sample.checkpoints.len() < 2, "fixture assumes no usable regression");
+    let summary = summarize(&db, &sample, &config, &mut rng);
+    assert!(summary.db_size() >= sample.len() as f64);
+}
+
+#[test]
+fn empty_sample_produces_empty_summary() {
+    let db = fixture_db();
+    let mut rng = StdRng::seed_from_u64(4);
+    let config = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let summary = summarize(&db, &DocumentSample::default(), &config, &mut rng);
+    assert_eq!(summary.vocabulary_size(), 0);
+}

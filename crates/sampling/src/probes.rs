@@ -1,0 +1,49 @@
+//! The probe interface Focused Probing samples through.
+//!
+//! FPS only needs, for each category, a set of boolean queries whose match
+//! counts measure how much of a database belongs to that category. Two
+//! implementations exist: the single-word discriminative classifier
+//! ([`crate::classifier::ProbeClassifier`], fast to train) and the
+//! RIPPER-style rule learner ([`crate::rules::RuleClassifier`], QProber's
+//! multi-word rules).
+
+use textindex::TermId;
+
+use dbselect_core::hierarchy::CategoryId;
+
+/// A source of probe queries per category.
+pub trait ProbeSource {
+    /// The probe queries for `category`: each inner vector is one
+    /// conjunctive (AND) query. Empty for the root and untrained nodes.
+    fn probes(&self, category: CategoryId) -> Vec<Vec<TermId>>;
+}
+
+impl ProbeSource for crate::classifier::ProbeClassifier {
+    fn probes(&self, category: CategoryId) -> Vec<Vec<TermId>> {
+        crate::classifier::ProbeClassifier::probes(self, category)
+            .iter()
+            .map(|&w| vec![w])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ProbeClassifier;
+    use corpus::TestBedConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn word_classifier_probes_are_single_word_queries() {
+        let mut bed = TestBedConfig::tiny(91).build();
+        let mut rng = StdRng::seed_from_u64(91);
+        let examples = bed.training_documents(5, &mut rng);
+        let classifier = ProbeClassifier::train(&bed.hierarchy, &examples, 6);
+        let node = bed.hierarchy.children(dbselect_core::hierarchy::Hierarchy::ROOT)[0];
+        let probes = ProbeSource::probes(&classifier, node);
+        assert!(!probes.is_empty());
+        assert!(probes.iter().all(|q| q.len() == 1));
+    }
+}

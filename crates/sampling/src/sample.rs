@@ -1,0 +1,102 @@
+//! The result of sampling an uncooperative database: the retrieved
+//! documents plus everything observed along the way that later stages need
+//! (exact match counts for probe words, Mandelbrot checkpoints for
+//! frequency estimation).
+
+use std::collections::HashMap;
+
+use dbselect_core::freqest::{checkpoint, MandelbrotCheckpoint};
+use dbselect_core::summary::ContentSummary;
+use textindex::{Document, TermId};
+
+/// A document sample extracted from a remote database via querying.
+#[derive(Debug, Clone, Default)]
+pub struct DocumentSample {
+    /// The retrieved documents (ids are the remote database's own ids).
+    pub docs: Vec<Document>,
+    /// Exact database document frequencies observed as match counts of
+    /// *single-word* queries — "the number of matches for each of these
+    /// queries corresponds to the frequency of the associated word in the
+    /// database" (Appendix A).
+    pub exact_df: HashMap<TermId, u32>,
+    /// Mandelbrot fits taken at intervals during sampling (Appendix A).
+    pub checkpoints: Vec<MandelbrotCheckpoint>,
+    /// Number of queries issued (the sampling cost).
+    pub queries_sent: usize,
+}
+
+impl DocumentSample {
+    /// Number of documents in the sample.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Is the sample empty?
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Build the sample's raw content summary with the sample itself as the
+    /// collection (`|D̂| = |S|`) — the "no frequency estimation" variant of
+    /// Section 5.2.
+    pub fn raw_summary(&self) -> ContentSummary {
+        ContentSummary::from_sample(self.docs.iter(), self.docs.len() as f64)
+    }
+
+    /// Record a Mandelbrot checkpoint for the current sample state, if the
+    /// fit is well-defined.
+    pub fn take_checkpoint(&mut self) {
+        if let Some(cp) = checkpoint(&self.raw_summary()) {
+            // Skip duplicate checkpoints at the same sample size (can happen
+            // if no new documents arrived between triggers).
+            if self.checkpoints.last().map(|c| c.sample_size) != Some(cp.sample_size) {
+                self.checkpoints.push(cp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(id: u32, terms: &[TermId]) -> Document {
+        Document::from_tokens(id, terms.to_vec())
+    }
+
+    #[test]
+    fn raw_summary_uses_sample_as_collection() {
+        let mut sample = DocumentSample::default();
+        sample.docs.push(doc(3, &[1, 2]));
+        sample.docs.push(doc(9, &[1]));
+        let s = sample.raw_summary();
+        assert_eq!(s.db_size(), 2.0);
+        assert!((s.p_df(1) - 1.0).abs() < 1e-12);
+        assert!((s.p_df(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoints_dedupe_by_sample_size() {
+        let mut sample = DocumentSample::default();
+        for i in 0..10u32 {
+            // Zipf-ish sample: term t appears in docs 0..(10-t).
+            let terms: Vec<TermId> = (0..5).filter(|&t| i < 10 - t * 2).collect();
+            sample.docs.push(doc(i, &terms));
+        }
+        sample.take_checkpoint();
+        sample.take_checkpoint();
+        assert_eq!(sample.checkpoints.len(), 1, "same size recorded once");
+        sample.docs.push(doc(10, &[0, 1]));
+        sample.take_checkpoint();
+        assert_eq!(sample.checkpoints.len(), 2);
+    }
+
+    #[test]
+    fn empty_sample_checkpoint_is_noop() {
+        let mut sample = DocumentSample::default();
+        sample.take_checkpoint();
+        assert!(sample.checkpoints.is_empty());
+        assert!(sample.is_empty());
+        assert_eq!(sample.len(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the samplers: regardless of database shape and
+//! RNG seed, the samplers must terminate, never duplicate documents, never
+//! fabricate match counts, and respect their configured limits.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+use sampling::{qbs_sample, sample_resample, QbsConfig, SizeEstimationConfig};
+use textindex::{Document, IndexedDatabase, TermId};
+
+/// An arbitrary small database: each inner vec is a document's terms.
+fn db_strategy() -> impl Strategy<Value = IndexedDatabase> {
+    prop::collection::vec(prop::collection::vec(0u32..30, 1..15), 1..60).prop_map(|docs| {
+        let documents: Vec<Document> = docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Document::from_tokens(i as u32, t))
+            .collect();
+        IndexedDatabase::new("prop-db", documents)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// QBS terminates, keeps at most `target_sample_size` distinct
+    /// documents, and every exact df it records matches the database truth.
+    #[test]
+    fn qbs_invariants(db in db_strategy(), seed in 0u64..500, target in 1usize..40) {
+        let config = QbsConfig {
+            target_sample_size: target,
+            max_consecutive_failures: 30,
+            ..Default::default()
+        };
+        let lexicon: Vec<TermId> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = qbs_sample(&db, &lexicon, &config, &mut rng);
+        prop_assert!(sample.len() <= target);
+        prop_assert!(sample.len() <= db.num_docs());
+        let ids: HashSet<u32> = sample.docs.iter().map(|d| d.id).collect();
+        prop_assert_eq!(ids.len(), sample.docs.len(), "documents are distinct");
+        for (&term, &df) in &sample.exact_df {
+            prop_assert_eq!(df as usize, db.index().document_frequency(term));
+        }
+        // Checkpoint sizes strictly increase.
+        prop_assert!(sample
+            .checkpoints
+            .windows(2)
+            .all(|w| w[0].sample_size < w[1].sample_size));
+    }
+
+    /// Sample-resample estimates are finite, non-negative, and at least the
+    /// sample size for non-empty samples.
+    #[test]
+    fn size_estimate_invariants(db in db_strategy(), seed in 0u64..500) {
+        let config = QbsConfig {
+            target_sample_size: 20,
+            max_consecutive_failures: 30,
+            ..Default::default()
+        };
+        let lexicon: Vec<TermId> = (0..10).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = qbs_sample(&db, &lexicon, &config, &mut rng);
+        let estimate =
+            sample_resample(&db, &sample, &SizeEstimationConfig::default(), &mut rng);
+        prop_assert!(estimate.is_finite());
+        prop_assert!(estimate >= 0.0);
+        if !sample.is_empty() {
+            prop_assert!(estimate >= sample.len() as f64);
+        }
+    }
+
+    /// Identical seeds give identical samples (determinism end to end).
+    #[test]
+    fn qbs_is_deterministic(db in db_strategy(), seed in 0u64..200) {
+        let config = QbsConfig {
+            target_sample_size: 15,
+            max_consecutive_failures: 20,
+            ..Default::default()
+        };
+        let lexicon: Vec<TermId> = (0..10).collect();
+        let a = qbs_sample(&db, &lexicon, &config, &mut StdRng::seed_from_u64(seed));
+        let b = qbs_sample(&db, &lexicon, &config, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.docs, b.docs);
+        prop_assert_eq!(a.exact_df, b.exact_df);
+        prop_assert_eq!(a.queries_sent, b.queries_sent);
+    }
+}

@@ -1,0 +1,173 @@
+//! The CORI database selection algorithm (Callan et al.; evaluated by
+//! French et al., SIGIR 1999), as specified in Section 5.3:
+//!
+//! ```text
+//! s(q, D) = Σ_{w ∈ q} (0.4 + 0.6·T·I) / |q|
+//! T = df / (df + 50 + 150·cw(D)/mcw)        df = p̂(w|D)·|D|
+//! I = log((m + 0.5)/cf(w)) / log(m + 1.0)
+//! ```
+//!
+//! where `cf(w)` is the number of databases containing `w`, `m` the number
+//! of databases being ranked, `cw(D)` the word count of `D`, and `mcw` the
+//! mean word count. Under shrinkage every word has non-zero probability in
+//! every summary, so `cf` counts a word as present only when
+//! `round(|D̂|·p̂_R(w|D)) ≥ 1` (handled by
+//! [`CollectionContext::build`]).
+
+use dbselect_core::summary::SummaryView;
+use textindex::TermId;
+
+use crate::context::{CollectionContext, SelectionAlgorithm};
+
+/// The CORI scorer with its classic constants.
+#[derive(Debug, Clone, Copy)]
+pub struct Cori {
+    /// The default-belief constant (0.4 in the literature).
+    pub default_belief: f64,
+    /// The `df` saturation constant (50).
+    pub df_base: f64,
+    /// The collection-length scaling constant (150).
+    pub df_scale: f64,
+}
+
+impl Default for Cori {
+    fn default() -> Self {
+        Cori { default_belief: 0.4, df_base: 50.0, df_scale: 150.0 }
+    }
+}
+
+impl SelectionAlgorithm for Cori {
+    fn name(&self) -> &'static str {
+        "CORI"
+    }
+
+    /// CORI's score is a bounded *average* of per-word beliefs, so its raw
+    /// coefficient of variation shrinks like `1/√n` with query length.
+    /// The decision therefore tests the per-word dispersion `CV·√n`, with a
+    /// threshold calibrated so the adaptive test fires in the
+    /// low-double-digit percentage regime of the paper's Table 10 on both
+    /// long and short queries (see DESIGN.md §6).
+    fn score_is_uncertain(&self, mean: f64, std_dev: f64, query_len: usize) -> bool {
+        if mean <= 0.0 {
+            return std_dev > 0.0;
+        }
+        let per_word_cv = std_dev / mean * (query_len.max(1) as f64).sqrt();
+        per_word_cv > 0.8
+    }
+
+    fn score_with_p(
+        &self,
+        query: &[TermId],
+        p: &[f64],
+        summary: &dyn SummaryView,
+        ctx: &CollectionContext,
+    ) -> f64 {
+        if query.is_empty() {
+            return 0.0;
+        }
+        let cw_ratio = if ctx.mcw > 0.0 { summary.word_count() / ctx.mcw } else { 1.0 };
+        let denom_extra = self.df_base + self.df_scale * cw_ratio;
+        let m = ctx.m as f64;
+        let mut score = 0.0;
+        for (&w, &pw) in query.iter().zip(p) {
+            let df = pw * summary.db_size();
+            if df.round() < 1.0 {
+                // A query term the database does not effectively contain
+                // (`round(|D̂|·p̂) < 1`, the Section-5.3 rule — crucial under
+                // shrinkage, where every word has non-zero probability)
+                // contributes no belief at all, INQUERY-style. Keeping the
+                // 0.4 default-belief floor for absent terms would make the
+                // Section-4 uncertainty test `std > mean` unsatisfiable for
+                // CORI, contradicting the paper's Table 10 — and would let
+                // the sheer breadth of a shrunk summary outscore genuine
+                // sampled evidence.
+                continue;
+            }
+            let t = df / (df + denom_extra);
+            let cf = ctx.cf.get(&w).copied().unwrap_or(0);
+            // With cf = 0 no database effectively contains the word; use
+            // I = 0 to avoid log(∞) (T-weighted, so the term vanishes).
+            let i = if cf > 0 {
+                ((m + 0.5) / f64::from(cf)).ln() / (m + 1.0).ln()
+            } else {
+                0.0
+            };
+            score += self.default_belief + (1.0 - self.default_belief) * t * i;
+        }
+        score / query.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::rank_databases;
+    use crate::context::test_support::summary;
+
+    #[test]
+    fn default_score_is_zero_under_inquery_semantics() {
+        // Absent query terms contribute no belief, so a database matching
+        // nothing scores 0 (and is "not selected" by the ranker).
+        let s = summary(1000.0, &[]);
+        let views: Vec<&dyn SummaryView> = vec![&s];
+        let ctx = CollectionContext::build(&[1, 2], &views);
+        let d = Cori::default().default_score(&[1, 2], &s, &ctx);
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn present_words_carry_at_least_the_default_belief() {
+        let s = summary(1000.0, &[(1, 100.0)]);
+        let views: Vec<&dyn SummaryView> = vec![&s];
+        let ctx = CollectionContext::build(&[1], &views);
+        let score = Cori::default().score_db(&[1], &s, &ctx);
+        assert!(score >= 0.4, "score {score}");
+    }
+
+    #[test]
+    fn higher_df_scores_higher() {
+        let rich = summary(1000.0, &[(1, 500.0)]);
+        let poor = summary(1000.0, &[(1, 5.0)]);
+        let views: Vec<&dyn SummaryView> = vec![&poor, &rich];
+        let ranking = rank_databases(&Cori::default(), &[1], &views);
+        assert_eq!(ranking[0].index, 1);
+        assert!(ranking[0].score > ranking[1].score);
+    }
+
+    #[test]
+    fn rare_words_weigh_more_via_idf_component() {
+        // Word 1 in both databases, word 2 only in database b: for b, the
+        // word-2 contribution has higher I than word 1's.
+        let a = summary(1000.0, &[(1, 100.0)]);
+        let b = summary(1000.0, &[(1, 100.0), (2, 100.0)]);
+        let views: Vec<&dyn SummaryView> = vec![&a, &b];
+        let ctx = CollectionContext::build(&[1, 2], &views);
+        let algo = Cori::default();
+        let s_common = algo.score_db(&[1], &b, &ctx);
+        let s_rare = algo.score_db(&[2], &b, &ctx);
+        assert!(s_rare > s_common, "{s_rare} vs {s_common}");
+    }
+
+    #[test]
+    fn scores_are_bounded_by_one() {
+        let s = summary(1000.0, &[(1, 1000.0)]);
+        let views: Vec<&dyn SummaryView> = vec![&s];
+        let ctx = CollectionContext::build(&[1], &views);
+        let score = Cori::default().score_db(&[1], &s, &ctx);
+        assert!(score > 0.4 && score <= 1.0, "score {score}");
+    }
+
+    #[test]
+    fn longer_databases_need_more_evidence() {
+        // Same df, but database b has a much larger word count → lower T.
+        let a = summary(1000.0, &[(1, 100.0)]);
+        let mut b = summary(1000.0, &[(1, 100.0)]);
+        b.set_word(999, dbselect_core::summary::WordStats { sample_df: 1, df: 1.0, tf: 50_000.0 });
+        let views: Vec<&dyn SummaryView> = vec![&a, &b];
+        let ctx = CollectionContext::build(&[1], &views);
+        let algo = Cori::default();
+        let s_a = algo.score_db(&[1], &a, &ctx);
+        let s_b = algo.score_db(&[1], &b, &ctx);
+        assert!(s_a > s_b, "{s_a} vs {s_b}");
+    }
+}

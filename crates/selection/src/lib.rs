@@ -1,0 +1,35 @@
+//! `selection` — database selection algorithms (Sections 4 and 5.3 of the
+//! paper).
+//!
+//! * [`bgloss`], [`cori`], [`lm`] — the three "base" algorithms of the
+//!   evaluation, all implementing [`SelectionAlgorithm`];
+//! * [`hierarchical`] — the category-descent baseline of \[17\] that the
+//!   shrinkage approach is compared against;
+//! * [`adaptive`] — the paper's contribution: Figure 3's adaptive,
+//!   per-(query, database) choice between the sample-based summary `Ŝ(D)`
+//!   and the shrunk summary `R̂(D)`, driven by score-uncertainty
+//!   estimation.
+//!
+//! All scoring is done through [`dbselect_core::summary::SummaryView`], so
+//! the same algorithm code runs over approximate, perfect, shrunk, and
+//! category summaries.
+
+pub mod adaptive;
+pub mod bgloss;
+pub mod context;
+pub mod cori;
+pub mod hierarchical;
+pub mod lm;
+pub mod merge;
+pub mod redde;
+
+pub use adaptive::{
+    adaptive_rank, score_is_uncertain, AdaptiveConfig, AdaptiveOutcome, ShrinkageMode, SummaryPair,
+};
+pub use bgloss::BGloss;
+pub use context::{rank_databases, CollectionContext, RankedDatabase, SelectionAlgorithm};
+pub use cori::Cori;
+pub use hierarchical::HierarchicalSelector;
+pub use lm::Lm;
+pub use merge::{merge_results, MergeStrategy, MergedResult};
+pub use redde::{Redde, ReddeConfig};

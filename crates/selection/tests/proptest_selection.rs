@@ -1,0 +1,187 @@
+//! Property-based tests for the selection algorithms: score bounds,
+//! monotonicity, and ranking invariants for arbitrary summaries.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dbselect_core::summary::{ContentSummary, SummaryView, WordStats};
+use selection::{
+    adaptive_rank, rank_databases, AdaptiveConfig, BGloss, CollectionContext, Cori, Lm,
+    SelectionAlgorithm, ShrinkageMode, SummaryPair,
+};
+
+fn summary_strategy() -> impl Strategy<Value = ContentSummary> {
+    (
+        prop::collection::hash_map(0u32..20, 1u32..200, 0..12),
+        200u32..2000,
+    )
+        .prop_map(|(dfs, size)| {
+            let words: HashMap<u32, WordStats> = dfs
+                .into_iter()
+                .map(|(t, df)| {
+                    let df = f64::from(df.min(size));
+                    (t, WordStats { sample_df: df as u32, df, tf: df * 1.7 })
+                })
+                .collect();
+            ContentSummary::new(f64::from(size), size, words)
+        })
+}
+
+fn query_strategy() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::btree_set(0u32..20, 1..6).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    /// CORI scores are bounded by [0, 1]; bGlOSS by [0, |D|]; LM by [0, 1].
+    #[test]
+    fn score_bounds(summaries in prop::collection::vec(summary_strategy(), 1..6),
+                    query in query_strategy()) {
+        let views: Vec<&dyn SummaryView> =
+            summaries.iter().map(|s| s as &dyn SummaryView).collect();
+        let ctx = CollectionContext::build(&query, &views);
+        let lm = Lm::from_global_map(0.5, HashMap::from([(0, 0.01), (1, 0.002)]));
+        for view in &views {
+            let cori = Cori::default().score_db(&query, *view, &ctx);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&cori), "CORI {cori}");
+            let bg = BGloss.score_db(&query, *view, &ctx);
+            prop_assert!(bg >= 0.0 && bg <= view.db_size() + 1e-9, "bGlOSS {bg}");
+            let lm_score = lm.score_db(&query, *view, &ctx);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&lm_score), "LM {lm_score}");
+        }
+    }
+
+    /// Rankings are strictly ordered by score with index tie-breaks, and
+    /// contain no duplicate databases.
+    #[test]
+    fn ranking_is_sorted_and_unique(summaries in prop::collection::vec(summary_strategy(), 1..8),
+                                    query in query_strategy()) {
+        let views: Vec<&dyn SummaryView> =
+            summaries.iter().map(|s| s as &dyn SummaryView).collect();
+        for algo in [&BGloss as &dyn SelectionAlgorithm, &Cori::default()] {
+            let ranking = rank_databases(algo, &query, &views);
+            let ordered = ranking.windows(2).all(|w| {
+                w[0].score > w[1].score || (w[0].score == w[1].score && w[0].index < w[1].index)
+            });
+            prop_assert!(ordered, "ranking out of order");
+            let mut indices: Vec<usize> = ranking.iter().map(|r| r.index).collect();
+            indices.sort_unstable();
+            indices.dedup();
+            prop_assert_eq!(indices.len(), ranking.len());
+        }
+    }
+
+    /// bGlOSS is monotone: raising one word's probability never lowers the
+    /// score.
+    #[test]
+    fn bgloss_monotone_in_p(p1 in 0.0..1.0f64, p2 in 0.0..1.0f64, bump in 0.0..0.5f64) {
+        let s = ContentSummary::new(100.0, 100, HashMap::new());
+        let ctx = CollectionContext::build(&[1, 2], &[&s as &dyn SummaryView]);
+        let base = BGloss.score_with_p(&[1, 2], &[p1, p2], &s, &ctx);
+        let bumped = BGloss.score_with_p(&[1, 2], &[(p1 + bump).min(1.0), p2], &s, &ctx);
+        prop_assert!(bumped >= base - 1e-12);
+    }
+
+    /// CORI is monotone in per-word probability too (with fixed context).
+    #[test]
+    fn cori_monotone_in_p(p1 in 0.011..1.0f64, bump in 0.0..0.5f64) {
+        let words = HashMap::from([(1u32, WordStats { sample_df: 50, df: 50.0, tf: 80.0 })]);
+        let s = ContentSummary::new(100.0, 100, words);
+        let ctx = CollectionContext::build(&[1], &[&s as &dyn SummaryView]);
+        let algo = Cori::default();
+        let base = algo.score_with_p(&[1], &[p1], &s, &ctx);
+        let bumped = algo.score_with_p(&[1], &[(p1 + bump).min(1.0)], &s, &ctx);
+        prop_assert!(bumped >= base - 1e-12);
+    }
+
+    /// The adaptive ranker in Never mode is identical to the flat ranker
+    /// over unshrunk summaries.
+    #[test]
+    fn adaptive_never_equals_plain(summaries in prop::collection::vec(summary_strategy(), 1..6),
+                                   query in query_strategy(),
+                                   seed in 0u64..100) {
+        use dbselect_core::category_summary::SummaryComponent;
+        use dbselect_core::shrinkage::{shrink, ShrinkageConfig};
+        let comp = std::sync::Arc::new(SummaryComponent::default());
+        let shrunk: Vec<_> = summaries
+            .iter()
+            .map(|s| shrink(s, std::slice::from_ref(&comp), &ShrinkageConfig::default()))
+            .collect();
+        let pairs: Vec<SummaryPair<'_>> = summaries
+            .iter()
+            .zip(&shrunk)
+            .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
+            .collect();
+        let views: Vec<&dyn SummaryView> =
+            summaries.iter().map(|s| s as &dyn SummaryView).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let config = AdaptiveConfig { mode: ShrinkageMode::Never, ..Default::default() };
+        let adaptive = adaptive_rank(&BGloss, &query, &pairs, &config, &mut rng);
+        let plain = rank_databases(&BGloss, &query, &views);
+        prop_assert_eq!(adaptive.ranking, plain);
+        prop_assert!(adaptive.used_shrinkage.iter().all(|&b| !b));
+    }
+}
+
+mod merge_props {
+    use proptest::prelude::*;
+    use selection::{merge_results, MergeStrategy};
+    use textindex::SearchOutcome;
+
+    fn outcomes() -> impl Strategy<Value = Vec<(usize, f64, SearchOutcome)>> {
+        prop::collection::vec(
+            (0.0..1.0f64, prop::collection::vec(0.0..10.0f64, 0..8)),
+            0..5,
+        )
+        .prop_map(|dbs| {
+            dbs.into_iter()
+                .enumerate()
+                .map(|(i, (db_score, scores))| {
+                    let outcome = SearchOutcome {
+                        total_matches: scores.len(),
+                        doc_ids: (0..scores.len() as u32).collect(),
+                        scores,
+                    };
+                    (i, db_score, outcome)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Merged lists contain exactly the input documents (up to the
+        /// limit), each at most once, for every strategy.
+        #[test]
+        fn merge_preserves_documents(inputs in outcomes(), limit in 1usize..40) {
+            let total: usize = inputs.iter().map(|(_, _, o)| o.doc_ids.len()).sum();
+            for strategy in [
+                MergeStrategy::RoundRobin,
+                MergeStrategy::RawScore,
+                MergeStrategy::CoriWeighted,
+            ] {
+                let merged = merge_results(&inputs, strategy, limit);
+                prop_assert_eq!(merged.len(), total.min(limit), "{:?}", strategy);
+                let mut seen = std::collections::HashSet::new();
+                for m in &merged {
+                    prop_assert!(seen.insert((m.database, m.doc)), "duplicate result");
+                    prop_assert!(m.database < inputs.len());
+                    prop_assert!(inputs[m.database].2.doc_ids.contains(&m.doc));
+                }
+            }
+        }
+
+        /// Score-based merges are monotonically ordered.
+        #[test]
+        fn merge_output_is_sorted(inputs in outcomes()) {
+            for strategy in [MergeStrategy::RawScore, MergeStrategy::CoriWeighted] {
+                let merged = merge_results(&inputs, strategy, 100);
+                prop_assert!(
+                    merged.windows(2).all(|w| w[0].score >= w[1].score),
+                    "{:?} out of order", strategy
+                );
+            }
+        }
+    }
+}

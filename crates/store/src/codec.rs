@@ -1,0 +1,138 @@
+//! Low-level binary encoding primitives: little-endian integers and floats,
+//! length-prefixed UTF-8 strings, with defensive decoding (corrupt input
+//! yields `io::Error`, never a panic or an absurd allocation).
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on any length field, to keep corrupt input from triggering
+/// multi-gigabyte allocations.
+pub const MAX_LEN: u32 = 1 << 28;
+
+/// Write a `u32` (little-endian).
+pub fn write_u32<W: Write>(w: &mut W, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Write a `u64` (little-endian).
+pub fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Write an `f64` (little-endian IEEE-754 bits).
+pub fn write_f64<W: Write>(w: &mut W, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Write a length-prefixed UTF-8 string.
+pub fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    let len = u32::try_from(s.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "string too long"))?;
+    write_u32(w, len)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Read a `u32`.
+pub fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Read a `u64`.
+pub fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Read an `f64`, rejecting NaN (no field in the store is legitimately NaN,
+/// and letting one in would poison score comparisons downstream).
+pub fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let v = f64::from_le_bytes(buf);
+    if v.is_nan() {
+        return Err(corrupt("NaN float field"));
+    }
+    Ok(v)
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_len(r)?;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| corrupt("invalid UTF-8 in string field"))
+}
+
+/// Read a length field with the [`MAX_LEN`] sanity cap.
+pub fn read_len<R: Read>(r: &mut R) -> io::Result<usize> {
+    let len = read_u32(r)?;
+    if len > MAX_LEN {
+        return Err(corrupt("length field exceeds sanity cap"));
+    }
+    Ok(len as usize)
+}
+
+/// An `InvalidData` error for corrupt input.
+pub fn corrupt(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt store: {message}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_u64(&mut buf, u64::MAX - 7).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 7);
+    }
+
+    #[test]
+    fn floats_round_trip_and_reject_nan() {
+        let mut buf = Vec::new();
+        write_f64(&mut buf, -1234.5678).unwrap();
+        write_f64(&mut buf, f64::NAN).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_f64(&mut r).unwrap(), -1234.5678);
+        assert!(read_f64(&mut r).is_err());
+    }
+
+    #[test]
+    fn strings_round_trip() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "naïve café — δβ").unwrap();
+        write_str(&mut buf, "").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_str(&mut r).unwrap(), "naïve café — δβ");
+        assert_eq!(read_str(&mut r).unwrap(), "");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, u32::MAX).unwrap();
+        assert!(read_str(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let mut buf = Vec::new();
+        write_str(&mut buf, "hello").unwrap();
+        let mut r = &buf[..buf.len() - 2];
+        assert!(read_str(&mut r).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 2).unwrap();
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(read_str(&mut buf.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests: any store round-trips bit-faithfully, and no
+//! byte-level corruption can cause a panic.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+use dbselect_core::hierarchy::Hierarchy;
+use dbselect_core::summary::{ContentSummary, WordStats};
+use store::{CollectionStore, StoredDatabase};
+use textindex::TermDict;
+
+fn store_strategy() -> impl Strategy<Value = CollectionStore> {
+    let dbs = prop::collection::vec(
+        (
+            "[a-z]{1,12}",
+            prop::collection::hash_map(0u32..20, (0u32..500, 0.0..5000.0f64, 0.0..9000.0f64), 0..15),
+            1.0..10_000.0f64,
+            0u32..400,
+            prop::option::of(-3.0..-0.1f64),
+            0usize..4, // which path to classify under
+        ),
+        0..6,
+    );
+    dbs.prop_map(|dbs| {
+        let mut dict = TermDict::new();
+        for i in 0..20 {
+            dict.intern(&format!("w{i}"));
+        }
+        let mut hierarchy = Hierarchy::new("Root");
+        let paths = ["A/B", "A/C", "D", "D/E/F"];
+        let cats: Vec<_> = paths.iter().map(|p| hierarchy.ensure_path(p)).collect();
+        let databases = dbs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, words, db_size, sample_size, gamma, path))| {
+                let words: HashMap<u32, WordStats> = words
+                    .into_iter()
+                    .map(|(t, (sample_df, df, tf))| (t, WordStats { sample_df, df, tf }))
+                    .collect();
+                let mut summary = ContentSummary::new(db_size, sample_size, words);
+                if let Some(g) = gamma {
+                    summary.set_gamma(g);
+                }
+                // Reuse the word ids as a small synthetic sample.
+                let sample_docs: Vec<Vec<u32>> =
+                    (0..i % 3).map(|j| vec![j as u32, (j + 1) as u32 % 20]).collect();
+                StoredDatabase {
+                    name: format!("{name}-{i}"),
+                    classification: cats[path],
+                    summary,
+                    sample_docs,
+                }
+            })
+            .collect();
+        CollectionStore { dict, hierarchy, databases }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Write → read reproduces every field exactly.
+    #[test]
+    fn round_trip_is_exact(store in store_strategy()) {
+        let mut bytes = Vec::new();
+        store.write_to(&mut bytes).unwrap();
+        let restored = CollectionStore::read_from(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(restored.dict.len(), store.dict.len());
+        prop_assert_eq!(restored.hierarchy.len(), store.hierarchy.len());
+        prop_assert_eq!(restored.databases.len(), store.databases.len());
+        for (a, b) in store.databases.iter().zip(&restored.databases) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.classification, b.classification);
+            prop_assert_eq!(a.summary.db_size(), b.summary.db_size());
+            prop_assert_eq!(a.summary.sample_size(), b.summary.sample_size());
+            prop_assert_eq!(a.summary.gamma(), b.summary.gamma());
+            prop_assert_eq!(a.summary.vocabulary_size(), b.summary.vocabulary_size());
+            for (term, stats) in a.summary.iter() {
+                let restored_stats = b.summary.word(term).expect("term survives");
+                prop_assert_eq!(restored_stats.sample_df, stats.sample_df);
+                prop_assert_eq!(restored_stats.df, stats.df);
+                prop_assert_eq!(restored_stats.tf, stats.tf);
+            }
+        }
+        // A second serialization is byte-identical (canonical encoding).
+        let mut again = Vec::new();
+        restored.write_to(&mut again).unwrap();
+        prop_assert_eq!(bytes, again);
+    }
+
+    /// Single-byte corruption anywhere either round-trips to a valid store
+    /// or fails with an error — never a panic, never a hang.
+    #[test]
+    fn corruption_never_panics(store in store_strategy(), pos_frac in 0.0..1.0f64, xor in 1u8..255) {
+        let mut bytes = Vec::new();
+        store.write_to(&mut bytes).unwrap();
+        prop_assume!(!bytes.is_empty());
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= xor;
+        let _ = CollectionStore::read_from(&mut bytes.as_slice());
+    }
+
+    /// Arbitrary bytes never panic the reader.
+    #[test]
+    fn garbage_input_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = CollectionStore::read_from(&mut bytes.as_slice());
+    }
+}

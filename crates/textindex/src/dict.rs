@@ -1,0 +1,105 @@
+//! Term interning: a bidirectional `String` ↔ [`TermId`] dictionary.
+//!
+//! Every testbed shares one `TermDict`. Documents, posting lists, content
+//! summaries, and the shrinkage EM all operate on dense `u32` term ids,
+//! which keeps a multi-hundred-thousand-document corpus in a few hundred
+//! megabytes and makes the hot loops integer-keyed. Strings appear only at
+//! the edges (text analysis and result display).
+
+use std::collections::HashMap;
+
+/// Dense identifier of an interned term.
+pub type TermId = u32;
+
+/// An append-only string interner.
+#[derive(Debug, Clone, Default)]
+pub struct TermDict {
+    terms: Vec<String>,
+    by_name: HashMap<String, TermId>,
+}
+
+impl TermDict {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (existing or fresh).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_name.get(term) {
+            return id;
+        }
+        let id = TermId::try_from(self.terms.len()).expect("term dictionary overflow");
+        self.terms.push(term.to_string());
+        self.by_name.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up an already-interned term.
+    pub fn lookup(&self, term: &str) -> Option<TermId> {
+        self.by_name.get(term).copied()
+    }
+
+    /// The string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Intern every token of an analyzed text.
+    pub fn intern_all(&mut self, tokens: &[String]) -> Vec<TermId> {
+        tokens.iter().map(|t| self.intern(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = TermDict::new();
+        let a = d.intern("heart");
+        let b = d.intern("heart");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_reversible() {
+        let mut d = TermDict::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(d.term(a), "alpha");
+        assert_eq!(d.term(b), "beta");
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let mut d = TermDict::new();
+        d.intern("x");
+        assert_eq!(d.lookup("x"), Some(0));
+        assert_eq!(d.lookup("y"), None);
+    }
+
+    #[test]
+    fn intern_all_maps_token_vectors() {
+        let mut d = TermDict::new();
+        let ids = d.intern_all(&["a".into(), "b".into(), "a".into()]);
+        assert_eq!(ids, vec![0, 1, 0]);
+        assert!(!d.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Documents: the unit of indexing, sampling, and relevance judgment.
+
+use crate::analyzer::Analyzer;
+use crate::dict::{TermDict, TermId};
+
+/// Identifier of a document *within one database*. Databases are independent
+/// collections, so ids are only unique per database.
+pub type DocId = u32;
+
+/// A tokenized document, stored as interned term ids.
+///
+/// Documents keep term *occurrences* (duplicates preserved, in order):
+/// term frequencies matter for the LM selection algorithm and the KL metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Database-local identifier.
+    pub id: DocId,
+    /// Analyzed tokens in document order.
+    pub tokens: Vec<TermId>,
+}
+
+impl Document {
+    /// Build a document from raw text: analyze, then intern into `dict`.
+    pub fn from_text(id: DocId, text: &str, analyzer: &Analyzer, dict: &mut TermDict) -> Self {
+        let tokens = analyzer.analyze(text);
+        Document { id, tokens: dict.intern_all(&tokens) }
+    }
+
+    /// Build a document from pre-interned tokens.
+    pub fn from_tokens(id: DocId, tokens: Vec<TermId>) -> Self {
+        Document { id, tokens }
+    }
+
+    /// Number of token occurrences (document length).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the document contains no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The *distinct* terms of the document, each exactly once, ascending.
+    pub fn distinct_terms(&self) -> Vec<TermId> {
+        let mut terms = self.tokens.clone();
+        terms.sort_unstable();
+        terms.dedup();
+        terms
+    }
+
+    /// Does the document contain `term`?
+    pub fn contains_term(&self, term: TermId) -> bool {
+        self.tokens.contains(&term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_text_analyzes_and_interns() {
+        let mut dict = TermDict::new();
+        let d = Document::from_text(7, "The heart and the blood", &Analyzer::english(), &mut dict);
+        assert_eq!(d.id, 7);
+        assert_eq!(d.tokens.len(), 2);
+        assert_eq!(dict.term(d.tokens[0]), "heart");
+        assert_eq!(dict.term(d.tokens[1]), "blood");
+    }
+
+    #[test]
+    fn distinct_terms_dedupes_and_sorts() {
+        let d = Document::from_tokens(0, vec![5, 2, 5, 9]);
+        assert_eq!(d.distinct_terms(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn contains_term_checks_membership() {
+        let d = Document::from_tokens(0, vec![1, 2]);
+        assert!(d.contains_term(1));
+        assert!(!d.contains_term(3));
+    }
+
+    #[test]
+    fn len_counts_occurrences() {
+        let d = Document::from_tokens(0, vec![4, 4]);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert!(Document::from_tokens(1, vec![]).is_empty());
+    }
+}

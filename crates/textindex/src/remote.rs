@@ -1,0 +1,164 @@
+//! The "uncooperative database" interface.
+//!
+//! A hidden-web database exposes only a search box: callers can submit a
+//! keyword query, observe the reported number of matches, and download the
+//! top results. They can **not** enumerate documents, read the vocabulary, or
+//! ask for the collection size. [`RemoteDatabase`] captures exactly that
+//! contract; the samplers in the `sampling` crate are written against this
+//! trait so the type system guarantees they never peek at hidden state.
+//!
+//! [`IndexedDatabase`] is the concrete in-process implementation backed by an
+//! [`InvertedIndex`]; evaluation code uses its *inherent* methods (which do
+//! expose everything) to compute perfect content summaries.
+
+use crate::dict::TermId;
+use crate::document::{DocId, Document};
+use crate::index::InvertedIndex;
+use crate::search::{SearchEngine, SearchResult};
+
+/// Outcome of a remote query: the advertised match count and the returned
+/// top documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// Total number of documents matching the query, as a real search
+    /// interface would report ("1–10 of 15,158 results").
+    pub total_matches: usize,
+    /// Ranked ids of the returned documents.
+    pub doc_ids: Vec<DocId>,
+    /// Retrieval scores aligned with `doc_ids`, as search interfaces often
+    /// expose (consumed by results merging).
+    pub scores: Vec<f64>,
+}
+
+/// The restricted query interface of an uncooperative text database.
+pub trait RemoteDatabase {
+    /// Human-readable database name.
+    fn name(&self) -> &str;
+
+    /// Submit a conjunctive keyword query; receive up to `max_results`
+    /// top-ranked documents plus the total match count.
+    fn query(&self, terms: &[TermId], max_results: usize) -> SearchOutcome;
+
+    /// Submit a *disjunctive* (best-match) query: documents matching any
+    /// query term, best first — the form a metasearcher forwards user
+    /// queries in.
+    fn query_any(&self, terms: &[TermId], max_results: usize) -> SearchOutcome;
+
+    /// Download a document that a previous query returned.
+    fn fetch(&self, id: DocId) -> Option<&Document>;
+}
+
+impl<T: RemoteDatabase + ?Sized> RemoteDatabase for &T {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn query(&self, terms: &[TermId], max_results: usize) -> SearchOutcome {
+        (**self).query(terms, max_results)
+    }
+
+    fn query_any(&self, terms: &[TermId], max_results: usize) -> SearchOutcome {
+        (**self).query_any(terms, max_results)
+    }
+
+    fn fetch(&self, id: DocId) -> Option<&Document> {
+        (**self).fetch(id)
+    }
+}
+
+/// An in-process text database: owned documents plus their inverted index.
+#[derive(Debug, Clone)]
+pub struct IndexedDatabase {
+    name: String,
+    documents: Vec<Document>,
+    index: InvertedIndex,
+}
+
+impl IndexedDatabase {
+    /// Index `documents` (ids must equal positions) under `name`.
+    pub fn new(name: impl Into<String>, documents: Vec<Document>) -> Self {
+        let index = InvertedIndex::build(&documents);
+        IndexedDatabase { name: name.into(), documents, index }
+    }
+
+    /// Full access to the index — for building *perfect* content summaries
+    /// during evaluation, not for samplers.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Full access to the documents — evaluation only.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// True collection size `|D|` — evaluation only; samplers must estimate
+    /// it via sample-resample.
+    pub fn num_docs(&self) -> usize {
+        self.documents.len()
+    }
+}
+
+impl RemoteDatabase for IndexedDatabase {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn query(&self, terms: &[TermId], max_results: usize) -> SearchOutcome {
+        let SearchResult { total_matches, doc_ids, scores } =
+            SearchEngine::new(&self.index).search(terms, max_results);
+        SearchOutcome { total_matches, doc_ids, scores }
+    }
+
+    fn query_any(&self, terms: &[TermId], max_results: usize) -> SearchOutcome {
+        let SearchResult { total_matches, doc_ids, scores } =
+            SearchEngine::new(&self.index).search_disjunctive(terms, max_results);
+        SearchOutcome { total_matches, doc_ids, scores }
+    }
+
+    fn fetch(&self, id: DocId) -> Option<&Document> {
+        self.documents.get(id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Term ids: 0=heart 1=blood 2=soccer 3=goal 4=surgery
+    fn db() -> IndexedDatabase {
+        let docs = vec![
+            Document::from_tokens(0, vec![0, 1]),
+            Document::from_tokens(1, vec![2, 3]),
+            Document::from_tokens(2, vec![0, 4]),
+        ];
+        IndexedDatabase::new("medline-like", docs)
+    }
+
+    #[test]
+    fn query_reports_match_count_and_top_docs() {
+        let db = db();
+        let out = db.query(&[0], 1);
+        assert_eq!(out.total_matches, 2);
+        assert_eq!(out.doc_ids.len(), 1);
+    }
+
+    #[test]
+    fn fetch_returns_documents_by_id() {
+        let db = db();
+        assert_eq!(db.fetch(1).unwrap().tokens[0], 2);
+        assert!(db.fetch(99).is_none());
+    }
+
+    #[test]
+    fn name_round_trips() {
+        assert_eq!(db().name(), "medline-like");
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let db = db();
+        let remote: &dyn RemoteDatabase = &db;
+        assert_eq!(remote.query(&[3], 4).total_matches, 1);
+    }
+}

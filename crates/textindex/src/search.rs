@@ -1,0 +1,340 @@
+//! Ranked keyword search over an [`InvertedIndex`].
+//!
+//! Queries are conjunctive (all terms must match), mirroring the boolean
+//! retrieval model the sampling algorithms in the paper assume: a query's
+//! "number of matches" is the number of documents containing every query
+//! word, and the engine returns the top-ranked matches.
+
+use std::collections::HashMap;
+
+use crate::dict::TermId;
+use crate::document::DocId;
+use crate::index::InvertedIndex;
+
+/// Result of one search: the total match count plus the ranked top documents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Number of documents matching *all* query terms. This is the "matches"
+    /// figure real search interfaces report and that frequency estimation
+    /// (Appendix A) and sample-resample size estimation rely on.
+    pub total_matches: usize,
+    /// Up to `k` matching document ids, best-ranked first.
+    pub doc_ids: Vec<DocId>,
+    /// Retrieval scores aligned with `doc_ids` (needed by results merging).
+    pub scores: Vec<f64>,
+}
+
+/// How matched documents are scored.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RankingModel {
+    /// `Σ tf(w,d) · ln(1 + N/df(w))` — simple, length-insensitive.
+    #[default]
+    TfIdf,
+    /// Okapi BM25 with the usual `k1`/`b` saturation and length
+    /// normalization.
+    Bm25 {
+        /// Term-frequency saturation (typical: 1.2).
+        k1: f64,
+        /// Length-normalization strength (typical: 0.75).
+        b: f64,
+    },
+}
+
+impl RankingModel {
+    /// The standard BM25 parameterization.
+    pub fn bm25() -> Self {
+        RankingModel::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A ranked search engine over a borrowed index.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchEngine<'a> {
+    index: &'a InvertedIndex,
+    ranking: RankingModel,
+}
+
+impl<'a> SearchEngine<'a> {
+    /// Wrap `index` in a tf·idf search engine.
+    pub fn new(index: &'a InvertedIndex) -> Self {
+        SearchEngine { index, ranking: RankingModel::TfIdf }
+    }
+
+    /// Wrap `index` with an explicit ranking model.
+    pub fn with_ranking(index: &'a InvertedIndex, ranking: RankingModel) -> Self {
+        SearchEngine { index, ranking }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &'a InvertedIndex {
+        self.index
+    }
+
+    /// Evaluate a conjunctive query and return the top-`k` matches, ties
+    /// broken by ascending document id for determinism.
+    pub fn search(&self, terms: &[TermId], k: usize) -> SearchResult {
+        let matches = self.index.conjunctive_match(terms);
+        let total_matches = matches.len();
+        if matches.is_empty() || k == 0 {
+            return SearchResult { total_matches, doc_ids: Vec::new(), scores: Vec::new() };
+        }
+        let n = self.index.num_docs() as f64;
+        let avg_len = if n > 0.0 { self.index.total_tokens() as f64 / n } else { 1.0 };
+        let mut scores: HashMap<DocId, f64> = matches.iter().map(|&d| (d, 0.0)).collect();
+        for &term in terms {
+            let Some(list) = self.index.posting_list(term) else { continue };
+            let df = list.document_frequency() as f64;
+            for &(doc, tf) in &list.postings {
+                let Some(score) = scores.get_mut(&doc) else { continue };
+                let tf = f64::from(tf);
+                *score += match self.ranking {
+                    RankingModel::TfIdf => tf * (1.0 + n / df).ln(),
+                    RankingModel::Bm25 { k1, b } => {
+                        // The non-negative "plus" idf variant, standard in
+                        // practice (plain Robertson idf can go negative for
+                        // very common terms).
+                        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                        let doc_len = f64::from(self.index.doc_length(doc));
+                        let norm = k1 * (1.0 - b + b * doc_len / avg_len);
+                        idf * tf * (k1 + 1.0) / (tf + norm)
+                    }
+                };
+            }
+        }
+        let mut ranked: Vec<(DocId, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        let (doc_ids, scores) = ranked.into_iter().unzip();
+        SearchResult { total_matches, doc_ids, scores }
+    }
+
+    /// Evaluate a *disjunctive* (OR) query: rank every document containing
+    /// at least one query term. This is how result lists are produced when
+    /// a metasearcher forwards a query — demanding all words of a long
+    /// query in one document (the conjunctive `search`) would return almost
+    /// nothing.
+    pub fn search_disjunctive(&self, terms: &[TermId], k: usize) -> SearchResult {
+        let n = self.index.num_docs() as f64;
+        let avg_len = if n > 0.0 { self.index.total_tokens() as f64 / n } else { 1.0 };
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        let mut distinct_terms: Vec<TermId> = terms.to_vec();
+        distinct_terms.sort_unstable();
+        distinct_terms.dedup();
+        for &term in &distinct_terms {
+            let Some(list) = self.index.posting_list(term) else { continue };
+            let df = list.document_frequency() as f64;
+            for &(doc, tf) in &list.postings {
+                let tf = f64::from(tf);
+                let contribution = match self.ranking {
+                    RankingModel::TfIdf => tf * (1.0 + n / df).ln(),
+                    RankingModel::Bm25 { k1, b } => {
+                        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                        let doc_len = f64::from(self.index.doc_length(doc));
+                        let norm = k1 * (1.0 - b + b * doc_len / avg_len);
+                        idf * tf * (k1 + 1.0) / (tf + norm)
+                    }
+                };
+                *scores.entry(doc).or_insert(0.0) += contribution;
+            }
+        }
+        let total_matches = scores.len();
+        let mut ranked: Vec<(DocId, f64)> = scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        let (doc_ids, scores) = ranked.into_iter().unzip();
+        SearchResult { total_matches, doc_ids, scores }
+    }
+
+    /// Number of documents matching the single word `term` — the cheapest
+    /// query form, used heavily by the samplers.
+    pub fn match_count(&self, term: TermId) -> usize {
+        self.index.document_frequency(term)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::Document;
+
+    // Term ids: 0=heart 1=blood 2=pressure 3=soccer
+    fn doc(id: DocId, terms: &[TermId]) -> Document {
+        Document::from_tokens(id, terms.to_vec())
+    }
+
+    fn engine_fixture() -> InvertedIndex {
+        InvertedIndex::build(&[
+            doc(0, &[0, 1]),
+            doc(1, &[0, 0, 0, 1]),
+            doc(2, &[1, 2]),
+            doc(3, &[3]),
+        ])
+    }
+
+    #[test]
+    fn total_matches_is_conjunctive_count() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search(&[0, 1], 10);
+        assert_eq!(r.total_matches, 2);
+    }
+
+    #[test]
+    fn ranking_prefers_higher_tf() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search(&[0], 10);
+        // Doc 1 has tf=3 for term 0, doc 0 has tf=1.
+        assert_eq!(r.doc_ids, vec![1, 0]);
+    }
+
+    #[test]
+    fn k_limits_results_but_not_match_count() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search(&[1], 1);
+        assert_eq!(r.total_matches, 3);
+        assert_eq!(r.doc_ids.len(), 1);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search(&[42], 5);
+        assert_eq!(r.total_matches, 0);
+        assert!(r.doc_ids.is_empty());
+    }
+
+    #[test]
+    fn tie_broken_by_doc_id() {
+        let idx = InvertedIndex::build(&[doc(0, &[7]), doc(1, &[7])]);
+        let engine = SearchEngine::new(&idx);
+        assert_eq!(engine.search(&[7], 10).doc_ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn match_count_shortcut() {
+        let idx = engine_fixture();
+        let engine = SearchEngine::new(&idx);
+        assert_eq!(engine.match_count(1), 3);
+        assert_eq!(engine.match_count(42), 0);
+    }
+}
+
+#[cfg(test)]
+mod bm25_tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn doc(id: DocId, terms: &[TermId]) -> Document {
+        Document::from_tokens(id, terms.to_vec())
+    }
+
+    #[test]
+    fn bm25_saturates_term_frequency() {
+        // Doc 1 has tf=12 for term 0, doc 0 has tf=3; under tf·idf doc 1
+        // scores 4× doc 0, under BM25 far less than 4×.
+        let mut d0 = vec![0; 3];
+        d0.extend([1, 2, 3]);
+        let mut d1 = vec![0; 12];
+        d1.extend([4, 5, 6]); // keep lengths comparable-ish
+        let idx = InvertedIndex::build(&[doc(0, &d0), doc(1, &d1)]);
+        let tfidf = SearchEngine::new(&idx).search(&[0], 2);
+        let bm25 = SearchEngine::with_ranking(&idx, RankingModel::bm25()).search(&[0], 2);
+        let tfidf_ratio = tfidf.scores[0] / tfidf.scores[1];
+        let bm25_ratio = bm25.scores[0] / bm25.scores[1];
+        assert!(bm25_ratio < tfidf_ratio, "bm25 {bm25_ratio} vs tfidf {tfidf_ratio}");
+        assert!(bm25_ratio > 1.0, "more occurrences still rank higher");
+    }
+
+    #[test]
+    fn bm25_penalizes_long_documents() {
+        // Same tf for term 0, but doc 1 is much longer.
+        let mut long = vec![0; 2];
+        long.extend(std::iter::repeat_n(9, 200));
+        let short: Vec<TermId> = vec![0, 0, 1, 2];
+        let idx = InvertedIndex::build(&[doc(0, &short), doc(1, &long)]);
+        let result = SearchEngine::with_ranking(&idx, RankingModel::bm25()).search(&[0], 2);
+        assert_eq!(result.doc_ids[0], 0, "short document wins at equal tf");
+        assert!(result.scores[0] > result.scores[1]);
+    }
+
+    #[test]
+    fn bm25_scores_are_non_negative() {
+        // Term 0 appears in every document — the "plus" idf keeps scores
+        // positive where plain Robertson idf would go negative.
+        let docs: Vec<Document> = (0..5).map(|i| doc(i, &[0, i + 10])).collect();
+        let idx = InvertedIndex::build(&docs);
+        let result = SearchEngine::with_ranking(&idx, RankingModel::bm25()).search(&[0], 5);
+        assert_eq!(result.total_matches, 5);
+        assert!(result.scores.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn match_set_is_ranking_independent() {
+        let docs: Vec<Document> = (0..20).map(|i| doc(i, &[i % 3, i % 5, 7])).collect();
+        let idx = InvertedIndex::build(&docs);
+        let a = SearchEngine::new(&idx).search(&[7, 0], 20);
+        let b = SearchEngine::with_ranking(&idx, RankingModel::bm25()).search(&[7, 0], 20);
+        assert_eq!(a.total_matches, b.total_matches);
+        let mut ia = a.doc_ids.clone();
+        let mut ib = b.doc_ids.clone();
+        ia.sort_unstable();
+        ib.sort_unstable();
+        assert_eq!(ia, ib);
+    }
+}
+
+#[cfg(test)]
+mod disjunctive_tests {
+    use super::*;
+    use crate::document::Document;
+
+    fn doc(id: DocId, terms: &[TermId]) -> Document {
+        Document::from_tokens(id, terms.to_vec())
+    }
+
+    #[test]
+    fn disjunctive_matches_any_term() {
+        let idx = InvertedIndex::build(&[
+            doc(0, &[1, 2]),
+            doc(1, &[2, 3]),
+            doc(2, &[4]),
+        ]);
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search_disjunctive(&[1, 3], 10);
+        assert_eq!(r.total_matches, 2, "docs 0 and 1 contain at least one term");
+        // Conjunctive would find nothing.
+        assert_eq!(engine.search(&[1, 3], 10).total_matches, 0);
+    }
+
+    #[test]
+    fn documents_matching_more_terms_rank_higher() {
+        let idx = InvertedIndex::build(&[
+            doc(0, &[1, 9]),
+            doc(1, &[1, 2, 3]),
+        ]);
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search_disjunctive(&[1, 2, 3], 10);
+        assert_eq!(r.doc_ids[0], 1);
+        assert!(r.scores[0] > r.scores[1]);
+    }
+
+    #[test]
+    fn duplicate_query_terms_do_not_double_count() {
+        let idx = InvertedIndex::build(&[doc(0, &[1]), doc(1, &[1])]);
+        let engine = SearchEngine::new(&idx);
+        let once = engine.search_disjunctive(&[1], 10);
+        let twice = engine.search_disjunctive(&[1, 1], 10);
+        assert_eq!(once.scores, twice.scores);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let idx = InvertedIndex::build(&[doc(0, &[1])]);
+        let engine = SearchEngine::new(&idx);
+        let r = engine.search_disjunctive(&[], 10);
+        assert_eq!(r.total_matches, 0);
+    }
+}

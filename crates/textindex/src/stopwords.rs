@@ -1,0 +1,65 @@
+//! A standard English stopword list.
+//!
+//! The paper reports results with stopword elimination applied to queries and
+//! documents (Section 6.2). This list is the classic SMART-derived set of
+//! high-frequency function words, trimmed to the ~120 entries that actually
+//! occur in keyword queries; stopwords never carry topical signal, so their
+//! absence from content summaries is irrelevant for database selection.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The raw stopword list (lowercase, unstemmed surface forms).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// Is `word` (lowercase) a stopword?
+///
+/// ```
+/// assert!(textindex::stopwords::is_stopword("the"));
+/// assert!(!textindex::stopwords::is_stopword("hypertension"));
+/// ```
+pub fn is_stopword(word: &str) -> bool {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| STOPWORDS.iter().copied().collect()).contains(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "of", "is", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["hemophilia", "database", "algorithm", "soccer"] {
+            assert!(!is_stopword(w), "{w} should not be a stopword");
+        }
+    }
+
+    #[test]
+    fn list_is_lowercase_and_unique() {
+        let mut seen = HashSet::new();
+        for w in STOPWORDS {
+            assert_eq!(*w, w.to_lowercase());
+            assert!(seen.insert(*w), "duplicate stopword {w}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Lexical analysis: splitting raw text into lowercase word tokens.
+//!
+//! The tokenizer mirrors what `lynx --dump` + Lucene's `StandardAnalyzer`
+//! produced in the paper's pipeline: Unicode-alphanumeric runs, lowercased.
+//! Purely numeric tokens are kept (database selection queries never contain
+//! them in our workloads, but real documents do) while single-character
+//! tokens are dropped because they are noise for content summaries.
+
+/// Minimum length of a token that is kept.
+pub const MIN_TOKEN_LEN: usize = 2;
+
+/// Split `text` into lowercase alphanumeric tokens.
+///
+/// Tokens shorter than [`MIN_TOKEN_LEN`] characters are discarded.
+///
+/// ```
+/// let toks = textindex::tokenize("Blood-pressure (hypertension) affects 25%!");
+/// assert_eq!(toks, vec!["blood", "pressure", "hypertension", "affects", "25"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lc in ch.to_lowercase() {
+                current.push(lc);
+            }
+        } else if !current.is_empty() {
+            push_token(&mut tokens, &mut current);
+        }
+    }
+    if !current.is_empty() {
+        push_token(&mut tokens, &mut current);
+    }
+    tokens
+}
+
+fn push_token(tokens: &mut Vec<String>, current: &mut String) {
+    if current.chars().count() >= MIN_TOKEN_LEN {
+        tokens.push(std::mem::take(current));
+    } else {
+        current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            tokenize("heart-disease, and stroke."),
+            vec!["heart", "disease", "and", "stroke"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("PubMed HOSTS Citations"), vec!["pubmed", "hosts", "citations"]);
+    }
+
+    #[test]
+    fn drops_single_characters() {
+        assert_eq!(tokenize("a b cd e"), vec!["cd"]);
+    }
+
+    #[test]
+    fn keeps_numbers() {
+        assert_eq!(tokenize("trec 2004 results"), vec!["trec", "2004", "results"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn unicode_is_handled() {
+        assert_eq!(tokenize("naïve café"), vec!["naïve", "café"]);
+    }
+}

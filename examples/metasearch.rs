@@ -1,0 +1,73 @@
+//! A full metasearch session over a Web-like collection of databases: build
+//! the metasearcher (sampling + shrinkage), route the test-bed queries, and
+//! report selection accuracy against the ground-truth relevance judgments.
+//!
+//! Run with: `cargo run --release --example metasearch`
+
+use dbselect_repro::corpus::TestBedConfig;
+use dbselect_repro::eval::rk::rk;
+use dbselect_repro::{Algorithm, Classification, Metasearcher, MetasearcherConfig};
+
+fn main() {
+    // A scaled-down Web-like collection (79 databases) keeps this example
+    // snappy; drop `.scaled_down(4)` for the full 315-database experience.
+    let bed = TestBedConfig::web_like().scaled_down(4).build();
+    println!(
+        "test bed: {} databases, {} documents, {} queries",
+        bed.databases.len(),
+        bed.total_docs(),
+        bed.queries.len()
+    );
+
+    let databases: Vec<_> = bed.databases.iter().map(|d| d.db.clone()).collect();
+    let mut meta = Metasearcher::build(
+        bed.hierarchy.clone(),
+        databases,
+        &bed.seed_lexicon,
+        Classification::Directory(bed.true_categories()),
+        Algorithm::Cori,
+        bed.dict.len(),
+        MetasearcherConfig::default(),
+    );
+    println!("metasearcher ready ({} databases profiled)\n", meta.len());
+
+    // Route the first few queries and show what a user would see.
+    let k = 5;
+    let mut rks = Vec::new();
+    for (qi, query) in bed.queries.iter().enumerate() {
+        let words: Vec<&str> = query.terms.iter().map(|&t| bed.dict.term(t)).collect();
+        let selections = meta.select(&query.terms, k);
+        let ranking: Vec<usize> = selections.iter().map(|s| s.index).collect();
+        let quality = rk(&ranking, &bed.relevance[qi], k);
+        if let Some(r) = quality {
+            rks.push(r);
+        }
+        if qi < 5 {
+            println!("query {qi}: [{}]", words.join(" "));
+            println!("  need topic: {}", bed.hierarchy.full_name(query.topic));
+            for s in &selections {
+                let home = bed.hierarchy.full_name(bed.databases[s.index].category);
+                let rel = bed.relevance[qi][s.index];
+                println!(
+                    "  -> {:<12} score {:>9.4}  ({home}, {rel} relevant docs)",
+                    s.name, s.score
+                );
+            }
+            match quality {
+                Some(r) => println!("  R{k} = {r:.3}\n"),
+                None => println!("  (no relevant documents for this query)\n"),
+            }
+        }
+    }
+    let mean_rk = rks.iter().sum::<f64>() / rks.len().max(1) as f64;
+    println!("mean R{k} over {} evaluable queries: {mean_rk:.3}", rks.len());
+
+    // Steps 2–3 of the metasearching loop: forward the query to the
+    // selected databases and show the merged (CORI-weighted) result list.
+    let query = &bed.queries[0];
+    let merged = meta.search(&query.terms, 3, 4);
+    println!("\nmerged results for query 0 (top {}):", merged.len().min(6));
+    for (db, doc) in merged.iter().take(6) {
+        println!("  {db} / doc {doc}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Profile once, select forever: persist a profiled collection with the
+//! `store` crate and show that selection after a reload is bit-identical —
+//! the offline/online split the paper assumes ("the λi weights are computed
+//! off-line ... This computation does not involve any overhead at
+//! query-processing time", Section 3.2).
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use dbselect_repro::corpus::TestBedConfig;
+use dbselect_repro::core::category_summary::CategoryWeighting;
+use dbselect_repro::sampling::{profile_qbs, PipelineConfig};
+use dbselect_repro::selection::{
+    adaptive_rank, AdaptiveConfig, Cori, SummaryPair,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use store::{CollectionStore, StoredDatabase};
+
+fn main() {
+    // Offline phase: sample and summarize a small collection.
+    let bed = TestBedConfig::tiny(2026).build();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let databases: Vec<StoredDatabase> = bed
+        .databases
+        .iter()
+        .map(|tdb| {
+            let profile = profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng);
+            StoredDatabase {
+                name: tdb.name.clone(),
+                classification: tdb.category,
+                summary: profile.summary,
+                sample_docs: profile.sample.docs.into_iter().map(|d| d.tokens).collect(),
+            }
+        })
+        .collect();
+    let store = CollectionStore {
+        dict: bed.dict.clone(),
+        hierarchy: bed.hierarchy.clone(),
+        databases,
+    };
+
+    let path = std::env::temp_dir().join("dbselect-example.store");
+    store.save(&path).expect("save store");
+    let size = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "persisted {} databases / {} terms in {} KiB -> {}",
+        store.databases.len(),
+        store.dict.len(),
+        size / 1024,
+        path.display()
+    );
+
+    // Online phase: reload, re-shrink (deterministic), and select.
+    let reloaded = CollectionStore::load(&path).expect("load store");
+    let rank = |s: &CollectionStore| {
+        let shrunk = s.shrink_all(CategoryWeighting::BySize);
+        let pairs: Vec<SummaryPair<'_>> = s
+            .databases
+            .iter()
+            .zip(&shrunk)
+            .map(|(db, r)| SummaryPair { unshrunk: &db.summary, shrunk: r })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        adaptive_rank(&Cori::default(), &bed.queries[0].terms, &pairs, &AdaptiveConfig::default(), &mut rng)
+            .ranking
+    };
+    let before = rank(&store);
+    let after = rank(&reloaded);
+    assert_eq!(before, after, "selection is identical across save/load");
+
+    println!("\nquery {:?} selects (before == after reload):", bed.queries[0].terms);
+    for r in before.iter().take(5) {
+        println!("  {:<12} score {:.4}", reloaded.databases[r.index].name, r.score);
+    }
+    std::fs::remove_file(&path).ok();
+}

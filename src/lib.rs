@@ -1,0 +1,50 @@
+//! `dbselect-repro` — a production-quality reproduction of
+//! *"When one Sample is not Enough: Improving Text Database Selection Using
+//! Shrinkage"* (Ipeirotis & Gravano, SIGMOD 2004).
+//!
+//! The workspace is organized bottom-up:
+//!
+//! * [`textindex`] — in-memory full-text search engine (the Lucene role);
+//! * [`dbselect_core`] — content summaries, topic hierarchies, shrinkage
+//!   via EM, frequency estimation, score-uncertainty estimation (the
+//!   paper's primary contribution);
+//! * [`corpus`] — synthetic TREC4/TREC6/Web-like test beds with ground
+//!   truth;
+//! * [`sampling`] — QBS and Focused Probing samplers, size estimation;
+//! * [`selection`] — bGlOSS, CORI, LM, the hierarchical baseline, and
+//!   adaptive shrinkage selection;
+//! * [`eval`] — the Section-6 evaluation metrics.
+//!
+//! This umbrella crate adds the [`Metasearcher`] façade used by the
+//! `examples/`.
+//!
+//! ```
+//! use dbselect_repro::{Algorithm, Classification, Metasearcher, MetasearcherConfig};
+//! use dbselect_repro::corpus::TestBedConfig;
+//!
+//! let bed = TestBedConfig::tiny(7).build();
+//! let databases: Vec<_> = bed.databases.iter().map(|d| d.db.clone()).collect();
+//! let mut meta = Metasearcher::build(
+//!     bed.hierarchy.clone(),
+//!     databases,
+//!     &bed.seed_lexicon,
+//!     Classification::Directory(bed.true_categories()),
+//!     Algorithm::Cori,
+//!     bed.dict.len(),
+//!     MetasearcherConfig::default(),
+//! );
+//! let hits = meta.select(&bed.queries[0].terms, 3);
+//! assert!(hits.len() <= 3);
+//! ```
+
+pub mod metasearcher;
+
+pub use metasearcher::{Algorithm, Classification, Metasearcher, MetasearcherConfig, Selection};
+
+// Re-export the member crates under stable names.
+pub use corpus;
+pub use dbselect_core as core;
+pub use eval;
+pub use sampling;
+pub use selection;
+pub use textindex;

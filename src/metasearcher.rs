@@ -1,0 +1,246 @@
+//! A batteries-included metasearcher façade over the full pipeline:
+//! sampling → content summaries → shrinkage → adaptive database selection.
+//!
+//! This is the API a downstream user of the library is expected to touch
+//! first; the individual crates expose every stage for finer control.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dbselect_core::category_summary::{CategorySummaries, CategoryWeighting};
+use dbselect_core::hierarchy::{CategoryId, Hierarchy};
+use dbselect_core::shrinkage::{shrink, ShrinkageConfig, ShrunkSummary};
+use dbselect_core::summary::ContentSummary;
+use sampling::{profile_fps, profile_qbs, PipelineConfig, ProbeClassifier, SamplerKind};
+use selection::{
+    adaptive_rank, AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode,
+    SummaryPair,
+};
+use textindex::{RemoteDatabase, TermId};
+
+/// Which base selection algorithm the metasearcher scores with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// bGlOSS: expected number of matching documents.
+    BGloss,
+    /// CORI: INQUERY-style belief scores.
+    #[default]
+    Cori,
+    /// Language modelling with Root-category smoothing.
+    Lm,
+}
+
+/// How the metasearcher learns each database's topic category.
+pub enum Classification {
+    /// Categories are known up front (e.g. from a web directory).
+    Directory(Vec<CategoryId>),
+    /// Derive categories automatically during Focused Probing, using this
+    /// trained probe classifier.
+    Automatic(ProbeClassifier),
+}
+
+/// Metasearcher construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct MetasearcherConfig {
+    /// Sampling algorithm used to build content summaries.
+    pub sampler: SamplerKind,
+    /// Apply Appendix-A frequency estimation (recommended).
+    pub frequency_estimation: bool,
+    /// When to substitute shrunk summaries during selection.
+    pub shrinkage: ShrinkageMode,
+    /// RNG seed (sampling and the adaptive test are randomized).
+    pub seed: u64,
+}
+
+impl Default for MetasearcherConfig {
+    fn default() -> Self {
+        MetasearcherConfig {
+            sampler: SamplerKind::Qbs,
+            frequency_estimation: true,
+            shrinkage: ShrinkageMode::Adaptive,
+            seed: 42,
+        }
+    }
+}
+
+/// One selected database with its relevance score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// Index into the metasearcher's database list.
+    pub index: usize,
+    /// Database name.
+    pub name: String,
+    /// Selection score (comparable within one query only).
+    pub score: f64,
+}
+
+/// A ready-to-query metasearcher over a set of remote text databases.
+pub struct Metasearcher<D: RemoteDatabase> {
+    databases: Vec<D>,
+    hierarchy: Hierarchy,
+    summaries: Vec<ContentSummary>,
+    shrunk: Vec<ShrunkSummary>,
+    classifications: Vec<CategoryId>,
+    algorithm: Box<dyn SelectionAlgorithm>,
+    config: MetasearcherConfig,
+    rng: StdRng,
+}
+
+impl<D: RemoteDatabase> Metasearcher<D> {
+    /// Profile `databases` (sampling, size/frequency estimation,
+    /// classification, shrinkage) and return a metasearcher ready to route
+    /// queries.
+    ///
+    /// * `seed_lexicon` — common words to bootstrap query-based sampling;
+    /// * `classification` — directory categories or an automatic classifier;
+    /// * `algorithm` — the base selection algorithm;
+    /// * `dict_size` — vocabulary size of the shared [`textindex::TermDict`],
+    ///   used for the uniform shrinkage component.
+    pub fn build(
+        hierarchy: Hierarchy,
+        databases: Vec<D>,
+        seed_lexicon: &[TermId],
+        classification: Classification,
+        algorithm: Algorithm,
+        dict_size: usize,
+        config: MetasearcherConfig,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let pipeline = PipelineConfig {
+            frequency_estimation: config.frequency_estimation,
+            ..Default::default()
+        };
+
+        // 1. Sample every database.
+        let mut summaries = Vec::with_capacity(databases.len());
+        let mut classifications = Vec::with_capacity(databases.len());
+        for (i, db) in databases.iter().enumerate() {
+            match (&classification, config.sampler) {
+                (Classification::Automatic(classifier), _) => {
+                    let profile = profile_fps(db, &hierarchy, classifier, &pipeline, &mut rng);
+                    summaries.push(profile.summary);
+                    classifications
+                        .push(profile.classification.expect("FPS always classifies"));
+                }
+                (Classification::Directory(cats), SamplerKind::Qbs) => {
+                    let profile = profile_qbs(db, seed_lexicon, &pipeline, &mut rng);
+                    summaries.push(profile.summary);
+                    classifications.push(cats[i]);
+                }
+                (Classification::Directory(cats), SamplerKind::Fps) => {
+                    // FPS sampling but trusting the directory classification
+                    // requires a classifier; fall back to QBS sampling.
+                    let profile = profile_qbs(db, seed_lexicon, &pipeline, &mut rng);
+                    summaries.push(profile.summary);
+                    classifications.push(cats[i]);
+                }
+            }
+        }
+
+        // 2. Category summaries and shrinkage.
+        let refs: Vec<(CategoryId, &ContentSummary)> =
+            classifications.iter().copied().zip(summaries.iter()).collect();
+        let categories = CategorySummaries::build(&hierarchy, &refs, CategoryWeighting::BySize);
+        let shrink_config =
+            ShrinkageConfig { uniform_p: 1.0 / dict_size.max(1) as f64, ..Default::default() };
+        let shrunk: Vec<ShrunkSummary> = summaries
+            .iter()
+            .zip(&classifications)
+            .map(|(s, &c)| {
+                let comps = categories.components_for(&hierarchy, c, s, true);
+                shrink(s, &comps, &shrink_config)
+            })
+            .collect();
+
+        // 3. The base algorithm (LM needs the Root summary as its global
+        //    model).
+        let algorithm: Box<dyn SelectionAlgorithm> = match algorithm {
+            Algorithm::BGloss => Box::new(BGloss),
+            Algorithm::Cori => Box::new(Cori::default()),
+            Algorithm::Lm => {
+                Box::new(Lm::new(0.5, &categories.category_summary(Hierarchy::ROOT)))
+            }
+        };
+
+        Metasearcher { databases, hierarchy, summaries, shrunk, classifications, algorithm, config, rng }
+    }
+
+    /// Rank the best databases for a query and return the top `k`.
+    pub fn select(&mut self, query: &[TermId], k: usize) -> Vec<Selection> {
+        let pairs: Vec<SummaryPair<'_>> = self
+            .summaries
+            .iter()
+            .zip(&self.shrunk)
+            .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
+            .collect();
+        let adaptive = AdaptiveConfig { mode: self.config.shrinkage, ..Default::default() };
+        let outcome =
+            adaptive_rank(self.algorithm.as_ref(), query, &pairs, &adaptive, &mut self.rng);
+        outcome
+            .ranking
+            .into_iter()
+            .take(k)
+            .map(|r| Selection {
+                index: r.index,
+                name: self.databases[r.index].name().to_string(),
+                score: r.score,
+            })
+            .collect()
+    }
+
+    /// Evaluate a query against the selected databases and merge the
+    /// results — the full metasearching loop of the paper's introduction:
+    /// select databases, forward the query, merge the result lists
+    /// (CORI-weighted normalization by default).
+    /// Returns `(database name, doc id)` pairs, best-merged first.
+    pub fn search(
+        &mut self,
+        query: &[TermId],
+        k_databases: usize,
+        results_per_db: usize,
+    ) -> Vec<(String, u32)> {
+        let selections = self.select(query, k_databases);
+        let inputs: Vec<(usize, f64, textindex::SearchOutcome)> = selections
+            .iter()
+            .map(|s| (s.index, s.score, self.databases[s.index].query_any(query, results_per_db)))
+            .collect();
+        selection::merge_results(
+            &inputs,
+            selection::MergeStrategy::CoriWeighted,
+            k_databases * results_per_db,
+        )
+        .into_iter()
+        .map(|m| (self.databases[m.database].name().to_string(), m.doc))
+        .collect()
+    }
+
+    /// The inferred (or given) category of database `index`.
+    pub fn classification(&self, index: usize) -> CategoryId {
+        self.classifications[index]
+    }
+
+    /// The hierarchy the metasearcher classifies into.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The approximate content summary of database `index`.
+    pub fn summary(&self, index: usize) -> &ContentSummary {
+        &self.summaries[index]
+    }
+
+    /// The shrunk content summary of database `index`.
+    pub fn shrunk_summary(&self, index: usize) -> &ShrunkSummary {
+        &self.shrunk[index]
+    }
+
+    /// Number of registered databases.
+    pub fn len(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// True when no databases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.databases.is_empty()
+    }
+}

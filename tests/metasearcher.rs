@@ -1,0 +1,100 @@
+//! Integration tests for the `Metasearcher` façade.
+
+use dbselect_repro::corpus::TestBedConfig;
+use dbselect_repro::sampling::{ProbeClassifier, SamplerKind};
+use dbselect_repro::selection::ShrinkageMode;
+use dbselect_repro::{Algorithm, Classification, Metasearcher, MetasearcherConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_meta(algorithm: Algorithm, shrinkage: ShrinkageMode) -> (corpus::TestBed, Metasearcher<textindex::IndexedDatabase>) {
+    let bed = TestBedConfig::tiny(77).build();
+    let databases: Vec<_> = bed.databases.iter().map(|d| d.db.clone()).collect();
+    let meta = Metasearcher::build(
+        bed.hierarchy.clone(),
+        databases,
+        &bed.seed_lexicon,
+        Classification::Directory(bed.true_categories()),
+        algorithm,
+        bed.dict.len(),
+        MetasearcherConfig { shrinkage, ..Default::default() },
+    );
+    (bed, meta)
+}
+
+#[test]
+fn select_returns_at_most_k() {
+    let (bed, mut meta) = build_meta(Algorithm::Cori, ShrinkageMode::Adaptive);
+    for query in &bed.queries {
+        let hits = meta.select(&query.terms, 4);
+        assert!(hits.len() <= 4);
+        // Scores are descending.
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+        for h in &hits {
+            assert!(h.index < meta.len());
+            assert!(h.name.starts_with("Tiny-db"));
+        }
+    }
+}
+
+#[test]
+fn search_merges_results_from_selected_databases() {
+    let (bed, mut meta) = build_meta(Algorithm::Cori, ShrinkageMode::Adaptive);
+    let results = meta.search(&bed.queries[0].terms, 3, 5);
+    assert!(results.len() <= 15);
+    for (name, _doc) in &results {
+        assert!(name.starts_with("Tiny-db"));
+    }
+}
+
+#[test]
+fn same_seed_same_selections() {
+    let (bed, mut a) = build_meta(Algorithm::BGloss, ShrinkageMode::Adaptive);
+    let (_, mut b) = build_meta(Algorithm::BGloss, ShrinkageMode::Adaptive);
+    for query in bed.queries.iter().take(3) {
+        assert_eq!(a.select(&query.terms, 5), b.select(&query.terms, 5));
+    }
+}
+
+#[test]
+fn automatic_classification_path_works() {
+    let mut bed = TestBedConfig::tiny(78).build();
+    let mut rng = StdRng::seed_from_u64(78);
+    let examples = bed.training_documents(5, &mut rng);
+    let classifier = ProbeClassifier::train(&bed.hierarchy, &examples, 6);
+    let databases: Vec<_> = bed.databases.iter().map(|d| d.db.clone()).collect();
+    let mut meta = Metasearcher::build(
+        bed.hierarchy.clone(),
+        databases,
+        &bed.seed_lexicon,
+        Classification::Automatic(classifier),
+        Algorithm::Lm,
+        bed.dict.len(),
+        MetasearcherConfig { sampler: SamplerKind::Fps, ..Default::default() },
+    );
+    // Classifications were derived automatically and are valid nodes.
+    for i in 0..meta.len() {
+        assert!(meta.classification(i) < bed.hierarchy.len());
+    }
+    let hits = meta.select(&bed.queries[0].terms, 3);
+    assert!(hits.len() <= 3);
+}
+
+#[test]
+fn summaries_are_accessible() {
+    let (_, meta) = build_meta(Algorithm::Cori, ShrinkageMode::Never);
+    assert!(!meta.is_empty());
+    for i in 0..meta.len() {
+        assert!(meta.summary(i).vocabulary_size() > 0);
+        let lambdas = meta.shrunk_summary(i).lambdas();
+        let sum: f64 = lambdas.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn universal_mode_scores_every_database() {
+    let (bed, mut meta) = build_meta(Algorithm::BGloss, ShrinkageMode::Always);
+    let hits = meta.select(&bed.queries[0].terms, bed.databases.len());
+    assert_eq!(hits.len(), bed.databases.len());
+}
