@@ -1,0 +1,174 @@
+//! Criterion micro-benchmarks for the broker serving layer: batched query
+//! routing through the [`SelectionEngine`] versus the per-query full-scan
+//! baseline, catalog construction versus loading a frozen catalog, and the
+//! effect of the memoized posterior cache on the adaptive uncertainty test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use bench::experiment::{profile_collection, AlgoKind, HarnessConfig, ProfiledCollection};
+use broker::{Catalog, CatalogEntry, SelectionEngine};
+use corpus::{TestBed, TestBedConfig};
+use sampling::scheduler::db_rng;
+use sampling::{profile_qbs, PipelineConfig, SamplerKind};
+use selection::{adaptive_rank, AdaptiveConfig, ShrinkageMode, SummaryPair};
+use store::catalog::StoredCatalog;
+use store::{CollectionStore, StoredDatabase};
+use textindex::TermId;
+
+fn fixture() -> (TestBed, ProfiledCollection) {
+    let mut bed = TestBedConfig::tiny(30).build();
+    let config = HarnessConfig::new(SamplerKind::Qbs, true, 30);
+    let profiled = profile_collection(&mut bed, &config);
+    (bed, profiled)
+}
+
+fn catalog_entries(bed: &TestBed, profiled: &ProfiledCollection) -> Vec<CatalogEntry> {
+    bed.databases
+        .iter()
+        .zip(profiled.summaries.iter().zip(&profiled.shrunk))
+        .map(|(tdb, (unshrunk, shrunk))| CatalogEntry {
+            name: tdb.name.clone(),
+            unshrunk: unshrunk.clone(),
+            shrunk: shrunk.clone(),
+        })
+        .collect()
+}
+
+fn bench_batch_route(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let catalog = profiled.catalog(
+        &bed.databases
+            .iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>(),
+    );
+    let queries: Vec<Vec<TermId>> = bed.queries.iter().map(|q| q.terms.clone()).collect();
+    let config = AdaptiveConfig {
+        mode: ShrinkageMode::Adaptive,
+        ..Default::default()
+    };
+    let pairs: Vec<SummaryPair<'_>> = profiled
+        .summaries
+        .iter()
+        .zip(&profiled.shrunk)
+        .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
+        .collect();
+
+    let mut group = c.benchmark_group("broker/batch_route");
+    group.bench_function("baseline_per_query_rescan", |b| {
+        let algo = AlgoKind::Cori.build(&profiled);
+        b.iter(|| {
+            queries
+                .iter()
+                .enumerate()
+                .map(|(qi, query)| {
+                    let mut rng = db_rng(77, qi);
+                    adaptive_rank(black_box(algo.as_ref()), query, &pairs, &config, &mut rng)
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    for threads in [1usize, 4] {
+        let algo = AlgoKind::Cori.build(&profiled);
+        let engine = SelectionEngine::new(&catalog, algo.as_ref(), config);
+        group.bench_with_input(BenchmarkId::new("engine", threads), &threads, |b, &t| {
+            b.iter(|| engine.route_batch(black_box(&queries), 77, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_catalog_build_vs_load(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let entries = catalog_entries(&bed, &profiled);
+
+    // A frozen catalog needs a real CollectionStore underneath.
+    let mut rng = StdRng::seed_from_u64(40);
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
+    let databases = bed
+        .databases
+        .iter()
+        .map(|tdb| {
+            let profile = profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng);
+            StoredDatabase {
+                name: tdb.name.clone(),
+                classification: tdb.category,
+                summary: profile.summary,
+                sample_docs: profile.sample.docs.into_iter().map(|d| d.tokens).collect(),
+            }
+        })
+        .collect();
+    let store = CollectionStore {
+        dict: bed.dict.clone(),
+        hierarchy: bed.hierarchy.clone(),
+        databases,
+    };
+    let frozen = StoredCatalog::freeze(
+        store,
+        dbselect_core::category_summary::CategoryWeighting::BySize,
+    );
+    let mut bytes = Vec::new();
+    frozen.write_to(&mut bytes).unwrap();
+
+    let mut group = c.benchmark_group("broker/catalog");
+    group.bench_function("build_postings_from_summaries", |b| {
+        b.iter(|| Catalog::build(black_box(entries.clone())))
+    });
+    group.bench_function("load_frozen_no_em", |b| {
+        b.iter(|| {
+            let frozen = StoredCatalog::read_from(&mut black_box(bytes.as_slice())).unwrap();
+            frozen.to_catalog()
+        })
+    });
+    group.finish();
+}
+
+fn bench_posterior_cache(c: &mut Criterion) {
+    let (bed, profiled) = fixture();
+    let catalog = profiled.catalog(
+        &bed.databases
+            .iter()
+            .map(|d| d.name.clone())
+            .collect::<Vec<_>>(),
+    );
+    let algo = AlgoKind::Cori.build(&profiled);
+    let config = AdaptiveConfig {
+        mode: ShrinkageMode::Adaptive,
+        ..Default::default()
+    };
+    let engine = SelectionEngine::new(&catalog, algo.as_ref(), config);
+    let query = &bed.queries[0].terms;
+
+    let mut group = c.benchmark_group("broker/posterior_cache");
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            let mut rng = db_rng(5, 0);
+            engine.route(black_box(query), &mut rng)
+        })
+    });
+    // Warm the cache once, then measure pure cache-hit routing.
+    let mut rng = db_rng(5, 0);
+    engine.route(query, &mut rng);
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut rng = db_rng(5, 0);
+            engine.route(black_box(query), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batch_route,
+    bench_catalog_build_vs_load,
+    bench_posterior_cache
+);
+criterion_main!(benches);

@@ -23,7 +23,13 @@ fn bench_queries(c: &mut Criterion) {
     let engine = SearchEngine::new(db.index());
     let mut group = c.benchmark_group("index/query");
     for n_terms in [1usize, 2, 4] {
-        let query: Vec<u32> = bed.queries[0].terms.iter().copied().cycle().take(n_terms).collect();
+        let query: Vec<u32> = bed.queries[0]
+            .terms
+            .iter()
+            .copied()
+            .cycle()
+            .take(n_terms)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n_terms), &query, |b, q| {
             b.iter(|| engine.search(black_box(q), 20))
         });
@@ -32,7 +38,13 @@ fn bench_queries(c: &mut Criterion) {
 }
 
 fn bench_stemming(c: &mut Criterion) {
-    let words = ["classification", "databases", "hypertension", "running", "selection"];
+    let words = [
+        "classification",
+        "databases",
+        "hypertension",
+        "running",
+        "selection",
+    ];
     c.bench_function("index/porter_stem_5_words", |b| {
         b.iter(|| {
             for w in &words {
@@ -46,7 +58,9 @@ fn bench_tokenize(c: &mut Criterion) {
     let text = "Database selection is an important step when searching over large \
                 numbers of distributed text databases; the selection task relies on \
                 statistical summaries of the database contents.";
-    c.bench_function("index/tokenize_paragraph", |b| b.iter(|| textindex::tokenize(black_box(text))));
+    c.bench_function("index/tokenize_paragraph", |b| {
+        b.iter(|| textindex::tokenize(black_box(text)))
+    });
 }
 
 fn bench_match_counts(c: &mut Criterion) {
@@ -54,10 +68,12 @@ fn bench_match_counts(c: &mut Criterion) {
     let db = &bed.databases[0].db;
     let engine = SearchEngine::new(db.index());
     let mut rng = StdRng::seed_from_u64(3);
-    let words: Vec<u32> = (0..64).map(|_| {
-        use rand::Rng;
-        bed.seed_lexicon[rng.gen_range(0..bed.seed_lexicon.len())]
-    }).collect();
+    let words: Vec<u32> = (0..64)
+        .map(|_| {
+            use rand::Rng;
+            bed.seed_lexicon[rng.gen_range(0..bed.seed_lexicon.len())]
+        })
+        .collect();
     c.bench_function("index/match_count_64_words", |b| {
         b.iter(|| {
             let mut total = 0usize;

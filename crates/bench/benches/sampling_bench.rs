@@ -16,7 +16,10 @@ use sampling::{
 fn bench_qbs(c: &mut Criterion) {
     let bed = TestBedConfig::tiny(5).build();
     let db = &bed.databases[0].db;
-    let config = QbsConfig { target_sample_size: 40, ..Default::default() };
+    let config = QbsConfig {
+        target_sample_size: 40,
+        ..Default::default()
+    };
     c.bench_function("sampling/qbs_40_docs", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(5);
@@ -50,12 +53,20 @@ fn bench_size_estimation(c: &mut Criterion) {
     let bed = TestBedConfig::tiny(8).build();
     let db = &bed.databases[0].db;
     let mut rng = StdRng::seed_from_u64(8);
-    let qbs = QbsConfig { target_sample_size: 40, ..Default::default() };
+    let qbs = QbsConfig {
+        target_sample_size: 40,
+        ..Default::default()
+    };
     let sample = qbs_sample(db, &bed.seed_lexicon, &qbs, &mut rng);
     c.bench_function("sampling/sample_resample", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(9);
-            sample_resample(black_box(db), &sample, &SizeEstimationConfig::default(), &mut rng)
+            sample_resample(
+                black_box(db),
+                &sample,
+                &SizeEstimationConfig::default(),
+                &mut rng,
+            )
         })
     });
 }
@@ -64,7 +75,11 @@ fn bench_frequency_estimation(c: &mut Criterion) {
     let bed = TestBedConfig::tiny(9).build();
     let db = &bed.databases[0].db;
     let mut rng = StdRng::seed_from_u64(10);
-    let qbs = QbsConfig { target_sample_size: 60, checkpoint_interval: 15, ..Default::default() };
+    let qbs = QbsConfig {
+        target_sample_size: 60,
+        checkpoint_interval: 15,
+        ..Default::default()
+    };
     let sample = qbs_sample(db, &bed.seed_lexicon, &qbs, &mut rng);
     c.bench_function("sampling/mandelbrot_regression", |b| {
         b.iter(|| FrequencyEstimator::from_checkpoints(black_box(&sample.checkpoints)))

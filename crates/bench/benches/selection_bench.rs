@@ -24,15 +24,20 @@ fn fixture() -> (corpus::TestBed, bench::experiment::ProfiledCollection) {
 
 fn bench_flat_ranking(c: &mut Criterion) {
     let (bed, profiled) = fixture();
-    let views: Vec<&dyn SummaryView> =
-        profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+    let views: Vec<&dyn SummaryView> = profiled
+        .summaries
+        .iter()
+        .map(|s| s as &dyn SummaryView)
+        .collect();
     let query = &bed.queries[0].terms;
     let mut group = c.benchmark_group("selection/flat_rank");
     for algo_kind in AlgoKind::all() {
         let algo = algo_kind.build(&profiled);
-        group.bench_with_input(BenchmarkId::from_parameter(algo_kind.name()), &algo, |b, a| {
-            b.iter(|| rank_databases(black_box(a.as_ref()), query, &views))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo_kind.name()),
+            &algo,
+            |b, a| b.iter(|| rank_databases(black_box(a.as_ref()), query, &views)),
+        );
     }
     group.finish();
 }
@@ -49,13 +54,20 @@ fn bench_adaptive_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("selection/adaptive_rank");
     for algo_kind in AlgoKind::all() {
         let algo = algo_kind.build(&profiled);
-        group.bench_with_input(BenchmarkId::from_parameter(algo_kind.name()), &algo, |b, a| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(31);
-                let config = AdaptiveConfig { mode: ShrinkageMode::Adaptive, ..Default::default() };
-                adaptive_rank(black_box(a.as_ref()), query, &pairs, &config, &mut rng)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo_kind.name()),
+            &algo,
+            |b, a| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(31);
+                    let config = AdaptiveConfig {
+                        mode: ShrinkageMode::Adaptive,
+                        ..Default::default()
+                    };
+                    adaptive_rank(black_box(a.as_ref()), query, &pairs, &config, &mut rng)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -77,8 +89,11 @@ fn bench_hierarchical(c: &mut Criterion) {
 
 fn bench_collection_context(c: &mut Criterion) {
     let (bed, profiled) = fixture();
-    let views: Vec<&dyn SummaryView> =
-        profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+    let views: Vec<&dyn SummaryView> = profiled
+        .summaries
+        .iter()
+        .map(|s| s as &dyn SummaryView)
+        .collect();
     let query = &bed.queries[0].terms;
     c.bench_function("selection/collection_context", |b| {
         b.iter(|| CollectionContext::build(black_box(query), &views))

@@ -22,7 +22,10 @@ struct Fixture {
 fn fixture() -> Fixture {
     let bed = TestBedConfig::tiny(20).build();
     let mut rng = StdRng::seed_from_u64(20);
-    let config = QbsConfig { target_sample_size: 60, ..Default::default() };
+    let config = QbsConfig {
+        target_sample_size: 60,
+        ..Default::default()
+    };
     let summaries: Vec<ContentSummary> = bed
         .databases
         .iter()
@@ -32,13 +35,21 @@ fn fixture() -> Fixture {
         })
         .collect();
     let classifications = bed.true_categories();
-    Fixture { bed, summaries, classifications }
+    Fixture {
+        bed,
+        summaries,
+        classifications,
+    }
 }
 
 fn bench_category_aggregation(c: &mut Criterion) {
     let f = fixture();
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = f
+        .classifications
+        .iter()
+        .copied()
+        .zip(f.summaries.iter())
+        .collect();
     let mut group = c.benchmark_group("shrinkage/aggregate_categories");
     for weighting in [CategoryWeighting::BySize, CategoryWeighting::Uniform] {
         group.bench_with_input(
@@ -52,11 +63,23 @@ fn bench_category_aggregation(c: &mut Criterion) {
 
 fn bench_em(c: &mut Criterion) {
     let f = fixture();
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = f
+        .classifications
+        .iter()
+        .copied()
+        .zip(f.summaries.iter())
+        .collect();
     let cats = CategorySummaries::build(&f.bed.hierarchy, &refs, CategoryWeighting::BySize);
-    let comps = cats.components_for(&f.bed.hierarchy, f.classifications[0], &f.summaries[0], true);
-    let config = ShrinkageConfig { uniform_p: 1.0 / f.bed.dict.len() as f64, ..Default::default() };
+    let comps = cats.components_for(
+        &f.bed.hierarchy,
+        f.classifications[0],
+        &f.summaries[0],
+        true,
+    );
+    let config = ShrinkageConfig {
+        uniform_p: 1.0 / f.bed.dict.len() as f64,
+        ..Default::default()
+    };
     c.bench_function("shrinkage/em_one_database", |b| {
         b.iter(|| shrink(black_box(&f.summaries[0]), &comps, &config))
     });
@@ -64,11 +87,23 @@ fn bench_em(c: &mut Criterion) {
 
 fn bench_shrunk_lookup(c: &mut Criterion) {
     let f = fixture();
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = f
+        .classifications
+        .iter()
+        .copied()
+        .zip(f.summaries.iter())
+        .collect();
     let cats = CategorySummaries::build(&f.bed.hierarchy, &refs, CategoryWeighting::BySize);
-    let comps = cats.components_for(&f.bed.hierarchy, f.classifications[0], &f.summaries[0], true);
-    let config = ShrinkageConfig { uniform_p: 1e-5, ..Default::default() };
+    let comps = cats.components_for(
+        &f.bed.hierarchy,
+        f.classifications[0],
+        &f.summaries[0],
+        true,
+    );
+    let config = ShrinkageConfig {
+        uniform_p: 1e-5,
+        ..Default::default()
+    };
     let shrunk = shrink(&f.summaries[0], &comps, &config);
     let probes: Vec<u32> = (0..256).collect();
     c.bench_function("shrinkage/lazy_p_df_256_lookups", |b| {
@@ -84,11 +119,20 @@ fn bench_shrunk_lookup(c: &mut Criterion) {
 
 fn bench_component_cache(c: &mut Criterion) {
     let f = fixture();
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        f.classifications.iter().copied().zip(f.summaries.iter()).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = f
+        .classifications
+        .iter()
+        .copied()
+        .zip(f.summaries.iter())
+        .collect();
     let cats = CategorySummaries::build(&f.bed.hierarchy, &refs, CategoryWeighting::BySize);
     // Warm the cache once, then measure the amortized per-database cost.
-    let _ = cats.components_for(&f.bed.hierarchy, f.classifications[0], &f.summaries[0], true);
+    let _ = cats.components_for(
+        &f.bed.hierarchy,
+        f.classifications[0],
+        &f.summaries[0],
+        true,
+    );
     c.bench_function("shrinkage/components_cached", |b| {
         b.iter(|| {
             cats.components_for(

@@ -13,7 +13,10 @@ use store::{CollectionStore, StoredDatabase};
 fn build_fixture() -> CollectionStore {
     let bed = TestBedConfig::tiny(40).build();
     let mut rng = StdRng::seed_from_u64(40);
-    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
     let databases = bed
         .databases
         .iter()
@@ -27,7 +30,11 @@ fn build_fixture() -> CollectionStore {
             }
         })
         .collect();
-    CollectionStore { dict: bed.dict.clone(), hierarchy: bed.hierarchy.clone(), databases }
+    CollectionStore {
+        dict: bed.dict.clone(),
+        hierarchy: bed.hierarchy.clone(),
+        databases,
+    }
 }
 
 fn bench_write(c: &mut Criterion) {
@@ -53,7 +60,11 @@ fn bench_read(c: &mut Criterion) {
 fn bench_reshrink(c: &mut Criterion) {
     let store = build_fixture();
     c.bench_function("store/shrink_all_on_load", |b| {
-        b.iter(|| store.shrink_all(black_box(dbselect_core::category_summary::CategoryWeighting::BySize)))
+        b.iter(|| {
+            store.shrink_all(black_box(
+                dbselect_core::category_summary::CategoryWeighting::BySize,
+            ))
+        })
     });
 }
 

@@ -11,7 +11,10 @@ use rand::SeedableRng;
 use selection::CollectionContext;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     for set in ["trec4", "trec6"] {
         let config = match set {
             "trec4" => TestBedConfig::trec4_like(),
@@ -20,27 +23,38 @@ fn main() {
         let mut bed = config.scaled_down(scale).build();
         let hc = HarnessConfig::new(sampling::SamplerKind::Qbs, true, 1);
         let profiled = profile_collection(&mut bed, &hc);
-        let views: Vec<&dyn SummaryView> =
-            profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+        let views: Vec<&dyn SummaryView> = profiled
+            .summaries
+            .iter()
+            .map(|s| s as &dyn SummaryView)
+            .collect();
         for algo_kind in AlgoKind::all() {
             let algo = algo_kind.build(&profiled);
             let mut rng = StdRng::seed_from_u64(9);
             let mut raw_cvs = vec![];
-            let mut pw_sqrt = vec![];   // CV*sqrt(n)  (sum-form normalization)
-            let mut pw_geo = vec![];    // geometric per-word CV (product-form)
+            let mut pw_sqrt = vec![]; // CV*sqrt(n)  (sum-form normalization)
+            let mut pw_geo = vec![]; // geometric per-word CV (product-form)
             for q in bed.queries.iter().take(15) {
                 let n = q.terms.len();
                 let ctx = CollectionContext::build(&q.terms, &views);
                 for s in profiled.summaries.iter().take(25) {
                     let default = algo.default_score(&q.terms, s, &ctx);
                     let gamma = s.gamma().unwrap_or(-2.0);
-                    let posteriors: Vec<WordPosterior> = q.terms.iter().map(|&w| {
-                        let sdf = s.word(w).map_or(0, |st| st.sample_df);
-                        WordPosterior::new(sdf, s.sample_size(), s.db_size(), gamma, 160)
-                    }).collect();
-                    let dist = score_distribution(&posteriors, s.db_size(),
+                    let posteriors: Vec<WordPosterior> = q
+                        .terms
+                        .iter()
+                        .map(|&w| {
+                            let sdf = s.word(w).map_or(0, |st| st.sample_df);
+                            WordPosterior::new(sdf, s.sample_size(), s.db_size(), gamma, 160)
+                        })
+                        .collect();
+                    let dist = score_distribution(
+                        &posteriors,
+                        s.db_size(),
                         |p| algo.score_with_df_fractions(&q.terms, p, s, &ctx) - default,
-                        &mut rng, &UncertaintyConfig::default());
+                        &mut rng,
+                        &UncertaintyConfig::default(),
+                    );
                     if dist.mean > 0.0 {
                         let cv = dist.std_dev / dist.mean;
                         raw_cvs.push(cv);

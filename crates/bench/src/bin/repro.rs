@@ -103,7 +103,9 @@ impl Options {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let mut value = |name: &str| {
-                it.next().unwrap_or_else(|| panic!("missing value for {name}")).clone()
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {name}"))
+                    .clone()
             };
             match arg.as_str() {
                 "--scale" => opts.scale = value("--scale").parse().expect("integer scale"),
@@ -177,8 +179,7 @@ fn collection_quality(
     };
     let n = bed.databases.len() as f64;
     for (i, tdb) in bed.databases.iter().enumerate() {
-        let perfect =
-            EvaluatedSummary::from_content_summary(&ContentSummary::perfect(&tdb.db));
+        let perfect = EvaluatedSummary::from_content_summary(&ContentSummary::perfect(&tdb.db));
         let approx = if shrunk {
             EvaluatedSummary::from_shrunk_summary(&profiled.shrunk[i])
         } else {
@@ -205,14 +206,17 @@ fn summary_quality_tables(opts: &Options) {
         for sampler in [SamplerKind::Qbs, SamplerKind::Fps] {
             // Paper: 5 QBS samples averaged; FPS is deterministic given the
             // classifier, so one run suffices.
-            let runs = if sampler == SamplerKind::Qbs { opts.runs } else { 1 };
+            let runs = if sampler == SamplerKind::Qbs {
+                opts.runs
+            } else {
+                1
+            };
             for freq in [false, true] {
                 let mut sum_s: Option<SummaryQuality> = None;
                 let mut sum_u: Option<SummaryQuality> = None;
                 for run in 0..runs {
                     let mut bed = opts.bed_config(set).build();
-                    let config =
-                        HarnessConfig::new(sampler, freq, opts.seed + run as u64 * 101);
+                    let config = HarnessConfig::new(sampler, freq, opts.seed + run as u64 * 101);
                     let profiled = profile_collection(&mut bed, &config);
                     let qs = collection_quality(&bed, &profiled, true);
                     let qu = collection_quality(&bed, &profiled, false);
@@ -221,8 +225,11 @@ fn summary_quality_tables(opts: &Options) {
                 }
                 let qs = div_quality(sum_s.unwrap(), runs as f64);
                 let qu = div_quality(sum_u.unwrap(), runs as f64);
-                let sampler_name =
-                    if sampler == SamplerKind::Qbs { "QBS" } else { "FPS" };
+                let sampler_name = if sampler == SamplerKind::Qbs {
+                    "QBS"
+                } else {
+                    "FPS"
+                };
                 results.push((set.to_string(), sampler_name.to_string(), freq, qs, qu));
                 eprintln!("[summary-quality] {set} {sampler_name} freq={freq} done");
             }
@@ -234,8 +241,12 @@ fn summary_quality_tables(opts: &Options) {
         ("Table 4: Weighted recall wr", |q| q.weighted_recall),
         ("Table 5: Unweighted recall ur", |q| q.unweighted_recall),
         ("Table 6: Weighted precision wp", |q| q.weighted_precision),
-        ("Table 7: Unweighted precision up", |q| q.unweighted_precision),
-        ("Table 8: Spearman Correlation Coefficient SRCC", |q| q.spearman),
+        ("Table 7: Unweighted precision up", |q| {
+            q.unweighted_precision
+        }),
+        ("Table 8: Spearman Correlation Coefficient SRCC", |q| {
+            q.spearman
+        }),
         ("Table 9: KL-divergence", |q| q.kl_divergence),
     ];
     for (title, extract) in tables {
@@ -253,7 +264,13 @@ fn summary_quality_tables(opts: &Options) {
             .collect();
         print_table(
             title,
-            &["Data Set", "Sampling", "Freq.Est.", "Shrinkage=Yes", "Shrinkage=No"],
+            &[
+                "Data Set",
+                "Sampling",
+                "Freq.Est.",
+                "Shrinkage=Yes",
+                "Shrinkage=No",
+            ],
             &rows,
         );
     }
@@ -296,7 +313,11 @@ fn selection_figures(opts: &Options) {
             let mut bed = opts.bed_config(set).build();
             let config = HarnessConfig::new(sampler, true, opts.seed);
             let profiled = profile_collection(&mut bed, &config);
-            let sampler_name = if sampler == SamplerKind::Qbs { "QBS" } else { "FPS" };
+            let sampler_name = if sampler == SamplerKind::Qbs {
+                "QBS"
+            } else {
+                "FPS"
+            };
             for algo in &algos {
                 println!(
                     "\nFigure: Rk for {} over the {} data set ({sampler_name} summaries)",
@@ -306,11 +327,8 @@ fn selection_figures(opts: &Options) {
                 println!("{}", "-".repeat(60));
                 let mut per_strategy: HashMap<&str, Vec<Vec<f64>>> = HashMap::new();
                 let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
-                for strategy in
-                    [Strategy::Shrinkage, Strategy::Hierarchical, Strategy::Plain]
-                {
-                    let run =
-                        run_selection(&bed, &profiled, *algo, strategy, &ks, opts.seed + 7);
+                for strategy in [Strategy::Shrinkage, Strategy::Hierarchical, Strategy::Plain] {
+                    let run = run_selection(&bed, &profiled, *algo, strategy, &ks, opts.seed + 7);
                     print_series(
                         &format!("{sampler_name} - {}", strategy.name()),
                         &ks,
@@ -364,7 +382,9 @@ fn write_figure_csv(
             return;
         }
     };
-    let header: Vec<&str> = std::iter::once("k").chain(series.iter().map(|(n, _)| *n)).collect();
+    let header: Vec<&str> = std::iter::once("k")
+        .chain(series.iter().map(|(n, _)| *n))
+        .collect();
     let _ = writeln!(out, "{}", header.join(","));
     for (i, k) in ks.iter().enumerate() {
         let mut row = vec![k.to_string()];
@@ -397,7 +417,11 @@ fn table2(opts: &Options) {
         let tdb = &bed.databases[i];
         let lambdas = profiled.shrunk[i].lambdas();
         let path = bed.hierarchy.path_from_root(tdb.category);
-        rows.push(vec![tdb.name.clone(), "Uniform".to_string(), f3(lambdas[0])]);
+        rows.push(vec![
+            tdb.name.clone(),
+            "Uniform".to_string(),
+            f3(lambdas[0]),
+        ]);
         for (level, &cat) in path.iter().enumerate() {
             rows.push(vec![
                 String::new(),
@@ -411,7 +435,11 @@ fn table2(opts: &Options) {
             f3(lambdas[lambdas.len() - 1]),
         ]);
     }
-    print_table("Table 2: category mixture weights λ for two databases", &["Database", "Category", "λ"], &rows);
+    print_table(
+        "Table 2: category mixture weights λ for two databases",
+        &["Database", "Category", "λ"],
+        &rows,
+    );
 }
 
 /// Table 10: percentage of (query, database) pairs with shrinkage applied.
@@ -423,7 +451,11 @@ fn table10(opts: &Options) {
             let mut bed = opts.bed_config(set).build();
             let config = HarnessConfig::new(sampler, true, opts.seed);
             let profiled = profile_collection(&mut bed, &config);
-            let sampler_name = if sampler == SamplerKind::Qbs { "QBS" } else { "FPS" };
+            let sampler_name = if sampler == SamplerKind::Qbs {
+                "QBS"
+            } else {
+                "FPS"
+            };
             for algo in AlgoKind::all() {
                 let run = run_selection(
                     &bed,
@@ -461,10 +493,22 @@ fn ablation_universal(opts: &Options) {
         let config = HarnessConfig::new(SamplerKind::Qbs, true, opts.seed);
         let profiled = profile_collection(&mut bed, &config);
         for algo in AlgoKind::all() {
-            let adaptive =
-                run_selection(&bed, &profiled, algo, Strategy::Shrinkage, &ks, opts.seed + 3);
-            let universal =
-                run_selection(&bed, &profiled, algo, Strategy::Universal, &ks, opts.seed + 3);
+            let adaptive = run_selection(
+                &bed,
+                &profiled,
+                algo,
+                Strategy::Shrinkage,
+                &ks,
+                opts.seed + 3,
+            );
+            let universal = run_selection(
+                &bed,
+                &profiled,
+                algo,
+                Strategy::Universal,
+                &ks,
+                opts.seed + 3,
+            );
             rows.push(vec![
                 set.to_string(),
                 algo.name().to_string(),
@@ -477,7 +521,14 @@ fn ablation_universal(opts: &Options) {
     }
     print_table(
         "Ablation: adaptive vs universal shrinkage (QBS summaries)",
-        &["Data Set", "Algorithm", "R5 adaptive", "R5 universal", "R10 adaptive", "R10 universal"],
+        &[
+            "Data Set",
+            "Algorithm",
+            "R5 adaptive",
+            "R5 universal",
+            "R10 adaptive",
+            "R10 universal",
+        ],
         &rows,
     );
 }
@@ -508,12 +559,30 @@ fn redde_extension(opts: &Options) {
         }
         let redde_means: Vec<f64> = redde_rk
             .iter()
-            .map(|v| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 })
+            .map(|v| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            })
             .collect();
-        let cori_shr =
-            run_selection(&bed, &profiled, AlgoKind::Cori, Strategy::Shrinkage, &ks, opts.seed);
-        let bg_shr =
-            run_selection(&bed, &profiled, AlgoKind::BGloss, Strategy::Shrinkage, &ks, opts.seed);
+        let cori_shr = run_selection(
+            &bed,
+            &profiled,
+            AlgoKind::Cori,
+            Strategy::Shrinkage,
+            &ks,
+            opts.seed,
+        );
+        let bg_shr = run_selection(
+            &bed,
+            &profiled,
+            AlgoKind::BGloss,
+            Strategy::Shrinkage,
+            &ks,
+            opts.seed,
+        );
         for (ki, &k) in ks.iter().enumerate() {
             rows.push(vec![
                 set.to_string(),
@@ -526,7 +595,13 @@ fn redde_extension(opts: &Options) {
     }
     print_table(
         "Extension (footnote 9): ReDDE vs shrinkage-based selection (QBS samples)",
-        &["Data Set", "k", "ReDDE", "CORI-Shrinkage", "bGlOSS-Shrinkage"],
+        &[
+            "Data Set",
+            "k",
+            "ReDDE",
+            "CORI-Shrinkage",
+            "bGlOSS-Shrinkage",
+        ],
         &rows,
     );
 }
@@ -544,9 +619,11 @@ fn size_effect(opts: &Options) {
     let mut gains: Vec<Vec<(f64, f64)>> = vec![Vec::new(); labels.len()]; // (Δwr, Δur)
     for (i, tdb) in bed.databases.iter().enumerate() {
         let size = tdb.db.num_docs();
-        let bucket = bounds.windows(2).position(|w| size >= w[0] && size < w[1]).unwrap();
-        let perfect =
-            EvaluatedSummary::from_content_summary(&ContentSummary::perfect(&tdb.db));
+        let bucket = bounds
+            .windows(2)
+            .position(|w| size >= w[0] && size < w[1])
+            .unwrap();
+        let perfect = EvaluatedSummary::from_content_summary(&ContentSummary::perfect(&tdb.db));
         let unshrunk = EvaluatedSummary::from_content_summary(&profiled.summaries[i]);
         let shrunk = EvaluatedSummary::from_shrunk_summary(&profiled.shrunk[i]);
         let qu = summary_quality(&unshrunk, &perfect);
@@ -562,7 +639,11 @@ fn size_effect(opts: &Options) {
         .map(|(label, bucket)| {
             let n = bucket.len();
             let mean = |f: fn(&(f64, f64)) -> f64| {
-                if n == 0 { 0.0 } else { bucket.iter().map(f).sum::<f64>() / n as f64 }
+                if n == 0 {
+                    0.0
+                } else {
+                    bucket.iter().map(f).sum::<f64>() / n as f64
+                }
             };
             vec![
                 label.to_string(),
@@ -585,12 +666,9 @@ fn size_effect(opts: &Options) {
 /// closes the loop on the metasearching pipeline the paper's introduction
 /// defines (steps 1-3).
 fn merging_comparison(opts: &Options) {
+    use broker::SelectionEngine;
     use eval::merged::{average_precision, precision_at_k};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use selection::{
-        adaptive_rank, merge_results, AdaptiveConfig, MergeStrategy, SummaryPair,
-    };
+    use selection::{merge_results, AdaptiveConfig, MergeStrategy};
     use textindex::RemoteDatabase;
 
     let sets = opts.sets_or(&["trec6"]);
@@ -602,28 +680,34 @@ fn merging_comparison(opts: &Options) {
         let config = HarnessConfig::new(SamplerKind::Qbs, true, opts.seed);
         let profiled = profile_collection(&mut bed, &config);
         let algorithm = AlgoKind::Cori.build(&profiled);
-        let pairs: Vec<SummaryPair<'_>> = profiled
-            .summaries
-            .iter()
-            .zip(&profiled.shrunk)
-            .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
-            .collect();
-        let mut rng = StdRng::seed_from_u64(opts.seed + 99);
-        for strategy in
-            [MergeStrategy::RoundRobin, MergeStrategy::RawScore, MergeStrategy::CoriWeighted]
-        {
+        // One adaptive selection pass per query, shared by the three merge
+        // strategies: the comparison isolates merging, and the broker
+        // engine evaluates the whole batch in parallel.
+        let names: Vec<String> = bed.databases.iter().map(|d| d.name.clone()).collect();
+        let catalog = profiled.catalog(&names);
+        let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), AdaptiveConfig::default());
+        let queries: Vec<Vec<u32>> = bed.queries.iter().map(|q| q.terms.clone()).collect();
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let outcomes = engine.route_batch(&queries, opts.seed + 99, threads);
+        for strategy in [
+            MergeStrategy::RoundRobin,
+            MergeStrategy::RawScore,
+            MergeStrategy::CoriWeighted,
+        ] {
             let mut p10 = Vec::new();
             let mut ap = Vec::new();
             for (qi, query) in bed.queries.iter().enumerate() {
-                let adaptive = AdaptiveConfig::default();
-                let outcome =
-                    adaptive_rank(algorithm.as_ref(), &query.terms, &pairs, &adaptive, &mut rng);
+                let outcome = &outcomes[qi];
                 let inputs: Vec<(usize, f64, textindex::SearchOutcome)> = outcome
                     .ranking
                     .iter()
                     .take(k_dbs)
                     .map(|r| {
-                        (r.index, r.score, bed.databases[r.index].db.query_any(&query.terms, per_db))
+                        (
+                            r.index,
+                            r.score,
+                            bed.databases[r.index].db.query_any(&query.terms, per_db),
+                        )
                     })
                     .collect();
                 let merged: Vec<(usize, u32)> = merge_results(&inputs, strategy, k_dbs * per_db)
@@ -634,7 +718,11 @@ fn merging_comparison(opts: &Options) {
                 if total == 0 {
                     continue;
                 }
-                p10.push(precision_at_k(&merged, |db, doc| bed.is_relevant(qi, db, doc), 10));
+                p10.push(precision_at_k(
+                    &merged,
+                    |db, doc| bed.is_relevant(qi, db, doc),
+                    10,
+                ));
                 if let Some(v) =
                     average_precision(&merged, |db, doc| bed.is_relevant(qi, db, doc), total)
                 {
@@ -642,7 +730,11 @@ fn merging_comparison(opts: &Options) {
                 }
             }
             let mean = |v: &[f64]| {
-                if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
             };
             rows.push(vec![
                 set.to_string(),
@@ -703,7 +795,14 @@ fn classifier_ablation(opts: &Options) {
     }
     print_table(
         "Ablation: FPS probe classifier (TREC4-like)",
-        &["Classifier", "Exact leaf", "On true path", "Mean |S|", "Shrunk wr", "Shrunk ur"],
+        &[
+            "Classifier",
+            "Exact leaf",
+            "On true path",
+            "Mean |S|",
+            "Shrunk wr",
+            "Shrunk ur",
+        ],
         &rows,
     );
 }
@@ -747,7 +846,12 @@ fn classification_report(opts: &Options) {
     }
     print_table(
         "FPS automatic classification accuracy vs ground truth",
-        &["Data Set", "Exact leaf", "On true path (≤ specific)", "Same top-level branch"],
+        &[
+            "Data Set",
+            "Exact leaf",
+            "On true path (≤ specific)",
+            "Same top-level branch",
+        ],
         &rows,
     );
 }
@@ -758,9 +862,7 @@ fn classification_report(opts: &Options) {
 fn fps_threshold_ablation(opts: &Options) {
     use sampling::FpsConfig;
     let mut rows = Vec::new();
-    for (coverage, specificity) in
-        [(5u32, 0.15f64), (10, 0.25), (20, 0.40), (u32::MAX, 1.0)]
-    {
+    for (coverage, specificity) in [(5u32, 0.15f64), (10, 0.25), (20, 0.40), (u32::MAX, 1.0)] {
         let mut bed = opts.bed_config("trec4").build();
         let mut config = HarnessConfig::new(SamplerKind::Fps, true, opts.seed);
         config.fps = FpsConfig {
@@ -790,8 +892,11 @@ fn fps_threshold_ablation(opts: &Options) {
             .sum::<f64>()
             / truth.len() as f64;
         let q = collection_quality(&bed, &profiled, true);
-        let coverage_label =
-            if coverage == u32::MAX { "∞ (stay at root)".to_string() } else { coverage.to_string() };
+        let coverage_label = if coverage == u32::MAX {
+            "∞ (stay at root)".to_string()
+        } else {
+            coverage.to_string()
+        };
         rows.push(vec![
             coverage_label,
             format!("{specificity:.2}"),
@@ -803,7 +908,14 @@ fn fps_threshold_ablation(opts: &Options) {
     }
     print_table(
         "Ablation: FPS descent thresholds (TREC4-like)",
-        &["τ_c (coverage)", "τ_s (specificity)", "Exact leaf", "Mean depth", "Mean |S|", "Shrunk wr"],
+        &[
+            "τ_c (coverage)",
+            "τ_s (specificity)",
+            "Exact leaf",
+            "Mean depth",
+            "Mean |S|",
+            "Shrunk wr",
+        ],
         &rows,
     );
 }

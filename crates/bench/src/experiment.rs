@@ -6,21 +6,22 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use broker::{Catalog, CatalogEntry, SelectionEngine};
 use corpus::TestBed;
-use textindex::Document;
 use dbselect_core::category_summary::{CategorySummaries, CategoryWeighting};
 use dbselect_core::hierarchy::{CategoryId, Hierarchy};
 use dbselect_core::shrinkage::{shrink, ShrinkageConfig, ShrunkSummary};
-use dbselect_core::summary::{ContentSummary, SummaryView};
+use dbselect_core::summary::ContentSummary;
 use eval::rk::rk_for_ranking;
 use sampling::{
     profile_fps, profile_qbs, FpsConfig, PipelineConfig, ProbeClassifier, ProbeSource,
     RuleClassifier, RuleLearnerConfig, SamplerKind,
 };
 use selection::{
-    adaptive_rank, AdaptiveConfig, BGloss, Cori, HierarchicalSelector, Lm, RankedDatabase,
-    SelectionAlgorithm, ShrinkageMode, SummaryPair,
+    AdaptiveConfig, BGloss, Cori, HierarchicalSelector, Lm, RankedDatabase, SelectionAlgorithm,
+    ShrinkageMode,
 };
+use textindex::{Document, TermId};
 
 /// Which classifier supplies Focused Probing's probe queries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -92,6 +93,24 @@ pub struct ProfiledCollection {
     pub uniform_p: f64,
 }
 
+impl ProfiledCollection {
+    /// Freeze into a broker [`Catalog`] (names supplied by the caller —
+    /// typically the test bed's database names).
+    pub fn catalog(&self, names: &[String]) -> Catalog {
+        assert_eq!(names.len(), self.summaries.len());
+        let entries = names
+            .iter()
+            .zip(self.summaries.iter().zip(&self.shrunk))
+            .map(|(name, (unshrunk, shrunk))| CatalogEntry {
+                name: name.clone(),
+                unshrunk: unshrunk.clone(),
+                shrunk: shrunk.clone(),
+            })
+            .collect::<Vec<_>>();
+        Catalog::build(entries)
+    }
+}
+
 /// Sample and summarize every database of `bed`, then shrink.
 pub fn profile_collection(bed: &mut TestBed, config: &HarnessConfig) -> ProfiledCollection {
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -147,14 +166,18 @@ pub fn profile_collection(bed: &mut TestBed, config: &HarnessConfig) -> Profiled
                 );
                 summaries.push(profile.summary);
                 samples.push(profile.sample.docs);
-                classifications
-                    .push(profile.classification.expect("FPS always classifies"));
+                classifications.push(profile.classification.expect("FPS always classifies"));
             }
         }
     }
 
-    let mut profiled =
-        shrink_collection(&bed.hierarchy, bed.dict.len(), summaries, classifications, config);
+    let mut profiled = shrink_collection(
+        &bed.hierarchy,
+        bed.dict.len(),
+        summaries,
+        classifications,
+        config,
+    );
     profiled.samples = samples;
     profiled
 }
@@ -167,11 +190,17 @@ pub fn shrink_collection(
     classifications: Vec<CategoryId>,
     config: &HarnessConfig,
 ) -> ProfiledCollection {
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        classifications.iter().copied().zip(summaries.iter()).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = classifications
+        .iter()
+        .copied()
+        .zip(summaries.iter())
+        .collect();
     let category_summaries = CategorySummaries::build(hierarchy, &refs, config.weighting);
     let uniform_p = 1.0 / vocabulary_size.max(1) as f64;
-    let shrink_config = ShrinkageConfig { uniform_p, ..Default::default() };
+    let shrink_config = ShrinkageConfig {
+        uniform_p,
+        ..Default::default()
+    };
     let shrunk: Vec<ShrunkSummary> = summaries
         .iter()
         .zip(&classifications)
@@ -219,7 +248,10 @@ impl AlgoKind {
     }
 
     /// Instantiate the scorer (LM needs the Root summary).
-    pub fn build(&self, profiled: &ProfiledCollection) -> Box<dyn SelectionAlgorithm> {
+    pub fn build(
+        &self,
+        profiled: &ProfiledCollection,
+    ) -> Box<dyn SelectionAlgorithm + Send + Sync> {
         match self {
             AlgoKind::BGloss => Box::new(BGloss),
             AlgoKind::Cori => Box::new(Cori::default()),
@@ -270,6 +302,12 @@ pub struct SelectionRun {
 }
 
 /// Run one (algorithm, strategy) condition over every query of the bed.
+///
+/// Non-hierarchical strategies route through the broker's
+/// [`SelectionEngine`]: the profiled collection is frozen into a
+/// [`Catalog`] and the whole query batch is evaluated in parallel. Query
+/// `i` draws from an RNG derived from `(seed, i)`, so the output is
+/// deterministic and independent of the worker-thread count.
 pub fn run_selection(
     bed: &TestBed,
     profiled: &ProfiledCollection,
@@ -279,56 +317,58 @@ pub fn run_selection(
     seed: u64,
 ) -> SelectionRun {
     let algorithm = algo_kind.build(profiled);
-    let mut rng = StdRng::seed_from_u64(seed);
     let k_max = ks.iter().copied().max().unwrap_or(1);
 
-    let hierarchical = match strategy {
-        Strategy::Hierarchical => Some(HierarchicalSelector::new(
-            &bed.hierarchy,
-            &profiled.summaries,
-            &profiled.classifications,
-            &profiled.category_summaries,
-        )),
-        _ => None,
-    };
-    let pairs: Vec<SummaryPair<'_>> = profiled
-        .summaries
-        .iter()
-        .zip(&profiled.shrunk)
-        .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
-        .collect();
-
-    let mut per_query_rk: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
     let mut shrinkage_applied = 0usize;
     let mut shrinkage_total = 0usize;
-    for (qi, query) in bed.queries.iter().enumerate() {
-        let ranking: Vec<RankedDatabase> = match strategy {
-            Strategy::Plain => {
-                let views: Vec<&dyn SummaryView> =
-                    profiled.summaries.iter().map(|s| s as &dyn SummaryView).collect();
-                selection::rank_databases(algorithm.as_ref(), &query.terms, &views)
-            }
-            Strategy::Hierarchical => hierarchical
-                .as_ref()
-                .expect("built above")
-                .rank(algorithm.as_ref(), &query.terms, k_max),
-            Strategy::Shrinkage | Strategy::Universal => {
-                let mode = if strategy == Strategy::Shrinkage {
-                    ShrinkageMode::Adaptive
-                } else {
-                    ShrinkageMode::Always
-                };
-                let config = AdaptiveConfig { mode, ..Default::default() };
-                let outcome =
-                    adaptive_rank(algorithm.as_ref(), &query.terms, &pairs, &config, &mut rng);
-                shrinkage_applied += outcome.used_shrinkage.iter().filter(|&&b| b).count();
-                shrinkage_total += outcome.used_shrinkage.len();
-                outcome.ranking
-            }
-        };
+    let rankings: Vec<Vec<RankedDatabase>> = match strategy {
+        Strategy::Hierarchical => {
+            let hierarchical = HierarchicalSelector::new(
+                &bed.hierarchy,
+                &profiled.summaries,
+                &profiled.classifications,
+                &profiled.category_summaries,
+            );
+            bed.queries
+                .iter()
+                .map(|query| hierarchical.rank(algorithm.as_ref(), &query.terms, k_max))
+                .collect()
+        }
+        Strategy::Plain | Strategy::Shrinkage | Strategy::Universal => {
+            let mode = match strategy {
+                Strategy::Plain => ShrinkageMode::Never,
+                Strategy::Shrinkage => ShrinkageMode::Adaptive,
+                Strategy::Universal => ShrinkageMode::Always,
+                Strategy::Hierarchical => unreachable!("handled above"),
+            };
+            let names: Vec<String> = bed.databases.iter().map(|d| d.name.clone()).collect();
+            let catalog = profiled.catalog(&names);
+            let config = AdaptiveConfig {
+                mode,
+                ..Default::default()
+            };
+            let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), config);
+            let queries: Vec<Vec<TermId>> = bed.queries.iter().map(|q| q.terms.clone()).collect();
+            let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+            let outcomes = engine.route_batch(&queries, seed, threads);
+            outcomes
+                .into_iter()
+                .map(|outcome| {
+                    if matches!(strategy, Strategy::Shrinkage | Strategy::Universal) {
+                        shrinkage_applied += outcome.used_shrinkage.iter().filter(|&&b| b).count();
+                        shrinkage_total += outcome.used_shrinkage.len();
+                    }
+                    outcome.ranking
+                })
+                .collect()
+        }
+    };
+
+    let mut per_query_rk: Vec<Vec<f64>> = vec![Vec::new(); ks.len()];
+    for (qi, ranking) in rankings.iter().enumerate() {
         let relevant = &bed.relevance[qi];
         for (ki, &k) in ks.iter().enumerate() {
-            if let Some(value) = rk_for_ranking(&ranking, relevant, k) {
+            if let Some(value) = rk_for_ranking(ranking, relevant, k) {
                 per_query_rk[ki].push(value);
             }
         }
@@ -336,14 +376,24 @@ pub fn run_selection(
 
     let mean_rk = per_query_rk
         .iter()
-        .map(|v| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 })
+        .map(|v| {
+            if v.is_empty() {
+                0.0
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        })
         .collect();
     let shrinkage_rate = if shrinkage_total > 0 {
         shrinkage_applied as f64 / shrinkage_total as f64
     } else {
         0.0
     };
-    SelectionRun { mean_rk, per_query_rk, shrinkage_rate }
+    SelectionRun {
+        mean_rk,
+        per_query_rk,
+        shrinkage_rate,
+    }
 }
 
 #[cfg(test)]
@@ -382,9 +432,12 @@ mod tests {
     fn selection_run_produces_rk_curves() {
         let (bed, profiled) = tiny_profiled(SamplerKind::Qbs);
         let ks = [1, 3, 5];
-        for strategy in
-            [Strategy::Plain, Strategy::Shrinkage, Strategy::Hierarchical, Strategy::Universal]
-        {
+        for strategy in [
+            Strategy::Plain,
+            Strategy::Shrinkage,
+            Strategy::Hierarchical,
+            Strategy::Universal,
+        ] {
             let run = run_selection(&bed, &profiled, AlgoKind::Cori, strategy, &ks, 1);
             assert_eq!(run.mean_rk.len(), 3);
             for &v in &run.mean_rk {
@@ -396,7 +449,14 @@ mod tests {
     #[test]
     fn universal_strategy_reports_full_shrinkage_rate() {
         let (bed, profiled) = tiny_profiled(SamplerKind::Qbs);
-        let run = run_selection(&bed, &profiled, AlgoKind::BGloss, Strategy::Universal, &[3], 1);
+        let run = run_selection(
+            &bed,
+            &profiled,
+            AlgoKind::BGloss,
+            Strategy::Universal,
+            &[3],
+            1,
+        );
         assert!((run.shrinkage_rate - 1.0).abs() < 1e-12);
     }
 
@@ -409,6 +469,10 @@ mod tests {
         let run = run_selection(&bed, &profiled, AlgoKind::Lm, Strategy::Universal, &[n], 2);
         // Universal shrinkage gives every database a positive score, so all
         // databases are ranked and R_n = 1 for every defined query.
-        assert!((run.mean_rk[0] - 1.0).abs() < 1e-9, "R_n = {}", run.mean_rk[0]);
+        assert!(
+            (run.mean_rk[0] - 1.0).abs() < 1e-9,
+            "R_n = {}",
+            run.mean_rk[0]
+        );
     }
 }

@@ -13,21 +13,37 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
             }
         }
     }
-    let header_line: Vec<String> =
-        headers.iter().zip(&widths).map(|(h, w)| format!("{h:<w$}")).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:<w$}"))
+        .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in rows {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
         println!("{}", line.join("  "));
     }
 }
 
 /// Print an `R_k` series (one figure line) as `k: value` pairs.
 pub fn print_series(label: &str, ks: &[usize], values: &[f64]) {
-    let cells: Vec<String> =
-        ks.iter().zip(values).map(|(k, v)| format!("R{k}={v:.3}")).collect();
+    let cells: Vec<String> = ks
+        .iter()
+        .zip(values)
+        .map(|(k, v)| format!("R{k}={v:.3}"))
+        .collect();
     println!("{label:<24} {}", cells.join("  "));
 }
 
@@ -48,7 +64,11 @@ mod tests {
 
     #[test]
     fn print_table_does_not_panic_on_ragged_rows() {
-        print_table("T", &["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+        print_table(
+            "T",
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! The frozen routing catalog.
+//!
+//! Profiling and shrinkage produce, per database, a sample-based summary
+//! `Ŝ(D)`, a shrunk summary `R̂(D)`, and a fitted power-law exponent γ.
+//! [`Catalog::build`] freezes those into an immutable, query-serving form
+//! and derives a **summary-level inverted index**: for every term, the
+//! posting list of databases whose unshrunk summary mentions it, with the
+//! `p̂(w|D)` estimate and the sample document frequency that the uncertainty
+//! machinery needs. Collection-level statistics that a per-query scan used
+//! to recompute — `m`, `mcw`, and the effective `cf(w)` counts of Section
+//! 5.3 — become catalog constants or single posting-list lookups.
+
+use std::collections::HashMap;
+
+use dbselect_core::shrinkage::ShrunkSummary;
+use dbselect_core::summary::{ContentSummary, SummaryView};
+use selection::CollectionContext;
+use textindex::TermId;
+
+/// One database's entry in a term's posting list.
+#[derive(Debug, Clone, Copy)]
+pub struct Posting {
+    /// Database index within the catalog.
+    pub db: u32,
+    /// The unshrunk summary's `p̂(w|D)` (document-frequency model).
+    pub p_df: f64,
+    /// Number of sample documents containing the word (drives the
+    /// word-posterior grid of Section 4).
+    pub sample_df: u32,
+    /// Whether the database "effectively" contains the word under the
+    /// Section-5.3 rounding rule `round(|D̂|·p̂(w|D)) ≥ 1`.
+    pub effective: bool,
+}
+
+/// A term's posting list plus the statistic read off it most often.
+#[derive(Debug, Clone, Default)]
+pub struct PostingList {
+    /// Postings in ascending database order.
+    pub entries: Vec<Posting>,
+    /// Number of `effective` entries — the unshrunk `cf(w)`.
+    pub effective_count: u32,
+}
+
+/// Everything [`Catalog::build`] needs per database.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Database name (for reports).
+    pub name: String,
+    /// The sample-based summary `Ŝ(D)`.
+    pub unshrunk: ContentSummary,
+    /// The shrinkage-based summary `R̂(D)`.
+    pub shrunk: ShrunkSummary,
+}
+
+/// A profiled collection frozen for serving.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    names: Vec<String>,
+    unshrunk: Vec<ContentSummary>,
+    shrunk: Vec<ShrunkSummary>,
+    /// γ per database (the Appendix-A fit, or the generic −2 fallback),
+    /// resolved once so the hot path never re-inspects the summary.
+    gammas: Vec<f64>,
+    /// Mean database word count over the whole collection. Constant across
+    /// queries *and* summary choices: a shrunk summary inherits its
+    /// database's word count, so `mcw` is invariant under the adaptive
+    /// per-database choice.
+    mcw: f64,
+    postings: HashMap<TermId, PostingList>,
+}
+
+impl Catalog {
+    /// Freeze a profiled collection.
+    pub fn build(entries: impl IntoIterator<Item = CatalogEntry>) -> Self {
+        let mut names = Vec::new();
+        let mut unshrunk = Vec::new();
+        let mut shrunk = Vec::new();
+        for e in entries {
+            names.push(e.name);
+            unshrunk.push(e.unshrunk);
+            shrunk.push(e.shrunk);
+        }
+        let gammas = unshrunk.iter().map(|s| s.gamma().unwrap_or(-2.0)).collect();
+        // Same summation order as `CollectionContext::build` over views in
+        // database order, so the constant is bit-identical to the scan.
+        let mcw = if unshrunk.is_empty() {
+            0.0
+        } else {
+            unshrunk.iter().map(|s| s.word_count()).sum::<f64>() / unshrunk.len() as f64
+        };
+        let mut postings: HashMap<TermId, PostingList> = HashMap::new();
+        for (db, summary) in unshrunk.iter().enumerate() {
+            // Iterating databases in order keeps every posting list sorted
+            // by database index without an explicit sort.
+            let mut terms: Vec<TermId> = summary.iter().map(|(t, _)| t).collect();
+            terms.sort_unstable();
+            for t in terms {
+                let stats = summary.word(t).expect("term just listed");
+                let effective = summary.effectively_contains(t);
+                let list = postings.entry(t).or_default();
+                list.entries.push(Posting {
+                    db: db as u32,
+                    p_df: summary.p_df(t),
+                    sample_df: stats.sample_df,
+                    effective,
+                });
+                list.effective_count += u32::from(effective);
+            }
+        }
+        Catalog {
+            names,
+            unshrunk,
+            shrunk,
+            gammas,
+            mcw,
+            postings,
+        }
+    }
+
+    /// Number of databases.
+    pub fn len(&self) -> usize {
+        self.unshrunk.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.unshrunk.is_empty()
+    }
+
+    /// Database names, in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The unshrunk summary `Ŝ(D)` of database `db`.
+    pub fn unshrunk(&self, db: usize) -> &ContentSummary {
+        &self.unshrunk[db]
+    }
+
+    /// The shrunk summary `R̂(D)` of database `db`.
+    pub fn shrunk(&self, db: usize) -> &ShrunkSummary {
+        &self.shrunk[db]
+    }
+
+    /// The resolved power-law exponent γ of database `db`.
+    pub fn gamma(&self, db: usize) -> f64 {
+        self.gammas[db]
+    }
+
+    /// Mean database word count (CORI's `mcw`), a catalog constant.
+    pub fn mcw(&self) -> f64 {
+        self.mcw
+    }
+
+    /// The posting list of `term`, if any database mentions it.
+    pub fn postings(&self, term: TermId) -> Option<&PostingList> {
+        self.postings.get(&term)
+    }
+
+    /// Number of distinct terms with a posting list.
+    pub fn indexed_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// The collection context a full scan would compute over every
+    /// *unshrunk* view — what the Section-4 uncertainty test scores against.
+    /// `cf` is read off posting-list effective counts; `m` and `mcw` are
+    /// catalog constants.
+    pub fn unshrunk_context(&self, query: &[TermId]) -> CollectionContext {
+        let cf = query
+            .iter()
+            .map(|w| self.postings.get(w).map_or(0, |l| l.effective_count))
+            .collect();
+        CollectionContext {
+            m: self.len(),
+            cf,
+            mcw: self.mcw,
+        }
+    }
+
+    /// The collection context over the per-database *chosen* views: for
+    /// databases keeping `Ŝ(D)` the effective flag comes from the posting
+    /// list; databases switched to `R̂(D)` are probed directly (a shrunk
+    /// summary may effectively contain words its sample never saw).
+    pub fn scoring_context(&self, query: &[TermId], used_shrinkage: &[bool]) -> CollectionContext {
+        debug_assert_eq!(used_shrinkage.len(), self.len());
+        let shrunk_dbs: Vec<usize> = (0..self.len()).filter(|&i| used_shrinkage[i]).collect();
+        let cf = query
+            .iter()
+            .map(|w| {
+                let mut count = 0u32;
+                if let Some(list) = self.postings.get(w) {
+                    if shrunk_dbs.is_empty() {
+                        count += list.effective_count;
+                    } else {
+                        count += list
+                            .entries
+                            .iter()
+                            .filter(|p| p.effective && !used_shrinkage[p.db as usize])
+                            .count() as u32;
+                    }
+                }
+                for &i in &shrunk_dbs {
+                    count += u32::from(self.shrunk[i].effectively_contains(*w));
+                }
+                count
+            })
+            .collect();
+        CollectionContext {
+            m: self.len(),
+            cf,
+            mcw: self.mcw,
+        }
+    }
+
+    /// Candidate mask: `true` for databases whose unshrunk summary mentions
+    /// at least one query word. A database outside the mask that scores with
+    /// its unshrunk summary provably lands exactly on its default score
+    /// (every query word has `p̂ = 0`) and would be dropped by the ranker, so
+    /// the engine skips scoring it. Databases scoring with shrunk summaries
+    /// are never skipped — shrinkage gives every word non-zero probability.
+    pub fn candidates(&self, query: &[TermId]) -> Vec<bool> {
+        let mut mask = vec![false; self.len()];
+        for w in query {
+            if let Some(list) = self.postings.get(w) {
+                for p in &list.entries {
+                    mask[p.db as usize] = true;
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{entry, sampled_summary};
+
+    fn catalog() -> Catalog {
+        // db 0: words 1, 2; db 1: word 1 only; db 2: empty sample.
+        Catalog::build(vec![
+            entry("a", sampled_summary(1000.0, 100, &[(1, 50), (2, 3)])),
+            entry("b", sampled_summary(500.0, 80, &[(1, 10)])),
+            entry("c", sampled_summary(200.0, 50, &[])),
+        ])
+    }
+
+    #[test]
+    fn postings_are_per_term_and_db_ordered() {
+        let c = catalog();
+        let list = c.postings(1).unwrap();
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].db, 0);
+        assert_eq!(list.entries[1].db, 1);
+        assert_eq!(list.effective_count, 2);
+        assert!(c.postings(99).is_none());
+        assert_eq!(c.indexed_terms(), 2);
+    }
+
+    #[test]
+    fn posting_statistics_match_the_summary() {
+        let c = catalog();
+        let p = &c.postings(2).unwrap().entries[0];
+        assert_eq!(p.sample_df, 3);
+        assert_eq!(p.p_df.to_bits(), c.unshrunk(0).p_df(2).to_bits());
+        assert_eq!(p.effective, c.unshrunk(0).effectively_contains(2));
+    }
+
+    #[test]
+    fn unshrunk_context_matches_full_scan() {
+        let c = catalog();
+        let query = [1u32, 2, 77];
+        let views: Vec<&dyn SummaryView> = (0..c.len())
+            .map(|i| c.unshrunk(i) as &dyn SummaryView)
+            .collect();
+        let scanned = CollectionContext::build(&query, &views);
+        let indexed = c.unshrunk_context(&query);
+        assert_eq!(indexed.m, scanned.m);
+        assert_eq!(indexed.cf, scanned.cf);
+        assert_eq!(indexed.mcw.to_bits(), scanned.mcw.to_bits());
+    }
+
+    #[test]
+    fn candidates_require_a_query_word() {
+        let c = catalog();
+        assert_eq!(c.candidates(&[1]), vec![true, true, false]);
+        assert_eq!(c.candidates(&[2]), vec![true, false, false]);
+        assert_eq!(c.candidates(&[]), vec![false, false, false]);
+        assert_eq!(c.candidates(&[99]), vec![false, false, false]);
+    }
+
+    #[test]
+    fn gamma_falls_back_to_generic_exponent() {
+        let mut s = sampled_summary(100.0, 10, &[(1, 5)]);
+        s.set_gamma(-1.7);
+        let c = Catalog::build(vec![
+            entry("fitted", s),
+            entry("unfitted", sampled_summary(100.0, 10, &[(1, 5)])),
+        ]);
+        assert_eq!(c.gamma(0), -1.7);
+        assert_eq!(c.gamma(1), -2.0);
+    }
+
+    #[test]
+    fn empty_catalog_is_consistent() {
+        let c = Catalog::build(Vec::new());
+        assert!(c.is_empty());
+        assert_eq!(c.mcw(), 0.0);
+        let ctx = c.unshrunk_context(&[1]);
+        assert_eq!(ctx.m, 0);
+        assert_eq!(ctx.cf, vec![0]);
+    }
+}

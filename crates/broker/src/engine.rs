@@ -1,0 +1,361 @@
+//! The batched selection engine.
+//!
+//! [`SelectionEngine`] serves queries against a frozen [`Catalog`] with any
+//! [`SelectionAlgorithm`] under any [`ShrinkageMode`], reproducing
+//! [`selection::adaptive_rank`] bit for bit while doing strictly less work
+//! per query:
+//!
+//! * collection statistics (`m`, `mcw`, `cf`) come from the catalog instead
+//!   of per-query scans over every summary map;
+//! * word-posterior grids — which depend only on `(sample_df, |S|, |D̂|, γ)`,
+//!   never on the query — are memoized per (database, term) and shared
+//!   across queries and threads;
+//! * databases whose unshrunk summary mentions no query word are skipped in
+//!   the scoring phase: their score provably equals the algorithm's default
+//!   score, which the ranker drops. (Databases routed to their shrunk
+//!   summary are always scored, and in `Adaptive` mode the uncertainty test
+//!   still runs for *every* database in order, so the Monte-Carlo RNG stream
+//!   is exactly the one the unbatched path consumes.)
+//!
+//! Batches fan out over queries with [`sampling::scheduler::fan_out`]; each
+//! query's RNG is derived from `(base_seed, query_index)` via
+//! [`sampling::scheduler::db_rng`], so results are invariant to the thread
+//! count.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dbselect_core::summary::SummaryView;
+use dbselect_core::uncertainty::WordPosterior;
+use rand::Rng;
+use sampling::scheduler::{db_rng, fan_out};
+use selection::{
+    rank_databases_with_context, score_is_uncertain_with_posteriors, AdaptiveConfig,
+    AdaptiveOutcome, IndexedView, SelectionAlgorithm, ShrinkageMode,
+};
+use textindex::TermId;
+
+use crate::catalog::Catalog;
+
+/// Lock-striping width of the posterior cache.
+const CACHE_SHARDS: usize = 16;
+
+/// One lock stripe of the posterior cache, keyed by (database, term).
+type CacheShard = Mutex<HashMap<(u32, TermId), Arc<WordPosterior>>>;
+
+/// Posterior-cache hit/miss counters (for diagnostics and benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Grid lookups served from the cache.
+    pub hits: u64,
+    /// Grid lookups that had to build a new posterior.
+    pub misses: u64,
+}
+
+/// A query-serving engine over a frozen catalog.
+pub struct SelectionEngine<'a> {
+    catalog: &'a Catalog,
+    algorithm: &'a (dyn SelectionAlgorithm + Sync),
+    config: AdaptiveConfig,
+    shards: Vec<CacheShard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a> SelectionEngine<'a> {
+    /// Build an engine for `algorithm` under `config` over `catalog`.
+    pub fn new(
+        catalog: &'a Catalog,
+        algorithm: &'a (dyn SelectionAlgorithm + Sync),
+        config: AdaptiveConfig,
+    ) -> Self {
+        SelectionEngine {
+            catalog,
+            algorithm,
+            config,
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The catalog this engine serves.
+    pub fn catalog(&self) -> &Catalog {
+        self.catalog
+    }
+
+    /// The engine's adaptive-selection configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Posterior-cache counters since construction (or the last
+    /// [`clear_cache`](Self::clear_cache)).
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop all memoized posteriors and reset the counters.
+    pub fn clear_cache(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("posterior cache poisoned").clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// The memoized word posterior of `(db, term)`. Grid construction is
+    /// deterministic, so a cached grid is bit-identical to a fresh one and
+    /// concurrent builders of the same key agree on the value.
+    fn posterior(&self, db: u32, term: TermId) -> Arc<WordPosterior> {
+        let key = (db, term);
+        let shard = &self.shards[(db as usize ^ term as usize) % CACHE_SHARDS];
+        if let Some(p) = shard.lock().expect("posterior cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(p);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let summary = self.catalog.unshrunk(db as usize);
+        let sample_df = summary.word(term).map_or(0, |s| s.sample_df);
+        let posterior = Arc::new(WordPosterior::new(
+            sample_df,
+            summary.sample_size(),
+            summary.db_size(),
+            self.catalog.gamma(db as usize),
+            self.config.uncertainty.grid_points,
+        ));
+        let mut guard = shard.lock().expect("posterior cache poisoned");
+        Arc::clone(guard.entry(key).or_insert(posterior))
+    }
+
+    /// Rank databases for one query. Bit-identical to
+    /// [`selection::adaptive_rank`] over the catalog's summary pairs with
+    /// the same `rng`.
+    pub fn route<R: Rng + ?Sized>(&self, query: &[TermId], rng: &mut R) -> AdaptiveOutcome {
+        let n = self.catalog.len();
+
+        // Content Summary Selection step.
+        let used_shrinkage: Vec<bool> = match self.config.mode {
+            ShrinkageMode::Always => vec![true; n],
+            ShrinkageMode::Never => vec![false; n],
+            ShrinkageMode::Adaptive if query.is_empty() => vec![false; n],
+            ShrinkageMode::Adaptive => {
+                let ctx = self.catalog.unshrunk_context(query);
+                // Every database is tested, in order, sharing `rng`: the
+                // Monte-Carlo draws must follow the exact stream of the
+                // unbatched path. The saving here is the posterior cache,
+                // not candidate pruning.
+                (0..n)
+                    .map(|db| {
+                        let posteriors: Vec<Arc<WordPosterior>> = query
+                            .iter()
+                            .map(|&w| self.posterior(db as u32, w))
+                            .collect();
+                        score_is_uncertain_with_posteriors(
+                            self.algorithm,
+                            query,
+                            self.catalog.unshrunk(db),
+                            &posteriors,
+                            &ctx,
+                            &self.config,
+                            rng,
+                        )
+                    })
+                    .collect()
+            }
+        };
+
+        // Scoring + Ranking steps over posting-list candidates.
+        let candidates = self.catalog.candidates(query);
+        let ctx = self.catalog.scoring_context(query, &used_shrinkage);
+        let items = (0..n).filter_map(|db| {
+            if used_shrinkage[db] {
+                Some(IndexedView {
+                    index: db,
+                    view: self.catalog.shrunk(db) as &dyn SummaryView,
+                })
+            } else if candidates[db] {
+                Some(IndexedView {
+                    index: db,
+                    view: self.catalog.unshrunk(db) as &dyn SummaryView,
+                })
+            } else {
+                None
+            }
+        });
+        let ranking = rank_databases_with_context(self.algorithm, query, items, &ctx);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
+    /// Route a batch of queries over `threads` worker threads. Query `i`
+    /// draws from `db_rng(base_seed, i)`, so the output is independent of
+    /// `threads` and of the order in which workers claim queries.
+    pub fn route_batch(
+        &self,
+        queries: &[Vec<TermId>],
+        base_seed: u64,
+        threads: usize,
+    ) -> Vec<AdaptiveOutcome> {
+        fan_out(queries.len(), threads, |qi| {
+            let mut rng = db_rng(base_seed, qi);
+            self.route(&queries[qi], &mut rng)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, CatalogEntry};
+    use crate::test_support::{entry, sampled_summary, shrunk_for};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use selection::{adaptive_rank, BGloss, Cori, SummaryPair};
+
+    /// A small mixed testbed: well-sampled small databases, poorly sampled
+    /// large ones, and a database with no query-word overlap at all.
+    fn entries() -> Vec<CatalogEntry> {
+        vec![
+            entry(
+                "small-dense",
+                sampled_summary(320.0, 300, &[(1, 150), (2, 140)]),
+            ),
+            entry(
+                "large-sparse",
+                sampled_summary(100_000.0, 300, &[(1, 3), (5, 1)]),
+            ),
+            entry("mid", sampled_summary(5_000.0, 200, &[(2, 80), (5, 40)])),
+            entry("unrelated", sampled_summary(2_000.0, 100, &[(9, 60)])),
+        ]
+    }
+
+    fn queries() -> Vec<Vec<TermId>> {
+        vec![vec![1, 2], vec![2, 5, 42], vec![9], vec![], vec![1, 1, 2]]
+    }
+
+    fn assert_same_outcome(a: &AdaptiveOutcome, b: &AdaptiveOutcome) {
+        assert_eq!(a.used_shrinkage, b.used_shrinkage);
+        assert_eq!(a.ranking.len(), b.ranking.len());
+        for (x, y) in a.ranking.iter().zip(&b.ranking) {
+            assert_eq!(x.index, y.index);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "db {}", x.index);
+        }
+    }
+
+    #[test]
+    fn engine_matches_adaptive_rank_bit_for_bit() {
+        let entries = entries();
+        let pairs: Vec<SummaryPair<'_>> = entries
+            .iter()
+            .map(|e| SummaryPair {
+                unshrunk: &e.unshrunk,
+                shrunk: &e.shrunk,
+            })
+            .collect();
+        let catalog = Catalog::build(entries.clone());
+        let algorithms: [&(dyn SelectionAlgorithm + Sync); 2] = [&BGloss, &Cori::default()];
+        for algorithm in algorithms {
+            for mode in [
+                ShrinkageMode::Adaptive,
+                ShrinkageMode::Always,
+                ShrinkageMode::Never,
+            ] {
+                let config = AdaptiveConfig {
+                    mode,
+                    ..Default::default()
+                };
+                let engine = SelectionEngine::new(&catalog, algorithm, config);
+                for (qi, query) in queries().iter().enumerate() {
+                    let reference =
+                        adaptive_rank(algorithm, query, &pairs, &config, &mut db_rng(7, qi));
+                    let routed = engine.route(query, &mut db_rng(7, qi));
+                    assert_same_outcome(&reference, &routed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_posteriors_do_not_change_decisions() {
+        let catalog = Catalog::build(entries());
+        let engine = SelectionEngine::new(&catalog, &BGloss, AdaptiveConfig::default());
+        let query = vec![1, 2, 42];
+        let cold = engine.route(&query, &mut StdRng::seed_from_u64(5));
+        let stats = engine.cache_stats();
+        assert!(stats.misses > 0);
+        let warm = engine.route(&query, &mut StdRng::seed_from_u64(5));
+        assert_same_outcome(&cold, &warm);
+        let after = engine.cache_stats();
+        assert_eq!(after.misses, stats.misses, "second pass is fully cached");
+        assert!(after.hits > stats.hits);
+        engine.clear_cache();
+        assert_eq!(engine.cache_stats(), CacheStats::default());
+        let refilled = engine.route(&query, &mut StdRng::seed_from_u64(5));
+        assert_same_outcome(&cold, &refilled);
+    }
+
+    #[test]
+    fn batch_results_match_sequential_routing() {
+        let catalog = Catalog::build(entries());
+        let engine = SelectionEngine::new(&catalog, &BGloss, AdaptiveConfig::default());
+        let queries = queries();
+        let batched = engine.route_batch(&queries, 99, 4);
+        assert_eq!(batched.len(), queries.len());
+        for (qi, (query, out)) in queries.iter().zip(&batched).enumerate() {
+            let solo = engine.route(query, &mut db_rng(99, qi));
+            assert_same_outcome(&solo, out);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Satellite invariant: the engine's batched output is independent
+        /// of the worker-thread count, including the Monte-Carlo draws of
+        /// the Adaptive uncertainty test.
+        #[test]
+        fn thread_count_never_changes_engine_output(
+            base_seed in 0u64..1_000_000,
+            db_sizes in proptest::collection::vec(100.0f64..50_000.0, 1..5),
+        ) {
+            let entries: Vec<CatalogEntry> = db_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &db_size)| {
+                    let words: Vec<(TermId, u32)> = (0..4)
+                        .map(|w| (w + 1, ((i as u32 + 1) * (w + 7)) % 90))
+                        .filter(|&(_, sdf)| sdf > 0)
+                        .collect();
+                    let unshrunk = sampled_summary(db_size, 100, &words);
+                    let shrunk = shrunk_for(&unshrunk, &[(1, 0.05), (3, 0.02)]);
+                    CatalogEntry { name: format!("db{i}"), unshrunk, shrunk }
+                })
+                .collect();
+            let catalog = Catalog::build(entries);
+            let engine = SelectionEngine::new(&catalog, &BGloss, AdaptiveConfig::default());
+            let queries: Vec<Vec<TermId>> =
+                vec![vec![1, 3], vec![2, 4, 9], vec![1], vec![4, 4, 2]];
+            let single = engine.route_batch(&queries, base_seed, 1);
+            let parallel = engine.route_batch(&queries, base_seed, 8);
+            prop_assert_eq!(single.len(), parallel.len());
+            for (a, b) in single.iter().zip(&parallel) {
+                prop_assert_eq!(&a.used_shrinkage, &b.used_shrinkage);
+                prop_assert_eq!(a.ranking.len(), b.ranking.len());
+                for (x, y) in a.ranking.iter().zip(&b.ranking) {
+                    prop_assert_eq!(x.index, y.index);
+                    prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! `broker` — the serving layer of the reproduction.
+//!
+//! Everything up to this crate is *profiling*: sampling databases,
+//! building content summaries, fitting γ, running the shrinkage EM. The
+//! broker freezes the result of profiling into an immutable [`Catalog`]
+//! — per-database summary pairs plus a summary-level inverted index — and
+//! serves query batches through a [`SelectionEngine`] that reproduces
+//! [`selection::adaptive_rank`] bit for bit at a fraction of the per-query
+//! cost (posting-list candidate generation, memoized word-posterior grids,
+//! catalog-constant collection statistics).
+//!
+//! The split mirrors the paper's deployment story: summaries are updated
+//! rarely (Section 6's testbeds are profiled once), while queries arrive
+//! continuously and must be routed cheaply.
+
+pub mod catalog;
+pub mod engine;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use catalog::{Catalog, CatalogEntry, Posting, PostingList};
+pub use engine::{CacheStats, SelectionEngine};

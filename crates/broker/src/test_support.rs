@@ -1,0 +1,51 @@
+//! Shared constructors for broker unit tests.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dbselect_core::category_summary::SummaryComponent;
+use dbselect_core::shrinkage::{shrink, ShrinkageConfig, ShrunkSummary};
+use dbselect_core::summary::{ContentSummary, WordStats};
+use textindex::TermId;
+
+use crate::catalog::CatalogEntry;
+
+/// A sample-based summary with explicit per-word sample document
+/// frequencies; `df` is the usual sample-scaled estimate.
+pub fn sampled_summary(db_size: f64, sample_size: u32, words: &[(TermId, u32)]) -> ContentSummary {
+    let words: HashMap<TermId, WordStats> = words
+        .iter()
+        .map(|&(t, sample_df)| {
+            let df = f64::from(sample_df) / f64::from(sample_size.max(1)) * db_size;
+            (
+                t,
+                WordStats {
+                    sample_df,
+                    df,
+                    tf: df * 2.0,
+                },
+            )
+        })
+        .collect();
+    ContentSummary::new(db_size, sample_size, words)
+}
+
+/// Shrink `summary` against a single synthetic category component.
+pub fn shrunk_for(summary: &ContentSummary, component: &[(TermId, f64)]) -> ShrunkSummary {
+    let comp = SummaryComponent {
+        p_df: component.iter().copied().collect(),
+        p_tf: component.iter().copied().collect(),
+    };
+    shrink(summary, &[Arc::new(comp)], &ShrinkageConfig::default())
+}
+
+/// A catalog entry whose shrunk summary mixes in a fixed category model
+/// covering words 1, 2 and 7.
+pub fn entry(name: &str, unshrunk: ContentSummary) -> CatalogEntry {
+    let shrunk = shrunk_for(&unshrunk, &[(1, 0.05), (2, 0.02), (7, 0.01)]);
+    CatalogEntry {
+        name: name.to_string(),
+        unshrunk,
+        shrunk,
+    }
+}

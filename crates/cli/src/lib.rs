@@ -16,14 +16,13 @@ use std::path::Path;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use broker::{Catalog, CatalogEntry, SelectionEngine};
 use dbselect_core::category_summary::CategoryWeighting;
 use dbselect_core::hierarchy::Hierarchy;
 use dbselect_core::summary::ContentSummary;
 use sampling::{profile_qbs_many, PipelineConfig, QbsConfig};
-use selection::{
-    adaptive_rank, AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode,
-    SummaryPair,
-};
+use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
+use store::catalog::StoredCatalog;
 use store::{CollectionStore, StoredDatabase};
 use textindex::{Analyzer, Document, IndexedDatabase, TermDict};
 
@@ -44,9 +43,7 @@ impl DbSpec {
     pub fn parse(arg: &str) -> Result<Self, String> {
         let mut parts = arg.splitn(3, '=');
         match (parts.next(), parts.next(), parts.next()) {
-            (Some(name), Some(category), Some(dir))
-                if !name.is_empty() && !dir.is_empty() =>
-            {
+            (Some(name), Some(category), Some(dir)) if !name.is_empty() && !dir.is_empty() => {
                 Ok(DbSpec {
                     name: name.to_string(),
                     category: category.to_string(),
@@ -75,7 +72,12 @@ pub struct IndexOptions {
 impl Default for IndexOptions {
     fn default() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        IndexOptions { sample_size: 300, full: false, seed: 42, threads }
+        IndexOptions {
+            sample_size: 300,
+            full: false,
+            seed: 42,
+            threads,
+        }
     }
 }
 
@@ -117,7 +119,11 @@ pub fn build_store(specs: &[DbSpec], options: &IndexOptions) -> io::Result<Colle
             ));
         }
         let category = hierarchy.ensure_path(&spec.category);
-        loaded.push((spec.name.clone(), category, IndexedDatabase::new(spec.name.clone(), docs)));
+        loaded.push((
+            spec.name.clone(),
+            category,
+            IndexedDatabase::new(spec.name.clone(), docs),
+        ));
     }
 
     // The QBS bootstrap lexicon: the most document-frequent words across
@@ -134,7 +140,10 @@ pub fn build_store(specs: &[DbSpec], options: &IndexOptions) -> io::Result<Colle
 
     let pipeline = PipelineConfig {
         frequency_estimation: true,
-        qbs: QbsConfig { target_sample_size: options.sample_size, ..Default::default() },
+        qbs: QbsConfig {
+            target_sample_size: options.sample_size,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let databases = if options.full {
@@ -149,8 +158,7 @@ pub fn build_store(specs: &[DbSpec], options: &IndexOptions) -> io::Result<Colle
             .collect()
     } else {
         let dbs: Vec<&IndexedDatabase> = loaded.iter().map(|(_, _, db)| db).collect();
-        let profiles =
-            profile_qbs_many(&dbs, &lexicon, &pipeline, options.seed, options.threads);
+        let profiles = profile_qbs_many(&dbs, &lexicon, &pipeline, options.seed, options.threads);
         loaded
             .iter()
             .zip(profiles)
@@ -162,7 +170,11 @@ pub fn build_store(specs: &[DbSpec], options: &IndexOptions) -> io::Result<Colle
             })
             .collect()
     };
-    Ok(CollectionStore { dict, hierarchy, databases })
+    Ok(CollectionStore {
+        dict,
+        hierarchy,
+        databases,
+    })
 }
 
 /// Which scoring algorithm `dbselect select` uses.
@@ -188,7 +200,9 @@ impl CliAlgorithm {
             "cori" => Ok(CliAlgorithm::Cori),
             "lm" => Ok(CliAlgorithm::Lm),
             "redde" => Ok(CliAlgorithm::Redde),
-            other => Err(format!("unknown algorithm `{other}` (bgloss|cori|lm|redde)")),
+            other => Err(format!(
+                "unknown algorithm `{other}` (bgloss|cori|lm|redde)"
+            )),
         }
     }
 }
@@ -199,7 +213,71 @@ pub fn parse_shrinkage(s: &str) -> Result<ShrinkageMode, String> {
         "adaptive" => Ok(ShrinkageMode::Adaptive),
         "always" => Ok(ShrinkageMode::Always),
         "never" => Ok(ShrinkageMode::Never),
-        other => Err(format!("unknown shrinkage mode `{other}` (adaptive|always|never)")),
+        other => Err(format!(
+            "unknown shrinkage mode `{other}` (adaptive|always|never)"
+        )),
+    }
+}
+
+/// Tokenize query words against the store's dictionary, deduplicating and
+/// collecting words the profiler never saw.
+fn analyze_query(
+    store: &CollectionStore,
+    analyzer: &Analyzer,
+    query_words: &[String],
+) -> (Vec<u32>, Vec<String>) {
+    let mut query = Vec::new();
+    let mut unknown = Vec::new();
+    for word in query_words {
+        match analyzer
+            .analyze_term(word)
+            .and_then(|t| store.dict.lookup(&t))
+        {
+            Some(id) if !query.contains(&id) => query.push(id),
+            Some(_) => {}
+            None => unknown.push(word.clone()),
+        }
+    }
+    (query, unknown)
+}
+
+/// Instantiate a summary-based scorer (everything but ReDDE).
+fn build_algorithm(
+    store: &CollectionStore,
+    algo: CliAlgorithm,
+) -> Box<dyn SelectionAlgorithm + Send + Sync> {
+    match algo {
+        CliAlgorithm::BGloss => Box::new(BGloss),
+        CliAlgorithm::Cori => Box::new(Cori::default()),
+        CliAlgorithm::Lm => Box::new(Lm::new(0.5, &store.root_summary(CategoryWeighting::BySize))),
+        CliAlgorithm::Redde => unreachable!("ReDDE is not summary-based"),
+    }
+}
+
+/// Render one routed ranking (top `k`) into `out`.
+fn render_ranking(
+    out: &mut String,
+    store: &CollectionStore,
+    outcome: &selection::AdaptiveOutcome,
+    k: usize,
+) {
+    for r in outcome.ranking.iter().take(k) {
+        let db = &store.databases[r.index];
+        let marker = if outcome.used_shrinkage[r.index] {
+            " [shrunk]"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12.6}  ({}){marker}",
+            db.name,
+            r.score,
+            store.hierarchy.full_name(db.classification),
+        );
+    }
+    if outcome.ranking.is_empty() {
+        let _ = writeln!(out, "  (no database has evidence for this query)");
     }
 }
 
@@ -214,18 +292,13 @@ pub fn select(
     seed: u64,
 ) -> String {
     let analyzer = Analyzer::english();
-    let mut query = Vec::new();
-    let mut unknown = Vec::new();
-    for word in query_words {
-        match analyzer.analyze_term(word).and_then(|t| store.dict.lookup(&t)) {
-            Some(id) if !query.contains(&id) => query.push(id),
-            Some(_) => {}
-            None => unknown.push(word.clone()),
-        }
-    }
+    let (query, unknown) = analyze_query(store, &analyzer, query_words);
     let mut out = String::new();
     if !unknown.is_empty() {
-        let _ = writeln!(out, "note: dropping words never seen while profiling: {unknown:?}");
+        let _ = writeln!(
+            out,
+            "note: dropping words never seen while profiling: {unknown:?}"
+        );
     }
     if query.is_empty() {
         let _ = writeln!(out, "no usable query words; nothing selected");
@@ -236,37 +309,121 @@ pub fn select(
         return select_redde(store, &query, k, out);
     }
 
+    // One-shot serving: freeze a catalog for this store and route through
+    // the broker engine (bit-identical to scoring every summary directly).
     let shrunk = store.shrink_all(CategoryWeighting::BySize);
-    let algorithm: Box<dyn SelectionAlgorithm> = match algo {
-        CliAlgorithm::BGloss => Box::new(BGloss),
-        CliAlgorithm::Cori => Box::new(Cori::default()),
-        CliAlgorithm::Lm => Box::new(Lm::new(0.5, &store.root_summary(CategoryWeighting::BySize))),
-        CliAlgorithm::Redde => unreachable!("handled above"),
-    };
-    let pairs: Vec<SummaryPair<'_>> = store
+    let entries: Vec<CatalogEntry> = store
         .databases
         .iter()
-        .zip(&shrunk)
-        .map(|(db, r)| SummaryPair { unshrunk: &db.summary, shrunk: r })
+        .zip(shrunk)
+        .map(|(db, shrunk)| CatalogEntry {
+            name: db.name.clone(),
+            unshrunk: db.summary.clone(),
+            shrunk,
+        })
         .collect();
+    let catalog = Catalog::build(entries);
+    let algorithm = build_algorithm(store, algo);
+    let config = AdaptiveConfig {
+        mode: shrinkage,
+        ..Default::default()
+    };
+    let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), config);
     let mut rng = StdRng::seed_from_u64(seed);
-    let config = AdaptiveConfig { mode: shrinkage, ..Default::default() };
-    let outcome = adaptive_rank(algorithm.as_ref(), &query, &pairs, &config, &mut rng);
+    let outcome = engine.route(&query, &mut rng);
 
-    let _ = writeln!(out, "top databases ({} scoring, {shrinkage:?} shrinkage):", algorithm.name());
-    for r in outcome.ranking.iter().take(k) {
-        let db = &store.databases[r.index];
-        let marker = if outcome.used_shrinkage[r.index] { " [shrunk]" } else { "" };
+    let _ = writeln!(
+        out,
+        "top databases ({} scoring, {shrinkage:?} shrinkage):",
+        algorithm.name()
+    );
+    render_ranking(&mut out, store, &outcome, k);
+    out
+}
+
+/// Options for `dbselect route`.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteOptions {
+    /// Scoring algorithm (ReDDE is not supported — a catalog stores
+    /// summaries, not samples).
+    pub algo: CliAlgorithm,
+    /// Shrinkage policy.
+    pub shrinkage: ShrinkageMode,
+    /// Databases reported per query.
+    pub k: usize,
+    /// Base seed; query `i` draws from an RNG derived from `(seed, i)`.
+    pub seed: u64,
+    /// Worker threads (results are thread-count independent).
+    pub threads: usize,
+}
+
+impl Default for RouteOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        RouteOptions {
+            algo: CliAlgorithm::default(),
+            shrinkage: ShrinkageMode::Adaptive,
+            k: 5,
+            seed: 42,
+            threads,
+        }
+    }
+}
+
+/// `dbselect route`: serve a batch of queries (one per line) against a
+/// frozen catalog. The shrunk summaries come from the catalog's recorded λ
+/// fit — no EM at serving time. Returns the rendered report.
+pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOptions) -> String {
+    let mut out = String::new();
+    if options.algo == CliAlgorithm::Redde {
         let _ = writeln!(
             out,
-            "  {:<20} {:>12.6}  ({}){marker}",
-            db.name,
-            r.score,
-            store.hierarchy.full_name(db.classification),
+            "ReDDE needs raw samples; use `dbselect select` on a store"
         );
+        return out;
     }
-    if outcome.ranking.is_empty() {
-        let _ = writeln!(out, "  (no database has evidence for this query)");
+    let store = &frozen.store;
+    let analyzer = Analyzer::english();
+    let catalog = frozen.to_catalog();
+    let algorithm = build_algorithm(store, options.algo);
+    let config = AdaptiveConfig {
+        mode: options.shrinkage,
+        ..Default::default()
+    };
+    let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), config);
+
+    // Tokenize every line up front so the batch can be routed in parallel.
+    let parsed: Vec<(String, Vec<u32>, Vec<String>)> = query_lines
+        .iter()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| {
+            let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            let (query, unknown) = analyze_query(store, &analyzer, &words);
+            (line.trim().to_string(), query, unknown)
+        })
+        .collect();
+    let queries: Vec<Vec<u32>> = parsed.iter().map(|(_, q, _)| q.clone()).collect();
+    let outcomes = engine.route_batch(&queries, options.seed, options.threads);
+
+    let _ = writeln!(
+        out,
+        "routing {} queries over {} databases ({} scoring, {:?} shrinkage, {} threads)",
+        parsed.len(),
+        catalog.len(),
+        algorithm.name(),
+        options.shrinkage,
+        options.threads,
+    );
+    for ((line, query, unknown), outcome) in parsed.iter().zip(&outcomes) {
+        let _ = writeln!(out, "\nquery: {line}");
+        if !unknown.is_empty() {
+            let _ = writeln!(out, "  note: unknown words dropped: {unknown:?}");
+        }
+        if query.is_empty() {
+            let _ = writeln!(out, "  (no usable query words)");
+            continue;
+        }
+        render_ranking(&mut out, store, outcome, options.k);
     }
     out
 }
@@ -286,10 +443,17 @@ fn select_redde(store: &CollectionStore, query: &[u32], k: usize, mut out: Strin
         })
         .collect();
     if samples.iter().all(|s| s.is_empty()) {
-        let _ = writeln!(out, "this store holds no samples (built with --full?); ReDDE unavailable");
+        let _ = writeln!(
+            out,
+            "this store holds no samples (built with --full?); ReDDE unavailable"
+        );
         return out;
     }
-    let sizes: Vec<f64> = store.databases.iter().map(|db| db.summary.db_size()).collect();
+    let sizes: Vec<f64> = store
+        .databases
+        .iter()
+        .map(|db| db.summary.db_size())
+        .collect();
     let redde = Redde::build(&samples, &sizes, ReddeConfig::default());
     let ranking = redde.rank(query);
     let _ = writeln!(out, "top databases (ReDDE estimated relevant documents):");
@@ -415,7 +579,10 @@ mod tests {
     fn index_select_inspect_round_trip() {
         let root = temp_root("e2e");
         write_corpus(&root);
-        let options = IndexOptions { full: true, ..Default::default() };
+        let options = IndexOptions {
+            full: true,
+            ..Default::default()
+        };
         let store = build_store(&specs(&root), &options).unwrap();
         assert_eq!(store.databases.len(), 2);
 
@@ -451,7 +618,12 @@ mod tests {
     fn sampled_indexing_works_too() {
         let root = temp_root("sampled");
         write_corpus(&root);
-        let options = IndexOptions { sample_size: 3, full: false, seed: 7, threads: 2 };
+        let options = IndexOptions {
+            sample_size: 3,
+            full: false,
+            seed: 7,
+            threads: 2,
+        };
         let store = build_store(&specs(&root), &options).unwrap();
         for db in &store.databases {
             assert!(db.summary.sample_size() <= 3 + 1);
@@ -461,11 +633,81 @@ mod tests {
     }
 
     #[test]
+    fn catalog_route_round_trip() {
+        let root = temp_root("route");
+        write_corpus(&root);
+        let store = build_store(
+            &specs(&root),
+            &IndexOptions {
+                full: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Freeze the shrinkage fit into a catalog, save, reload.
+        let path = root.join("collection.catalog");
+        StoredCatalog::freeze(store, CategoryWeighting::BySize)
+            .save(&path)
+            .unwrap();
+        let frozen = StoredCatalog::load(&path).unwrap();
+
+        let lines = vec![
+            "heart blood pressure".to_string(),
+            "soccer goal".to_string(),
+            String::new(), // blank lines are skipped
+            "xylophone".to_string(),
+        ];
+        let options = RouteOptions {
+            k: 2,
+            threads: 2,
+            ..Default::default()
+        };
+        let report = route(&frozen, &lines, &options);
+        assert!(report.contains("routing 3 queries"), "{report}");
+        let heart_section = report.find("query: heart blood pressure").unwrap();
+        let soccer_section = report.find("query: soccer goal").unwrap();
+        let heart_hit = report[heart_section..soccer_section].find("heart-db");
+        assert!(heart_hit.is_some(), "{report}");
+        assert!(report.contains("unknown words dropped"), "{report}");
+
+        // Thread count does not change the report.
+        let single = route(
+            &frozen,
+            &lines,
+            &RouteOptions {
+                threads: 1,
+                ..options
+            },
+        );
+        let many = route(
+            &frozen,
+            &lines,
+            &RouteOptions {
+                threads: 8,
+                ..options
+            },
+        );
+        assert_eq!(
+            single.replace("1 threads", "N threads"),
+            many.replace("8 threads", "N threads")
+        );
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
     fn unknown_words_are_reported_not_fatal() {
         let root = temp_root("unknown");
         write_corpus(&root);
-        let store =
-            build_store(&specs(&root), &IndexOptions { full: true, ..Default::default() }).unwrap();
+        let store = build_store(
+            &specs(&root),
+            &IndexOptions {
+                full: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let report = select(
             &store,
             &["xylophone".into()],

@@ -6,11 +6,19 @@
 //! dbselect index --out STORE [--sample N | --full] [--threads N] NAME=CATEGORY/PATH=DIR ...
 //! dbselect select --store STORE [--algo bgloss|cori|lm|redde]
 //!                 [--shrinkage adaptive|always|never] [-k N] WORD ...
+//! dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
+//! dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
+//!                [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
 //! dbselect inspect --store STORE [--db NAME]
 //! ```
 
-use cli::{build_store, inspect, parse_shrinkage, select, CliAlgorithm, DbSpec, IndexOptions};
+use cli::{
+    build_store, inspect, parse_shrinkage, route, select, CliAlgorithm, DbSpec, IndexOptions,
+    RouteOptions,
+};
+use dbselect_core::category_summary::CategoryWeighting;
 use selection::ShrinkageMode;
+use store::catalog::StoredCatalog;
 use store::CollectionStore;
 
 fn main() {
@@ -25,6 +33,8 @@ fn run() -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("index") => cmd_index(&args[1..]),
         Some("select") => cmd_select(&args[1..]),
+        Some("catalog") => cmd_catalog(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -41,7 +51,15 @@ USAGE:
   dbselect index --out STORE [--sample N | --full] [--threads N] NAME=CATEGORY/PATH=DIR ...
   dbselect select --store STORE [--algo bgloss|cori|lm|redde]
                   [--shrinkage adaptive|always|never] [-k N] WORD ...
+  dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
+  dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
+                 [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
   dbselect inspect --store STORE [--db NAME]
+
+`catalog` runs the shrinkage EM once and freezes the result (summaries,
+fitted λ weights) into a serving catalog; `route` loads the catalog — no
+EM at serving time — and evaluates a file of queries (one per line) in
+parallel. Rankings are independent of --threads.
 ";
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
@@ -120,6 +138,82 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_catalog(args: &[String]) -> Result<(), String> {
+    let mut store_path = None;
+    let mut out = None;
+    let mut weighting = CategoryWeighting::BySize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_path = Some(next_value(&mut it, "--store")?),
+            "--out" => out = Some(next_value(&mut it, "--out")?),
+            "--weighting" => {
+                weighting = match next_value(&mut it, "--weighting")?.as_str() {
+                    "bysize" => CategoryWeighting::BySize,
+                    "uniform" => CategoryWeighting::Uniform,
+                    other => return Err(format!("unknown weighting `{other}` (bysize|uniform)")),
+                };
+            }
+            other => return Err(format!("unknown catalog option `{other}`")),
+        }
+    }
+    let store_path = store_path.ok_or("catalog requires --store STORE")?;
+    let out = out.ok_or("catalog requires --out CATALOG")?;
+    let store = CollectionStore::load(&store_path).map_err(|e| e.to_string())?;
+    let frozen = StoredCatalog::freeze(store, weighting);
+    frozen.save(&out).map_err(|e| e.to_string())?;
+    println!(
+        "froze {} databases ({} terms, {:?} weighting, λ fit recorded) -> {out}",
+        frozen.store.databases.len(),
+        frozen.store.dict.len(),
+        frozen.weighting,
+    );
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let mut catalog_path = None;
+    let mut queries_path = None;
+    let mut options = RouteOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--catalog" => catalog_path = Some(next_value(&mut it, "--catalog")?),
+            "--queries" => queries_path = Some(next_value(&mut it, "--queries")?),
+            "--algo" => options.algo = CliAlgorithm::parse(&next_value(&mut it, "--algo")?)?,
+            "--shrinkage" => {
+                options.shrinkage = parse_shrinkage(&next_value(&mut it, "--shrinkage")?)?;
+            }
+            "-k" => {
+                options.k = next_value(&mut it, "-k")?
+                    .parse()
+                    .map_err(|_| "-k expects an integer".to_string())?;
+            }
+            "--seed" => {
+                options.seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--threads" => {
+                options.threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer".to_string())?;
+            }
+            other => return Err(format!("unknown route option `{other}`")),
+        }
+    }
+    let catalog_path = catalog_path.ok_or("route requires --catalog CATALOG")?;
+    let queries_path = queries_path.ok_or("route requires --queries FILE")?;
+    let frozen = StoredCatalog::load(&catalog_path).map_err(|e| e.to_string())?;
+    let lines: Vec<String> = std::fs::read_to_string(&queries_path)
+        .map_err(|e| format!("{queries_path}: {e}"))?
+        .lines()
+        .map(str::to_string)
+        .collect();
+    print!("{}", route(&frozen, &lines, &options));
+    Ok(())
+}
+
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
     let mut store_path = None;
     let mut db = None;
@@ -138,5 +232,7 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
 }
 
 fn next_value(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
-    it.next().cloned().ok_or_else(|| format!("missing value for {flag}"))
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("missing value for {flag}"))
 }

@@ -1,0 +1,217 @@
+//! A self-contained stand-in for the subset of the `criterion` API this
+//! workspace uses, for builds without crates.io access.
+//!
+//! It keeps the harness shape — `criterion_group!` / `criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with `bench_with_input` —
+//! but replaces the statistics engine with a simple warm-up + timed-batch
+//! loop that prints a median ns/iter estimate per benchmark. Good enough to
+//! compare runs on one machine; not a replacement for real criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1200);
+const BATCHES: usize = 10;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark inside this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into().0));
+        self
+    }
+
+    /// Run a benchmark with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into().0));
+        self
+    }
+
+    /// Accepted and ignored (the shim has a fixed measurement budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (the shim has a fixed measurement budget).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored (no throughput reporting in the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier, optionally parameterised.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter, for groups where the group name is the function.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput hint (accepted and ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs the closure under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    batch_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up, pick an iteration count that fills a
+    /// batch, then time several batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch_budget = MEASURE.as_nanos() as f64 / BATCHES as f64;
+        let iters_per_batch = ((batch_budget / per_iter.max(1.0)) as u64).max(1);
+
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+            self.batch_ns.push(ns);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.batch_ns.is_empty() {
+            println!("{id:<56} (no measurement)");
+            return;
+        }
+        let mut sorted = self.batch_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let lo = sorted[0];
+        let hi = sorted[sorted.len() - 1];
+        println!(
+            "{id:<56} {:>14} ns/iter (min {:.0}, max {:.0})",
+            format!("{median:.0}"),
+            lo,
+            hi
+        );
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// The `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_batches() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(1u64 + 1));
+        assert_eq!(b.batch_ns.len(), BATCHES);
+        assert!(b.batch_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

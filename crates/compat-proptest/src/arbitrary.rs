@@ -1,0 +1,78 @@
+//! The [`Arbitrary`] trait and [`any`], for `any::<T>()` strategies.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        // Finite, sign-symmetric, wide dynamic range.
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * unit * 2f64.powi(exp)
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_u8_covers_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = any::<u8>();
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            let b = s.generate(&mut rng);
+            lo |= b < 64;
+            hi |= b >= 192;
+        }
+        assert!(lo && hi);
+    }
+}

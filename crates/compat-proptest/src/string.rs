@@ -1,0 +1,172 @@
+//! Generation from the small regex-pattern subset used as string strategies.
+//!
+//! Supported atoms: character classes like `[a-z ]`, the Unicode-printable
+//! escape `\PC`, and literal characters; each atom may carry a `{n}` or
+//! `{m,n}` repetition. Anything else panics, so a new test pattern fails
+//! loudly instead of silently generating the wrong language.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generate one string matching `pattern`.
+pub fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = parse_atom(&chars, &mut i, pattern);
+        let (lo, hi) = parse_repetition(&chars, &mut i, pattern);
+        let count = if lo >= hi { lo } else { rng.gen_range(lo..=hi) };
+        for _ in 0..count {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+enum Atom {
+    Class(Vec<(char, char)>),
+    UnicodePrintable,
+    Literal(char),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|&(a, b)| b as u32 - a as u32 + 1).sum();
+                let mut pick = rng.gen_range(0..total as usize) as u32;
+                for &(a, b) in ranges {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(a as u32 + pick).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!()
+            }
+            Atom::UnicodePrintable => {
+                // Mostly ASCII printables, with a sprinkling of wider
+                // code points so multi-byte handling gets exercised.
+                if rng.gen::<f64>() < 0.85 {
+                    char::from_u32(rng.gen_range(0x20u32..=0x7E)).unwrap()
+                } else {
+                    const POOL: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '🙂', 'ñ', '†'];
+                    POOL[rng.gen_range(0..POOL.len())]
+                }
+            }
+        }
+    }
+}
+
+fn parse_atom(chars: &[char], i: &mut usize, pattern: &str) -> Atom {
+    match chars[*i] {
+        '[' => {
+            *i += 1;
+            let mut ranges = Vec::new();
+            while *i < chars.len() && chars[*i] != ']' {
+                let start = chars[*i];
+                if *i + 2 < chars.len() && chars[*i + 1] == '-' && chars[*i + 2] != ']' {
+                    let end = chars[*i + 2];
+                    assert!(start <= end, "invalid class range in pattern {pattern:?}");
+                    ranges.push((start, end));
+                    *i += 3;
+                } else {
+                    ranges.push((start, start));
+                    *i += 1;
+                }
+            }
+            assert!(
+                *i < chars.len() && !ranges.is_empty(),
+                "unterminated or empty class in pattern {pattern:?}"
+            );
+            *i += 1; // consume ']'
+            Atom::Class(ranges)
+        }
+        '\\' => {
+            assert!(
+                chars.get(*i + 1) == Some(&'P') && chars.get(*i + 2) == Some(&'C'),
+                "unsupported escape in pattern {pattern:?}; only \\PC is implemented"
+            );
+            *i += 3;
+            Atom::UnicodePrintable
+        }
+        c @ ('.' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$') => {
+            panic!("unsupported regex metacharacter {c:?} in pattern {pattern:?}")
+        }
+        c => {
+            *i += 1;
+            Atom::Literal(c)
+        }
+    }
+}
+
+/// Parse an optional `{n}` / `{m,n}` suffix; defaults to exactly one.
+fn parse_repetition(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    let close = chars[*i..]
+        .iter()
+        .position(|&c| c == '}')
+        .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"));
+    let body: String = chars[*i + 1..*i + close].iter().collect();
+    *i += close + 1;
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad repetition bound {s:?} in pattern {pattern:?}"))
+    };
+    match body.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lowercase_class_with_range_repetition() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let s = generate_pattern("[a-z]{3,16}", &mut rng);
+            assert!((3..=16).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn class_with_literal_space() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut saw_space = false;
+        for _ in 0..200 {
+            let s = generate_pattern("[a-z ]{0,80}", &mut rng);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            saw_space |= s.contains(' ');
+        }
+        assert!(saw_space);
+    }
+
+    #[test]
+    fn unicode_printable_lengths() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..100 {
+            let s = generate_pattern("\\PC{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn literal_characters_pass_through() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(generate_pattern("abc", &mut rng), "abc");
+    }
+}

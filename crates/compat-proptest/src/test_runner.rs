@@ -1,0 +1,142 @@
+//! The deterministic property runner behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property is violated; fail the test.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A hard failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix(base: u64, attempt: u64) -> u64 {
+    let mut z = base ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run `f` until `config.cases` cases pass, with a deterministic RNG per
+/// attempt derived from the test name. Panics on the first failing case.
+pub fn run_property(
+    name: &str,
+    config: &ProptestConfig,
+    f: impl Fn(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name);
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(100);
+    let mut passed = 0u32;
+    let mut attempt = 0u64;
+    let mut rejects = 0u64;
+    while passed < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "property {name:?}: too many rejected cases \
+                 ({rejects} rejects in {attempt} attempts, {passed} passes)"
+            );
+        }
+        let seed = mix(base, attempt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => rejects += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property {name:?} failed at case {passed} \
+                     (attempt {attempt}, seed {seed:#x}): {msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        run_property("always_ok", &ProptestConfig::with_cases(10), |_| {
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_context() {
+        run_property("always_fails", &ProptestConfig::default(), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn all_rejects_eventually_gives_up() {
+        run_property("always_rejects", &ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::reject("nope"))
+        });
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let a = std::cell::RefCell::new(Vec::new());
+        run_property("stream", &ProptestConfig::with_cases(5), |rng| {
+            a.borrow_mut().push(rand::RngCore::next_u64(rng));
+            Ok(())
+        });
+        let b = std::cell::RefCell::new(Vec::new());
+        run_property("stream", &ProptestConfig::with_cases(5), |rng| {
+            b.borrow_mut().push(rand::RngCore::next_u64(rng));
+            Ok(())
+        });
+        assert_eq!(a.into_inner(), b.into_inner());
+    }
+}

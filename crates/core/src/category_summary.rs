@@ -99,12 +99,18 @@ impl Aggregate {
 
     fn to_component(&self) -> SummaryComponent {
         let p_df = if self.denom_df > 0.0 {
-            self.acc_df.iter().map(|(&t, &v)| (t, v / self.denom_df)).collect()
+            self.acc_df
+                .iter()
+                .map(|(&t, &v)| (t, v / self.denom_df))
+                .collect()
         } else {
             HashMap::new()
         };
         let p_tf = if self.denom_tf > 0.0 {
-            self.acc_tf.iter().map(|(&t, &v)| (t, v / self.denom_tf)).collect()
+            self.acc_tf
+                .iter()
+                .map(|(&t, &v)| (t, v / self.denom_tf))
+                .collect()
         } else {
             HashMap::new()
         };
@@ -153,7 +159,11 @@ impl CategorySummaries {
                 aggregates[node].add(summary, weighting);
             }
         }
-        CategorySummaries { aggregates, weighting, edge_cache: RefCell::new(HashMap::new()) }
+        CategorySummaries {
+            aggregates,
+            weighting,
+            edge_cache: RefCell::new(HashMap::new()),
+        }
     }
 
     /// The aggregation weighting in use.
@@ -177,7 +187,14 @@ impl CategorySummaries {
             .iter()
             .map(|(&term, &df)| {
                 let tf = agg.acc_tf.get(&term).copied().unwrap_or(0.0);
-                (term, WordStats { sample_df: 0, df, tf })
+                (
+                    term,
+                    WordStats {
+                        sample_df: 0,
+                        df,
+                        tf,
+                    },
+                )
             })
             .collect();
         ContentSummary::new(agg.size, 0, words)
@@ -228,10 +245,14 @@ impl CategorySummaries {
         let component = if node == child {
             self.aggregates[node].to_component()
         } else {
-            self.aggregates[node].subtract(&self.aggregates[child]).to_component()
+            self.aggregates[node]
+                .subtract(&self.aggregates[child])
+                .to_component()
         };
         let component = Arc::new(component);
-        self.edge_cache.borrow_mut().insert((node, child), Arc::clone(&component));
+        self.edge_cache
+            .borrow_mut()
+            .insert((node, child), Arc::clone(&component));
         component
     }
 }
@@ -249,8 +270,11 @@ mod tests {
                 d.push(t);
             }
         }
-        let docs: Vec<Document> =
-            docs.into_iter().enumerate().map(|(i, t)| Document::from_tokens(i as u32, t)).collect();
+        let docs: Vec<Document> = docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| Document::from_tokens(i as u32, t))
+            .collect();
         ContentSummary::from_sample(docs.iter(), f64::from(n_docs))
     }
 
@@ -268,8 +292,11 @@ mod tests {
         // 2 of 30 docs.
         let d1 = summary(&[(7, 5)], 10);
         let d2 = summary(&[(7, 2)], 30);
-        let cs =
-            CategorySummaries::build(&h, &[(heart, &d1), (health, &d2)], CategoryWeighting::BySize);
+        let cs = CategorySummaries::build(
+            &h,
+            &[(heart, &d1), (health, &d2)],
+            CategoryWeighting::BySize,
+        );
         let health_summary = cs.category_summary(health);
         // Eq 1: (0.5*10 + 2/30*30) / (10+30) = 7/40.
         assert!((health_summary.p_df(7) - 7.0 / 40.0).abs() < 1e-12);
@@ -300,8 +327,11 @@ mod tests {
         let (h, health, heart) = two_level_hierarchy();
         let d1 = summary(&[(7, 5)], 10);
         let d2 = summary(&[(7, 2), (9, 3)], 30);
-        let cs =
-            CategorySummaries::build(&h, &[(heart, &d1), (health, &d2)], CategoryWeighting::BySize);
+        let cs = CategorySummaries::build(
+            &h,
+            &[(heart, &d1), (health, &d2)],
+            CategoryWeighting::BySize,
+        );
         // Components for D1 (path Root, Health, Heart).
         let comps = cs.components_for(&h, heart, &d1, true);
         assert_eq!(comps.len(), 3);

@@ -77,14 +77,21 @@ pub struct MandelbrotCheckpoint {
 pub fn sample_rank_frequency(summary: &ContentSummary) -> Vec<(f64, f64)> {
     let mut dfs: Vec<u32> = summary.iter().map(|(_, s)| s.sample_df).collect();
     dfs.sort_unstable_by(|a, b| b.cmp(a));
-    dfs.iter().enumerate().map(|(i, &df)| ((i + 1) as f64, f64::from(df))).collect()
+    dfs.iter()
+        .enumerate()
+        .map(|(i, &df)| ((i + 1) as f64, f64::from(df)))
+        .collect()
 }
 
 /// Take a checkpoint: fit the Mandelbrot law to `summary`'s current sample.
 pub fn checkpoint(summary: &ContentSummary) -> Option<MandelbrotCheckpoint> {
     let curve = sample_rank_frequency(summary);
     let (alpha, log_beta) = fit_mandelbrot(&curve)?;
-    Some(MandelbrotCheckpoint { sample_size: summary.sample_size(), alpha, log_beta })
+    Some(MandelbrotCheckpoint {
+        sample_size: summary.sample_size(),
+        alpha,
+        log_beta,
+    })
 }
 
 /// The database-level frequency estimator: the regressions of Equations
@@ -105,10 +112,14 @@ impl FrequencyEstimator {
     /// Regress the checkpoints. Needs at least two checkpoints at distinct
     /// sample sizes.
     pub fn from_checkpoints(checkpoints: &[MandelbrotCheckpoint]) -> Option<Self> {
-        let alpha_pts: Vec<(f64, f64)> =
-            checkpoints.iter().map(|c| (f64::from(c.sample_size).ln(), c.alpha)).collect();
-        let beta_pts: Vec<(f64, f64)> =
-            checkpoints.iter().map(|c| (f64::from(c.sample_size).ln(), c.log_beta)).collect();
+        let alpha_pts: Vec<(f64, f64)> = checkpoints
+            .iter()
+            .map(|c| (f64::from(c.sample_size).ln(), c.alpha))
+            .collect();
+        let beta_pts: Vec<(f64, f64)> = checkpoints
+            .iter()
+            .map(|c| (f64::from(c.sample_size).ln(), c.log_beta))
+            .collect();
         let (a1, a2) = linear_regression(&alpha_pts)?;
         let (b1, b2) = linear_regression(&beta_pts)?;
         Some(FrequencyEstimator { a1, a2, b1, b2 })
@@ -179,8 +190,19 @@ pub fn apply_frequency_estimation(
         };
         // Keep the tf/df ratio of the raw estimate (occurrences per
         // containing document) when rescaling tf.
-        let per_doc_tf = if stats.df > 0.0 { stats.tf / stats.df } else { 1.0 };
-        summary.set_word(term, WordStats { sample_df: stats.sample_df, df, tf: df * per_doc_tf });
+        let per_doc_tf = if stats.df > 0.0 {
+            stats.tf / stats.df
+        } else {
+            1.0
+        };
+        summary.set_word(
+            term,
+            WordStats {
+                sample_df: stats.sample_df,
+                df,
+                tf: df * per_doc_tf,
+            },
+        );
     }
 }
 
@@ -207,8 +229,9 @@ mod tests {
     #[test]
     fn fit_mandelbrot_recovers_power_law() {
         // f = 100 · r^-1.2
-        let curve: Vec<(f64, f64)> =
-            (1..=50).map(|r| (r as f64, 100.0 * (r as f64).powf(-1.2))).collect();
+        let curve: Vec<(f64, f64)> = (1..=50)
+            .map(|r| (r as f64, 100.0 * (r as f64).powf(-1.2)))
+            .collect();
         let (alpha, log_beta) = fit_mandelbrot(&curve).unwrap();
         assert!((alpha + 1.2).abs() < 1e-6, "alpha = {alpha}");
         assert!((log_beta - 100.0f64.ln()).abs() < 1e-6);
@@ -240,7 +263,12 @@ mod tests {
 
     #[test]
     fn estimate_df_is_monotone_in_rank() {
-        let est = FrequencyEstimator { a1: 0.0, a2: -1.0, b1: 1.0, b2: 0.0 };
+        let est = FrequencyEstimator {
+            a1: 0.0,
+            a2: -1.0,
+            b1: 1.0,
+            b2: 0.0,
+        };
         let d1 = est.estimate_df(1, 1000.0);
         let d10 = est.estimate_df(10, 1000.0);
         assert!(d1 > d10, "rank-1 word more frequent than rank-10");
@@ -250,13 +278,23 @@ mod tests {
     #[test]
     fn estimate_df_clamped_to_db_size() {
         // Huge β forces clamping.
-        let est = FrequencyEstimator { a1: 0.0, a2: -0.5, b1: 0.0, b2: 20.0 };
+        let est = FrequencyEstimator {
+            a1: 0.0,
+            a2: -0.5,
+            b1: 0.0,
+            b2: 20.0,
+        };
         assert_eq!(est.estimate_df(1, 500.0), 500.0);
     }
 
     #[test]
     fn gamma_matches_appendix_b() {
-        let est = FrequencyEstimator { a1: 0.0, a2: -0.8, b1: 0.0, b2: 0.0 };
+        let est = FrequencyEstimator {
+            a1: 0.0,
+            a2: -0.8,
+            b1: 0.0,
+            b2: 0.0,
+        };
         let gamma = est.gamma(1000.0);
         assert!((gamma - (1.0 / -0.8 - 1.0)).abs() < 1e-12);
     }
@@ -270,7 +308,12 @@ mod tests {
             Document::from_tokens(2, vec![1]),
         ];
         let mut summary = ContentSummary::from_sample(docs.iter(), 3.0);
-        let est = FrequencyEstimator { a1: 0.0, a2: -1.0, b1: 1.0, b2: 0.0 };
+        let est = FrequencyEstimator {
+            a1: 0.0,
+            a2: -1.0,
+            b1: 1.0,
+            b2: 0.0,
+        };
         let mut exact = HashMap::new();
         exact.insert(1u32, 800u32); // probe reported 800 matches
         apply_frequency_estimation(&mut summary, &est, &exact, 1000.0);

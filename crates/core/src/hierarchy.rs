@@ -52,7 +52,12 @@ impl Hierarchy {
     pub fn add_child(&mut self, parent: CategoryId, name: impl Into<String>) -> CategoryId {
         let depth = self.nodes[parent].depth + 1;
         let id = self.nodes.len();
-        self.nodes.push(Category { name: name.into(), parent: Some(parent), children: Vec::new(), depth });
+        self.nodes.push(Category {
+            name: name.into(),
+            parent: Some(parent),
+            children: Vec::new(),
+            depth,
+        });
         self.nodes[parent].children.push(id);
         id
     }
@@ -99,7 +104,9 @@ impl Hierarchy {
 
     /// All leaf categories, in id order.
     pub fn leaves(&self) -> Vec<CategoryId> {
-        (0..self.nodes.len()).filter(|&id| self.is_leaf(id)).collect()
+        (0..self.nodes.len())
+            .filter(|&id| self.is_leaf(id))
+            .collect()
     }
 
     /// All category ids, root first.
@@ -168,7 +175,11 @@ impl Hierarchy {
     pub fn ensure_path(&mut self, path: &str) -> CategoryId {
         let mut node = Hierarchy::ROOT;
         for segment in path.split('/').filter(|s| !s.is_empty()) {
-            node = match self.children(node).iter().find(|&&c| self.name(c) == segment) {
+            node = match self
+                .children(node)
+                .iter()
+                .find(|&&c| self.name(c) == segment)
+            {
                 Some(&existing) => existing,
                 None => self.add_child(node, segment),
             };
@@ -183,46 +194,85 @@ impl Hierarchy {
     pub fn odp_like() -> Self {
         type LevelTwo<'a> = (&'a str, &'a [&'a str]);
         let spec: &[(&str, &[LevelTwo<'_>])] = &[
-            ("Arts", &[
-                ("Literature", &["Texts", "Poetry", "Drama", "Classics"]),
-                ("Music", &[]),
-                ("Movies", &[]),
-            ]),
-            ("Business", &[
-                ("Finance", &["Banking", "Investing", "Insurance", "Accounting"]),
-                ("Industries", &[]),
-                ("Marketing", &[]),
-            ]),
-            ("Computers", &[
-                ("Programming", &["Java", "Cpp", "Perl", "Python", "Databases"]),
-                ("Internet", &[]),
-                ("Hardware", &[]),
-            ]),
-            ("Health", &[
-                ("Diseases", &["AIDS", "Cancer", "Diabetes", "Heart", "Asthma"]),
-                ("Fitness", &[]),
-                ("Medicine", &[]),
-            ]),
-            ("Recreation", &[
-                ("Travel", &["Europe", "Asia", "Americas", "Africa"]),
-                ("Outdoors", &[]),
-                ("Humor", &[]),
-            ]),
-            ("Science", &[
-                ("Biology", &["Genetics", "Ecology", "Zoology", "Botany"]),
-                ("Mathematics", &[]),
-                ("SocialSciences", &["Economics", "History", "Psychology", "Linguistics"]),
-            ]),
-            ("Society", &[
-                ("Politics", &["Elections", "Parties", "Activism", "Policy"]),
-                ("Law", &[]),
-                ("Religion", &[]),
-            ]),
-            ("Sports", &[
-                ("Soccer", &["UEFA", "WorldCup", "Leagues", "Clubs", "Players"]),
-                ("Basketball", &[]),
-                ("Tennis", &[]),
-            ]),
+            (
+                "Arts",
+                &[
+                    ("Literature", &["Texts", "Poetry", "Drama", "Classics"]),
+                    ("Music", &[]),
+                    ("Movies", &[]),
+                ],
+            ),
+            (
+                "Business",
+                &[
+                    (
+                        "Finance",
+                        &["Banking", "Investing", "Insurance", "Accounting"],
+                    ),
+                    ("Industries", &[]),
+                    ("Marketing", &[]),
+                ],
+            ),
+            (
+                "Computers",
+                &[
+                    (
+                        "Programming",
+                        &["Java", "Cpp", "Perl", "Python", "Databases"],
+                    ),
+                    ("Internet", &[]),
+                    ("Hardware", &[]),
+                ],
+            ),
+            (
+                "Health",
+                &[
+                    (
+                        "Diseases",
+                        &["AIDS", "Cancer", "Diabetes", "Heart", "Asthma"],
+                    ),
+                    ("Fitness", &[]),
+                    ("Medicine", &[]),
+                ],
+            ),
+            (
+                "Recreation",
+                &[
+                    ("Travel", &["Europe", "Asia", "Americas", "Africa"]),
+                    ("Outdoors", &[]),
+                    ("Humor", &[]),
+                ],
+            ),
+            (
+                "Science",
+                &[
+                    ("Biology", &["Genetics", "Ecology", "Zoology", "Botany"]),
+                    ("Mathematics", &[]),
+                    (
+                        "SocialSciences",
+                        &["Economics", "History", "Psychology", "Linguistics"],
+                    ),
+                ],
+            ),
+            (
+                "Society",
+                &[
+                    ("Politics", &["Elections", "Parties", "Activism", "Policy"]),
+                    ("Law", &[]),
+                    ("Religion", &[]),
+                ],
+            ),
+            (
+                "Sports",
+                &[
+                    (
+                        "Soccer",
+                        &["UEFA", "WorldCup", "Leagues", "Clubs", "Players"],
+                    ),
+                    ("Basketball", &[]),
+                    ("Tennis", &[]),
+                ],
+            ),
         ];
         let mut h = Hierarchy::new("Root");
         for &(top, subs) in spec {

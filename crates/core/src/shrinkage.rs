@@ -44,7 +44,11 @@ pub struct ShrinkageConfig {
 
 impl Default for ShrinkageConfig {
     fn default() -> Self {
-        ShrinkageConfig { epsilon: 1e-6, max_iterations: 500, uniform_p: 1e-6 }
+        ShrinkageConfig {
+            epsilon: 1e-6,
+            max_iterations: 500,
+            uniform_p: 1e-6,
+        }
     }
 }
 
@@ -76,6 +80,50 @@ pub struct ShrunkSummary {
 }
 
 impl ShrunkSummary {
+    /// Reassemble a shrunk summary from previously fitted mixture weights —
+    /// the persistence path. Only the EM output (`lambdas_df`/`lambdas_tf`)
+    /// and `uniform_p` need storing; the database probability maps are
+    /// recomputed from `db_summary` and the category `components` are
+    /// rebuilt (or shared) by the caller. Given the same inputs [`shrink`]
+    /// saw, the result is indistinguishable from the original — no EM rerun.
+    pub fn from_parts(
+        db_summary: &ContentSummary,
+        components: &[Arc<SummaryComponent>],
+        lambdas_df: Vec<f64>,
+        lambdas_tf: Vec<f64>,
+        uniform_p: f64,
+    ) -> ShrunkSummary {
+        assert_eq!(
+            lambdas_df.len(),
+            components.len() + 2,
+            "λ vector must cover uniform + components + database"
+        );
+        assert_eq!(lambdas_df.len(), lambdas_tf.len());
+        let db_p_df: HashMap<TermId, f64> = db_summary
+            .iter()
+            .map(|(t, _)| (t, db_summary.p_df(t)))
+            .collect();
+        let db_p_tf: HashMap<TermId, f64> = db_summary
+            .iter()
+            .map(|(t, _)| (t, db_summary.p_tf(t)))
+            .collect();
+        ShrunkSummary {
+            db_size: db_summary.db_size(),
+            word_count: db_summary.total_tf(),
+            uniform_p,
+            lambdas_df,
+            lambdas_tf,
+            db_p_df,
+            db_p_tf,
+            components: components.to_vec(),
+        }
+    }
+
+    /// The `p̂(w|C_0)` probability of the dummy uniform category.
+    pub fn uniform_p(&self) -> f64 {
+        self.uniform_p
+    }
+
     /// Mixture weights under the document-frequency model:
     /// `[λ_0 (uniform), λ_1 (root), …, λ_m, λ_{m+1} (database)]`.
     pub fn lambdas(&self) -> &[f64] {
@@ -101,7 +149,9 @@ impl ShrunkSummary {
 
     /// Iterate over `(term, p̂_R(w|D))` for the union vocabulary.
     pub fn iter_df(&self) -> impl Iterator<Item = (TermId, f64)> + '_ {
-        self.vocabulary().into_iter().map(move |t| (t, SummaryView::p_df(self, t)))
+        self.vocabulary()
+            .into_iter()
+            .map(move |t| (t, SummaryView::p_df(self, t)))
     }
 
     /// Number of words with explicit probability in the shrunk summary.
@@ -217,8 +267,7 @@ fn em_mixture_weights(
                 let db_term = lambdas[k - 1] * row[k - 1];
                 let mixture_deleted = mixture - db_term;
                 if mixture_deleted > 0.0 {
-                    for (beta, (p, l)) in
-                        betas.iter_mut().take(k - 1).zip(row.iter().zip(&lambdas))
+                    for (beta, (p, l)) in betas.iter_mut().take(k - 1).zip(row.iter().zip(&lambdas))
                     {
                         *beta += heldout * l * p / mixture_deleted;
                     }
@@ -269,10 +318,14 @@ pub fn shrink(
     let mut db_words: Vec<(TermId, u32)> =
         db_summary.iter().map(|(t, s)| (t, s.sample_df)).collect();
     db_words.sort_unstable();
-    let db_p_df: HashMap<TermId, f64> =
-        db_summary.iter().map(|(t, _)| (t, db_summary.p_df(t))).collect();
-    let db_p_tf: HashMap<TermId, f64> =
-        db_summary.iter().map(|(t, _)| (t, db_summary.p_tf(t))).collect();
+    let db_p_df: HashMap<TermId, f64> = db_summary
+        .iter()
+        .map(|(t, _)| (t, db_summary.p_df(t)))
+        .collect();
+    let db_p_tf: HashMap<TermId, f64> = db_summary
+        .iter()
+        .map(|(t, _)| (t, db_summary.p_tf(t)))
+        .collect();
 
     let comp_df: Vec<&HashMap<TermId, f64>> = components.iter().map(|c| &c.p_df).collect();
     let comp_tf: Vec<&HashMap<TermId, f64>> = components.iter().map(|c| &c.p_tf).collect();
@@ -356,7 +409,10 @@ mod tests {
     #[test]
     fn unseen_words_get_uniform_floor() {
         let db = summary_from(&[vec![1]], 10.0);
-        let config = ShrinkageConfig { uniform_p: 1e-4, ..Default::default() };
+        let config = ShrinkageConfig {
+            uniform_p: 1e-4,
+            ..Default::default()
+        };
         let shrunk = shrink(&db, &[component(&[(1, 0.5)])], &config);
         let floor = shrunk.p_df(99_999);
         assert!(floor > 0.0);
@@ -403,7 +459,10 @@ mod tests {
         let shrunk = shrink(&db, &comps, &ShrinkageConfig::default());
         // Word 42's shrunk probability times 100 docs rounds to >= 1 iff
         // p >= 0.005.
-        assert_eq!(shrunk.effectively_contains(42), shrunk.p_df(42) * 100.0 >= 0.5);
+        assert_eq!(
+            shrunk.effectively_contains(42),
+            shrunk.p_df(42) * 100.0 >= 0.5
+        );
     }
 
     #[test]
@@ -418,12 +477,43 @@ mod tests {
     }
 
     #[test]
+    fn from_parts_reproduces_shrink_exactly() {
+        let db = summary_from(&[vec![1, 2], vec![1, 3]], 100.0);
+        let comps = vec![component(&[(1, 0.5), (4, 0.2)]), component(&[(2, 0.9)])];
+        let config = ShrinkageConfig::default();
+        let original = shrink(&db, &comps, &config);
+        let rebuilt = ShrunkSummary::from_parts(
+            &db,
+            &comps,
+            original.lambdas().to_vec(),
+            original.lambdas_tf().to_vec(),
+            config.uniform_p,
+        );
+        for t in [1u32, 2, 3, 4, 42] {
+            assert_eq!(original.p_df(t).to_bits(), rebuilt.p_df(t).to_bits());
+            assert_eq!(original.p_tf(t).to_bits(), rebuilt.p_tf(t).to_bits());
+        }
+        assert_eq!(original.db_size(), rebuilt.db_size());
+        assert_eq!(original.word_count(), rebuilt.word_count());
+        assert_eq!(original.uniform_p(), rebuilt.uniform_p());
+        assert_eq!(original.vocabulary(), rebuilt.vocabulary());
+    }
+
+    #[test]
     fn components_are_shared_not_copied() {
         let db1 = summary_from(&[vec![1]], 10.0);
         let db2 = summary_from(&[vec![2]], 10.0);
         let shared = component(&[(1, 0.4), (2, 0.4)]);
-        let s1 = shrink(&db1, std::slice::from_ref(&shared), &ShrinkageConfig::default());
-        let s2 = shrink(&db2, std::slice::from_ref(&shared), &ShrinkageConfig::default());
+        let s1 = shrink(
+            &db1,
+            std::slice::from_ref(&shared),
+            &ShrinkageConfig::default(),
+        );
+        let s2 = shrink(
+            &db2,
+            std::slice::from_ref(&shared),
+            &ShrinkageConfig::default(),
+        );
         // Three holders of the same allocation: `shared`, s1, s2.
         assert_eq!(Arc::strong_count(&shared), 3);
         drop((s1, s2));

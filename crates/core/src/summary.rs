@@ -48,7 +48,13 @@ impl ContentSummary {
         let mut tfs: Vec<(TermId, f64)> = words.iter().map(|(&t, w)| (t, w.tf)).collect();
         tfs.sort_unstable_by_key(|&(t, _)| t);
         let total_tf = tfs.iter().map(|&(_, tf)| tf).sum();
-        ContentSummary { db_size, sample_size, total_tf, gamma: None, words }
+        ContentSummary {
+            db_size,
+            sample_size,
+            total_tf,
+            gamma: None,
+            words,
+        }
     }
 
     /// Build an approximate summary from a document sample (Definition 2),
@@ -60,14 +66,24 @@ impl ContentSummary {
         for doc in docs {
             sample_size += 1;
             for term in doc.distinct_terms() {
-                words.entry(term).or_insert(WordStats { sample_df: 0, df: 0.0, tf: 0.0 }).sample_df +=
-                    1;
+                words
+                    .entry(term)
+                    .or_insert(WordStats {
+                        sample_df: 0,
+                        df: 0.0,
+                        tf: 0.0,
+                    })
+                    .sample_df += 1;
             }
             for &term in &doc.tokens {
                 words.get_mut(&term).expect("distinct term present").tf += 1.0;
             }
         }
-        let scale = if sample_size == 0 { 0.0 } else { db_size / f64::from(sample_size) };
+        let scale = if sample_size == 0 {
+            0.0
+        } else {
+            db_size / f64::from(sample_size)
+        };
         for stats in words.values_mut() {
             stats.df = f64::from(stats.sample_df) * scale;
             stats.tf *= scale;
@@ -84,11 +100,14 @@ impl ContentSummary {
             .terms()
             .map(|(term, list)| {
                 let df = list.document_frequency() as u32;
-                (term, WordStats {
-                    sample_df: df,
-                    df: f64::from(df),
-                    tf: list.collection_frequency as f64,
-                })
+                (
+                    term,
+                    WordStats {
+                        sample_df: df,
+                        df: f64::from(df),
+                        tf: list.collection_frequency as f64,
+                    },
+                )
             })
             .collect();
         ContentSummary::new(n as f64, n as u32, words)
@@ -266,8 +285,22 @@ mod tests {
     #[test]
     fn effectively_contains_uses_rounding_rule() {
         let mut words = HashMap::new();
-        words.insert(1, WordStats { sample_df: 1, df: 0.4, tf: 0.4 });
-        words.insert(2, WordStats { sample_df: 1, df: 0.6, tf: 0.6 });
+        words.insert(
+            1,
+            WordStats {
+                sample_df: 1,
+                df: 0.4,
+                tf: 0.4,
+            },
+        );
+        words.insert(
+            2,
+            WordStats {
+                sample_df: 1,
+                df: 0.6,
+                tf: 0.6,
+            },
+        );
         let s = ContentSummary::new(100.0, 10, words);
         assert!(!s.effectively_contains(1), "round(0.4) < 1");
         assert!(s.effectively_contains(2), "round(0.6) >= 1");
@@ -279,7 +312,14 @@ mod tests {
         let docs = [doc(0, &[1, 2])];
         let mut s = ContentSummary::from_sample(docs.iter(), 1.0);
         let before = s.total_tf();
-        s.set_word(1, WordStats { sample_df: 1, df: 5.0, tf: 7.0 });
+        s.set_word(
+            1,
+            WordStats {
+                sample_df: 1,
+                df: 5.0,
+                tf: 7.0,
+            },
+        );
         assert!((s.total_tf() - (before - 1.0 + 7.0)).abs() < 1e-12);
     }
 

@@ -41,7 +41,12 @@ pub struct UncertaintyConfig {
 
 impl Default for UncertaintyConfig {
     fn default() -> Self {
-        UncertaintyConfig { max_draws: 2000, check_every: 100, rel_tolerance: 0.02, grid_points: 160 }
+        UncertaintyConfig {
+            max_draws: 2000,
+            check_every: 100,
+            rel_tolerance: 0.02,
+            grid_points: 160,
+        }
     }
 }
 
@@ -91,19 +96,32 @@ impl WordPosterior {
         // Guard against an all-zero posterior (degenerate input): fall back
         // to a point mass at the scaled sample estimate.
         if acc <= 0.0 {
-            let point = if n > 0.0 { (s / n * d_max).max(0.0) } else { 0.0 };
-            return WordPosterior { support: vec![point], cumulative: vec![1.0] };
+            let point = if n > 0.0 {
+                (s / n * d_max).max(0.0)
+            } else {
+                0.0
+            };
+            return WordPosterior {
+                support: vec![point],
+                cumulative: vec![1.0],
+            };
         }
         for c in &mut cumulative {
             *c /= acc;
         }
-        WordPosterior { support: supports, cumulative }
+        WordPosterior {
+            support: supports,
+            cumulative,
+        }
     }
 
     /// Draw one candidate document frequency.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen();
-        match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
             Ok(i) | Err(i) => self.support[i.min(self.support.len() - 1)],
         }
     }
@@ -166,14 +184,21 @@ fn grid(include_zero: bool, d_max: f64, points: usize) -> Vec<f64> {
 /// Convert log weights to probabilities, weighting each grid point by the
 /// width of the frequency band it represents (trapezoidal).
 fn normalize(support: &[f64], log_weights: &[f64]) -> Vec<f64> {
-    let max_lw = log_weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max_lw = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     if !max_lw.is_finite() {
         return vec![0.0; support.len()];
     }
     let mut weights = Vec::with_capacity(support.len());
     for (i, lw) in log_weights.iter().enumerate() {
         let lo = if i == 0 { support[0] } else { support[i - 1] };
-        let hi = if i + 1 == support.len() { support[i] } else { support[i + 1] };
+        let hi = if i + 1 == support.len() {
+            support[i]
+        } else {
+            support[i + 1]
+        };
         let width = ((hi - lo) / 2.0).max(1.0);
         weights.push((lw - max_lw).exp() * width);
     }
@@ -204,8 +229,10 @@ impl ScoreDistribution {
 ///
 /// `score_fn` receives one `p_k = d_k/|D|` per query word and returns the
 /// selection score the base algorithm would assign under those frequencies.
-pub fn score_distribution<R: Rng + ?Sized>(
-    posteriors: &[WordPosterior],
+/// Posteriors are accepted through [`std::borrow::Borrow`] so callers may
+/// pass owned grids or cached `Arc`s interchangeably.
+pub fn score_distribution<R: Rng + ?Sized, P: std::borrow::Borrow<WordPosterior>>(
+    posteriors: &[P],
     db_size: f64,
     mut score_fn: impl FnMut(&[f64]) -> f64,
     rng: &mut R,
@@ -221,7 +248,7 @@ pub fn score_distribution<R: Rng + ?Sized>(
     let mut last_std = f64::INFINITY;
     while count < config.max_draws {
         for (p, posterior) in ps.iter_mut().zip(posteriors) {
-            *p = posterior.sample(rng) / d_max;
+            *p = posterior.borrow().sample(rng) / d_max;
         }
         let score = score_fn(&ps);
         count += 1;
@@ -230,17 +257,30 @@ pub fn score_distribution<R: Rng + ?Sized>(
         m2 += delta * (score - mean);
         if count.is_multiple_of(config.check_every) && count >= 2 * config.check_every {
             let std = (m2 / count as f64).sqrt();
-            let mean_stable = (mean - last_mean).abs() <= config.rel_tolerance * mean.abs().max(1e-12);
+            let mean_stable =
+                (mean - last_mean).abs() <= config.rel_tolerance * mean.abs().max(1e-12);
             let std_stable = (std - last_std).abs() <= config.rel_tolerance * std.abs().max(1e-12);
             if mean_stable && std_stable {
-                return ScoreDistribution { mean, std_dev: std, draws: count };
+                return ScoreDistribution {
+                    mean,
+                    std_dev: std,
+                    draws: count,
+                };
             }
             last_mean = mean;
             last_std = std;
         }
     }
-    let std = if count > 0 { (m2 / count as f64).sqrt() } else { 0.0 };
-    ScoreDistribution { mean, std_dev: std, draws: count }
+    let std = if count > 0 {
+        (m2 / count as f64).sqrt()
+    } else {
+        0.0
+    };
+    ScoreDistribution {
+        mean,
+        std_dev: std,
+        draws: count,
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +299,10 @@ mod tests {
         // near 500.
         let post = WordPosterior::new(50, 100, 1000.0, -2.0, 160);
         let mean = post.mean();
-        assert!((300.0..700.0).contains(&mean), "posterior mean {mean} near 500");
+        assert!(
+            (300.0..700.0).contains(&mean),
+            "posterior mean {mean} near 500"
+        );
     }
 
     #[test]
@@ -299,8 +342,13 @@ mod tests {
     #[test]
     fn score_distribution_zero_variance_for_constant_score() {
         let posteriors = vec![WordPosterior::new(10, 100, 1000.0, -2.0, 64)];
-        let dist =
-            score_distribution(&posteriors, 1000.0, |_| 7.5, &mut rng(), &UncertaintyConfig::default());
+        let dist = score_distribution(
+            &posteriors,
+            1000.0,
+            |_| 7.5,
+            &mut rng(),
+            &UncertaintyConfig::default(),
+        );
         assert!((dist.mean - 7.5).abs() < 1e-12);
         assert!(dist.std_dev < 1e-12);
         assert!(!dist.should_use_shrinkage());
@@ -319,7 +367,12 @@ mod tests {
             &mut rng(),
             &UncertaintyConfig::default(),
         );
-        assert!(dist.should_use_shrinkage(), "std {} vs mean {}", dist.std_dev, dist.mean);
+        assert!(
+            dist.should_use_shrinkage(),
+            "std {} vs mean {}",
+            dist.std_dev,
+            dist.mean
+        );
     }
 
     #[test]
@@ -334,15 +387,32 @@ mod tests {
             &mut rng(),
             &UncertaintyConfig::default(),
         );
-        assert!(!dist.should_use_shrinkage(), "std {} vs mean {}", dist.std_dev, dist.mean);
+        assert!(
+            !dist.should_use_shrinkage(),
+            "std {} vs mean {}",
+            dist.std_dev,
+            dist.mean
+        );
     }
 
     #[test]
     fn moments_are_reproducible_with_seeded_rng() {
         let posteriors = vec![WordPosterior::new(5, 100, 5000.0, -2.0, 160)];
         let score = |ps: &[f64]| ps[0] * 100.0;
-        let a = score_distribution(&posteriors, 5000.0, score, &mut rng(), &UncertaintyConfig::default());
-        let b = score_distribution(&posteriors, 5000.0, score, &mut rng(), &UncertaintyConfig::default());
+        let a = score_distribution(
+            &posteriors,
+            5000.0,
+            score,
+            &mut rng(),
+            &UncertaintyConfig::default(),
+        );
+        let b = score_distribution(
+            &posteriors,
+            5000.0,
+            score,
+            &mut rng(),
+            &UncertaintyConfig::default(),
+        );
         assert_eq!(a, b);
     }
 }
@@ -375,8 +445,8 @@ impl WordPosterior {
 /// a_k = λ·conversion_k, b_k = (1−λ)·p̂(w_k|G)`). By independence,
 /// `E[Π f_k] = Π E[f_k]` and `E[(Π f_k)²] = Π E[f_k²]`, giving the mean and
 /// variance in closed form — no Monte-Carlo sampling, no randomness.
-pub fn product_score_distribution(
-    posteriors: &[WordPosterior],
+pub fn product_score_distribution<P: std::borrow::Borrow<WordPosterior>>(
+    posteriors: &[P],
     db_size: f64,
     scale: f64,
     coefficients: &[(f64, f64)],
@@ -386,14 +456,18 @@ pub fn product_score_distribution(
     let mut mean = scale;
     let mut second = scale * scale;
     for (posterior, &(a, b)) in posteriors.iter().zip(coefficients) {
-        let (m1, m2) = posterior.raw_moments();
+        let (m1, m2) = posterior.borrow().raw_moments();
         let (p1, p2) = (m1 / d_max, m2 / (d_max * d_max));
         // E[a·p + b] and E[(a·p + b)²].
         mean *= a * p1 + b;
         second *= a * a * p2 + 2.0 * a * b * p1 + b * b;
     }
     let variance = (second - mean * mean).max(0.0);
-    ScoreDistribution { mean, std_dev: variance.sqrt(), draws: 0 }
+    ScoreDistribution {
+        mean,
+        std_dev: variance.sqrt(),
+        draws: 0,
+    }
 }
 
 #[cfg(test)]
@@ -422,7 +496,11 @@ mod product_tests {
         let exact = product_score_distribution(&posteriors, 2000.0, 2000.0, &coeffs);
         // Monte-Carlo estimate of the same score.
         let mut rng = StdRng::seed_from_u64(5);
-        let config = UncertaintyConfig { max_draws: 60_000, check_every: 60_000, ..Default::default() };
+        let config = UncertaintyConfig {
+            max_draws: 60_000,
+            check_every: 60_000,
+            ..Default::default()
+        };
         let mc = score_distribution(
             &posteriors,
             2000.0,
@@ -433,7 +511,12 @@ mod product_tests {
         let mean_err = (exact.mean - mc.mean).abs() / exact.mean.max(1e-12);
         assert!(mean_err < 0.1, "exact {} vs MC {}", exact.mean, mc.mean);
         let std_err = (exact.std_dev - mc.std_dev).abs() / exact.std_dev.max(1e-12);
-        assert!(std_err < 0.15, "exact σ {} vs MC σ {}", exact.std_dev, mc.std_dev);
+        assert!(
+            std_err < 0.15,
+            "exact σ {} vs MC σ {}",
+            exact.std_dev,
+            mc.std_dev
+        );
     }
 
     #[test]
@@ -442,7 +525,10 @@ mod product_tests {
         let bare = product_score_distribution(&posteriors, 1000.0, 1.0, &[(1.0, 0.0)]);
         let smoothed = product_score_distribution(&posteriors, 1000.0, 1.0, &[(0.5, 0.2)]);
         assert!((smoothed.mean - (0.5 * bare.mean + 0.2)).abs() < 1e-12);
-        assert!(smoothed.std_dev < bare.std_dev, "smoothing shrinks dispersion");
+        assert!(
+            smoothed.std_dev < bare.std_dev,
+            "smoothing shrinks dispersion"
+        );
     }
 
     #[test]

@@ -168,7 +168,10 @@ proptest! {
 
 #[test]
 fn shrunk_summary_view_is_consistent_with_iteration() {
-    let docs = [Document::from_tokens(0, vec![1, 2]), Document::from_tokens(1, vec![2, 3])];
+    let docs = [
+        Document::from_tokens(0, vec![1, 2]),
+        Document::from_tokens(1, vec![2, 3]),
+    ];
     let summary = ContentSummary::from_sample(docs.iter(), 100.0);
     let comp = Arc::new(SummaryComponent {
         p_df: HashMap::from([(2, 0.4), (9, 0.2)]),

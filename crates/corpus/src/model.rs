@@ -96,8 +96,9 @@ impl CorpusModel {
     /// Instantiate the model over `hierarchy`, interning all vocabulary into
     /// `dict`.
     pub fn new(hierarchy: Hierarchy, config: TopicModelConfig, dict: &mut TermDict) -> Self {
-        let background_words: Vec<TermId> =
-            (0..config.global_vocab).map(|r| dict.intern(&format!("g{r:05}"))).collect();
+        let background_words: Vec<TermId> = (0..config.global_vocab)
+            .map(|r| dict.intern(&format!("g{r:05}")))
+            .collect();
         let background = zipf_over(&background_words, config.global_exponent, 0.0);
 
         let mut node_lms = Vec::with_capacity(hierarchy.len());
@@ -106,8 +107,9 @@ impl CorpusModel {
                 node_lms.push(None);
                 continue;
             }
-            let words: Vec<TermId> =
-                (0..config.node_vocab).map(|r| dict.intern(&format!("c{node:03}x{r:04}"))).collect();
+            let words: Vec<TermId> = (0..config.node_vocab)
+                .map(|r| dict.intern(&format!("c{node:03}x{r:04}")))
+                .collect();
             node_lms.push(Some(zipf_over(&words, config.node_exponent, 0.0)));
         }
 
@@ -125,7 +127,14 @@ impl CorpusModel {
             }
         }
 
-        CorpusModel { config, hierarchy, background, node_lms, path_dists, leaves }
+        CorpusModel {
+            config,
+            hierarchy,
+            background,
+            node_lms,
+            path_dists,
+            leaves,
+        }
     }
 
     /// The hierarchy the model was built over.
@@ -175,7 +184,10 @@ impl CorpusModel {
                 .as_ref()
                 .expect("non-root nodes have topic vocabularies")
                 .items();
-            per_node.push((node, crate::zipf::zipf_jittered(items, self.config.node_exponent, sigma, rng)));
+            per_node.push((
+                node,
+                crate::zipf::zipf_jittered(items, self.config.node_exponent, sigma, rng),
+            ));
         }
         DbPathLms { per_node }
     }
@@ -321,7 +333,10 @@ pub struct DbPathLms {
 impl DbPathLms {
     /// The jittered distribution for `node`, if it lies on the home path.
     pub fn for_node(&self, node: CategoryId) -> Option<&DiscreteDist<TermId>> {
-        self.per_node.iter().find(|(n, _)| *n == node).map(|(_, lm)| lm)
+        self.per_node
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, lm)| lm)
     }
 }
 
@@ -373,7 +388,13 @@ mod tests {
         let collect = |model: &CorpusModel, leaf, db_lm, rng: &mut StdRng| {
             let mut terms = std::collections::HashSet::new();
             for i in 0..30 {
-                terms.extend(model.generate_document(i, leaf, db_lm, rng).tokens.iter().copied());
+                terms.extend(
+                    model
+                        .generate_document(i, leaf, db_lm, rng)
+                        .tokens
+                        .iter()
+                        .copied(),
+                );
             }
             terms
         };
@@ -393,9 +414,14 @@ mod tests {
         let (model, _) = small_model();
         let mut rng = StdRng::seed_from_u64(3);
         let home = model.leaves()[0];
-        let off = (0..1000).filter(|_| model.sample_focus(home, &mut rng) != home).count();
+        let off = (0..1000)
+            .filter(|_| model.sample_focus(home, &mut rng) != home)
+            .count();
         let frac = off as f64 / 1000.0;
-        assert!((frac - model.config().off_topic_prob).abs() < 0.05, "off-topic frac {frac}");
+        assert!(
+            (frac - model.config().off_topic_prob).abs() < 0.05,
+            "off-topic frac {frac}"
+        );
     }
 
     #[test]

@@ -15,7 +15,6 @@ use dbselect_core::hierarchy::CategoryId;
 
 use crate::model::CorpusModel;
 
-
 /// The two query-length regimes of the paper's experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryLengthModel {
@@ -122,7 +121,12 @@ fn generate_query<R: Rng + ?Sized>(
             content_terms.push(term);
         }
     }
-    Query { id, terms, content_terms, topic }
+    Query {
+        id,
+        terms,
+        content_terms,
+        topic,
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +152,9 @@ mod tests {
     #[test]
     fn short_queries_match_trec6_statistics() {
         let mut rng = StdRng::seed_from_u64(11);
-        let lens: Vec<usize> =
-            (0..5000).map(|_| QueryLengthModel::TrecShort.sample_len(&mut rng)).collect();
+        let lens: Vec<usize> = (0..5000)
+            .map(|_| QueryLengthModel::TrecShort.sample_len(&mut rng))
+            .collect();
         assert!(lens.iter().all(|&l| (2..=5).contains(&l)));
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
         assert!((mean - 2.75).abs() < 0.1, "mean {mean}");
@@ -158,8 +163,9 @@ mod tests {
     #[test]
     fn long_queries_match_trec4_statistics() {
         let mut rng = StdRng::seed_from_u64(12);
-        let lens: Vec<usize> =
-            (0..5000).map(|_| QueryLengthModel::TrecLong.sample_len(&mut rng)).collect();
+        let lens: Vec<usize> = (0..5000)
+            .map(|_| QueryLengthModel::TrecLong.sample_len(&mut rng))
+            .collect();
         assert!(lens.iter().all(|&l| (8..=34).contains(&l)));
         let mean = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
         assert!((14.0..20.0).contains(&mean), "mean {mean}");
@@ -174,7 +180,10 @@ mod tests {
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), q.terms.len(), "terms distinct");
-            assert!(!q.content_terms.is_empty(), "every query has a content term");
+            assert!(
+                !q.content_terms.is_empty(),
+                "every query has a content term"
+            );
             for c in &q.content_terms {
                 assert!(q.terms.contains(c));
             }

@@ -120,7 +120,10 @@ impl TestBedConfig {
             seed: 0x0077_EB00,
             num_databases: 315,
             sizes: SizeModel::LogUniform(100, 5000),
-            assignment: AssignmentModel::PerLeaf { per_leaf: 5, extra: 45 },
+            assignment: AssignmentModel::PerLeaf {
+                per_leaf: 5,
+                extra: 45,
+            },
             num_queries: 50,
             query_len: QueryLengthModel::TrecShort,
             topics: TopicModelConfig::default(),
@@ -292,14 +295,19 @@ impl TestBed {
     pub fn is_relevant(&self, query_index: usize, db: usize, doc: u32) -> bool {
         let q = &self.queries[query_index];
         let tdb = &self.databases[db];
-        let Some(document) = tdb.db.fetch(doc) else { return false };
+        let Some(document) = tdb.db.fetch(doc) else {
+            return false;
+        };
         tdb.doc_focus[doc as usize] == q.topic
             && q.content_terms.iter().any(|&t| document.contains_term(t))
     }
 
     /// Total relevant documents for a query across the whole collection.
     pub fn total_relevant(&self, query_index: usize) -> u64 {
-        self.relevance[query_index].iter().map(|&r| u64::from(r)).sum()
+        self.relevance[query_index]
+            .iter()
+            .map(|&r| u64::from(r))
+            .sum()
     }
 
     /// Generate `per_leaf` labeled training documents for every leaf
@@ -409,14 +417,20 @@ mod tests {
         if on_topic_dbs > 0 && off_topic_dbs > 0 {
             let on = on_topic_total as f64 / on_topic_dbs as f64;
             let off = off_topic_total as f64 / off_topic_dbs as f64;
-            assert!(on > off, "on-topic avg {on} should exceed off-topic avg {off}");
+            assert!(
+                on > off,
+                "on-topic avg {on} should exceed off-topic avg {off}"
+            );
         }
     }
 
     #[test]
     fn per_leaf_assignment_covers_every_leaf() {
         let mut config = TestBedConfig::tiny(9);
-        config.assignment = AssignmentModel::PerLeaf { per_leaf: 1, extra: 2 };
+        config.assignment = AssignmentModel::PerLeaf {
+            per_leaf: 1,
+            extra: 2,
+        };
         let bed = config.build();
         let leaves: HashSet<_> = bed.hierarchy.leaves().into_iter().collect();
         let homes: HashSet<_> = bed.databases.iter().map(|d| d.category).collect();

@@ -33,7 +33,10 @@ impl<T: Copy> DiscreteDist<T> {
             items.push(item);
             cumulative.push(acc);
         }
-        assert!(acc > 0.0, "discrete distribution needs positive total weight");
+        assert!(
+            acc > 0.0,
+            "discrete distribution needs positive total weight"
+        );
         for c in &mut cumulative {
             *c /= acc;
         }
@@ -43,7 +46,10 @@ impl<T: Copy> DiscreteDist<T> {
     /// Draw one item.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
         let u: f64 = rng.gen();
-        let i = match self.cumulative.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+        let i = match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
+        {
             Ok(i) | Err(i) => i,
         };
         self.items[i.min(self.items.len() - 1)]
@@ -73,7 +79,12 @@ pub fn zipf_weights(n: usize, exponent: f64, shift: f64) -> impl Iterator<Item =
 
 /// Build a Zipfian distribution over `items` (rank = position).
 pub fn zipf_over<T: Copy>(items: &[T], exponent: f64, shift: f64) -> DiscreteDist<T> {
-    DiscreteDist::new(items.iter().copied().zip(zipf_weights(items.len(), exponent, shift)))
+    DiscreteDist::new(
+        items
+            .iter()
+            .copied()
+            .zip(zipf_weights(items.len(), exponent, shift)),
+    )
 }
 
 /// Build a *jittered* Zipfian distribution: each weight is multiplied by an
@@ -155,13 +166,18 @@ mod tests {
         }
         assert!(counts[0] > counts[100] * 10);
         let unseen = counts.iter().filter(|&&c| c == 0).count();
-        assert!(unseen > 50, "Zipf tail leaves many words unseen, got {unseen}");
+        assert!(
+            unseen > 50,
+            "Zipf tail leaves many words unseen, got {unseen}"
+        );
     }
 
     #[test]
     fn lognormal_is_positive_with_sane_median() {
         let mut rng = rng();
-        let mut samples: Vec<f64> = (0..5000).map(|_| sample_lognormal(&mut rng, 120.0, 0.3)).collect();
+        let mut samples: Vec<f64> = (0..5000)
+            .map(|_| sample_lognormal(&mut rng, 120.0, 0.3))
+            .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(samples[0] > 0.0);
         let median = samples[2500];
@@ -171,7 +187,9 @@ mod tests {
     #[test]
     fn log_uniform_stays_in_bounds_and_skews_low() {
         let mut rng = rng();
-        let samples: Vec<usize> = (0..5000).map(|_| sample_log_uniform(&mut rng, 100, 10_000)).collect();
+        let samples: Vec<usize> = (0..5000)
+            .map(|_| sample_log_uniform(&mut rng, 100, 10_000))
+            .collect();
         assert!(samples.iter().all(|&s| (100..=10_000).contains(&s)));
         let below_1000 = samples.iter().filter(|&&s| s < 1000).count();
         // log-uniform: P(< 1000) = ln(10)/ln(100) = 0.5.

@@ -20,7 +20,11 @@ pub fn precision_at_k(
     if k == 0 {
         return 0.0;
     }
-    let hits = merged.iter().take(k).filter(|&&(db, doc)| is_relevant(db, doc)).count();
+    let hits = merged
+        .iter()
+        .take(k)
+        .filter(|&&(db, doc)| is_relevant(db, doc))
+        .count();
     hits as f64 / k as f64
 }
 
@@ -35,7 +39,11 @@ pub fn recall_at_k(
     if total_relevant == 0 {
         return None;
     }
-    let hits = merged.iter().take(k).filter(|&&(db, doc)| is_relevant(db, doc)).count();
+    let hits = merged
+        .iter()
+        .take(k)
+        .filter(|&&(db, doc)| is_relevant(db, doc))
+        .count();
     Some(hits as f64 / total_relevant as f64)
 }
 

@@ -88,8 +88,11 @@ pub fn summary_quality(approx: &EvaluatedSummary, perfect: &EvaluatedSummary) ->
         }
     }
     let weighted_recall = if wr_den > 0.0 { wr_num / wr_den } else { 0.0 };
-    let unweighted_recall =
-        if perfect.p_df.is_empty() { 0.0 } else { common as f64 / perfect.p_df.len() as f64 };
+    let unweighted_recall = if perfect.p_df.is_empty() {
+        0.0
+    } else {
+        common as f64 / perfect.p_df.len() as f64
+    };
 
     // --- precision ------------------------------------------------------
     let mut wp_num = 0.0;
@@ -101,8 +104,11 @@ pub fn summary_quality(approx: &EvaluatedSummary, perfect: &EvaluatedSummary) ->
         }
     }
     let weighted_precision = if wp_den > 0.0 { wp_num / wp_den } else { 0.0 };
-    let unweighted_precision =
-        if approx.p_df.is_empty() { 0.0 } else { common as f64 / approx.p_df.len() as f64 };
+    let unweighted_precision = if approx.p_df.is_empty() {
+        0.0
+    } else {
+        common as f64 / approx.p_df.len() as f64
+    };
 
     // --- word-ranking correlation (common words) -------------------------
     let mut xs = Vec::with_capacity(common);
@@ -159,7 +165,16 @@ mod tests {
     fn content(db_size: f64, dfs: &[(TermId, f64)]) -> ContentSummary {
         let words: HashMap<TermId, WordStats> = dfs
             .iter()
-            .map(|&(t, df)| (t, WordStats { sample_df: df as u32, df, tf: df }))
+            .map(|&(t, df)| {
+                (
+                    t,
+                    WordStats {
+                        sample_df: df as u32,
+                        df,
+                        tf: df,
+                    },
+                )
+            })
             .collect();
         ContentSummary::new(db_size, db_size as u32, words)
     }
@@ -181,13 +196,10 @@ mod tests {
 
     #[test]
     fn recall_weights_frequent_words_more() {
-        let perfect = EvaluatedSummary::from_content_summary(&content(
-            100.0,
-            &[(1, 90.0), (2, 1.0)],
-        ));
+        let perfect =
+            EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 90.0), (2, 1.0)]));
         // Approx has only the frequent word.
-        let approx_frequent =
-            EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 90.0)]));
+        let approx_frequent = EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 90.0)]));
         // Or only the rare word.
         let approx_rare = EvaluatedSummary::from_content_summary(&content(100.0, &[(2, 1.0)]));
         let q_f = summary_quality(&approx_frequent, &perfect);
@@ -222,28 +234,35 @@ mod tests {
         // category (0.9), which is what earns the category a non-trivial λ;
         // the category then contributes word 2 strongly and word 3
         // negligibly.
-        let docs = [Document::from_tokens(0, vec![1, 5]), Document::from_tokens(1, vec![1])];
+        let docs = [
+            Document::from_tokens(0, vec![1, 5]),
+            Document::from_tokens(1, vec![1]),
+        ];
         let mut summary = ContentSummary::from_sample(docs.iter(), 2.0);
         summary.set_db_size(100.0);
         let comp = SummaryComponent {
             p_df: HashMap::from([(1, 0.9), (5, 0.9), (2, 0.4), (3, 0.000001)]),
             p_tf: HashMap::from([(1, 0.9), (5, 0.9), (2, 0.4), (3, 0.000001)]),
         };
-        let shrunk = shrink(&summary, &[std::sync::Arc::new(comp)], &ShrinkageConfig::default());
+        let shrunk = shrink(
+            &summary,
+            &[std::sync::Arc::new(comp)],
+            &ShrinkageConfig::default(),
+        );
         let eval = EvaluatedSummary::from_shrunk_summary(&shrunk);
         assert!(eval.p_df.contains_key(&1));
         assert!(eval.p_df.contains_key(&2), "strongly-supported word kept");
-        assert!(!eval.p_df.contains_key(&3), "sub-document-level word dropped");
+        assert!(
+            !eval.p_df.contains_key(&3),
+            "sub-document-level word dropped"
+        );
     }
 
     #[test]
     fn kl_penalizes_misestimated_frequencies() {
-        let perfect = EvaluatedSummary::from_content_summary(&content(
-            100.0,
-            &[(1, 50.0), (2, 50.0)],
-        ));
-        let good =
-            EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 49.0), (2, 51.0)]));
+        let perfect =
+            EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 50.0), (2, 50.0)]));
+        let good = EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 49.0), (2, 51.0)]));
         let bad = EvaluatedSummary::from_content_summary(&content(100.0, &[(1, 95.0), (2, 5.0)]));
         let q_good = summary_quality(&good, &perfect);
         let q_bad = summary_quality(&bad, &perfect);

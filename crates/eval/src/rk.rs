@@ -16,7 +16,11 @@ use selection::RankedDatabase;
 /// Total relevant documents in the top-`k` of `ranking`.
 /// `relevant[d]` is `r(q, D_d)` for database index `d`.
 pub fn accumulated_relevant(ranking: &[usize], relevant: &[u32], k: usize) -> u64 {
-    ranking.iter().take(k).map(|&d| u64::from(relevant[d])).sum()
+    ranking
+        .iter()
+        .take(k)
+        .map(|&d| u64::from(relevant[d]))
+        .sum()
 }
 
 /// The best achievable top-`k` relevant total (the perfect rank `D⃗_H`).
@@ -46,8 +50,11 @@ pub fn rk_for_ranking(ranking: &[RankedDatabase], relevant: &[u32], k: usize) ->
 /// Mean `R_k` over queries, skipping undefined ones. Returns 0 when every
 /// query is undefined.
 pub fn mean_rk(rankings: &[Vec<usize>], relevance: &[Vec<u32>], k: usize) -> f64 {
-    let values: Vec<f64> =
-        rankings.iter().zip(relevance).filter_map(|(r, rel)| rk(r, rel, k)).collect();
+    let values: Vec<f64> = rankings
+        .iter()
+        .zip(relevance)
+        .filter_map(|(r, rel)| rk(r, rel, k))
+        .collect();
     if values.is_empty() {
         0.0
     } else {
@@ -99,8 +106,14 @@ mod tests {
     #[test]
     fn rk_for_ranking_adapts_scored_rankings() {
         let ranking = vec![
-            RankedDatabase { index: 2, score: 9.0 },
-            RankedDatabase { index: 0, score: 1.0 },
+            RankedDatabase {
+                index: 2,
+                score: 9.0,
+            },
+            RankedDatabase {
+                index: 0,
+                score: 1.0,
+            },
         ];
         let relevant = vec![1, 0, 9];
         assert_eq!(rk_for_ranking(&ranking, &relevant, 1), Some(1.0));

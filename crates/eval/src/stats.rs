@@ -107,7 +107,12 @@ pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<PairedTTest> {
     let t = md / (var / n as f64).sqrt();
     let df = n - 1;
     let p_value = 2.0 * student_t_sf(t.abs(), df as f64);
-    Some(PairedTTest { t, df, p_value, mean_diff: md })
+    Some(PairedTTest {
+        t,
+        df,
+        p_value,
+        mean_diff: md,
+    })
 }
 
 /// Survival function `P(T > t)` of Student's t distribution with `df`
@@ -272,9 +277,16 @@ mod tests {
     #[test]
     fn paired_t_test_detects_consistent_improvement() {
         let a: Vec<f64> = (0..30).map(|i| 0.6 + 0.01 * (i % 5) as f64).collect();
-        let b: Vec<f64> = a.iter().map(|x| x - 0.05 - 0.001 * (a.len() as f64)).collect();
+        let b: Vec<f64> = a
+            .iter()
+            .map(|x| x - 0.05 - 0.001 * (a.len() as f64))
+            .collect();
         // Add noise-free but non-constant differences.
-        let b: Vec<f64> = b.iter().enumerate().map(|(i, x)| x + 0.001 * (i % 3) as f64).collect();
+        let b: Vec<f64> = b
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + 0.001 * (i % 3) as f64)
+            .collect();
         let result = paired_t_test(&a, &b).unwrap();
         assert!(result.mean_diff > 0.0);
         assert!(result.p_value < 0.001, "p = {}", result.p_value);
@@ -291,6 +303,9 @@ mod tests {
     #[test]
     fn paired_t_test_degenerate_inputs() {
         assert!(paired_t_test(&[1.0], &[2.0]).is_none());
-        assert!(paired_t_test(&[1.0, 2.0], &[0.0, 1.0]).is_none(), "constant difference");
+        assert!(
+            paired_t_test(&[1.0, 2.0], &[0.0, 1.0]).is_none(),
+            "constant difference"
+        );
     }
 }

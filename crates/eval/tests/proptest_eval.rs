@@ -14,7 +14,10 @@ fn word_map() -> impl Strategy<Value = HashMap<u32, f64>> {
 }
 
 fn evaluated(words: HashMap<u32, f64>) -> EvaluatedSummary {
-    EvaluatedSummary { p_df: words.clone(), p_tf: words }
+    EvaluatedSummary {
+        p_df: words.clone(),
+        p_tf: words,
+    }
 }
 
 proptest! {

@@ -57,8 +57,11 @@ impl ProbeClassifier {
                 .filter(|&(_, &df)| df >= 2)
                 .map(|(&term, &df)| {
                     let p_here = f64::from(df) / f64::from(node_docs[node]);
-                    let df_sib =
-                        node_df[parent].get(&term).copied().unwrap_or(0).saturating_sub(df);
+                    let df_sib = node_df[parent]
+                        .get(&term)
+                        .copied()
+                        .unwrap_or(0)
+                        .saturating_sub(df);
                     let p_sib = if sibling_docs > 0 {
                         f64::from(df_sib) / f64::from(sibling_docs)
                     } else {
@@ -99,8 +102,10 @@ impl ProbeClassifier {
                 .children(node)
                 .iter()
                 .map(|&c| {
-                    let hits =
-                        self.probes[c].iter().filter(|p| distinct.binary_search(p).is_ok()).count();
+                    let hits = self.probes[c]
+                        .iter()
+                        .filter(|p| distinct.binary_search(p).is_ok())
+                        .count();
                     (hits, c)
                 })
                 .max_by_key(|&(hits, _)| hits);

@@ -19,11 +19,12 @@
 pub mod classifier;
 pub mod fps;
 pub mod parallel;
-pub mod probes;
 pub mod pipeline;
+pub mod probes;
 pub mod qbs;
 pub mod rules;
 pub mod sample;
+pub mod scheduler;
 pub mod size;
 
 pub use classifier::ProbeClassifier;
@@ -36,4 +37,5 @@ pub use probes::ProbeSource;
 pub use qbs::{qbs_sample, QbsConfig};
 pub use rules::{Rule, RuleClassifier, RuleLearnerConfig};
 pub use sample::DocumentSample;
+pub use scheduler::{db_rng, fan_out};
 pub use size::{sample_resample, SizeEstimationConfig};

@@ -6,59 +6,13 @@
 //! every database gets its own RNG seeded from `base_seed` and its index,
 //! so `threads = 1` and `threads = 32` produce identical profiles.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use textindex::{RemoteDatabase, TermId};
 
 use dbselect_core::hierarchy::Hierarchy;
 
-use crate::probes::ProbeSource;
 use crate::pipeline::{profile_fps, profile_qbs, DatabaseProfile, PipelineConfig};
-
-/// The per-database RNG: decorrelated from neighbours via SplitMix64-style
-/// mixing of the index into the base seed.
-fn db_rng(base_seed: u64, index: usize) -> StdRng {
-    let mut z = base_seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
-}
-
-/// Run `work(index)` for every index in `0..n` over `threads` scoped
-/// threads, collecting the results in index order.
-fn fan_out<T: Send>(n: usize, threads: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = threads.clamp(1, n.max(1));
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    let slots_ptr = std::sync::Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(threads);
-        for _ in 0..threads {
-            let next = &next;
-            let work = &work;
-            handles.push(scope.spawn(move || {
-                let mut produced = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        return produced;
-                    }
-                    produced.push((i, work(i)));
-                }
-            }));
-        }
-        for handle in handles {
-            let produced = handle.join().expect("profiling worker panicked");
-            let mut guard = slots_ptr.lock().expect("slot mutex poisoned");
-            for (i, value) in produced {
-                guard[i] = Some(value);
-            }
-        }
-    });
-    slots.into_iter().map(|s| s.expect("every index produced")).collect()
-}
+use crate::probes::ProbeSource;
+use crate::scheduler::{db_rng, fan_out};
 
 /// Profile every database with QBS in parallel. Deterministic in
 /// `base_seed` regardless of `threads`.
@@ -96,6 +50,8 @@ mod tests {
     use super::*;
     use crate::classifier::ProbeClassifier;
     use corpus::TestBedConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use textindex::IndexedDatabase;
 
     fn fixture() -> (corpus::TestBed, Vec<IndexedDatabase>) {
@@ -107,7 +63,10 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_results() {
         let (bed, dbs) = fixture();
-        let config = PipelineConfig { frequency_estimation: true, ..Default::default() };
+        let config = PipelineConfig {
+            frequency_estimation: true,
+            ..Default::default()
+        };
         let one = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 99, 1);
         let four = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 99, 4);
         assert_eq!(one.len(), four.len());
@@ -125,7 +84,9 @@ mod tests {
         let a = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 1, 2);
         let b = profile_qbs_many(&dbs, &bed.seed_lexicon, &config, 2, 2);
         assert!(
-            a.iter().zip(&b).any(|(x, y)| x.sample.docs != y.sample.docs),
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.sample.docs != y.sample.docs),
             "independent seeds should sample differently"
         );
     }
@@ -151,8 +112,7 @@ mod tests {
         let examples = bed.training_documents(5, &mut rng);
         let classifier = ProbeClassifier::train(&bed.hierarchy, &examples, 6);
         let config = PipelineConfig::default();
-        let profiles =
-            profile_fps_many(&dbs, &bed.hierarchy, &classifier, &config, 7, 4);
+        let profiles = profile_fps_many(&dbs, &bed.hierarchy, &classifier, &config, 7, 4);
         assert_eq!(profiles.len(), dbs.len());
         for p in &profiles {
             assert!(p.classification.is_some());

@@ -12,8 +12,8 @@ use dbselect_core::freqest::{apply_frequency_estimation, FrequencyEstimator};
 use dbselect_core::hierarchy::{CategoryId, Hierarchy};
 use dbselect_core::summary::ContentSummary;
 
-use crate::probes::ProbeSource;
 use crate::fps::{fps_sample, FpsConfig};
+use crate::probes::ProbeSource;
 use crate::qbs::{qbs_sample, QbsConfig};
 use crate::sample::DocumentSample;
 use crate::size::{sample_resample, SizeEstimationConfig};
@@ -64,7 +64,12 @@ pub fn profile_qbs<R: Rng + ?Sized>(
 ) -> DatabaseProfile {
     let sample = qbs_sample(db, seed_lexicon, &config.qbs, rng);
     let summary = summarize(db, &sample, config, rng);
-    DatabaseProfile { summary, classification: None, sample, sampler: SamplerKind::Qbs }
+    DatabaseProfile {
+        summary,
+        classification: None,
+        sample,
+        sampler: SamplerKind::Qbs,
+    }
 }
 
 /// Profile a database with FPS (which also classifies it).

@@ -26,7 +26,10 @@ fn raw_pipeline_uses_sample_as_collection() {
     let mut rng = StdRng::seed_from_u64(1);
     let config = PipelineConfig {
         frequency_estimation: false,
-        qbs: QbsConfig { target_sample_size: 50, ..Default::default() },
+        qbs: QbsConfig {
+            target_sample_size: 50,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let profile = profile_qbs(&db, &[0, 1, 2], &config, &mut rng);
@@ -40,7 +43,11 @@ fn frequency_estimated_pipeline_rescales_to_size_estimate() {
     let mut rng = StdRng::seed_from_u64(2);
     let config = PipelineConfig {
         frequency_estimation: true,
-        qbs: QbsConfig { target_sample_size: 80, checkpoint_interval: 20, ..Default::default() },
+        qbs: QbsConfig {
+            target_sample_size: 80,
+            checkpoint_interval: 20,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let profile = profile_qbs(&db, &[0, 1, 2], &config, &mut rng);
@@ -65,11 +72,18 @@ fn summarize_without_checkpoints_falls_back_to_size_scaling() {
     // A sample too small for any Mandelbrot checkpoint.
     let config = PipelineConfig {
         frequency_estimation: true,
-        qbs: QbsConfig { target_sample_size: 8, checkpoint_interval: 1000, ..Default::default() },
+        qbs: QbsConfig {
+            target_sample_size: 8,
+            checkpoint_interval: 1000,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let sample = crate::qbs::qbs_sample(&db, &[0, 1], &config.qbs, &mut rng);
-    assert!(sample.checkpoints.len() < 2, "fixture assumes no usable regression");
+    assert!(
+        sample.checkpoints.len() < 2,
+        "fixture assumes no usable regression"
+    );
     let summary = summarize(&db, &sample, &config, &mut rng);
     assert!(summary.db_size() >= sample.len() as f64);
 }
@@ -78,7 +92,10 @@ fn summarize_without_checkpoints_falls_back_to_size_scaling() {
 fn empty_sample_produces_empty_summary() {
     let db = fixture_db();
     let mut rng = StdRng::seed_from_u64(4);
-    let config = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let config = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
     let summary = summarize(&db, &DocumentSample::default(), &config, &mut rng);
     assert_eq!(summary.vocabulary_size(), 0);
 }

@@ -41,7 +41,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(91);
         let examples = bed.training_documents(5, &mut rng);
         let classifier = ProbeClassifier::train(&bed.hierarchy, &examples, 6);
-        let node = bed.hierarchy.children(dbselect_core::hierarchy::Hierarchy::ROOT)[0];
+        let node = bed
+            .hierarchy
+            .children(dbselect_core::hierarchy::Hierarchy::ROOT)[0];
         let probes = ProbeSource::probes(&classifier, node);
         assert!(!probes.is_empty());
         assert!(probes.iter().all(|q| q.len() == 1));

@@ -93,7 +93,9 @@ pub fn qbs_sample<R: Rng + ?Sized>(
             if !seen_docs.insert(doc_id) {
                 continue;
             }
-            let doc = db.fetch(doc_id).expect("database returned an id it cannot serve");
+            let doc = db
+                .fetch(doc_id)
+                .expect("database returned an id it cannot serve");
             // Harvest this document's words as future query candidates.
             for term in doc.distinct_terms() {
                 if !queried.contains(&term) && candidate_set.insert(term) {
@@ -144,7 +146,10 @@ mod tests {
     #[test]
     fn sampling_reaches_target_or_exhausts_database() {
         let db = fixture_db();
-        let config = QbsConfig { target_sample_size: 50, ..Default::default() };
+        let config = QbsConfig {
+            target_sample_size: 50,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1, 2], &config, &mut rng());
         assert_eq!(sample.len(), 50);
     }
@@ -152,7 +157,10 @@ mod tests {
     #[test]
     fn sample_documents_are_distinct() {
         let db = fixture_db();
-        let config = QbsConfig { target_sample_size: 60, ..Default::default() };
+        let config = QbsConfig {
+            target_sample_size: 60,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1], &config, &mut rng());
         let ids: HashSet<DocId> = sample.docs.iter().map(|d| d.id).collect();
         assert_eq!(ids.len(), sample.docs.len());
@@ -161,10 +169,17 @@ mod tests {
     #[test]
     fn exact_df_matches_database_truth() {
         let db = fixture_db();
-        let config = QbsConfig { target_sample_size: 40, ..Default::default() };
+        let config = QbsConfig {
+            target_sample_size: 40,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1, 2], &config, &mut rng());
         for (&term, &df) in &sample.exact_df {
-            assert_eq!(df as usize, db.index().document_frequency(term), "term {term}");
+            assert_eq!(
+                df as usize,
+                db.index().document_frequency(term),
+                "term {term}"
+            );
         }
         assert!(!sample.exact_df.is_empty());
     }
@@ -187,10 +202,17 @@ mod tests {
     #[test]
     fn checkpoints_are_taken_as_sample_grows() {
         let db = fixture_db();
-        let config =
-            QbsConfig { target_sample_size: 100, checkpoint_interval: 25, ..Default::default() };
+        let config = QbsConfig {
+            target_sample_size: 100,
+            checkpoint_interval: 25,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1], &config, &mut rng());
-        assert!(sample.checkpoints.len() >= 2, "got {}", sample.checkpoints.len());
+        assert!(
+            sample.checkpoints.len() >= 2,
+            "got {}",
+            sample.checkpoints.len()
+        );
         // Checkpoint sample sizes strictly increase.
         assert!(sample
             .checkpoints
@@ -203,7 +225,10 @@ mod tests {
         let db = fixture_db();
         // Word 0 matches every doc, but a single query may only contribute
         // `docs_per_query` documents, so reaching 10 docs takes ≥ 3 queries.
-        let config = QbsConfig { target_sample_size: 10, ..Default::default() };
+        let config = QbsConfig {
+            target_sample_size: 10,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0], &config, &mut rng());
         assert_eq!(sample.len(), 10);
         assert!(sample.queries_sent >= 3, "sent {}", sample.queries_sent);

@@ -37,7 +37,9 @@ pub struct Rule {
 impl Rule {
     /// Does `terms` (a document's *sorted* distinct terms) satisfy the rule?
     pub fn matches(&self, sorted_distinct_terms: &[TermId]) -> bool {
-        self.terms.iter().all(|t| sorted_distinct_terms.binary_search(t).is_ok())
+        self.terms
+            .iter()
+            .all(|t| sorted_distinct_terms.binary_search(t).is_ok())
     }
 }
 
@@ -57,7 +59,12 @@ pub struct RuleLearnerConfig {
 
 impl Default for RuleLearnerConfig {
     fn default() -> Self {
-        RuleLearnerConfig { max_rule_len: 3, max_rules: 10, min_precision: 0.75, min_coverage: 2 }
+        RuleLearnerConfig {
+            max_rule_len: 3,
+            max_rules: 10,
+            min_precision: 0.75,
+            min_coverage: 2,
+        }
     }
 }
 
@@ -83,7 +90,9 @@ impl RuleClassifier {
 
         let mut rules: Vec<Vec<Rule>> = vec![Vec::new(); hierarchy.len()];
         for node in hierarchy.ids() {
-            let Some(parent) = hierarchy.parent(node) else { continue };
+            let Some(parent) = hierarchy.parent(node) else {
+                continue;
+            };
             // Positives: examples whose path passes through `node`.
             // Negatives: examples under `parent` but a different child.
             let mut positives: Vec<&[TermId]> = Vec::new();
@@ -119,7 +128,10 @@ impl RuleClassifier {
                 .children(node)
                 .iter()
                 .map(|&c| {
-                    let hits = self.rules[c].iter().filter(|r| r.matches(&distinct)).count();
+                    let hits = self.rules[c]
+                        .iter()
+                        .filter(|r| r.matches(&distinct))
+                        .count();
                     (hits, std::cmp::Reverse(c))
                 })
                 .max();
@@ -133,7 +145,10 @@ impl RuleClassifier {
 
 impl ProbeSource for RuleClassifier {
     fn probes(&self, category: CategoryId) -> Vec<Vec<TermId>> {
-        self.rules[category].iter().map(|r| r.terms.clone()).collect()
+        self.rules[category]
+            .iter()
+            .map(|r| r.terms.clone())
+            .collect()
     }
 }
 
@@ -146,13 +161,13 @@ fn learn_rules(
     let mut remaining: Vec<&[TermId]> = positives.to_vec();
     let mut rules = Vec::new();
     while !remaining.is_empty() && rules.len() < config.max_rules {
-        let Some(rule) = grow_rule(&remaining, negatives, config) else { break };
-        let covered: Vec<bool> =
-            remaining.iter().map(|terms| rule.matches(terms)).collect();
+        let Some(rule) = grow_rule(&remaining, negatives, config) else {
+            break;
+        };
+        let covered: Vec<bool> = remaining.iter().map(|terms| rule.matches(terms)).collect();
         let covered_count = covered.iter().filter(|&&c| c).count();
         let false_positives = negatives.iter().filter(|terms| rule.matches(terms)).count();
-        let precision =
-            covered_count as f64 / (covered_count + false_positives).max(1) as f64;
+        let precision = covered_count as f64 / (covered_count + false_positives).max(1) as f64;
         if covered_count < config.min_coverage || precision < config.min_precision {
             break;
         }
@@ -177,7 +192,9 @@ fn grow_rule(
     let mut covered_neg: Vec<&[TermId]> = negatives.to_vec();
     let mut terms: Vec<TermId> = Vec::new();
     while terms.len() < config.max_rule_len && !covered_neg.is_empty() {
-        let Some(best) = best_literal(&covered_pos, &covered_neg, &terms) else { break };
+        let Some(best) = best_literal(&covered_pos, &covered_neg, &terms) else {
+            break;
+        };
         terms.push(best);
         covered_pos.retain(|t| t.binary_search(&best).is_ok());
         covered_neg.retain(|t| t.binary_search(&best).is_ok());
@@ -261,8 +278,7 @@ mod tests {
     #[test]
     fn learner_separates_clean_classes() {
         // Positives all contain {10, 11}; negatives contain 10 xor 11.
-        let pos_data: Vec<Vec<TermId>> =
-            (0..6).map(|i| doc_from(&[10, 11, 20 + i])).collect();
+        let pos_data: Vec<Vec<TermId>> = (0..6).map(|i| doc_from(&[10, 11, 20 + i])).collect();
         let neg_data: Vec<Vec<TermId>> = (0..6)
             .map(|i| doc_from(&[if i % 2 == 0 { 10 } else { 11 }, 30 + i]))
             .collect();
@@ -288,7 +304,10 @@ mod tests {
         let data: Vec<Vec<TermId>> = (0..8).map(|i| doc_from(&[1, 2, i])).collect();
         let positives: Vec<&[TermId]> = data[..4].iter().map(|d| d.as_slice()).collect();
         let negatives: Vec<&[TermId]> = data[4..].iter().map(|d| d.as_slice()).collect();
-        let config = RuleLearnerConfig { min_precision: 0.95, ..Default::default() };
+        let config = RuleLearnerConfig {
+            min_precision: 0.95,
+            ..Default::default()
+        };
         let rules = learn_rules(&positives, &negatives, &config);
         // Either nothing, or only rules keyed to the idiosyncratic third
         // term (which covers one doc and fails min_coverage).
@@ -328,9 +347,7 @@ mod tests {
         for (leaf, doc) in &fresh {
             let predicted = classifier.classify_document(&bed.hierarchy, doc);
             let path = bed.hierarchy.path_from_root(*leaf);
-            if path.contains(&predicted)
-                || bed.hierarchy.is_ancestor_or_self(path[1], predicted)
-            {
+            if path.contains(&predicted) || bed.hierarchy.is_ancestor_or_self(path[1], predicted) {
                 consistent += 1;
             }
         }

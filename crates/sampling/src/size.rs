@@ -24,7 +24,10 @@ pub struct SizeEstimationConfig {
 
 impl Default for SizeEstimationConfig {
     fn default() -> Self {
-        SizeEstimationConfig { probes: 5, min_sample_df: 3 }
+        SizeEstimationConfig {
+            probes: 5,
+            min_sample_df: 3,
+        }
     }
 }
 
@@ -96,7 +99,10 @@ mod tests {
     fn estimates_are_in_the_right_ballpark() {
         let db = fixture_db();
         let mut rng = StdRng::seed_from_u64(17);
-        let qbs = QbsConfig { target_sample_size: 100, ..Default::default() };
+        let qbs = QbsConfig {
+            target_sample_size: 100,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1, 2], &qbs, &mut rng);
         let est = sample_resample(&db, &sample, &SizeEstimationConfig::default(), &mut rng);
         // True size 400; accept a generous band — the method's accuracy
@@ -108,7 +114,10 @@ mod tests {
     fn estimate_never_below_sample_size() {
         let db = fixture_db();
         let mut rng = StdRng::seed_from_u64(18);
-        let qbs = QbsConfig { target_sample_size: 50, ..Default::default() };
+        let qbs = QbsConfig {
+            target_sample_size: 50,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1], &qbs, &mut rng);
         let est = sample_resample(&db, &sample, &SizeEstimationConfig::default(), &mut rng);
         assert!(est >= sample.len() as f64);
@@ -133,7 +142,10 @@ mod tests {
         // not panic and must produce a finite value.
         let db = fixture_db();
         let mut rng = StdRng::seed_from_u64(20);
-        let qbs = QbsConfig { target_sample_size: 60, ..Default::default() };
+        let qbs = QbsConfig {
+            target_sample_size: 60,
+            ..Default::default()
+        };
         let sample = qbs_sample(&db, &[0, 1, 2, 3], &qbs, &mut rng);
         let est = sample_resample(&db, &sample, &SizeEstimationConfig::default(), &mut rng);
         assert!(est.is_finite() && est > 0.0);

@@ -84,8 +84,10 @@ pub fn adaptive_rank<R: Rng + ?Sized>(
         ShrinkageMode::Adaptive => {
             // The uncertainty test scores against the *unshrunk* context:
             // it asks how trustworthy the sample-based score is.
-            let unshrunk_views: Vec<&dyn SummaryView> =
-                databases.iter().map(|d| d.unshrunk as &dyn SummaryView).collect();
+            let unshrunk_views: Vec<&dyn SummaryView> = databases
+                .iter()
+                .map(|d| d.unshrunk as &dyn SummaryView)
+                .collect();
             let ctx = CollectionContext::build(query, &unshrunk_views);
             databases
                 .iter()
@@ -107,7 +109,10 @@ pub fn adaptive_rank<R: Rng + ?Sized>(
         })
         .collect();
     let ranking = rank_databases(algorithm, query, &chosen_views);
-    AdaptiveOutcome { ranking, used_shrinkage }
+    AdaptiveOutcome {
+        ranking,
+        used_shrinkage,
+    }
 }
 
 /// The Content Summary Selection test for one database: estimate the score
@@ -133,9 +138,43 @@ pub fn score_is_uncertain<R: Rng + ?Sized>(
         .iter()
         .map(|&w| {
             let sample_df = summary.word(w).map_or(0, |s| s.sample_df);
-            WordPosterior::new(sample_df, sample_size, db_size, gamma, config.uncertainty.grid_points)
+            WordPosterior::new(
+                sample_df,
+                sample_size,
+                db_size,
+                gamma,
+                config.uncertainty.grid_points,
+            )
         })
         .collect();
+    score_is_uncertain_with_posteriors(algorithm, query, summary, &posteriors, ctx, config, rng)
+}
+
+/// [`score_is_uncertain`] with the word posteriors supplied by the caller.
+///
+/// The posterior grid of a word depends only on `(sample_df, |S|, |D̂|, γ,
+/// grid_points)` — all properties of the (database, word) pair, none of the
+/// query — so a serving layer can build each grid once and reuse it across
+/// queries. Accepts any [`std::borrow::Borrow`]`<WordPosterior>` (owned
+/// grids, cached `Arc`s); given the same grids, the decision is
+/// bit-identical to [`score_is_uncertain`].
+pub fn score_is_uncertain_with_posteriors<R, P>(
+    algorithm: &dyn SelectionAlgorithm,
+    query: &[TermId],
+    summary: &dyn SummaryView,
+    posteriors: &[P],
+    ctx: &CollectionContext,
+    config: &AdaptiveConfig,
+    rng: &mut R,
+) -> bool
+where
+    R: Rng + ?Sized,
+    P: std::borrow::Borrow<WordPosterior>,
+{
+    if query.is_empty() {
+        return false;
+    }
+    let db_size = summary.db_size();
     // Measure the distribution of the *evidence* the score carries above
     // the default (empty-query) score. For bGlOSS the default is 0 and this
     // is exactly the paper's test; for CORI and LM the default-belief floor
@@ -143,16 +182,19 @@ pub fn score_is_uncertain<R: Rng + ?Sized>(
     // mean and make `std > mean` unreachable, contradicting the non-zero
     // application rates of the paper's Table 10.
     let default = algorithm.default_score(query, summary, ctx);
-    let dist = match (config.exact_moments, algorithm.product_form(query, summary, ctx)) {
+    let dist = match (
+        config.exact_moments,
+        algorithm.product_form(query, summary, ctx),
+    ) {
         (true, Some((scale, coefficients))) => {
             // Exact independence shortcut: subtracting the constant default
             // shifts the mean and leaves the variance untouched.
-            let mut d = product_score_distribution(&posteriors, db_size, scale, &coefficients);
+            let mut d = product_score_distribution(posteriors, db_size, scale, &coefficients);
             d.mean -= default;
             d
         }
         _ => score_distribution(
-            &posteriors,
+            posteriors,
             db_size,
             |p| algorithm.score_with_df_fractions(query, p, summary, ctx) - default,
             rng,
@@ -183,7 +225,14 @@ mod tests {
         for &t in present {
             let sample_df = sample_size / 2;
             let df = f64::from(sample_df) / f64::from(sample_size) * db_size;
-            words.insert(t, WordStats { sample_df, df, tf: df * 2.0 });
+            words.insert(
+                t,
+                WordStats {
+                    sample_df,
+                    df,
+                    tf: df * 2.0,
+                },
+            );
         }
         ContentSummary::new(db_size, sample_size, words)
     }
@@ -193,18 +242,26 @@ mod tests {
             p_df: extra.iter().copied().collect(),
             p_tf: extra.iter().copied().collect(),
         };
-        shrink(summary, &[std::sync::Arc::new(comp)], &ShrinkageConfig::default())
+        shrink(
+            summary,
+            &[std::sync::Arc::new(comp)],
+            &ShrinkageConfig::default(),
+        )
     }
 
     #[test]
     fn always_and_never_modes_force_the_choice() {
         let s = sampled_summary(1000.0, 100, &[1]);
         let r = shrunk_for(&s, &[(1, 0.3)]);
-        let dbs = [SummaryPair { unshrunk: &s, shrunk: &r }];
-        for (mode, expected) in
-            [(ShrinkageMode::Always, true), (ShrinkageMode::Never, false)]
-        {
-            let config = AdaptiveConfig { mode, ..Default::default() };
+        let dbs = [SummaryPair {
+            unshrunk: &s,
+            shrunk: &r,
+        }];
+        for (mode, expected) in [(ShrinkageMode::Always, true), (ShrinkageMode::Never, false)] {
+            let config = AdaptiveConfig {
+                mode,
+                ..Default::default()
+            };
             let out = adaptive_rank(&BGloss, &[1], &dbs, &config, &mut rng());
             assert_eq!(out.used_shrinkage, vec![expected]);
         }
@@ -216,7 +273,10 @@ mod tests {
         // product score is wildly uncertain → shrink.
         let s = sampled_summary(100_000.0, 300, &[1]);
         let r = shrunk_for(&s, &[(42, 0.01)]);
-        let dbs = [SummaryPair { unshrunk: &s, shrunk: &r }];
+        let dbs = [SummaryPair {
+            unshrunk: &s,
+            shrunk: &r,
+        }];
         let config = AdaptiveConfig::default();
         let out = adaptive_rank(&BGloss, &[1, 42], &dbs, &config, &mut rng());
         assert_eq!(out.used_shrinkage, vec![true]);
@@ -230,7 +290,10 @@ mod tests {
         // sample-based score is trustworthy.
         let s = sampled_summary(320.0, 300, &[1, 2]);
         let r = shrunk_for(&s, &[(1, 0.2)]);
-        let dbs = [SummaryPair { unshrunk: &s, shrunk: &r }];
+        let dbs = [SummaryPair {
+            unshrunk: &s,
+            shrunk: &r,
+        }];
         let config = AdaptiveConfig::default();
         let out = adaptive_rank(&BGloss, &[1, 2], &dbs, &config, &mut rng());
         assert_eq!(out.used_shrinkage, vec![false]);
@@ -242,11 +305,26 @@ mod tests {
         let s2 = sampled_summary(1000.0, 100, &[]);
         let r1 = shrunk_for(&s1, &[(1, 0.1)]);
         let r2 = shrunk_for(&s2, &[(1, 0.1)]);
-        let dbs =
-            [SummaryPair { unshrunk: &s1, shrunk: &r1 }, SummaryPair { unshrunk: &s2, shrunk: &r2 }];
-        let config = AdaptiveConfig { mode: ShrinkageMode::Never, ..Default::default() };
+        let dbs = [
+            SummaryPair {
+                unshrunk: &s1,
+                shrunk: &r1,
+            },
+            SummaryPair {
+                unshrunk: &s2,
+                shrunk: &r2,
+            },
+        ];
+        let config = AdaptiveConfig {
+            mode: ShrinkageMode::Never,
+            ..Default::default()
+        };
         let out = adaptive_rank(&BGloss, &[1], &dbs, &config, &mut rng());
-        assert_eq!(out.ranking.len(), 1, "db without the word is at default score");
+        assert_eq!(
+            out.ranking.len(),
+            1,
+            "db without the word is at default score"
+        );
         assert_eq!(out.ranking[0].index, 0);
     }
 
@@ -256,11 +334,26 @@ mod tests {
         let s2 = sampled_summary(1000.0, 100, &[]);
         let r1 = shrunk_for(&s1, &[(1, 0.1)]);
         let r2 = shrunk_for(&s2, &[(1, 0.1)]);
-        let dbs =
-            [SummaryPair { unshrunk: &s1, shrunk: &r1 }, SummaryPair { unshrunk: &s2, shrunk: &r2 }];
-        let config = AdaptiveConfig { mode: ShrinkageMode::Always, ..Default::default() };
+        let dbs = [
+            SummaryPair {
+                unshrunk: &s1,
+                shrunk: &r1,
+            },
+            SummaryPair {
+                unshrunk: &s2,
+                shrunk: &r2,
+            },
+        ];
+        let config = AdaptiveConfig {
+            mode: ShrinkageMode::Always,
+            ..Default::default()
+        };
         let out = adaptive_rank(&BGloss, &[1], &dbs, &config, &mut rng());
-        assert_eq!(out.ranking.len(), 2, "shrinkage gives db 2 a non-zero score");
+        assert_eq!(
+            out.ranking.len(),
+            2,
+            "shrinkage gives db 2 a non-zero score"
+        );
         assert_eq!(out.ranking[0].index, 0, "direct evidence still wins");
     }
 
@@ -296,7 +389,14 @@ mod exact_moment_tests {
             .iter()
             .map(|&(t, sdf)| {
                 let df = f64::from(sdf) / 300.0 * db_size;
-                (t, WordStats { sample_df: sdf, df, tf: df * 1.5 })
+                (
+                    t,
+                    WordStats {
+                        sample_df: sdf,
+                        df,
+                        tf: df * 1.5,
+                    },
+                )
             })
             .collect();
         ContentSummary::new(db_size, 300, words)
@@ -317,7 +417,10 @@ mod exact_moment_tests {
             let mut rng = StdRng::seed_from_u64(123);
             let mc_config = AdaptiveConfig::default();
             let mc = score_is_uncertain(&BGloss, &query, &s, &ctx, &mc_config, &mut rng);
-            let exact_config = AdaptiveConfig { exact_moments: true, ..Default::default() };
+            let exact_config = AdaptiveConfig {
+                exact_moments: true,
+                ..Default::default()
+            };
             let exact = score_is_uncertain(&BGloss, &query, &s, &ctx, &exact_config, &mut rng);
             assert_eq!(mc, exact, "db_size {db_size}, query {query:?}");
         }
@@ -325,12 +428,29 @@ mod exact_moment_tests {
 
     /// The exact path is deterministic without consuming the RNG.
     #[test]
-    fn exact_path_ignores_rng_state(){
+    fn exact_path_ignores_rng_state() {
         let s = sampled(10_000.0, &[(1, 3)]);
         let ctx = CollectionContext::build(&[1, 9], &[&s as &dyn SummaryView]);
-        let config = AdaptiveConfig { exact_moments: true, ..Default::default() };
-        let a = score_is_uncertain(&BGloss, &[1, 9], &s, &ctx, &config, &mut StdRng::seed_from_u64(1));
-        let b = score_is_uncertain(&BGloss, &[1, 9], &s, &ctx, &config, &mut StdRng::seed_from_u64(999));
+        let config = AdaptiveConfig {
+            exact_moments: true,
+            ..Default::default()
+        };
+        let a = score_is_uncertain(
+            &BGloss,
+            &[1, 9],
+            &s,
+            &ctx,
+            &config,
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = score_is_uncertain(
+            &BGloss,
+            &[1, 9],
+            &s,
+            &ctx,
+            &config,
+            &mut StdRng::seed_from_u64(999),
+        );
         assert_eq!(a, b);
     }
 }

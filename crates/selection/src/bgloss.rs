@@ -63,8 +63,8 @@ impl SelectionAlgorithm for BGloss {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::context::test_support::summary;
     use crate::context::rank_databases;
+    use crate::context::test_support::summary;
 
     #[test]
     fn score_is_expected_match_count() {

@@ -2,8 +2,6 @@
 //! the collection-level statistics (CORI's `cf`, `mcw`) and the common
 //! ranking routine.
 
-use std::collections::HashMap;
-
 use dbselect_core::summary::SummaryView;
 use textindex::TermId;
 
@@ -12,11 +10,14 @@ use textindex::TermId;
 pub struct CollectionContext {
     /// Number of databases being ranked (`m` in CORI).
     pub m: usize,
-    /// For each query word, the number of databases that "effectively"
-    /// contain it. Following Section 5.3, a word counts as present in `D`
-    /// only when `round(|D̂|·p̂(w|D)) ≥ 1` — crucial under shrinkage, where
-    /// every word has non-zero probability everywhere.
-    pub cf: HashMap<TermId, u32>,
+    /// `cf[k]` is the number of databases that "effectively" contain the
+    /// `k`-th query word — dense, indexed by query position rather than
+    /// keyed by term, so the scoring hot loop does no hashing. Following
+    /// Section 5.3, a word counts as present in `D` only when
+    /// `round(|D̂|·p̂(w|D)) ≥ 1` — crucial under shrinkage, where every word
+    /// has non-zero probability everywhere. Duplicate query words get equal
+    /// entries.
+    pub cf: Vec<u32>,
     /// Mean database word count (`mcw` in CORI).
     pub mcw: f64,
 }
@@ -25,9 +26,9 @@ impl CollectionContext {
     /// Compute the context for `query` over the summary views actually
     /// chosen for scoring.
     pub fn build(query: &[TermId], views: &[&dyn SummaryView]) -> Self {
-        let mut cf: HashMap<TermId, u32> = query.iter().map(|&w| (w, 0)).collect();
+        let mut cf = vec![0u32; query.len()];
         for view in views {
-            for (&w, count) in cf.iter_mut() {
+            for (count, &w) in cf.iter_mut().zip(query) {
                 if view.effectively_contains(w) {
                     *count += 1;
                 }
@@ -38,7 +39,11 @@ impl CollectionContext {
         } else {
             views.iter().map(|v| v.word_count()).sum::<f64>() / views.len() as f64
         };
-        CollectionContext { m: views.len(), cf, mcw }
+        CollectionContext {
+            m: views.len(),
+            cf,
+            mcw,
+        }
     }
 }
 
@@ -82,8 +87,16 @@ pub trait SelectionAlgorithm {
     }
 
     /// Score a database from its content summary.
-    fn score_db(&self, query: &[TermId], summary: &dyn SummaryView, ctx: &CollectionContext) -> f64 {
-        let p: Vec<f64> = query.iter().map(|&w| self.word_probability(summary, w)).collect();
+    fn score_db(
+        &self,
+        query: &[TermId],
+        summary: &dyn SummaryView,
+        ctx: &CollectionContext,
+    ) -> f64 {
+        let p: Vec<f64> = query
+            .iter()
+            .map(|&w| self.word_probability(summary, w))
+            .collect();
         self.score_with_p(query, &p, summary, ctx)
     }
 
@@ -153,12 +166,52 @@ pub fn rank_databases(
     views: &[&dyn SummaryView],
 ) -> Vec<RankedDatabase> {
     let ctx = CollectionContext::build(query, views);
-    let mut ranked: Vec<RankedDatabase> = views
-        .iter()
+    rank_databases_with_context(algorithm, query, views.iter().map(|v| (*v).into()), &ctx)
+}
+
+/// An item for [`rank_databases_with_context`]: a view tagged with the index
+/// the ranking should report for it.
+pub struct IndexedView<'a> {
+    /// The index reported in [`RankedDatabase::index`].
+    pub index: usize,
+    /// The summary view to score.
+    pub view: &'a dyn SummaryView,
+}
+
+impl<'a> From<&'a dyn SummaryView> for IndexedView<'a> {
+    fn from(view: &'a dyn SummaryView) -> Self {
+        IndexedView {
+            index: usize::MAX,
+            view,
+        }
+    }
+}
+
+/// The scoring core behind [`rank_databases`], with the collection context
+/// supplied by the caller. This lets a serving layer compute `m`, `cf`, and
+/// `mcw` from a precomputed index (posting lists) and score only candidate
+/// databases, while sharing the exact float operations — and hence
+/// bit-identical scores — with the full scan.
+///
+/// Items whose [`IndexedView::index`] is `usize::MAX` (the `From`
+/// conversion's placeholder) are renumbered by position.
+pub fn rank_databases_with_context<'a>(
+    algorithm: &dyn SelectionAlgorithm,
+    query: &[TermId],
+    items: impl IntoIterator<Item = IndexedView<'a>>,
+    ctx: &CollectionContext,
+) -> Vec<RankedDatabase> {
+    let mut ranked: Vec<RankedDatabase> = items
+        .into_iter()
         .enumerate()
-        .filter_map(|(index, view)| {
-            let score = algorithm.score_db(query, *view, &ctx);
-            let default = algorithm.default_score(query, *view, &ctx);
+        .filter_map(|(position, item)| {
+            let index = if item.index == usize::MAX {
+                position
+            } else {
+                item.index
+            };
+            let score = algorithm.score_db(query, item.view, ctx);
+            let default = algorithm.default_score(query, item.view, ctx);
             // Relative threshold: any evidence above the default counts,
             // however small (product scores over shrunk summaries can be
             // astronomically tiny yet meaningful).
@@ -166,7 +219,12 @@ pub fn rank_databases(
             (score > threshold).then_some(RankedDatabase { index, score })
         })
         .collect();
-    ranked.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.index.cmp(&b.index)));
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap()
+            .then(a.index.cmp(&b.index))
+    });
     ranked
 }
 
@@ -180,7 +238,16 @@ pub(crate) mod test_support {
     pub fn summary(db_size: f64, dfs: &[(TermId, f64)]) -> ContentSummary {
         let words: HashMap<TermId, WordStats> = dfs
             .iter()
-            .map(|&(t, df)| (t, WordStats { sample_df: df as u32, df, tf: df * 2.0 }))
+            .map(|&(t, df)| {
+                (
+                    t,
+                    WordStats {
+                        sample_df: df as u32,
+                        df,
+                        tf: df * 2.0,
+                    },
+                )
+            })
             .collect();
         ContentSummary::new(db_size, db_size as u32, words)
     }
@@ -213,9 +280,9 @@ mod tests {
         let b = summary(10.0, &[(1, 1.0)]);
         let views: Vec<&dyn SummaryView> = vec![&a, &b];
         let ctx = CollectionContext::build(&[1, 2, 3], &views);
-        assert_eq!(ctx.cf[&1], 2);
-        assert_eq!(ctx.cf[&2], 0, "round(0.2) < 1 means not present");
-        assert_eq!(ctx.cf[&3], 0);
+        assert_eq!(ctx.cf[0], 2);
+        assert_eq!(ctx.cf[1], 0, "round(0.2) < 1 means not present");
+        assert_eq!(ctx.cf[2], 0);
         assert_eq!(ctx.m, 2);
     }
 

@@ -32,7 +32,11 @@ pub struct Cori {
 
 impl Default for Cori {
     fn default() -> Self {
-        Cori { default_belief: 0.4, df_base: 50.0, df_scale: 150.0 }
+        Cori {
+            default_belief: 0.4,
+            df_base: 50.0,
+            df_scale: 150.0,
+        }
     }
 }
 
@@ -65,11 +69,15 @@ impl SelectionAlgorithm for Cori {
         if query.is_empty() {
             return 0.0;
         }
-        let cw_ratio = if ctx.mcw > 0.0 { summary.word_count() / ctx.mcw } else { 1.0 };
+        let cw_ratio = if ctx.mcw > 0.0 {
+            summary.word_count() / ctx.mcw
+        } else {
+            1.0
+        };
         let denom_extra = self.df_base + self.df_scale * cw_ratio;
         let m = ctx.m as f64;
         let mut score = 0.0;
-        for (&w, &pw) in query.iter().zip(p) {
+        for (k, &pw) in p.iter().enumerate().take(query.len()) {
             let df = pw * summary.db_size();
             if df.round() < 1.0 {
                 // A query term the database does not effectively contain
@@ -84,7 +92,7 @@ impl SelectionAlgorithm for Cori {
                 continue;
             }
             let t = df / (df + denom_extra);
-            let cf = ctx.cf.get(&w).copied().unwrap_or(0);
+            let cf = ctx.cf.get(k).copied().unwrap_or(0);
             // With cf = 0 no database effectively contains the word; use
             // I = 0 to avoid log(∞) (T-weighted, so the term vanishes).
             let i = if cf > 0 {
@@ -141,10 +149,9 @@ mod tests {
         let a = summary(1000.0, &[(1, 100.0)]);
         let b = summary(1000.0, &[(1, 100.0), (2, 100.0)]);
         let views: Vec<&dyn SummaryView> = vec![&a, &b];
-        let ctx = CollectionContext::build(&[1, 2], &views);
         let algo = Cori::default();
-        let s_common = algo.score_db(&[1], &b, &ctx);
-        let s_rare = algo.score_db(&[2], &b, &ctx);
+        let s_common = algo.score_db(&[1], &b, &CollectionContext::build(&[1], &views));
+        let s_rare = algo.score_db(&[2], &b, &CollectionContext::build(&[2], &views));
         assert!(s_rare > s_common, "{s_rare} vs {s_common}");
     }
 
@@ -162,7 +169,14 @@ mod tests {
         // Same df, but database b has a much larger word count → lower T.
         let a = summary(1000.0, &[(1, 100.0)]);
         let mut b = summary(1000.0, &[(1, 100.0)]);
-        b.set_word(999, dbselect_core::summary::WordStats { sample_df: 1, df: 1.0, tf: 50_000.0 });
+        b.set_word(
+            999,
+            dbselect_core::summary::WordStats {
+                sample_df: 1,
+                df: 1.0,
+                tf: 50_000.0,
+            },
+        );
         let views: Vec<&dyn SummaryView> = vec![&a, &b];
         let ctx = CollectionContext::build(&[1], &views);
         let algo = Cori::default();

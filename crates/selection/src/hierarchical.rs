@@ -54,8 +54,10 @@ impl<'a> HierarchicalSelector<'a> {
                 subtree_counts[node] += 1;
             }
         }
-        let materialized =
-            hierarchy.ids().map(|c| category_summaries.category_summary(c)).collect();
+        let materialized = hierarchy
+            .ids()
+            .map(|c| category_summaries.category_summary(c))
+            .collect();
         HierarchicalSelector {
             hierarchy,
             db_summaries,
@@ -78,7 +80,10 @@ impl<'a> HierarchicalSelector<'a> {
         self.explore(algorithm, query, Hierarchy::ROOT, k, &mut out);
         out.into_iter()
             .enumerate()
-            .map(|(pos, index)| RankedDatabase { index, score: (k - pos) as f64 })
+            .map(|(pos, index)| RankedDatabase {
+                index,
+                score: (k - pos) as f64,
+            })
             .collect()
     }
 
@@ -156,8 +161,11 @@ impl<'a> HierarchicalSelector<'a> {
     /// The scoring context over the flat database collection (exposed for
     /// parity checks in tests).
     pub fn flat_context(&self, query: &[TermId]) -> CollectionContext {
-        let views: Vec<&dyn SummaryView> =
-            self.db_summaries.iter().map(|s| s as &dyn SummaryView).collect();
+        let views: Vec<&dyn SummaryView> = self
+            .db_summaries
+            .iter()
+            .map(|s| s as &dyn SummaryView)
+            .collect();
         CollectionContext::build(query, &views)
     }
 }
@@ -173,7 +181,16 @@ mod tests {
     fn summary(db_size: f64, dfs: &[(TermId, f64)]) -> ContentSummary {
         let words: HashMap<TermId, WordStats> = dfs
             .iter()
-            .map(|&(t, df)| (t, WordStats { sample_df: df as u32, df, tf: df * 2.0 }))
+            .map(|&(t, df)| {
+                (
+                    t,
+                    WordStats {
+                        sample_df: df as u32,
+                        df,
+                        tf: df * 2.0,
+                    },
+                )
+            })
             .collect();
         ContentSummary::new(db_size, db_size as u32, words)
     }
@@ -199,8 +216,11 @@ mod tests {
         summaries: &'a [ContentSummary],
         classifications: &'a [CategoryId],
     ) -> HierarchicalSelector<'a> {
-        let refs: Vec<(CategoryId, &ContentSummary)> =
-            classifications.iter().copied().zip(summaries.iter()).collect();
+        let refs: Vec<(CategoryId, &ContentSummary)> = classifications
+            .iter()
+            .copied()
+            .zip(summaries.iter())
+            .collect();
         let cats = CategorySummaries::build(h, &refs, CategoryWeighting::BySize);
         HierarchicalSelector::new(h, summaries, classifications, &cats)
     }
@@ -256,8 +276,11 @@ mod tests {
             summary(100.0, &[(5, 60.0)]),               // sports db (highest p̂!)
         ];
         let classifications = vec![health, health, sports];
-        let refs: Vec<(CategoryId, &ContentSummary)> =
-            classifications.iter().copied().zip(summaries.iter()).collect();
+        let refs: Vec<(CategoryId, &ContentSummary)> = classifications
+            .iter()
+            .copied()
+            .zip(summaries.iter())
+            .collect();
         let cats = CategorySummaries::build(&h, &refs, CategoryWeighting::BySize);
         let sel = HierarchicalSelector::new(&h, &summaries, &classifications, &cats);
         let ranked = sel.rank(&BGloss, &[5], 2);

@@ -24,10 +24,14 @@ pub mod merge;
 pub mod redde;
 
 pub use adaptive::{
-    adaptive_rank, score_is_uncertain, AdaptiveConfig, AdaptiveOutcome, ShrinkageMode, SummaryPair,
+    adaptive_rank, score_is_uncertain, score_is_uncertain_with_posteriors, AdaptiveConfig,
+    AdaptiveOutcome, ShrinkageMode, SummaryPair,
 };
 pub use bgloss::BGloss;
-pub use context::{rank_databases, CollectionContext, RankedDatabase, SelectionAlgorithm};
+pub use context::{
+    rank_databases, rank_databases_with_context, CollectionContext, IndexedView, RankedDatabase,
+    SelectionAlgorithm,
+};
 pub use cori::Cori;
 pub use hierarchical::HierarchicalSelector;
 pub use lm::Lm;

@@ -31,8 +31,10 @@ impl Lm {
     /// Build from the Root category summary (or any summary standing in for
     /// the global language model `G`).
     pub fn new(lambda: f64, global_summary: &ContentSummary) -> Self {
-        let global =
-            global_summary.iter().map(|(t, _)| (t, global_summary.p_tf(t))).collect();
+        let global = global_summary
+            .iter()
+            .map(|(t, _)| (t, global_summary.p_tf(t)))
+            .collect();
         Lm { lambda, global }
     }
 

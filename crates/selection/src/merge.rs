@@ -60,7 +60,11 @@ fn round_robin(inputs: &[(usize, f64, SearchOutcome)], limit: usize) -> Vec<Merg
     // Databases in descending selection-score order.
     let mut order: Vec<usize> = (0..inputs.len()).collect();
     order.sort_by(|&a, &b| {
-        inputs[b].1.partial_cmp(&inputs[a].1).unwrap().then(inputs[a].0.cmp(&inputs[b].0))
+        inputs[b]
+            .1
+            .partial_cmp(&inputs[a].1)
+            .unwrap()
+            .then(inputs[a].0.cmp(&inputs[b].0))
     });
     let mut out = Vec::with_capacity(limit);
     let mut depth = 0usize;
@@ -73,7 +77,11 @@ fn round_robin(inputs: &[(usize, f64, SearchOutcome)], limit: usize) -> Vec<Merg
                 // Synthetic decreasing score preserves the interleaved order.
                 let score = -((out.len()) as f64);
                 let _ = db_score;
-                out.push(MergedResult { database: *db, doc, score });
+                out.push(MergedResult {
+                    database: *db,
+                    doc,
+                    score,
+                });
                 if out.len() >= limit {
                     return out;
                 }
@@ -95,11 +103,15 @@ fn by_score(
     let mut out: Vec<MergedResult> = inputs
         .iter()
         .flat_map(|(db, db_score, outcome)| {
-            outcome.doc_ids.iter().zip(&outcome.scores).map(move |(&doc, &s)| MergedResult {
-                database: *db,
-                doc,
-                score: score_fn(s, *db_score),
-            })
+            outcome
+                .doc_ids
+                .iter()
+                .zip(&outcome.scores)
+                .map(move |(&doc, &s)| MergedResult {
+                    database: *db,
+                    doc,
+                    score: score_fn(s, *db_score),
+                })
         })
         .collect();
     out.sort_by(|a, b| {
@@ -126,10 +138,17 @@ fn cori_weighted(inputs: &[(usize, f64, SearchOutcome)], limit: usize) -> Vec<Me
         for (&doc, &d) in outcome.doc_ids.iter().zip(&outcome.scores) {
             // Degenerate single-score lists normalize to 1, not 0, so a
             // lone result still carries its database's weight.
-            let d_norm =
-                if d_max == d_min { 1.0 } else { (d - d_min) / d_range };
+            let d_norm = if d_max == d_min {
+                1.0
+            } else {
+                (d - d_min) / d_range
+            };
             let merged = (d_norm + 0.4 * d_norm * c_norm) / 1.4;
-            out.push(MergedResult { database: *db, doc, score: merged });
+            out.push(MergedResult {
+                database: *db,
+                doc,
+                score: merged,
+            });
         }
     }
     out.sort_by(|a, b| {
@@ -201,9 +220,11 @@ mod tests {
 
     #[test]
     fn limit_truncates_output() {
-        for strategy in
-            [MergeStrategy::RoundRobin, MergeStrategy::RawScore, MergeStrategy::CoriWeighted]
-        {
+        for strategy in [
+            MergeStrategy::RoundRobin,
+            MergeStrategy::RawScore,
+            MergeStrategy::CoriWeighted,
+        ] {
             let merged = merge_results(&fixture(), strategy, 3);
             assert_eq!(merged.len(), 3, "{strategy:?}");
         }
@@ -211,9 +232,11 @@ mod tests {
 
     #[test]
     fn empty_inputs_yield_empty_output() {
-        for strategy in
-            [MergeStrategy::RoundRobin, MergeStrategy::RawScore, MergeStrategy::CoriWeighted]
-        {
+        for strategy in [
+            MergeStrategy::RoundRobin,
+            MergeStrategy::RawScore,
+            MergeStrategy::CoriWeighted,
+        ] {
             assert!(merge_results(&[], strategy, 5).is_empty());
         }
     }
@@ -221,9 +244,11 @@ mod tests {
     #[test]
     fn single_database_preserves_its_order() {
         let inputs = vec![(3usize, 0.7, outcome(&[(1, 9.0), (2, 5.0), (3, 2.0)]))];
-        for strategy in
-            [MergeStrategy::RoundRobin, MergeStrategy::RawScore, MergeStrategy::CoriWeighted]
-        {
+        for strategy in [
+            MergeStrategy::RoundRobin,
+            MergeStrategy::RawScore,
+            MergeStrategy::CoriWeighted,
+        ] {
             let merged = merge_results(&inputs, strategy, 10);
             let docs: Vec<DocId> = merged.iter().map(|m| m.doc).collect();
             assert_eq!(docs, vec![1, 2, 3], "{strategy:?}");

@@ -46,7 +46,10 @@ pub struct ReddeConfig {
 
 impl Default for ReddeConfig {
     fn default() -> Self {
-        ReddeConfig { ratio: 0.003, max_results: 2000 }
+        ReddeConfig {
+            ratio: 0.003,
+            max_results: 2000,
+        }
     }
 }
 
@@ -75,7 +78,11 @@ impl Redde {
         let mut doc_db = Vec::new();
         let mut doc_weight = Vec::new();
         for (db, docs) in samples.iter().enumerate() {
-            let weight = if docs.is_empty() { 0.0 } else { db_sizes[db] / docs.len() as f64 };
+            let weight = if docs.is_empty() {
+                0.0
+            } else {
+                db_sizes[db] / docs.len() as f64
+            };
             for doc in docs {
                 let id = central.len() as u32;
                 central.push(Document::from_tokens(id, doc.tokens.clone()));
@@ -127,7 +134,12 @@ impl Redde {
             .filter(|&(_, score)| score > 0.0)
             .map(|(index, score)| RankedDatabase { index, score })
             .collect();
-        ranking.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap().then(a.index.cmp(&b.index)));
+        ranking.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap()
+                .then(a.index.cmp(&b.index))
+        });
         ranking
     }
 
@@ -135,7 +147,9 @@ impl Redde {
         let n = self.index.num_docs() as f64;
         let mut scores: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
         for &term in query {
-            let Some(list) = engine.index().posting_list(term) else { continue };
+            let Some(list) = engine.index().posting_list(term) else {
+                continue;
+            };
             let idf = (1.0 + n / list.document_frequency() as f64).ln();
             for &(doc, tf) in &list.postings {
                 *scores.entry(doc).or_insert(0.0) += f64::from(tf) * idf;
@@ -198,7 +212,14 @@ mod tests {
         let sizes = vec![3000.0, 3000.0, 3000.0];
         // ratio 1.0: with three-document samples every retrieved document
         // fits the budget (the default 0.003 is tuned for 300-doc samples).
-        Redde::build(&samples, &sizes, ReddeConfig { ratio: 1.0, ..Default::default() })
+        Redde::build(
+            &samples,
+            &sizes,
+            ReddeConfig {
+                ratio: 1.0,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -224,8 +245,14 @@ mod tests {
         ];
         // Same samples, but db 1 is 10× larger: each of its sample docs
         // stands for 10× more documents.
-        let redde =
-            Redde::build(&samples, &[100.0, 1000.0], ReddeConfig { ratio: 1.0, ..Default::default() });
+        let redde = Redde::build(
+            &samples,
+            &[100.0, 1000.0],
+            ReddeConfig {
+                ratio: 1.0,
+                ..Default::default()
+            },
+        );
         let ranking = redde.rank(&[7]);
         assert_eq!(ranking[0].index, 1);
         assert!((ranking[0].score / ranking[1].score - 10.0).abs() < 1e-9);
@@ -239,7 +266,11 @@ mod tests {
 
     #[test]
     fn empty_samples_are_harmless() {
-        let redde = Redde::build(&[vec![], vec![doc(0, &[1])]], &[100.0, 100.0], ReddeConfig::default());
+        let redde = Redde::build(
+            &[vec![], vec![doc(0, &[1])]],
+            &[100.0, 100.0],
+            ReddeConfig::default(),
+        );
         let ranking = redde.rank(&[1]);
         assert_eq!(ranking.len(), 1);
         assert_eq!(ranking[0].index, 1);
@@ -252,7 +283,10 @@ mod tests {
             vec![doc(0, &[7, 7, 7, 7]), doc(1, &[1])], // strongest match
             vec![doc(0, &[7]), doc(1, &[1])],
         ];
-        let config = ReddeConfig { ratio: 0.0004, max_results: 100 };
+        let config = ReddeConfig {
+            ratio: 0.0004,
+            max_results: 100,
+        };
         let redde = Redde::build(&samples, &[5000.0, 5000.0], config);
         let ranking = redde.rank(&[7]);
         // Budget = 0.0004 · 10000 = 4 docs < one sample doc's weight (2500),

@@ -23,7 +23,14 @@ fn summary_strategy() -> impl Strategy<Value = ContentSummary> {
                 .into_iter()
                 .map(|(t, df)| {
                     let df = f64::from(df.min(size));
-                    (t, WordStats { sample_df: df as u32, df, tf: df * 1.7 })
+                    (
+                        t,
+                        WordStats {
+                            sample_df: df as u32,
+                            df,
+                            tf: df * 1.7,
+                        },
+                    )
                 })
                 .collect();
             ContentSummary::new(f64::from(size), size, words)

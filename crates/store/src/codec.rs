@@ -76,7 +76,10 @@ pub fn read_len<R: Read>(r: &mut R) -> io::Result<usize> {
 
 /// An `InvalidData` error for corrupt input.
 pub fn corrupt(message: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt store: {message}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt store: {message}"),
+    )
 }
 
 #[cfg(test)]

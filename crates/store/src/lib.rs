@@ -40,6 +40,7 @@
 //! assert_eq!(restored.dict.term(blood), "blood");
 //! ```
 
+pub mod catalog;
 pub mod codec;
 
 use std::fs::File;
@@ -52,9 +53,7 @@ use dbselect_core::shrinkage::{shrink, ShrinkageConfig, ShrunkSummary};
 use dbselect_core::summary::{ContentSummary, WordStats};
 use textindex::TermDict;
 
-use codec::{
-    corrupt, read_f64, read_len, read_str, read_u32, write_f64, write_str, write_u32,
-};
+use codec::{corrupt, read_f64, read_len, read_str, read_u32, write_f64, write_str, write_u32};
 
 /// Magic bytes + format version.
 const MAGIC: &[u8; 8] = b"DBSLCT\x00\x02";
@@ -184,9 +183,18 @@ impl CollectionStore {
                 }
                 sample_docs.push(doc);
             }
-            databases.push(StoredDatabase { name, classification, summary, sample_docs });
+            databases.push(StoredDatabase {
+                name,
+                classification,
+                summary,
+                sample_docs,
+            });
         }
-        Ok(CollectionStore { dict, hierarchy, databases })
+        Ok(CollectionStore {
+            dict,
+            hierarchy,
+            databases,
+        })
     }
 
     /// Save to a file (buffered).
@@ -211,8 +219,11 @@ impl CollectionStore {
     /// Reconstruct the shrunk summaries (Definition 4) for every database —
     /// deterministic given the store contents.
     pub fn shrink_all(&self, weighting: CategoryWeighting) -> Vec<ShrunkSummary> {
-        let refs: Vec<(CategoryId, &ContentSummary)> =
-            self.databases.iter().map(|db| (db.classification, &db.summary)).collect();
+        let refs: Vec<(CategoryId, &ContentSummary)> = self
+            .databases
+            .iter()
+            .map(|db| (db.classification, &db.summary))
+            .collect();
         let categories = CategorySummaries::build(&self.hierarchy, &refs, weighting);
         let config = ShrinkageConfig {
             uniform_p: 1.0 / self.dict.len().max(1) as f64,
@@ -235,8 +246,11 @@ impl CollectionStore {
     /// The Root category summary (LM's global model), rebuilt from the
     /// stored summaries.
     pub fn root_summary(&self, weighting: CategoryWeighting) -> ContentSummary {
-        let refs: Vec<(CategoryId, &ContentSummary)> =
-            self.databases.iter().map(|db| (db.classification, &db.summary)).collect();
+        let refs: Vec<(CategoryId, &ContentSummary)> = self
+            .databases
+            .iter()
+            .map(|db| (db.classification, &db.summary))
+            .collect();
         CategorySummaries::build(&self.hierarchy, &refs, weighting)
             .category_summary(Hierarchy::ROOT)
     }
@@ -291,7 +305,10 @@ fn read_summary<R: Read>(r: &mut R, dict_len: u32) -> io::Result<ContentSummary>
         if df < 0.0 || tf < 0.0 {
             return Err(corrupt("negative frequency"));
         }
-        if words.insert(term, WordStats { sample_df, df, tf }).is_some() {
+        if words
+            .insert(term, WordStats { sample_df, df, tf })
+            .is_some()
+        {
             return Err(corrupt("duplicate term in summary"));
         }
     }
@@ -314,7 +331,10 @@ mod tests {
         let mut hierarchy = Hierarchy::new("Root");
         let heart = hierarchy.ensure_path("Health/Heart");
         let soccer = hierarchy.ensure_path("Sports/Soccer");
-        let docs1 = [Document::from_tokens(0, vec![a, b]), Document::from_tokens(1, vec![a])];
+        let docs1 = [
+            Document::from_tokens(0, vec![a, b]),
+            Document::from_tokens(1, vec![a]),
+        ];
         let docs2 = [Document::from_tokens(0, vec![b])];
         let mut s1 = ContentSummary::from_sample(docs1.iter(), 500.0);
         s1.set_gamma(-1.8);
@@ -353,7 +373,9 @@ mod tests {
         assert_eq!(restored.dict.term(0), "alpha");
         assert_eq!(restored.hierarchy.len(), store.hierarchy.len());
         assert_eq!(
-            restored.hierarchy.full_name(restored.databases[0].classification),
+            restored
+                .hierarchy
+                .full_name(restored.databases[0].classification),
             "Root/Health/Heart"
         );
         assert_eq!(restored.databases.len(), 2);
@@ -377,7 +399,11 @@ mod tests {
         let a = store.shrink_all(CategoryWeighting::BySize);
         let b = restored.shrink_all(CategoryWeighting::BySize);
         for (x, y) in a.iter().zip(&b) {
-            assert_eq!(x.lambdas(), y.lambdas(), "shrinkage is deterministic across save/load");
+            assert_eq!(
+                x.lambdas(),
+                y.lambdas(),
+                "shrinkage is deterministic across save/load"
+            );
         }
     }
 
@@ -396,7 +422,10 @@ mod tests {
         // Probe a spread of truncation points (every 7 bytes keeps it fast).
         for cut in (8..bytes.len()).step_by(7) {
             let mut slice = &bytes[..cut];
-            assert!(CollectionStore::read_from(&mut slice).is_err(), "cut at {cut}");
+            assert!(
+                CollectionStore::read_from(&mut slice).is_err(),
+                "cut at {cut}"
+            );
         }
     }
 
@@ -411,7 +440,8 @@ mod tests {
 
     #[test]
     fn save_and_load_via_filesystem() {
-        let path = std::env::temp_dir().join(format!("dbsel-store-test-{}.bin", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("dbsel-store-test-{}.bin", std::process::id()));
         let store = sample_store();
         store.save(&path).unwrap();
         let restored = CollectionStore::load(&path).unwrap();
@@ -419,7 +449,10 @@ mod tests {
         // Trailing garbage is rejected.
         {
             use std::io::Write as _;
-            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
             f.write_all(b"junk").unwrap();
         }
         assert!(CollectionStore::load(&path).is_err());

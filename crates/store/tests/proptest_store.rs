@@ -13,7 +13,11 @@ fn store_strategy() -> impl Strategy<Value = CollectionStore> {
     let dbs = prop::collection::vec(
         (
             "[a-z]{1,12}",
-            prop::collection::hash_map(0u32..20, (0u32..500, 0.0..5000.0f64, 0.0..9000.0f64), 0..15),
+            prop::collection::hash_map(
+                0u32..20,
+                (0u32..500, 0.0..5000.0f64, 0.0..9000.0f64),
+                0..15,
+            ),
             1.0..10_000.0f64,
             0u32..400,
             prop::option::of(-3.0..-0.1f64),
@@ -42,8 +46,9 @@ fn store_strategy() -> impl Strategy<Value = CollectionStore> {
                     summary.set_gamma(g);
                 }
                 // Reuse the word ids as a small synthetic sample.
-                let sample_docs: Vec<Vec<u32>> =
-                    (0..i % 3).map(|j| vec![j as u32, (j + 1) as u32 % 20]).collect();
+                let sample_docs: Vec<Vec<u32>> = (0..i % 3)
+                    .map(|j| vec![j as u32, (j + 1) as u32 % 20])
+                    .collect();
                 StoredDatabase {
                     name: format!("{name}-{i}"),
                     classification: cats[path],
@@ -52,7 +57,11 @@ fn store_strategy() -> impl Strategy<Value = CollectionStore> {
                 }
             })
             .collect();
-        CollectionStore { dict, hierarchy, databases }
+        CollectionStore {
+            dict,
+            hierarchy,
+            databases,
+        }
     })
 }
 

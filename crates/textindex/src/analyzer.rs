@@ -23,17 +23,26 @@ impl Analyzer {
     /// The configuration the paper reports results under: stopword
     /// elimination plus stemming (Section 6.2).
     pub fn english() -> Self {
-        Analyzer { remove_stopwords: true, stem: true }
+        Analyzer {
+            remove_stopwords: true,
+            stem: true,
+        }
     }
 
     /// Tokenization only — used for ablations on the effect of stemming.
     pub fn plain() -> Self {
-        Analyzer { remove_stopwords: false, stem: false }
+        Analyzer {
+            remove_stopwords: false,
+            stem: false,
+        }
     }
 
     /// Stopword elimination without stemming.
     pub fn no_stem() -> Self {
-        Analyzer { remove_stopwords: true, stem: false }
+        Analyzer {
+            remove_stopwords: true,
+            stem: false,
+        }
     }
 
     /// Run the pipeline over raw text.
@@ -61,7 +70,11 @@ impl Analyzer {
         if lower.chars().count() < crate::tokenize::MIN_TOKEN_LEN {
             return None;
         }
-        Some(if self.stem { porter_stem(&lower) } else { lower })
+        Some(if self.stem {
+            porter_stem(&lower)
+        } else {
+            lower
+        })
     }
 }
 
@@ -78,13 +91,19 @@ mod tests {
     #[test]
     fn english_removes_stopwords_and_stems() {
         let a = Analyzer::english();
-        assert_eq!(a.analyze("the running of the databases"), vec!["run", "databas"]);
+        assert_eq!(
+            a.analyze("the running of the databases"),
+            vec!["run", "databas"]
+        );
     }
 
     #[test]
     fn plain_keeps_everything() {
         let a = Analyzer::plain();
-        assert_eq!(a.analyze("the running dogs"), vec!["the", "running", "dogs"]);
+        assert_eq!(
+            a.analyze("the running dogs"),
+            vec!["the", "running", "dogs"]
+        );
     }
 
     #[test]
@@ -97,7 +116,10 @@ mod tests {
     fn analyze_term_filters_stopwords() {
         let a = Analyzer::english();
         assert_eq!(a.analyze_term("The"), None);
-        assert_eq!(a.analyze_term("Hypertension"), Some("hypertens".to_string()));
+        assert_eq!(
+            a.analyze_term("Hypertension"),
+            Some("hypertens".to_string())
+        );
     }
 
     #[test]

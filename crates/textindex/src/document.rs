@@ -23,7 +23,10 @@ impl Document {
     /// Build a document from raw text: analyze, then intern into `dict`.
     pub fn from_text(id: DocId, text: &str, analyzer: &Analyzer, dict: &mut TermDict) -> Self {
         let tokens = analyzer.analyze(text);
-        Document { id, tokens: dict.intern_all(&tokens) }
+        Document {
+            id,
+            tokens: dict.intern_all(&tokens),
+        }
     }
 
     /// Build a document from pre-interned tokens.
@@ -62,7 +65,12 @@ mod tests {
     #[test]
     fn from_text_analyzes_and_interns() {
         let mut dict = TermDict::new();
-        let d = Document::from_text(7, "The heart and the blood", &Analyzer::english(), &mut dict);
+        let d = Document::from_text(
+            7,
+            "The heart and the blood",
+            &Analyzer::english(),
+            &mut dict,
+        );
         assert_eq!(d.id, 7);
         assert_eq!(d.tokens.len(), 2);
         assert_eq!(dict.term(d.tokens[0]), "heart");

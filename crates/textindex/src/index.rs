@@ -57,7 +57,11 @@ impl InvertedIndex {
                 list.collection_frequency += u64::from(tf);
             }
         }
-        InvertedIndex { terms, doc_lengths, total_tokens }
+        InvertedIndex {
+            terms,
+            doc_lengths,
+            total_tokens,
+        }
     }
 
     /// Number of documents in the collection.
@@ -87,7 +91,9 @@ impl InvertedIndex {
 
     /// Number of documents containing `term`.
     pub fn document_frequency(&self, term: TermId) -> usize {
-        self.terms.get(&term).map_or(0, PostingList::document_frequency)
+        self.terms
+            .get(&term)
+            .map_or(0, PostingList::document_frequency)
     }
 
     /// Total occurrences of `term` in the collection.

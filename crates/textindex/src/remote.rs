@@ -78,7 +78,11 @@ impl IndexedDatabase {
     /// Index `documents` (ids must equal positions) under `name`.
     pub fn new(name: impl Into<String>, documents: Vec<Document>) -> Self {
         let index = InvertedIndex::build(&documents);
-        IndexedDatabase { name: name.into(), documents, index }
+        IndexedDatabase {
+            name: name.into(),
+            documents,
+            index,
+        }
     }
 
     /// Full access to the index — for building *perfect* content summaries
@@ -105,15 +109,29 @@ impl RemoteDatabase for IndexedDatabase {
     }
 
     fn query(&self, terms: &[TermId], max_results: usize) -> SearchOutcome {
-        let SearchResult { total_matches, doc_ids, scores } =
-            SearchEngine::new(&self.index).search(terms, max_results);
-        SearchOutcome { total_matches, doc_ids, scores }
+        let SearchResult {
+            total_matches,
+            doc_ids,
+            scores,
+        } = SearchEngine::new(&self.index).search(terms, max_results);
+        SearchOutcome {
+            total_matches,
+            doc_ids,
+            scores,
+        }
     }
 
     fn query_any(&self, terms: &[TermId], max_results: usize) -> SearchOutcome {
-        let SearchResult { total_matches, doc_ids, scores } =
-            SearchEngine::new(&self.index).search_disjunctive(terms, max_results);
-        SearchOutcome { total_matches, doc_ids, scores }
+        let SearchResult {
+            total_matches,
+            doc_ids,
+            scores,
+        } = SearchEngine::new(&self.index).search_disjunctive(terms, max_results);
+        SearchOutcome {
+            total_matches,
+            doc_ids,
+            scores,
+        }
     }
 
     fn fetch(&self, id: DocId) -> Option<&Document> {

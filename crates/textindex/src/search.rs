@@ -57,7 +57,10 @@ pub struct SearchEngine<'a> {
 impl<'a> SearchEngine<'a> {
     /// Wrap `index` in a tf·idf search engine.
     pub fn new(index: &'a InvertedIndex) -> Self {
-        SearchEngine { index, ranking: RankingModel::TfIdf }
+        SearchEngine {
+            index,
+            ranking: RankingModel::TfIdf,
+        }
     }
 
     /// Wrap `index` with an explicit ranking model.
@@ -76,16 +79,28 @@ impl<'a> SearchEngine<'a> {
         let matches = self.index.conjunctive_match(terms);
         let total_matches = matches.len();
         if matches.is_empty() || k == 0 {
-            return SearchResult { total_matches, doc_ids: Vec::new(), scores: Vec::new() };
+            return SearchResult {
+                total_matches,
+                doc_ids: Vec::new(),
+                scores: Vec::new(),
+            };
         }
         let n = self.index.num_docs() as f64;
-        let avg_len = if n > 0.0 { self.index.total_tokens() as f64 / n } else { 1.0 };
+        let avg_len = if n > 0.0 {
+            self.index.total_tokens() as f64 / n
+        } else {
+            1.0
+        };
         let mut scores: HashMap<DocId, f64> = matches.iter().map(|&d| (d, 0.0)).collect();
         for &term in terms {
-            let Some(list) = self.index.posting_list(term) else { continue };
+            let Some(list) = self.index.posting_list(term) else {
+                continue;
+            };
             let df = list.document_frequency() as f64;
             for &(doc, tf) in &list.postings {
-                let Some(score) = scores.get_mut(&doc) else { continue };
+                let Some(score) = scores.get_mut(&doc) else {
+                    continue;
+                };
                 let tf = f64::from(tf);
                 *score += match self.ranking {
                     RankingModel::TfIdf => tf * (1.0 + n / df).ln(),
@@ -105,7 +120,11 @@ impl<'a> SearchEngine<'a> {
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         let (doc_ids, scores) = ranked.into_iter().unzip();
-        SearchResult { total_matches, doc_ids, scores }
+        SearchResult {
+            total_matches,
+            doc_ids,
+            scores,
+        }
     }
 
     /// Evaluate a *disjunctive* (OR) query: rank every document containing
@@ -115,13 +134,19 @@ impl<'a> SearchEngine<'a> {
     /// nothing.
     pub fn search_disjunctive(&self, terms: &[TermId], k: usize) -> SearchResult {
         let n = self.index.num_docs() as f64;
-        let avg_len = if n > 0.0 { self.index.total_tokens() as f64 / n } else { 1.0 };
+        let avg_len = if n > 0.0 {
+            self.index.total_tokens() as f64 / n
+        } else {
+            1.0
+        };
         let mut scores: HashMap<DocId, f64> = HashMap::new();
         let mut distinct_terms: Vec<TermId> = terms.to_vec();
         distinct_terms.sort_unstable();
         distinct_terms.dedup();
         for &term in &distinct_terms {
-            let Some(list) = self.index.posting_list(term) else { continue };
+            let Some(list) = self.index.posting_list(term) else {
+                continue;
+            };
             let df = list.document_frequency() as f64;
             for &(doc, tf) in &list.postings {
                 let tf = f64::from(tf);
@@ -142,7 +167,11 @@ impl<'a> SearchEngine<'a> {
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         ranked.truncate(k);
         let (doc_ids, scores) = ranked.into_iter().unzip();
-        SearchResult { total_matches, doc_ids, scores }
+        SearchResult {
+            total_matches,
+            doc_ids,
+            scores,
+        }
     }
 
     /// Number of documents matching the single word `term` — the cheapest
@@ -244,7 +273,10 @@ mod bm25_tests {
         let bm25 = SearchEngine::with_ranking(&idx, RankingModel::bm25()).search(&[0], 2);
         let tfidf_ratio = tfidf.scores[0] / tfidf.scores[1];
         let bm25_ratio = bm25.scores[0] / bm25.scores[1];
-        assert!(bm25_ratio < tfidf_ratio, "bm25 {bm25_ratio} vs tfidf {tfidf_ratio}");
+        assert!(
+            bm25_ratio < tfidf_ratio,
+            "bm25 {bm25_ratio} vs tfidf {tfidf_ratio}"
+        );
         assert!(bm25_ratio > 1.0, "more occurrences still rank higher");
     }
 
@@ -297,11 +329,7 @@ mod disjunctive_tests {
 
     #[test]
     fn disjunctive_matches_any_term() {
-        let idx = InvertedIndex::build(&[
-            doc(0, &[1, 2]),
-            doc(1, &[2, 3]),
-            doc(2, &[4]),
-        ]);
+        let idx = InvertedIndex::build(&[doc(0, &[1, 2]), doc(1, &[2, 3]), doc(2, &[4])]);
         let engine = SearchEngine::new(&idx);
         let r = engine.search_disjunctive(&[1, 3], 10);
         assert_eq!(r.total_matches, 2, "docs 0 and 1 contain at least one term");
@@ -311,10 +339,7 @@ mod disjunctive_tests {
 
     #[test]
     fn documents_matching_more_terms_rank_higher() {
-        let idx = InvertedIndex::build(&[
-            doc(0, &[1, 9]),
-            doc(1, &[1, 2, 3]),
-        ]);
+        let idx = InvertedIndex::build(&[doc(0, &[1, 9]), doc(1, &[1, 2, 3])]);
         let engine = SearchEngine::new(&idx);
         let r = engine.search_disjunctive(&[1, 2, 3], 10);
         assert_eq!(r.doc_ids[0], 1);

@@ -21,7 +21,10 @@ pub fn porter_stem(word: &str) -> String {
     if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
         return word.to_string();
     }
-    let mut s = Stemmer { b: word.as_bytes().to_vec(), k: word.len() - 1 };
+    let mut s = Stemmer {
+        b: word.as_bytes().to_vec(),
+        k: word.len() - 1,
+    };
     s.step1ab();
     s.step1c();
     s.step2();
@@ -379,12 +382,20 @@ mod tests {
 
     #[test]
     fn stemming_is_idempotent_on_common_words() {
-        for w in ["computation", "running", "databases", "selection", "probabilities"] {
+        for w in [
+            "computation",
+            "running",
+            "databases",
+            "selection",
+            "probabilities",
+        ] {
             let once = porter_stem(w);
             let twice = porter_stem(&once);
             // Porter is not idempotent in general, but must never panic and
             // must keep output ASCII-lowercase for lowercase input.
-            assert!(twice.bytes().all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
+            assert!(twice
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit()));
         }
     }
 }

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn lowercases() {
-        assert_eq!(tokenize("PubMed HOSTS Citations"), vec!["pubmed", "hosts", "citations"]);
+        assert_eq!(
+            tokenize("PubMed HOSTS Citations"),
+            vec!["pubmed", "hosts", "citations"]
+        );
     }
 
     #[test]
@@ -67,7 +70,10 @@ mod tests {
 
     #[test]
     fn keeps_numbers() {
-        assert_eq!(tokenize("trec 2004 results"), vec!["trec", "2004", "results"]);
+        assert_eq!(
+            tokenize("trec 2004 results"),
+            vec!["trec", "2004", "results"]
+        );
     }
 
     #[test]

@@ -18,7 +18,14 @@ fn sampled_summary(db_size: f64, sample_size: u32, dfs: &[(u32, u32)]) -> Conten
         .iter()
         .map(|&(t, sample_df)| {
             let df = f64::from(sample_df) / f64::from(sample_size) * db_size;
-            (t, WordStats { sample_df, df, tf: df * 1.5 })
+            (
+                t,
+                WordStats {
+                    sample_df,
+                    df,
+                    tf: df * 1.5,
+                },
+            )
         })
         .collect();
     ContentSummary::new(db_size, sample_size, words)
@@ -37,7 +44,10 @@ fn main() {
     let large = sampled_summary(100_000.0, 300, &[(0, 150)]); // "hemophilia" missed!
 
     let algo = BGloss;
-    for (name, summary) in [("small+well-sampled", &small), ("large+under-sampled", &large)] {
+    for (name, summary) in [
+        ("small+well-sampled", &small),
+        ("large+under-sampled", &large),
+    ] {
         let views: Vec<&dyn SummaryView> = vec![summary];
         let ctx = CollectionContext::build(&query, &views);
         let gamma = summary.gamma().unwrap_or(-2.0);
@@ -62,7 +72,10 @@ fn main() {
         };
         println!("{name}:");
         println!("  bGlOSS score distribution over plausible word frequencies:");
-        println!("    mean {:.4}, std {:.4}, draws {}", dist.mean, dist.std_dev, dist.draws);
+        println!(
+            "    mean {:.4}, std {:.4}, draws {}",
+            dist.mean, dist.std_dev, dist.draws
+        );
         println!("  decision: {decision}\n");
     }
 
@@ -71,9 +84,14 @@ fn main() {
     println!("posterior mean of hemophilia's document frequency:");
     let small_post = WordPosterior::new(2, 300, 320.0, -2.0, 160);
     let large_post = WordPosterior::new(0, 300, 100_000.0, -2.0, 160);
-    println!("  small database:  {:>8.1} docs (observed 2 in the sample)", small_post.mean());
-    println!("  large database:  {:>8.1} docs (observed none — could be 0, could be hundreds)",
-             large_post.mean());
+    println!(
+        "  small database:  {:>8.1} docs (observed 2 in the sample)",
+        small_post.mean()
+    );
+    println!(
+        "  large database:  {:>8.1} docs (observed none — could be 0, could be hundreds)",
+        large_post.mean()
+    );
 
     // Tiny end-to-end check that the example stays truthful.
     let _ = Document::from_tokens(0, vec![0, 1]);

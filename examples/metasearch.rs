@@ -60,13 +60,19 @@ fn main() {
         }
     }
     let mean_rk = rks.iter().sum::<f64>() / rks.len().max(1) as f64;
-    println!("mean R{k} over {} evaluable queries: {mean_rk:.3}", rks.len());
+    println!(
+        "mean R{k} over {} evaluable queries: {mean_rk:.3}",
+        rks.len()
+    );
 
     // Steps 2–3 of the metasearching loop: forward the query to the
     // selected databases and show the merged (CORI-weighted) result list.
     let query = &bed.queries[0];
     let merged = meta.search(&query.terms, 3, 4);
-    println!("\nmerged results for query 0 (top {}):", merged.len().min(6));
+    println!(
+        "\nmerged results for query 0 (top {}):",
+        merged.len().min(6)
+    );
     for (db, doc) in merged.iter().take(6) {
         println!("  {db} / doc {doc}");
     }

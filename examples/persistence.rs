@@ -6,12 +6,10 @@
 //!
 //! Run with: `cargo run --release --example persistence`
 
-use dbselect_repro::corpus::TestBedConfig;
 use dbselect_repro::core::category_summary::CategoryWeighting;
+use dbselect_repro::corpus::TestBedConfig;
 use dbselect_repro::sampling::{profile_qbs, PipelineConfig};
-use dbselect_repro::selection::{
-    adaptive_rank, AdaptiveConfig, Cori, SummaryPair,
-};
+use dbselect_repro::selection::{adaptive_rank, AdaptiveConfig, Cori, SummaryPair};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use store::{CollectionStore, StoredDatabase};
@@ -20,7 +18,10 @@ fn main() {
     // Offline phase: sample and summarize a small collection.
     let bed = TestBedConfig::tiny(2026).build();
     let mut rng = StdRng::seed_from_u64(2026);
-    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
     let databases: Vec<StoredDatabase> = bed
         .databases
         .iter()
@@ -59,19 +60,34 @@ fn main() {
             .databases
             .iter()
             .zip(&shrunk)
-            .map(|(db, r)| SummaryPair { unshrunk: &db.summary, shrunk: r })
+            .map(|(db, r)| SummaryPair {
+                unshrunk: &db.summary,
+                shrunk: r,
+            })
             .collect();
         let mut rng = StdRng::seed_from_u64(7);
-        adaptive_rank(&Cori::default(), &bed.queries[0].terms, &pairs, &AdaptiveConfig::default(), &mut rng)
-            .ranking
+        adaptive_rank(
+            &Cori::default(),
+            &bed.queries[0].terms,
+            &pairs,
+            &AdaptiveConfig::default(),
+            &mut rng,
+        )
+        .ranking
     };
     let before = rank(&store);
     let after = rank(&reloaded);
     assert_eq!(before, after, "selection is identical across save/load");
 
-    println!("\nquery {:?} selects (before == after reload):", bed.queries[0].terms);
+    println!(
+        "\nquery {:?} selects (before == after reload):",
+        bed.queries[0].terms
+    );
     for r in before.iter().take(5) {
-        println!("  {:<12} score {:.4}", reloaded.databases[r.index].name, r.score);
+        println!(
+            "  {:<12} score {:.4}",
+            reloaded.databases[r.index].name, r.score
+        );
     }
     std::fs::remove_file(&path).ok();
 }

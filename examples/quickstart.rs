@@ -55,9 +55,17 @@ fn main() {
     let s1 = ContentSummary::from_sample(d1_docs.iter().take(3), d1.num_docs() as f64);
     let s2 = ContentSummary::from_sample(d2_docs.iter(), d2.num_docs() as f64);
 
-    let hyper = dict.lookup("hypertens").expect("stemmed form of hypertension");
-    println!("p̂(hypertension | heart-journal) from the sample: {:.3}", s1.p_df(hyper));
-    println!("true p(hypertension | heart-journal):             {:.3}", 3.0 / 6.0);
+    let hyper = dict
+        .lookup("hypertens")
+        .expect("stemmed form of hypertension");
+    println!(
+        "p̂(hypertension | heart-journal) from the sample: {:.3}",
+        s1.p_df(hyper)
+    );
+    println!(
+        "true p(hypertension | heart-journal):             {:.3}",
+        3.0 / 6.0
+    );
 
     // Shrink D1's summary toward the Heart category (which aggregates D2).
     let cats = CategorySummaries::build(
@@ -66,17 +74,27 @@ fn main() {
         CategoryWeighting::BySize,
     );
     let comps = cats.components_for(&hierarchy, heart, &s1, true);
-    let config = ShrinkageConfig { uniform_p: 1.0 / dict.len() as f64, ..Default::default() };
+    let config = ShrinkageConfig {
+        uniform_p: 1.0 / dict.len() as f64,
+        ..Default::default()
+    };
     let shrunk = shrink(&s1, &comps, &config);
 
     println!("\nmixture weights λ (uniform, Root, Health, Heart, database):");
-    for (name, lambda) in
-        ["uniform", "Root", "Health", "Heart", "heart-journal"].iter().zip(shrunk.lambdas())
+    for (name, lambda) in ["uniform", "Root", "Health", "Heart", "heart-journal"]
+        .iter()
+        .zip(shrunk.lambdas())
     {
         println!("  {name:<14} {lambda:.3}");
     }
-    println!("\np̂_R(hypertension | heart-journal) after shrinkage: {:.3}", shrunk.p_df(hyper));
-    assert!(shrunk.p_df(hyper) > 0.0, "shrinkage recovered the missing word");
+    println!(
+        "\np̂_R(hypertension | heart-journal) after shrinkage: {:.3}",
+        shrunk.p_df(hyper)
+    );
+    assert!(
+        shrunk.p_df(hyper) > 0.0,
+        "shrinkage recovered the missing word"
+    );
 
     println!("\nShrinkage recovered a word the sample missed — the database");
     println!("will now be considered for the query [hypertension].");

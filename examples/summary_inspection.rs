@@ -24,28 +24,51 @@ fn main() {
         .max_by_key(|&i| bed.databases[i].db.num_docs())
         .expect("non-empty test bed");
     let tdb = &bed.databases[target];
-    println!("database {} — {} documents, topic {}", tdb.name, tdb.db.num_docs(),
-             bed.hierarchy.full_name(tdb.category));
+    println!(
+        "database {} — {} documents, topic {}",
+        tdb.name,
+        tdb.db.num_docs(),
+        bed.hierarchy.full_name(tdb.category)
+    );
 
     // 1. Query-based sampling with frequency estimation.
-    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
     let profile = profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng);
-    println!("\nsample: {} documents via {} queries", profile.sample.len(),
-             profile.sample.queries_sent);
+    println!(
+        "\nsample: {} documents via {} queries",
+        profile.sample.len(),
+        profile.sample.queries_sent
+    );
 
     // 2. Size estimation.
-    let size = sample_resample(&tdb.db, &profile.sample, &SizeEstimationConfig::default(), &mut rng);
-    println!("sample-resample size estimate: {size:.0} (true: {})", tdb.db.num_docs());
+    let size = sample_resample(
+        &tdb.db,
+        &profile.sample,
+        &SizeEstimationConfig::default(),
+        &mut rng,
+    );
+    println!(
+        "sample-resample size estimate: {size:.0} (true: {})",
+        tdb.db.num_docs()
+    );
 
     // 3. Mandelbrot checkpoints.
     println!("\nMandelbrot checkpoints (|S|, α, log β):");
     for cp in &profile.sample.checkpoints {
-        println!("  |S| = {:>4}  α = {:>7.3}  log β = {:>7.3}", cp.sample_size, cp.alpha, cp.log_beta);
+        println!(
+            "  |S| = {:>4}  α = {:>7.3}  log β = {:>7.3}",
+            cp.sample_size, cp.alpha, cp.log_beta
+        );
     }
     if let Some(est) = FrequencyEstimator::from_checkpoints(&profile.sample.checkpoints) {
         let (alpha, beta) = est.params_for_size(size);
-        println!("extrapolated to |D̂| = {size:.0}: α = {alpha:.3}, β = {beta:.1}, γ = {:.3}",
-                 est.gamma(size));
+        println!(
+            "extrapolated to |D̂| = {size:.0}: α = {alpha:.3}, β = {beta:.1}, γ = {:.3}",
+            est.gamma(size)
+        );
     }
 
     // 4. Summary completeness against the perfect summary.
@@ -55,7 +78,10 @@ fn main() {
     let q = summary_quality(&approx_eval, &perfect_eval);
     println!("\nunshrunk summary vs perfect:");
     println!("  weighted recall    {:.3}", q.weighted_recall);
-    println!("  unweighted recall  {:.3}  (vocabulary coverage)", q.unweighted_recall);
+    println!(
+        "  unweighted recall  {:.3}  (vocabulary coverage)",
+        q.unweighted_recall
+    );
     println!("  weighted precision {:.3}", q.weighted_precision);
     println!("  Spearman ρ         {:.3}", q.spearman);
 
@@ -68,11 +94,13 @@ fn main() {
             (d.category, p.summary)
         })
         .collect();
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        summaries.iter().map(|(c, s)| (*c, s)).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = summaries.iter().map(|(c, s)| (*c, s)).collect();
     let cats = CategorySummaries::build(&bed.hierarchy, &refs, CategoryWeighting::BySize);
     let comps = cats.components_for(&bed.hierarchy, tdb.category, &summaries[target].1, true);
-    let config = ShrinkageConfig { uniform_p: 1.0 / bed.dict.len() as f64, ..Default::default() };
+    let config = ShrinkageConfig {
+        uniform_p: 1.0 / bed.dict.len() as f64,
+        ..Default::default()
+    };
     let shrunk = shrink(&summaries[target].1, &comps, &config);
 
     println!("\nmixture weights λ:");
@@ -87,7 +115,16 @@ fn main() {
     let shrunk_eval = EvaluatedSummary::from_shrunk_summary(&shrunk);
     let qs = summary_quality(&shrunk_eval, &perfect_eval);
     println!("\nshrunk summary vs perfect:");
-    println!("  weighted recall    {:.3}  (was {:.3})", qs.weighted_recall, q.weighted_recall);
-    println!("  unweighted recall  {:.3}  (was {:.3})", qs.unweighted_recall, q.unweighted_recall);
-    println!("  weighted precision {:.3}  (was {:.3})", qs.weighted_precision, q.weighted_precision);
+    println!(
+        "  weighted recall    {:.3}  (was {:.3})",
+        qs.weighted_recall, q.weighted_recall
+    );
+    println!(
+        "  unweighted recall  {:.3}  (was {:.3})",
+        qs.unweighted_recall, q.unweighted_recall
+    );
+    println!(
+        "  weighted precision {:.3}  (was {:.3})",
+        qs.weighted_precision, q.weighted_precision
+    );
 }

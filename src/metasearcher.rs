@@ -13,8 +13,7 @@ use dbselect_core::shrinkage::{shrink, ShrinkageConfig, ShrunkSummary};
 use dbselect_core::summary::ContentSummary;
 use sampling::{profile_fps, profile_qbs, PipelineConfig, ProbeClassifier, SamplerKind};
 use selection::{
-    adaptive_rank, AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode,
-    SummaryPair,
+    adaptive_rank, AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode, SummaryPair,
 };
 use textindex::{RemoteDatabase, TermId};
 
@@ -119,8 +118,7 @@ impl<D: RemoteDatabase> Metasearcher<D> {
                 (Classification::Automatic(classifier), _) => {
                     let profile = profile_fps(db, &hierarchy, classifier, &pipeline, &mut rng);
                     summaries.push(profile.summary);
-                    classifications
-                        .push(profile.classification.expect("FPS always classifies"));
+                    classifications.push(profile.classification.expect("FPS always classifies"));
                 }
                 (Classification::Directory(cats), SamplerKind::Qbs) => {
                     let profile = profile_qbs(db, seed_lexicon, &pipeline, &mut rng);
@@ -138,11 +136,16 @@ impl<D: RemoteDatabase> Metasearcher<D> {
         }
 
         // 2. Category summaries and shrinkage.
-        let refs: Vec<(CategoryId, &ContentSummary)> =
-            classifications.iter().copied().zip(summaries.iter()).collect();
+        let refs: Vec<(CategoryId, &ContentSummary)> = classifications
+            .iter()
+            .copied()
+            .zip(summaries.iter())
+            .collect();
         let categories = CategorySummaries::build(&hierarchy, &refs, CategoryWeighting::BySize);
-        let shrink_config =
-            ShrinkageConfig { uniform_p: 1.0 / dict_size.max(1) as f64, ..Default::default() };
+        let shrink_config = ShrinkageConfig {
+            uniform_p: 1.0 / dict_size.max(1) as f64,
+            ..Default::default()
+        };
         let shrunk: Vec<ShrunkSummary> = summaries
             .iter()
             .zip(&classifications)
@@ -157,12 +160,19 @@ impl<D: RemoteDatabase> Metasearcher<D> {
         let algorithm: Box<dyn SelectionAlgorithm> = match algorithm {
             Algorithm::BGloss => Box::new(BGloss),
             Algorithm::Cori => Box::new(Cori::default()),
-            Algorithm::Lm => {
-                Box::new(Lm::new(0.5, &categories.category_summary(Hierarchy::ROOT)))
-            }
+            Algorithm::Lm => Box::new(Lm::new(0.5, &categories.category_summary(Hierarchy::ROOT))),
         };
 
-        Metasearcher { databases, hierarchy, summaries, shrunk, classifications, algorithm, config, rng }
+        Metasearcher {
+            databases,
+            hierarchy,
+            summaries,
+            shrunk,
+            classifications,
+            algorithm,
+            config,
+            rng,
+        }
     }
 
     /// Rank the best databases for a query and return the top `k`.
@@ -173,9 +183,17 @@ impl<D: RemoteDatabase> Metasearcher<D> {
             .zip(&self.shrunk)
             .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
             .collect();
-        let adaptive = AdaptiveConfig { mode: self.config.shrinkage, ..Default::default() };
-        let outcome =
-            adaptive_rank(self.algorithm.as_ref(), query, &pairs, &adaptive, &mut self.rng);
+        let adaptive = AdaptiveConfig {
+            mode: self.config.shrinkage,
+            ..Default::default()
+        };
+        let outcome = adaptive_rank(
+            self.algorithm.as_ref(),
+            query,
+            &pairs,
+            &adaptive,
+            &mut self.rng,
+        );
         outcome
             .ranking
             .into_iter()
@@ -202,7 +220,13 @@ impl<D: RemoteDatabase> Metasearcher<D> {
         let selections = self.select(query, k_databases);
         let inputs: Vec<(usize, f64, textindex::SearchOutcome)> = selections
             .iter()
-            .map(|s| (s.index, s.score, self.databases[s.index].query_any(query, results_per_db)))
+            .map(|s| {
+                (
+                    s.index,
+                    s.score,
+                    self.databases[s.index].query_any(query, results_per_db),
+                )
+            })
             .collect();
         selection::merge_results(
             &inputs,

@@ -31,7 +31,10 @@ fn profile(seed: u64) -> Profiled {
     config.num_databases = 16;
     let bed = config.build();
     let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
-    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
     let mut qbs = pipeline;
     qbs.qbs.target_sample_size = 100; // small samples: incompleteness guaranteed
 
@@ -41,11 +44,16 @@ fn profile(seed: u64) -> Profiled {
         .map(|tdb| profile_qbs(&tdb.db, &bed.seed_lexicon, &qbs, &mut rng).summary)
         .collect();
     let classifications: Vec<CategoryId> = bed.true_categories();
-    let refs: Vec<(CategoryId, &ContentSummary)> =
-        classifications.iter().copied().zip(summaries.iter()).collect();
+    let refs: Vec<(CategoryId, &ContentSummary)> = classifications
+        .iter()
+        .copied()
+        .zip(summaries.iter())
+        .collect();
     let cats = CategorySummaries::build(&bed.hierarchy, &refs, CategoryWeighting::BySize);
-    let shrink_config =
-        ShrinkageConfig { uniform_p: 1.0 / bed.dict.len() as f64, ..Default::default() };
+    let shrink_config = ShrinkageConfig {
+        uniform_p: 1.0 / bed.dict.len() as f64,
+        ..Default::default()
+    };
     let shrunk = summaries
         .iter()
         .zip(&classifications)
@@ -54,7 +62,11 @@ fn profile(seed: u64) -> Profiled {
             shrink(s, &comps, &shrink_config)
         })
         .collect();
-    Profiled { bed, summaries, shrunk }
+    Profiled {
+        bed,
+        summaries,
+        shrunk,
+    }
 }
 
 #[test]
@@ -72,8 +84,16 @@ fn shrinkage_improves_mean_recall() {
         ur_gain += qs.unweighted_recall - qu.unweighted_recall;
     }
     let n = p.bed.databases.len() as f64;
-    assert!(wr_gain / n > 0.0, "mean weighted-recall gain {}", wr_gain / n);
-    assert!(ur_gain / n > 0.0, "mean unweighted-recall gain {}", ur_gain / n);
+    assert!(
+        wr_gain / n > 0.0,
+        "mean weighted-recall gain {}",
+        wr_gain / n
+    );
+    assert!(
+        ur_gain / n > 0.0,
+        "mean unweighted-recall gain {}",
+        ur_gain / n
+    );
 }
 
 #[test]
@@ -85,7 +105,11 @@ fn shrinkage_precision_loss_is_bounded() {
         let q = summary_quality(&shrunk, &perfect);
         // The paper's weighted precision stays above 0.9; give slack for
         // the miniature test bed.
-        assert!(q.weighted_precision > 0.6, "db {i}: wp {}", q.weighted_precision);
+        assert!(
+            q.weighted_precision > 0.6,
+            "db {i}: wp {}",
+            q.weighted_precision
+        );
     }
 }
 
@@ -99,7 +123,10 @@ fn universal_shrinkage_lets_bgloss_rank_every_database() {
         .map(|(unshrunk, shrunk)| SummaryPair { unshrunk, shrunk })
         .collect();
     let mut rng = StdRng::seed_from_u64(99);
-    let config = AdaptiveConfig { mode: ShrinkageMode::Always, ..Default::default() };
+    let config = AdaptiveConfig {
+        mode: ShrinkageMode::Always,
+        ..Default::default()
+    };
     let query = &p.bed.queries[0];
     let outcome = adaptive_rank(&BGloss, &query.terms, &pairs, &config, &mut rng);
     // Every shrunk summary gives every word non-zero probability, so no
@@ -110,8 +137,7 @@ fn universal_shrinkage_lets_bgloss_rank_every_database() {
 #[test]
 fn plain_bgloss_drops_databases_missing_query_words() {
     let p = profile(14);
-    let views: Vec<&dyn SummaryView> =
-        p.summaries.iter().map(|s| s as &dyn SummaryView).collect();
+    let views: Vec<&dyn SummaryView> = p.summaries.iter().map(|s| s as &dyn SummaryView).collect();
     let mut dropped_any = false;
     for query in &p.bed.queries {
         let ranking = rank_databases(&BGloss, &query.terms, &views);
@@ -119,7 +145,10 @@ fn plain_bgloss_drops_databases_missing_query_words() {
             dropped_any = true;
         }
     }
-    assert!(dropped_any, "incomplete summaries must zero out some bGlOSS scores");
+    assert!(
+        dropped_any,
+        "incomplete summaries must zero out some bGlOSS scores"
+    );
 }
 
 #[test]
@@ -183,7 +212,10 @@ fn fps_pipeline_runs_end_to_end() {
     let mut rng = StdRng::seed_from_u64(41);
     let examples = bed.training_documents(5, &mut rng);
     let classifier = sampling::ProbeClassifier::train(&bed.hierarchy, &examples, 6);
-    let pipeline = PipelineConfig { frequency_estimation: true, ..Default::default() };
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
     for tdb in bed.databases.iter().take(4) {
         let profile =
             sampling::profile_fps(&tdb.db, &bed.hierarchy, &classifier, &pipeline, &mut rng);

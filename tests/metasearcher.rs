@@ -7,7 +7,10 @@ use dbselect_repro::{Algorithm, Classification, Metasearcher, MetasearcherConfig
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn build_meta(algorithm: Algorithm, shrinkage: ShrinkageMode) -> (corpus::TestBed, Metasearcher<textindex::IndexedDatabase>) {
+fn build_meta(
+    algorithm: Algorithm,
+    shrinkage: ShrinkageMode,
+) -> (corpus::TestBed, Metasearcher<textindex::IndexedDatabase>) {
     let bed = TestBedConfig::tiny(77).build();
     let databases: Vec<_> = bed.databases.iter().map(|d| d.db.clone()).collect();
     let meta = Metasearcher::build(
@@ -17,7 +20,10 @@ fn build_meta(algorithm: Algorithm, shrinkage: ShrinkageMode) -> (corpus::TestBe
         Classification::Directory(bed.true_categories()),
         algorithm,
         bed.dict.len(),
-        MetasearcherConfig { shrinkage, ..Default::default() },
+        MetasearcherConfig {
+            shrinkage,
+            ..Default::default()
+        },
     );
     (bed, meta)
 }
@@ -70,7 +76,10 @@ fn automatic_classification_path_works() {
         Classification::Automatic(classifier),
         Algorithm::Lm,
         bed.dict.len(),
-        MetasearcherConfig { sampler: SamplerKind::Fps, ..Default::default() },
+        MetasearcherConfig {
+            sampler: SamplerKind::Fps,
+            ..Default::default()
+        },
     );
     // Classifications were derived automatically and are valid nodes.
     for i in 0..meta.len() {
