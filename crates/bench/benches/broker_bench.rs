@@ -39,11 +39,13 @@ fn catalog_entries(bed: &TestBed, profiled: &ProfiledCollection) -> Vec<CatalogE
 
 fn bench_batch_route(c: &mut Criterion) {
     let (bed, profiled) = fixture();
-    let catalog = profiled.catalog(
-        &bed.databases
-            .iter()
-            .map(|d| d.name.clone())
-            .collect::<Vec<_>>(),
+    let catalog = std::sync::Arc::new(
+        profiled.catalog(
+            &bed.databases
+                .iter()
+                .map(|d| d.name.clone())
+                .collect::<Vec<_>>(),
+        ),
     );
     let queries: Vec<Vec<TermId>> = bed.queries.iter().map(|q| q.terms.clone()).collect();
     let config = AdaptiveConfig {
@@ -73,7 +75,12 @@ fn bench_batch_route(c: &mut Criterion) {
     });
     for threads in [1usize, 4] {
         let algo = AlgoKind::Cori.build(&profiled);
-        let engine = SelectionEngine::new(&catalog, algo.as_ref(), config);
+        let engine = SelectionEngine::new(
+            std::sync::Arc::clone(&catalog),
+            algo,
+            config,
+            broker::DEFAULT_CACHE_CAPACITY,
+        );
         group.bench_with_input(BenchmarkId::new("engine", threads), &threads, |b, &t| {
             b.iter(|| engine.route_batch(black_box(&queries), 77, t))
         });
@@ -131,18 +138,20 @@ fn bench_catalog_build_vs_load(c: &mut Criterion) {
 
 fn bench_posterior_cache(c: &mut Criterion) {
     let (bed, profiled) = fixture();
-    let catalog = profiled.catalog(
-        &bed.databases
-            .iter()
-            .map(|d| d.name.clone())
-            .collect::<Vec<_>>(),
+    let catalog = std::sync::Arc::new(
+        profiled.catalog(
+            &bed.databases
+                .iter()
+                .map(|d| d.name.clone())
+                .collect::<Vec<_>>(),
+        ),
     );
     let algo = AlgoKind::Cori.build(&profiled);
     let config = AdaptiveConfig {
         mode: ShrinkageMode::Adaptive,
         ..Default::default()
     };
-    let engine = SelectionEngine::new(&catalog, algo.as_ref(), config);
+    let engine = SelectionEngine::new(catalog, algo, config, broker::DEFAULT_CACHE_CAPACITY);
     let query = &bed.queries[0].terms;
 
     let mut group = c.benchmark_group("broker/posterior_cache");

@@ -1,0 +1,295 @@
+//! Load generator for `dbselectd`: spawns the daemon in-process on a tiny
+//! frozen-catalog fixture, then drives it over **real TCP sockets** with
+//! concurrent closed-loop clients, reporting sustained throughput and
+//! client-observed latency percentiles as JSON (the source of
+//! `BENCH_server.json`).
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen [-- SECONDS [CLIENTS]]
+//! ```
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::experiment::{profile_collection, HarnessConfig};
+use corpus::TestBedConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::{profile_qbs, PipelineConfig, SamplerKind};
+use server::metrics::Histogram;
+use server::state::ServingState;
+use server::{Server, ServerConfig};
+use store::catalog::StoredCatalog;
+use store::{CollectionStore, StoredDatabase};
+
+/// Build the tiny testbed fixture, freeze it, and save it to a temp file.
+fn build_fixture() -> (std::path::PathBuf, Vec<String>) {
+    let mut bed = TestBedConfig::tiny(30).build();
+    let config = HarnessConfig::new(SamplerKind::Qbs, true, 30);
+    // Profiling is only exercised to keep the fixture identical to the
+    // broker benchmarks' (QBS summaries, shrinkage fit included).
+    let _profiled = profile_collection(&mut bed, &config);
+
+    let mut rng = StdRng::seed_from_u64(40);
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
+    let databases = bed
+        .databases
+        .iter()
+        .map(|tdb| {
+            let profile = profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng);
+            StoredDatabase {
+                name: tdb.name.clone(),
+                classification: tdb.category,
+                summary: profile.summary,
+                sample_docs: profile.sample.docs.into_iter().map(|d| d.tokens).collect(),
+            }
+        })
+        .collect();
+    let store = CollectionStore {
+        dict: bed.dict.clone(),
+        hierarchy: bed.hierarchy.clone(),
+        databases,
+    };
+    let frozen = StoredCatalog::freeze(
+        store,
+        dbselect_core::category_summary::CategoryWeighting::BySize,
+    );
+    let path = std::env::temp_dir().join(format!("dbselectd-loadgen-{}.cat", std::process::id()));
+    frozen.save(&path).expect("save fixture catalog");
+
+    // Query strings: the testbed's evaluation queries, spelled out so they
+    // travel as HTTP payloads.
+    let queries: Vec<String> = bed
+        .queries
+        .iter()
+        .map(|q| {
+            q.terms
+                .iter()
+                .map(|&t| bed.dict.term(t))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    (path, queries)
+}
+
+/// One closed-loop HTTP exchange; returns (status, body).
+fn exchange(addr: SocketAddr, raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(raw)?;
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes)?;
+    let text = String::from_utf8_lossy(&bytes);
+    let (head, body) = text.split_once("\r\n\r\n").unwrap_or((&text, ""));
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    Ok((status, body.to_string()))
+}
+
+fn post_bytes(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+struct PhaseResult {
+    requests: u64,
+    errors: u64,
+    seconds: f64,
+    histogram: Histogram,
+}
+
+impl PhaseResult {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.seconds.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Drive `addr` with `clients` closed-loop threads for `duration`, each
+/// request drawn round-robin from `bodies`.
+fn run_phase(
+    addr: SocketAddr,
+    bodies: &[Vec<u8>],
+    clients: usize,
+    duration: Duration,
+) -> PhaseResult {
+    let histogram = Arc::new(Histogram::latency());
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let histogram = Arc::clone(&histogram);
+            let stop = Arc::clone(&stop);
+            let errors = Arc::clone(&errors);
+            let bodies = bodies.to_vec();
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                let mut i = c; // stagger the rotation per client
+                while !stop.load(Ordering::Relaxed) {
+                    let begun = Instant::now();
+                    match exchange(addr, &bodies[i % bodies.len()]) {
+                        Ok((200, _)) => histogram.observe(begun.elapsed().as_nanos() as u64),
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    sent += 1;
+                    i += 1;
+                }
+                sent
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let requests: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let seconds = started.elapsed().as_secs_f64();
+    PhaseResult {
+        requests,
+        errors: errors.load(Ordering::Relaxed),
+        seconds,
+        histogram: Arc::try_unwrap(histogram).unwrap_or_else(|_| unreachable!()),
+    }
+}
+
+fn phase_json(name: &str, clients: usize, result: &PhaseResult) -> String {
+    format!(
+        r#"    "{name}": {{
+      "clients": {clients},
+      "requests": {},
+      "errors": {},
+      "seconds": {:.2},
+      "sustained_rps": {:.1},
+      "latency_ns": {{ "p50": {}, "p95": {}, "p99": {} }},
+      "latency_human": {{ "p50": "{}", "p95": "{}", "p99": "{}" }}
+    }}"#,
+        result.requests,
+        result.errors,
+        result.seconds,
+        result.rps(),
+        result.histogram.percentile(0.50),
+        result.histogram.percentile(0.95),
+        result.histogram.percentile(0.99),
+        server::metrics::format_nanos(result.histogram.percentile(0.50)),
+        server::metrics::format_nanos(result.histogram.percentile(0.95)),
+        server::metrics::format_nanos(result.histogram.percentile(0.99)),
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let duration =
+        Duration::from_secs_f64(args.first().and_then(|a| a.parse().ok()).unwrap_or(3.0));
+    let clients: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    eprintln!("building tiny(30) fixture catalog …");
+    let (path, queries) = build_fixture();
+
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: 256,
+        deadline: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let state = ServingState::load(path.to_str().unwrap(), config.cache_capacity)
+        .expect("load fixture catalog");
+    let daemon = Server::bind(config, state).expect("bind");
+    let addr = daemon.local_addr();
+    let accept_loop = std::thread::spawn(move || daemon.run().expect("daemon run"));
+    eprintln!(
+        "dbselectd on {addr}: {} workers, {} clients, {:?}/phase",
+        workers, clients, duration
+    );
+
+    // Sanity: the fixture's queries must resolve against the catalog.
+    let probe = post_bytes(
+        "/route",
+        &format!(r#"{{"query":"{}","seed":42}}"#, queries[0]),
+    );
+    let (status, body) = exchange(addr, &probe).expect("probe");
+    assert_eq!(status, 200, "probe failed: {body}");
+    assert!(
+        body.contains(r#""unknown":[]"#),
+        "fixture queries must be fully known to the catalog: {body}"
+    );
+
+    // Phase 1: single-query /route, all clients.
+    let route_bodies: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| post_bytes("/route", &format!(r#"{{"query":"{q}","seed":42}}"#)))
+        .collect();
+    let route = run_phase(addr, &route_bodies, clients, duration);
+    eprintln!(
+        "/route       {:>8.1} rps, p50 {}",
+        route.rps(),
+        server::metrics::format_nanos(route.histogram.percentile(0.50))
+    );
+
+    // Phase 2: /route_batch with the whole query set per request.
+    let all: Vec<String> = queries.iter().map(|q| format!("\"{q}\"")).collect();
+    let batch_body = post_bytes(
+        "/route_batch",
+        &format!(
+            r#"{{"queries":[{}],"seed":42,"threads":{}}}"#,
+            all.join(","),
+            workers.min(8)
+        ),
+    );
+    let batch = run_phase(addr, &[batch_body], clients.min(4), duration);
+    eprintln!(
+        "/route_batch {:>8.1} rps ({} queries each), p50 {}",
+        batch.rps(),
+        queries.len(),
+        server::metrics::format_nanos(batch.histogram.percentile(0.50))
+    );
+
+    // Server-side view, then clean shutdown.
+    let (status, metrics_body) =
+        exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n").expect("metrics");
+    assert_eq!(status, 200);
+    let cache_line = metrics_body
+        .lines()
+        .find(|l| l.starts_with("dbselectd_posterior_cache_hit_rate"))
+        .unwrap_or("dbselectd_posterior_cache_hit_rate ?")
+        .to_string();
+    let (status, _) = exchange(addr, &post_bytes("/admin/shutdown", "")).expect("shutdown");
+    assert_eq!(status, 200);
+    accept_loop.join().expect("accept loop");
+    std::fs::remove_file(&path).ok();
+
+    println!(
+        r#"{{
+  "bench": "crates/bench/src/bin/loadgen.rs",
+  "command": "cargo run --release -p bench --bin loadgen -- {secs} {clients}",
+  "fixture": "TestBedConfig::tiny(30), QBS profiling, frozen catalog served by dbselectd over loopback TCP",
+  "server": {{ "workers": {workers}, "queue_capacity": 256 }},
+  "queries": {nq},
+  "phases": {{
+{route_json},
+{batch_json}
+  }},
+  "server_cache": "{cache_line}",
+  "note": "closed-loop clients, one connection per request (Connection: close); latency is client-observed wall time including connect"
+}}"#,
+        secs = duration.as_secs_f64(),
+        clients = clients,
+        workers = workers,
+        nq = queries.len(),
+        route_json = phase_json("route", clients, &route),
+        batch_json = phase_json("route_batch", clients.min(4), &batch),
+    );
+}

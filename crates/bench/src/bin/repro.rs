@@ -684,8 +684,13 @@ fn merging_comparison(opts: &Options) {
         // strategies: the comparison isolates merging, and the broker
         // engine evaluates the whole batch in parallel.
         let names: Vec<String> = bed.databases.iter().map(|d| d.name.clone()).collect();
-        let catalog = profiled.catalog(&names);
-        let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), AdaptiveConfig::default());
+        let catalog = std::sync::Arc::new(profiled.catalog(&names));
+        let engine = SelectionEngine::new(
+            catalog,
+            algorithm,
+            AdaptiveConfig::default(),
+            broker::DEFAULT_CACHE_CAPACITY,
+        );
         let queries: Vec<Vec<u32>> = bed.queries.iter().map(|q| q.terms.clone()).collect();
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
         let outcomes = engine.route_batch(&queries, opts.seed + 99, threads);

@@ -3,10 +3,12 @@
 //! category summaries, shrink, and run the database selection strategies of
 //! the paper's evaluation.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use broker::{Catalog, CatalogEntry, SelectionEngine};
+use broker::{Catalog, CatalogEntry, SelectionEngine, DEFAULT_CACHE_CAPACITY};
 use corpus::TestBed;
 use dbselect_core::category_summary::{CategorySummaries, CategoryWeighting};
 use dbselect_core::hierarchy::{CategoryId, Hierarchy};
@@ -251,11 +253,11 @@ impl AlgoKind {
     pub fn build(
         &self,
         profiled: &ProfiledCollection,
-    ) -> Box<dyn SelectionAlgorithm + Send + Sync> {
+    ) -> Arc<dyn SelectionAlgorithm + Send + Sync> {
         match self {
-            AlgoKind::BGloss => Box::new(BGloss),
-            AlgoKind::Cori => Box::new(Cori::default()),
-            AlgoKind::Lm => Box::new(Lm::new(0.5, &profiled.root_summary)),
+            AlgoKind::BGloss => Arc::new(BGloss),
+            AlgoKind::Cori => Arc::new(Cori::default()),
+            AlgoKind::Lm => Arc::new(Lm::new(0.5, &profiled.root_summary)),
         }
     }
 
@@ -342,12 +344,17 @@ pub fn run_selection(
                 Strategy::Hierarchical => unreachable!("handled above"),
             };
             let names: Vec<String> = bed.databases.iter().map(|d| d.name.clone()).collect();
-            let catalog = profiled.catalog(&names);
+            let catalog = Arc::new(profiled.catalog(&names));
             let config = AdaptiveConfig {
                 mode,
                 ..Default::default()
             };
-            let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), config);
+            let engine = SelectionEngine::new(
+                catalog,
+                Arc::clone(&algorithm),
+                config,
+                DEFAULT_CACHE_CAPACITY,
+            );
             let queries: Vec<Vec<TermId>> = bed.queries.iter().map(|q| q.terms.clone()).collect();
             let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
             let outcomes = engine.route_batch(&queries, seed, threads);

@@ -42,7 +42,7 @@ fn engine_is_bit_identical_to_adaptive_rank_for_all_algorithms_and_modes() {
     let profiled = profile_collection(&mut bed, &config);
 
     let names: Vec<String> = bed.databases.iter().map(|d| d.name.clone()).collect();
-    let catalog = profiled.catalog(&names);
+    let catalog = std::sync::Arc::new(profiled.catalog(&names));
     let pairs: Vec<SummaryPair<'_>> = profiled
         .summaries
         .iter()
@@ -82,7 +82,12 @@ fn engine_is_bit_identical_to_adaptive_rank_for_all_algorithms_and_modes() {
                 })
                 .collect();
 
-            let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), adaptive_config);
+            let engine = SelectionEngine::new(
+                std::sync::Arc::clone(&catalog),
+                std::sync::Arc::clone(&algorithm),
+                adaptive_config,
+                broker::DEFAULT_CACHE_CAPACITY,
+            );
             for threads in [1, 8] {
                 let batched = engine.route_batch(&queries, seed, threads);
                 assert_eq!(batched.len(), reference.len());

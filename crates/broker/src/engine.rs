@@ -17,19 +17,30 @@
 //!   still runs for *every* database in order, so the Monte-Carlo RNG stream
 //!   is exactly the one the unbatched path consumes.)
 //!
-//! Batches fan out over queries with [`sampling::scheduler::fan_out`]; each
-//! query's RNG is derived from `(base_seed, query_index)` via
-//! [`sampling::scheduler::db_rng`], so results are invariant to the thread
-//! count.
+//! The engine owns its catalog and algorithm behind `Arc`s, so a long-lived
+//! serving process (the `dbselectd` daemon) can share one engine across
+//! worker threads and atomically swap catalogs by replacing the engine.
+//!
+//! The posterior cache is lock-striped and *bounded*: each stripe holds at
+//! most `capacity / stripes` grids and evicts in insertion (FIFO) order.
+//! Eviction only costs a rebuild on the next lookup — grid construction is
+//! deterministic, so a re-built grid is bit-identical to the evicted one
+//! and rankings never depend on cache hits, misses, or evictions.
+//!
+//! Batches fan out over queries in contiguous per-worker chunks
+//! ([`sampling::scheduler::fan_out_chunks`]); each query's RNG is derived
+//! from `(base_seed, query_index)` via [`sampling::scheduler::db_rng`], so
+//! results are invariant to the thread count.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use dbselect_core::summary::SummaryView;
 use dbselect_core::uncertainty::WordPosterior;
 use rand::Rng;
-use sampling::scheduler::{db_rng, fan_out};
+use sampling::scheduler::{db_rng, fan_out_chunks};
 use selection::{
     rank_databases_with_context, score_is_uncertain_with_posteriors, AdaptiveConfig,
     AdaptiveOutcome, IndexedView, SelectionAlgorithm, ShrinkageMode,
@@ -41,50 +52,100 @@ use crate::catalog::Catalog;
 /// Lock-striping width of the posterior cache.
 const CACHE_SHARDS: usize = 16;
 
-/// One lock stripe of the posterior cache, keyed by (database, term).
-type CacheShard = Mutex<HashMap<(u32, TermId), Arc<WordPosterior>>>;
+/// Default total posterior-cache capacity (entries across all stripes).
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
 
-/// Posterior-cache hit/miss counters (for diagnostics and benchmarks).
+/// One lock stripe of the posterior cache: the grid map plus the key
+/// insertion order that drives FIFO eviction.
+#[derive(Default)]
+struct Shard {
+    map: HashMap<(u32, TermId), Arc<WordPosterior>>,
+    order: VecDeque<(u32, TermId)>,
+}
+
+/// Posterior-cache counters (for diagnostics, benchmarks, and the
+/// `dbselectd` metrics endpoint).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Grid lookups served from the cache.
     pub hits: u64,
     /// Grid lookups that had to build a new posterior.
     pub misses: u64,
+    /// Grids dropped to keep a stripe within its capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Element-wise sum (for aggregating across engines).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
 }
 
 /// A query-serving engine over a frozen catalog.
-pub struct SelectionEngine<'a> {
-    catalog: &'a Catalog,
-    algorithm: &'a (dyn SelectionAlgorithm + Sync),
+pub struct SelectionEngine {
+    catalog: Arc<Catalog>,
+    algorithm: Arc<dyn SelectionAlgorithm + Send + Sync>,
     config: AdaptiveConfig,
-    shards: Vec<CacheShard>,
+    shards: Vec<Mutex<Shard>>,
+    /// Per-stripe entry cap (`usize::MAX` = unbounded).
+    shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
-impl<'a> SelectionEngine<'a> {
+impl SelectionEngine {
     /// Build an engine for `algorithm` under `config` over `catalog`.
+    ///
+    /// `cache_capacity` bounds the posterior cache (total entries across
+    /// all stripes; `0` means unbounded). Bounding never changes rankings —
+    /// an evicted grid is rebuilt bit-identically on the next lookup.
     pub fn new(
-        catalog: &'a Catalog,
-        algorithm: &'a (dyn SelectionAlgorithm + Sync),
+        catalog: Arc<Catalog>,
+        algorithm: Arc<dyn SelectionAlgorithm + Send + Sync>,
         config: AdaptiveConfig,
+        cache_capacity: usize,
     ) -> Self {
+        let shard_capacity = if cache_capacity == 0 {
+            usize::MAX
+        } else {
+            cache_capacity.div_ceil(CACHE_SHARDS).max(1)
+        };
         SelectionEngine {
             catalog,
             algorithm,
             config,
-            shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            shard_capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// The catalog this engine serves.
     pub fn catalog(&self) -> &Catalog {
-        self.catalog
+        &self.catalog
     }
 
     /// The engine's adaptive-selection configuration.
@@ -98,16 +159,20 @@ impl<'a> SelectionEngine<'a> {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drop all memoized posteriors and reset the counters.
     pub fn clear_cache(&self) {
         for shard in &self.shards {
-            shard.lock().expect("posterior cache poisoned").clear();
+            let mut guard = shard.lock().expect("posterior cache poisoned");
+            guard.map.clear();
+            guard.order.clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// The memoized word posterior of `(db, term)`. Grid construction is
@@ -116,7 +181,12 @@ impl<'a> SelectionEngine<'a> {
     fn posterior(&self, db: u32, term: TermId) -> Arc<WordPosterior> {
         let key = (db, term);
         let shard = &self.shards[(db as usize ^ term as usize) % CACHE_SHARDS];
-        if let Some(p) = shard.lock().expect("posterior cache poisoned").get(&key) {
+        if let Some(p) = shard
+            .lock()
+            .expect("posterior cache poisoned")
+            .map
+            .get(&key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(p);
         }
@@ -131,7 +201,18 @@ impl<'a> SelectionEngine<'a> {
             self.config.uncertainty.grid_points,
         ));
         let mut guard = shard.lock().expect("posterior cache poisoned");
-        Arc::clone(guard.entry(key).or_insert(posterior))
+        if guard.map.contains_key(&key) {
+            // A concurrent builder inserted the same (deterministic) grid.
+            return Arc::clone(&guard.map[&key]);
+        }
+        while guard.map.len() >= self.shard_capacity {
+            let oldest = guard.order.pop_front().expect("order tracks map");
+            guard.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        guard.order.push_back(key);
+        guard.map.insert(key, Arc::clone(&posterior));
+        posterior
     }
 
     /// Rank databases for one query. Bit-identical to
@@ -158,7 +239,7 @@ impl<'a> SelectionEngine<'a> {
                             .map(|&w| self.posterior(db as u32, w))
                             .collect();
                         score_is_uncertain_with_posteriors(
-                            self.algorithm,
+                            self.algorithm.as_ref(),
                             query,
                             self.catalog.unshrunk(db),
                             &posteriors,
@@ -189,7 +270,7 @@ impl<'a> SelectionEngine<'a> {
                 None
             }
         });
-        let ranking = rank_databases_with_context(self.algorithm, query, items, &ctx);
+        let ranking = rank_databases_with_context(self.algorithm.as_ref(), query, items, &ctx);
         AdaptiveOutcome {
             ranking,
             used_shrinkage,
@@ -198,16 +279,36 @@ impl<'a> SelectionEngine<'a> {
 
     /// Route a batch of queries over `threads` worker threads. Query `i`
     /// draws from `db_rng(base_seed, i)`, so the output is independent of
-    /// `threads` and of the order in which workers claim queries.
+    /// `threads` and of how queries are distributed over workers. Workers
+    /// take contiguous chunks of the batch (one dispatch per worker, not
+    /// per query), which keeps scheduling overhead off the per-query path.
     pub fn route_batch(
         &self,
         queries: &[Vec<TermId>],
         base_seed: u64,
         threads: usize,
     ) -> Vec<AdaptiveOutcome> {
-        fan_out(queries.len(), threads, |qi| {
+        self.route_batch_observed(queries, base_seed, threads, |_, _| {})
+    }
+
+    /// [`route_batch`](Self::route_batch) with a per-query observer:
+    /// `observe(query_index, wall_time)` is called from the worker thread
+    /// that routed the query. Observation never changes results — it exists
+    /// so callers (the CLI summary, the daemon's metrics) can collect
+    /// latency histograms without a second pass.
+    pub fn route_batch_observed(
+        &self,
+        queries: &[Vec<TermId>],
+        base_seed: u64,
+        threads: usize,
+        observe: impl Fn(usize, std::time::Duration) + Sync,
+    ) -> Vec<AdaptiveOutcome> {
+        fan_out_chunks(queries.len(), threads, |qi| {
+            let started = Instant::now();
             let mut rng = db_rng(base_seed, qi);
-            self.route(&queries[qi], &mut rng)
+            let outcome = self.route(&queries[qi], &mut rng);
+            observe(qi, started.elapsed());
+            outcome
         })
     }
 }
@@ -221,6 +322,10 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use selection::{adaptive_rank, BGloss, Cori, SummaryPair};
+
+    fn bgloss() -> Arc<dyn SelectionAlgorithm + Send + Sync> {
+        Arc::new(BGloss)
+    }
 
     /// A small mixed testbed: well-sampled small databases, poorly sampled
     /// large ones, and a database with no query-word overlap at all.
@@ -262,8 +367,9 @@ mod tests {
                 shrunk: &e.shrunk,
             })
             .collect();
-        let catalog = Catalog::build(entries.clone());
-        let algorithms: [&(dyn SelectionAlgorithm + Sync); 2] = [&BGloss, &Cori::default()];
+        let catalog = Arc::new(Catalog::build(entries.clone()));
+        let algorithms: [Arc<dyn SelectionAlgorithm + Send + Sync>; 2] =
+            [Arc::new(BGloss), Arc::new(Cori::default())];
         for algorithm in algorithms {
             for mode in [
                 ShrinkageMode::Adaptive,
@@ -274,10 +380,20 @@ mod tests {
                     mode,
                     ..Default::default()
                 };
-                let engine = SelectionEngine::new(&catalog, algorithm, config);
+                let engine = SelectionEngine::new(
+                    Arc::clone(&catalog),
+                    Arc::clone(&algorithm),
+                    config,
+                    DEFAULT_CACHE_CAPACITY,
+                );
                 for (qi, query) in queries().iter().enumerate() {
-                    let reference =
-                        adaptive_rank(algorithm, query, &pairs, &config, &mut db_rng(7, qi));
+                    let reference = adaptive_rank(
+                        algorithm.as_ref(),
+                        query,
+                        &pairs,
+                        &config,
+                        &mut db_rng(7, qi),
+                    );
                     let routed = engine.route(query, &mut db_rng(7, qi));
                     assert_same_outcome(&reference, &routed);
                 }
@@ -287,8 +403,13 @@ mod tests {
 
     #[test]
     fn cached_posteriors_do_not_change_decisions() {
-        let catalog = Catalog::build(entries());
-        let engine = SelectionEngine::new(&catalog, &BGloss, AdaptiveConfig::default());
+        let catalog = Arc::new(Catalog::build(entries()));
+        let engine = SelectionEngine::new(
+            catalog,
+            bgloss(),
+            AdaptiveConfig::default(),
+            DEFAULT_CACHE_CAPACITY,
+        );
         let query = vec![1, 2, 42];
         let cold = engine.route(&query, &mut StdRng::seed_from_u64(5));
         let stats = engine.cache_stats();
@@ -298,6 +419,7 @@ mod tests {
         let after = engine.cache_stats();
         assert_eq!(after.misses, stats.misses, "second pass is fully cached");
         assert!(after.hits > stats.hits);
+        assert!(after.hit_rate() > 0.0);
         engine.clear_cache();
         assert_eq!(engine.cache_stats(), CacheStats::default());
         let refilled = engine.route(&query, &mut StdRng::seed_from_u64(5));
@@ -305,9 +427,36 @@ mod tests {
     }
 
     #[test]
+    fn bounded_cache_evicts_without_changing_rankings() {
+        let catalog = Arc::new(Catalog::build(entries()));
+        let unbounded =
+            SelectionEngine::new(Arc::clone(&catalog), bgloss(), AdaptiveConfig::default(), 0);
+        // Tiny capacity: one entry per stripe, so multi-term queries over
+        // four databases must evict constantly.
+        let tiny = SelectionEngine::new(catalog, bgloss(), AdaptiveConfig::default(), 1);
+        for (qi, query) in queries().iter().enumerate() {
+            let a = unbounded.route(query, &mut db_rng(3, qi));
+            let b = tiny.route(query, &mut db_rng(3, qi));
+            assert_same_outcome(&a, &b);
+        }
+        let stats = tiny.cache_stats();
+        assert!(stats.evictions > 0, "tiny cache must evict: {stats:?}");
+        assert_eq!(unbounded.cache_stats().evictions, 0);
+        // Capacity is enforced: no stripe ever exceeds its cap, so the
+        // resident entry count stays within the configured total.
+        let resident = stats.misses - stats.evictions;
+        assert!(resident <= CACHE_SHARDS as u64);
+    }
+
+    #[test]
     fn batch_results_match_sequential_routing() {
-        let catalog = Catalog::build(entries());
-        let engine = SelectionEngine::new(&catalog, &BGloss, AdaptiveConfig::default());
+        let catalog = Arc::new(Catalog::build(entries()));
+        let engine = SelectionEngine::new(
+            catalog,
+            bgloss(),
+            AdaptiveConfig::default(),
+            DEFAULT_CACHE_CAPACITY,
+        );
         let queries = queries();
         let batched = engine.route_batch(&queries, 99, 4);
         assert_eq!(batched.len(), queries.len());
@@ -315,6 +464,23 @@ mod tests {
             let solo = engine.route(query, &mut db_rng(99, qi));
             assert_same_outcome(&solo, out);
         }
+    }
+
+    #[test]
+    fn batch_observer_sees_every_query() {
+        let catalog = Arc::new(Catalog::build(entries()));
+        let engine = SelectionEngine::new(
+            catalog,
+            bgloss(),
+            AdaptiveConfig::default(),
+            DEFAULT_CACHE_CAPACITY,
+        );
+        let queries = queries();
+        let seen = Mutex::new(vec![false; queries.len()]);
+        engine.route_batch_observed(&queries, 1, 3, |qi, _elapsed| {
+            seen.lock().unwrap()[qi] = true;
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&s| s));
     }
 
     proptest! {
@@ -341,8 +507,13 @@ mod tests {
                     CatalogEntry { name: format!("db{i}"), unshrunk, shrunk }
                 })
                 .collect();
-            let catalog = Catalog::build(entries);
-            let engine = SelectionEngine::new(&catalog, &BGloss, AdaptiveConfig::default());
+            let catalog = Arc::new(Catalog::build(entries));
+            let engine = SelectionEngine::new(
+                catalog,
+                bgloss(),
+                AdaptiveConfig::default(),
+                DEFAULT_CACHE_CAPACITY,
+            );
             let queries: Vec<Vec<TermId>> =
                 vec![vec![1, 3], vec![2, 4, 9], vec![1], vec![4, 4, 2]];
             let single = engine.route_batch(&queries, base_seed, 1);

@@ -20,4 +20,4 @@ pub mod engine;
 pub(crate) mod test_support;
 
 pub use catalog::{Catalog, CatalogEntry, Posting, PostingList};
-pub use engine::{CacheStats, SelectionEngine};
+pub use engine::{CacheStats, SelectionEngine, DEFAULT_CACHE_CAPACITY};

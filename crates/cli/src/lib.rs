@@ -12,11 +12,13 @@
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use broker::{Catalog, CatalogEntry, SelectionEngine};
+use broker::{Catalog, CatalogEntry, SelectionEngine, DEFAULT_CACHE_CAPACITY};
 use dbselect_core::category_summary::CategoryWeighting;
 use dbselect_core::hierarchy::Hierarchy;
 use dbselect_core::summary::ContentSummary;
@@ -245,11 +247,11 @@ fn analyze_query(
 fn build_algorithm(
     store: &CollectionStore,
     algo: CliAlgorithm,
-) -> Box<dyn SelectionAlgorithm + Send + Sync> {
+) -> Arc<dyn SelectionAlgorithm + Send + Sync> {
     match algo {
-        CliAlgorithm::BGloss => Box::new(BGloss),
-        CliAlgorithm::Cori => Box::new(Cori::default()),
-        CliAlgorithm::Lm => Box::new(Lm::new(0.5, &store.root_summary(CategoryWeighting::BySize))),
+        CliAlgorithm::BGloss => Arc::new(BGloss),
+        CliAlgorithm::Cori => Arc::new(Cori::default()),
+        CliAlgorithm::Lm => Arc::new(Lm::new(0.5, &store.root_summary(CategoryWeighting::BySize))),
         CliAlgorithm::Redde => unreachable!("ReDDE is not summary-based"),
     }
 }
@@ -322,13 +324,18 @@ pub fn select(
             shrunk,
         })
         .collect();
-    let catalog = Catalog::build(entries);
+    let catalog = Arc::new(Catalog::build(entries));
     let algorithm = build_algorithm(store, algo);
     let config = AdaptiveConfig {
         mode: shrinkage,
         ..Default::default()
     };
-    let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), config);
+    let engine = SelectionEngine::new(
+        catalog,
+        Arc::clone(&algorithm),
+        config,
+        DEFAULT_CACHE_CAPACITY,
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let outcome = engine.route(&query, &mut rng);
 
@@ -384,13 +391,18 @@ pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOpti
     }
     let store = &frozen.store;
     let analyzer = Analyzer::english();
-    let catalog = frozen.to_catalog();
+    let catalog = Arc::new(frozen.to_catalog());
     let algorithm = build_algorithm(store, options.algo);
     let config = AdaptiveConfig {
         mode: options.shrinkage,
         ..Default::default()
     };
-    let engine = SelectionEngine::new(&catalog, algorithm.as_ref(), config);
+    let engine = SelectionEngine::new(
+        Arc::clone(&catalog),
+        Arc::clone(&algorithm),
+        config,
+        DEFAULT_CACHE_CAPACITY,
+    );
 
     // Tokenize every line up front so the batch can be routed in parallel.
     let parsed: Vec<(String, Vec<u32>, Vec<String>)> = query_lines
@@ -403,7 +415,12 @@ pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOpti
         })
         .collect();
     let queries: Vec<Vec<u32>> = parsed.iter().map(|(_, q, _)| q.clone()).collect();
-    let outcomes = engine.route_batch(&queries, options.seed, options.threads);
+    let latencies = server::metrics::Histogram::latency();
+    let started = Instant::now();
+    let outcomes = engine.route_batch_observed(&queries, options.seed, options.threads, |_, d| {
+        latencies.observe(d.as_nanos() as u64);
+    });
+    let wall = started.elapsed();
 
     let _ = writeln!(
         out,
@@ -424,6 +441,22 @@ pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOpti
             continue;
         }
         render_ranking(&mut out, store, outcome, options.k);
+    }
+    // Per-query latency summary (the daemon's histogram type, so the CLI
+    // and `/metrics` report percentiles the same way). This line varies
+    // run to run — consumers comparing reports should ignore it.
+    if !queries.is_empty() {
+        let secs = wall.as_secs_f64().max(f64::MIN_POSITIVE);
+        let _ = writeln!(
+            out,
+            "\nlatency per query: p50 {} | p95 {} | p99 {}  — {} queries in {} ({:.1} queries/s)",
+            server::metrics::format_nanos(latencies.percentile(0.50)),
+            server::metrics::format_nanos(latencies.percentile(0.95)),
+            server::metrics::format_nanos(latencies.percentile(0.99)),
+            queries.len(),
+            server::metrics::format_nanos(wall.as_nanos() as u64),
+            queries.len() as f64 / secs,
+        );
     }
     out
 }
@@ -688,10 +721,18 @@ mod tests {
                 ..options
             },
         );
-        assert_eq!(
-            single.replace("1 threads", "N threads"),
-            many.replace("8 threads", "N threads")
-        );
+        // The trailing latency summary is wall-clock dependent; rankings
+        // must match exactly.
+        let strip = |report: &str, threads: &str| -> String {
+            report
+                .replace(threads, "N threads")
+                .lines()
+                .filter(|l| !l.starts_with("latency per query:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&single, "1 threads"), strip(&many, "8 threads"));
+        assert!(single.contains("latency per query: p50"), "{single}");
 
         std::fs::remove_dir_all(&root).ok();
     }

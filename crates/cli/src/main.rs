@@ -9,6 +9,8 @@
 //! dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
 //! dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
 //!                [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
+//! dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
+//!                [--deadline-ms N] [--cache N]
 //! dbselect inspect --store STORE [--db NAME]
 //! ```
 
@@ -35,6 +37,7 @@ fn run() -> Result<(), String> {
         Some("select") => cmd_select(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{}", USAGE);
@@ -54,12 +57,19 @@ USAGE:
   dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
                  [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
+  dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
+                 [--deadline-ms N] [--cache N]
   dbselect inspect --store STORE [--db NAME]
 
 `catalog` runs the shrinkage EM once and freezes the result (summaries,
 fitted λ weights) into a serving catalog; `route` loads the catalog — no
 EM at serving time — and evaluates a file of queries (one per line) in
 parallel. Rankings are independent of --threads.
+
+`serve` starts `dbselectd`, an HTTP daemon over a frozen catalog:
+POST /route and /route_batch rank databases (bit-identical to `route`),
+GET /healthz and /metrics report status, POST /admin/reload hot-swaps
+the catalog, POST /admin/shutdown exits cleanly.
 ";
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
@@ -212,6 +222,53 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         .collect();
     print!("{}", route(&frozen, &lines, &options));
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut catalog_path = None;
+    let mut config = server::ServerConfig {
+        addr: "127.0.0.1:7700".to_string(),
+        ..Default::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--catalog" => catalog_path = Some(next_value(&mut it, "--catalog")?),
+            "--addr" => config.addr = next_value(&mut it, "--addr")?,
+            "--workers" => {
+                config.workers = next_value(&mut it, "--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?;
+            }
+            "--queue" => {
+                config.queue_capacity = next_value(&mut it, "--queue")?
+                    .parse()
+                    .map_err(|_| "--queue expects an integer".to_string())?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = next_value(&mut it, "--deadline-ms")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms expects an integer".to_string())?;
+                config.deadline = std::time::Duration::from_millis(ms);
+            }
+            "--cache" => {
+                config.cache_capacity = next_value(&mut it, "--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects an integer (0 = unbounded)".to_string())?;
+            }
+            "--debug-sleep" => config.debug_sleep = true,
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    let catalog_path = catalog_path.ok_or("serve requires --catalog CATALOG")?;
+    let state = server::state::ServingState::load(&catalog_path, config.cache_capacity)
+        .map_err(|e| format!("{catalog_path}: {e}"))?;
+    let daemon = server::Server::bind(config, state).map_err(|e| e.to_string())?;
+    println!(
+        "dbselectd listening on {} (catalog {catalog_path})",
+        daemon.local_addr()
+    );
+    daemon.run().map_err(|e| e.to_string())
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,435 @@
+//! A minimal hand-rolled HTTP/1.1 layer.
+//!
+//! `dbselectd` is std-only (the vendored compat-crate constraint rules out
+//! hyper et al.), so this module implements exactly the slice of HTTP/1.1
+//! the daemon needs: parse one request from a buffered reader with strict
+//! size limits, and write one response with `Connection: close`.
+//!
+//! The parser is the daemon's exposure to untrusted bytes, so its contract
+//! is: **never panic, never allocate unboundedly** — every malformed,
+//! oversized, or truncated input maps to an [`HttpError`], which the
+//! serving loop turns into a 4xx status. A proptest fuzz suite
+//! (`tests/http_fuzz.rs`) holds the no-panic property over arbitrary byte
+//! streams.
+
+use std::io::{self, BufRead, Write};
+
+/// Parser limits. Exceeding any of them is a [`HttpError::TooLarge`].
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum request-line length in bytes.
+    pub max_request_line: usize,
+    /// Maximum number of header fields.
+    pub max_headers: usize,
+    /// Maximum length of a single header line in bytes.
+    pub max_header_line: usize,
+    /// Maximum request-body length in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 8 * 1024,
+            max_headers: 64,
+            max_header_line: 8 * 1024,
+            max_body: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The connection closed cleanly before the first byte of a request.
+    Closed,
+    /// Syntactically invalid request (maps to 400).
+    Malformed(&'static str),
+    /// A size limit was exceeded (maps to 413).
+    TooLarge(&'static str),
+    /// Transport error; `WouldBlock`/`TimedOut` mean the read deadline
+    /// expired (maps to 408).
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status this error reports to the client (`None`: the
+    /// connection is gone, nothing to write).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::Closed => None,
+            HttpError::Malformed(_) => Some(400),
+            HttpError::TooLarge(_) => Some(413),
+            HttpError::Io(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Some(408)
+            }
+            HttpError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> String {
+        match self {
+            HttpError::Closed => "connection closed".to_string(),
+            HttpError::Malformed(why) => format!("malformed request: {why}"),
+            HttpError::TooLarge(what) => format!("request too large: {what}"),
+            HttpError::Io(e) => format!("i/o: {e}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, upper-cased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target as received (path plus optional query string).
+    pub target: String,
+    /// Header fields in arrival order; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with this (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.target
+            .split_once('?')
+            .map_or(self.target.as_str(), |(p, _)| p)
+    }
+}
+
+/// Read one `\n`-terminated line of at most `max` bytes, stripping the
+/// trailing `\r\n` / `\n`. `Ok(None)` means clean EOF before any byte.
+fn read_line<R: BufRead>(
+    r: &mut R,
+    max: usize,
+    oversize: &'static str,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let available = match r.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(HttpError::Malformed("unexpected end of stream"));
+        }
+        let newline = available.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(available.len(), |i| i + 1);
+        if line.len() + take > max + 2 {
+            return Err(HttpError::TooLarge(oversize));
+        }
+        line.extend_from_slice(&available[..take]);
+        r.consume(take);
+        if newline.is_some() {
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            return Ok(Some(line));
+        }
+    }
+}
+
+/// Parse one request from `r` under `limits`.
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    // Request line: METHOD SP TARGET SP HTTP/1.x
+    let line = match read_line(r, limits.max_request_line, "request line")? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let line =
+        String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 request line"))?;
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => {
+            return Err(HttpError::Malformed(
+                "request line is not `METHOD TARGET VERSION`",
+            ))
+        }
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::Malformed("method must be upper-case ASCII"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::Malformed("target must start with '/'"));
+    }
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+
+    // Header fields until the empty line.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(r, limits.max_header_line, "header line")?
+            .ok_or(HttpError::Malformed("stream ended inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        let line = String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 header"))?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without ':'"))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::Malformed("invalid header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    // Body: fixed Content-Length only (no chunked transfer coding).
+    let request = Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed("transfer codings are not supported"));
+    }
+    let content_length = match request.header("content-length") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?,
+        ),
+        None => None,
+    };
+    // No Content-Length and no transfer coding means an empty body
+    // (RFC 7230 §3.3.3) — curl sends empty POSTs exactly like that.
+    let body_len = content_length.unwrap_or(0);
+    if body_len > limits.max_body {
+        return Err(HttpError::TooLarge("body"));
+    }
+    let mut body = vec![0u8; body_len];
+    if body_len > 0 {
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                HttpError::Malformed("truncated body")
+            } else {
+                HttpError::Io(e)
+            }
+        })?;
+    }
+    Ok(Request { body, ..request })
+}
+
+/// A response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra header fields (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error body `{"error": detail}`.
+    pub fn error(status: u16, detail: &str) -> Self {
+        Response::json(
+            status,
+            crate::json::Json::obj(vec![(
+                "error".to_string(),
+                crate::json::Json::Str(detail.to_string()),
+            )])
+            .render(),
+        )
+    }
+
+    /// Add a header field.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra_headers.push((name, value));
+        self
+    }
+}
+
+/// Standard reason phrase for the status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Serialize `response` with `Connection: close` and a `Content-Length`.
+pub fn write_response<W: Write>(w: &mut W, response: &Response) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    )?;
+    for (name, value) in &response.extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(&response.body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(bytes), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path(), "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("HOST"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_query_string() {
+        let req = parse(b"POST /route?x=1 HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.path(), "/route");
+        assert_eq!(req.target, "/route?x=1");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let req = parse(b"GET / HTTP/1.1\nA: b\n\n").unwrap();
+        assert_eq!(req.header("a"), Some("b"));
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        for bytes in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b" / HTTP/1.1\r\n\r\n",
+            b"GET /\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET x HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2\r\n\r\n",
+            b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: empty\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"\xff\xfe / HTTP/1.1\r\n\r\n",
+        ] {
+            let err = parse(bytes).unwrap_err();
+            assert!(err.status().is_some(), "{err:?} must map to a status");
+        }
+    }
+
+    #[test]
+    fn post_without_length_has_empty_body() {
+        // RFC 7230 §3.3.3 — and how curl sends an empty POST.
+        let req = parse(b"POST /route HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        assert!(matches!(parse(b"").unwrap_err(), HttpError::Closed));
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let tiny = Limits {
+            max_request_line: 16,
+            max_headers: 1,
+            max_header_line: 16,
+            max_body: 8,
+        };
+        let long_line = b"GET /aaaaaaaaaaaaaaaaaaaaaaaaaaaa HTTP/1.1\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&long_line[..]), &tiny).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+
+        let many = b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\n\r\n";
+        let err = read_request(&mut BufReader::new(&many[..]), &tiny).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+
+        let big = b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n123456789";
+        let err = read_request(&mut BufReader::new(&big[..]), &tiny).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn responses_serialize_with_length_and_close() {
+        let mut out = Vec::new();
+        let response = Response::json(200, "{\"ok\":true}".to_string())
+            .with_header("Retry-After", "1".to_string());
+        write_response(&mut out, &response).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.ends_with("\r\n{\"ok\":true}"));
+    }
+}

@@ -1,0 +1,597 @@
+//! `dbselectd` — a networked metasearch daemon.
+//!
+//! A std-only threaded TCP server with a hand-rolled HTTP/1.1 layer
+//! ([`http`]) serving database-selection requests against a loaded
+//! [`store::catalog::StoredCatalog`]. The architecture is a classic
+//! worker pool:
+//!
+//! - The **accept loop** owns the listener. Every accepted connection is
+//!   offered to a [`queue::BoundedQueue`]; when the queue is full the
+//!   connection is answered `503` with `Retry-After` *immediately* —
+//!   admission control happens before any request bytes are read, so an
+//!   overloaded daemon sheds load at the door instead of timing out
+//!   deep in the stack.
+//! - **Workers** pop connections, parse one HTTP request each
+//!   (`Connection: close` semantics), and dispatch. Each admitted
+//!   connection carries a deadline (`accept time + deadline`); a request
+//!   that is still unserved when its deadline passes is answered `504`.
+//! - Routing endpoints resolve the current [`state::ServingState`]
+//!   through an `RwLock<Arc<_>>`. `/admin/reload` builds the *next*
+//!   state off to the side and swaps the `Arc`, so in-flight requests
+//!   finish against the generation they started with and a reload never
+//!   fails a request.
+//!
+//! Rankings served over HTTP are bit-identical to
+//! `broker::SelectionEngine::route`: `/route` draws its RNG from
+//! `db_rng(seed, index)` exactly like `dbselect route` does for the
+//! query at `index` of a batch, and scores are serialized with
+//! shortest-roundtrip `f64` formatting ([`json`]).
+
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod state;
+
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+use sampling::scheduler::{db_rng, fan_out_chunks};
+use selection::ShrinkageMode;
+
+use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::queue::BoundedQueue;
+use crate::state::{parse_shrinkage, Algo, ServingState};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7700` (port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it get `503`.
+    pub queue_capacity: usize,
+    /// Per-request deadline, measured from accept.
+    pub deadline: Duration,
+    /// Posterior-cache capacity per engine (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Honor the `X-Debug-Sleep-Ms` request header (tests and load
+    /// generators only — lets a client hold a worker deterministically).
+    pub debug_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            deadline: Duration::from_secs(10),
+            cache_capacity: broker::DEFAULT_CACHE_CAPACITY,
+            debug_sleep: false,
+        }
+    }
+}
+
+/// Maximum queries accepted in one `/route_batch` request.
+const MAX_BATCH: usize = 10_000;
+
+/// `Retry-After` seconds suggested on admission rejection.
+const RETRY_AFTER_SECS: u32 = 1;
+
+/// One admitted connection, carrying its service deadline.
+struct Job {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+/// State shared between the accept loop and the workers.
+struct Shared {
+    state: RwLock<Arc<ServingState>>,
+    generation: AtomicU64,
+    metrics: Metrics,
+    queue: BoundedQueue<Job>,
+    stop: AtomicBool,
+    config: ServerConfig,
+    limits: Limits,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<ServingState> {
+        Arc::clone(&self.state.read().expect("state lock poisoned"))
+    }
+}
+
+/// The bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and freeze the initial serving state.
+    pub fn bind(config: ServerConfig, state: ServingState) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let queue = BoundedQueue::new(config.queue_capacity);
+        let shared = Arc::new(Shared {
+            state: RwLock::new(Arc::new(state)),
+            generation: AtomicU64::new(1),
+            metrics: Metrics::new(),
+            queue,
+            stop: AtomicBool::new(false),
+            config,
+            limits: Limits::default(),
+            addr,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Run the accept loop on the calling thread until `/admin/shutdown`.
+    /// Spawns the worker pool; joins it before returning, so when `run`
+    /// returns every admitted request has been answered.
+    pub fn run(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        for accepted in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match accepted {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let job = Job {
+                stream,
+                deadline: Instant::now() + self.shared.config.deadline,
+            };
+            match self.shared.queue.try_push(job) {
+                Ok(depth) => {
+                    self.shared
+                        .metrics
+                        .queue_depth
+                        .store(depth as u64, Ordering::Relaxed);
+                }
+                Err(job) => {
+                    // Admission control: reject at the door, before
+                    // reading a single request byte.
+                    self.shared
+                        .metrics
+                        .rejected_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.record("admission", 503);
+                    let mut stream = job.stream;
+                    let response = Response::error(503, "queue full")
+                        .with_header("Retry-After", RETRY_AFTER_SECS.to_string());
+                    let _ = write_response(&mut stream, &response);
+                }
+            }
+        }
+
+        self.shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared
+            .metrics
+            .queue_depth
+            .store(shared.queue.len() as u64, Ordering::Relaxed);
+        serve_connection(shared, job);
+    }
+}
+
+fn serve_connection(shared: &Shared, job: Job) {
+    let Job { stream, deadline } = job;
+    let mut stream = stream;
+
+    // A connection that waited out its whole deadline in the queue is
+    // answered 504 without reading the request.
+    let now = Instant::now();
+    if now >= deadline {
+        shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.record("queue", 504);
+        let _ = write_response(&mut stream, &Response::error(504, "deadline exceeded"));
+        return;
+    }
+    // Reading the request may block at most until the deadline.
+    let _ = stream.set_read_timeout(Some(deadline - now));
+
+    let request = {
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        });
+        read_request(&mut reader, &shared.limits)
+    };
+    let request = match request {
+        Ok(request) => request,
+        Err(HttpError::Closed) => return,
+        Err(err) => {
+            let Some(status) = err.status() else { return };
+            if status == 408 {
+                shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
+            }
+            shared.metrics.record("parse", status);
+            let _ = write_response(&mut stream, &Response::error(status, &err.detail()));
+            return;
+        }
+    };
+
+    if shared.config.debug_sleep {
+        if let Some(ms) = request
+            .header("x-debug-sleep-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+        }
+    }
+
+    let started = Instant::now();
+    let (endpoint, response) = dispatch(shared, &request, deadline);
+    let elapsed = started.elapsed().as_nanos() as u64;
+    match endpoint {
+        "route" => shared.metrics.route_latency.observe(elapsed),
+        "route_batch" => shared.metrics.batch_latency.observe(elapsed),
+        _ => {}
+    }
+    shared.metrics.record(endpoint, response.status);
+    let _ = write_response(&mut stream, &response);
+    let _ = stream.flush();
+
+    if endpoint == "shutdown" && response.status == 200 {
+        shared.stop.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in `accept`; a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(shared.addr);
+    }
+}
+
+fn dispatch(shared: &Shared, request: &Request, deadline: Instant) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/healthz") => ("healthz", handle_healthz(shared)),
+        ("GET", "/metrics") => ("metrics", handle_metrics(shared)),
+        ("POST", "/route") => ("route", handle_route(shared, request, deadline)),
+        ("POST", "/route_batch") => ("route_batch", handle_route_batch(shared, request, deadline)),
+        ("POST", "/admin/reload") => ("reload", handle_reload(shared, request)),
+        ("POST", "/admin/shutdown") => (
+            "shutdown",
+            Response::json(
+                200,
+                Json::obj(vec![(
+                    "status".to_string(),
+                    Json::Str("shutting down".to_string()),
+                )])
+                .render(),
+            ),
+        ),
+        (
+            _,
+            "/healthz" | "/metrics" | "/route" | "/route_batch" | "/admin/reload"
+            | "/admin/shutdown",
+        ) => (
+            "other",
+            Response::error(405, "method not allowed").with_header("Allow", "GET, POST".into()),
+        ),
+        _ => ("other", Response::error(404, "no such endpoint")),
+    }
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let state = shared.current();
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("status".to_string(), Json::Str("ok".to_string())),
+            (
+                "generation".to_string(),
+                Json::Num(shared.generation.load(Ordering::SeqCst) as f64),
+            ),
+            ("databases".to_string(), Json::Num(state.databases() as f64)),
+            ("terms".to_string(), Json::Num(state.terms() as f64)),
+        ])
+        .render(),
+    )
+}
+
+fn handle_metrics(shared: &Shared) -> Response {
+    let state = shared.current();
+    Response::text(
+        200,
+        shared.metrics.render(
+            state.cache_stats(),
+            shared.generation.load(Ordering::SeqCst),
+            state.databases(),
+        ),
+    )
+}
+
+/// Common fields of `/route` and `/route_batch` requests.
+struct RouteParams {
+    algo: Algo,
+    mode: ShrinkageMode,
+    seed: u64,
+    k: usize,
+}
+
+fn parse_route_params(body: &Json) -> Result<RouteParams, Response> {
+    let algo = match body.get("algo").map(|v| (v, v.as_str())) {
+        None => Algo::default(),
+        Some((_, Some(name))) => Algo::parse(name).map_err(|e| Response::error(400, &e))?,
+        Some((_, None)) => return Err(Response::error(400, "`algo` must be a string")),
+    };
+    let mode = match body.get("shrinkage").map(|v| (v, v.as_str())) {
+        None => ShrinkageMode::Adaptive,
+        Some((_, Some(name))) => parse_shrinkage(name).map_err(|e| Response::error(400, &e))?,
+        Some((_, None)) => return Err(Response::error(400, "`shrinkage` must be a string")),
+    };
+    let seed = match body.get("seed") {
+        None => 42,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| Response::error(400, "`seed` must be a non-negative integer"))?,
+    };
+    let k = match body.get("k") {
+        None => usize::MAX,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| Response::error(400, "`k` must be a non-negative integer"))?
+            as usize,
+    };
+    Ok(RouteParams {
+        algo,
+        mode,
+        seed,
+        k,
+    })
+}
+
+/// A query is either a string (split on whitespace) or an array of words.
+fn parse_query_words(value: &Json) -> Result<Vec<String>, String> {
+    match value {
+        Json::Str(line) => Ok(line.split_whitespace().map(str::to_string).collect()),
+        Json::Arr(items) => items
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "query words must be strings".to_string())
+            })
+            .collect(),
+        _ => Err("`query` must be a string or an array of strings".to_string()),
+    }
+}
+
+fn parse_body(request: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| Response::error(400, "body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
+}
+
+fn ranking_json(state: &ServingState, outcome: &selection::AdaptiveOutcome, k: usize) -> Json {
+    Json::Arr(
+        outcome
+            .ranking
+            .iter()
+            .take(k)
+            .enumerate()
+            .map(|(rank, r)| {
+                Json::obj(vec![
+                    ("rank".to_string(), Json::Num((rank + 1) as f64)),
+                    (
+                        "database".to_string(),
+                        Json::Str(state.name(r.index).to_string()),
+                    ),
+                    ("category".to_string(), Json::Str(state.category(r.index))),
+                    ("score".to_string(), Json::Num(r.score)),
+                    (
+                        "shrinkage_used".to_string(),
+                        Json::Bool(outcome.used_shrinkage[r.index]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn handle_route(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let params = match parse_route_params(&body) {
+        Ok(params) => params,
+        Err(response) => return response,
+    };
+    let Some(query_value) = body.get("query") else {
+        return Response::error(400, "missing `query`");
+    };
+    let words = match parse_query_words(query_value) {
+        Ok(words) => words,
+        Err(e) => return Response::error(400, &e),
+    };
+    // `index` lets a client reproduce query i of a CLI batch; the CLI's
+    // single-query case is index 0.
+    let index = match body.get("index") {
+        None => 0,
+        Some(v) => match v.as_u64() {
+            Some(i) => i as usize,
+            None => return Response::error(400, "`index` must be a non-negative integer"),
+        },
+    };
+
+    let state = shared.current();
+    let (query, unknown) = state.analyze(&words);
+    if Instant::now() >= deadline {
+        shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
+        return Response::error(504, "deadline exceeded");
+    }
+    let engine = state.engine(params.algo, params.mode);
+    let mut rng = db_rng(params.seed, index);
+    let outcome = engine.route(&query, &mut rng);
+
+    Response::json(
+        200,
+        Json::obj(vec![
+            (
+                "generation".to_string(),
+                Json::Num(shared.generation.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "unknown".to_string(),
+                Json::Arr(unknown.into_iter().map(Json::Str).collect()),
+            ),
+            (
+                "ranking".to_string(),
+                ranking_json(&state, &outcome, params.k),
+            ),
+        ])
+        .render(),
+    )
+}
+
+fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+    let body = match parse_body(request) {
+        Ok(body) => body,
+        Err(response) => return response,
+    };
+    let params = match parse_route_params(&body) {
+        Ok(params) => params,
+        Err(response) => return response,
+    };
+    let Some(queries_value) = body.get("queries").and_then(Json::as_array) else {
+        return Response::error(400, "missing `queries` array");
+    };
+    if queries_value.len() > MAX_BATCH {
+        return Response::error(413, &format!("batch exceeds {MAX_BATCH} queries"));
+    }
+    let threads = match body.get("threads") {
+        None => shared.config.workers.max(1),
+        Some(v) => match v.as_u64() {
+            Some(t) if t >= 1 => (t as usize).min(64),
+            _ => return Response::error(400, "`threads` must be a positive integer"),
+        },
+    };
+
+    let state = shared.current();
+    let mut analyzed = Vec::with_capacity(queries_value.len());
+    for value in queries_value {
+        let words = match parse_query_words(value) {
+            Ok(words) => words,
+            Err(e) => return Response::error(400, &e),
+        };
+        analyzed.push(state.analyze(&words));
+    }
+    let queries: Vec<Vec<textindex::TermId>> = analyzed.iter().map(|(q, _)| q.clone()).collect();
+
+    let engine = state.engine(params.algo, params.mode);
+    // Chunked fan-out, deadline-checked per query: query `i` draws from
+    // `db_rng(seed, i)` regardless of chunking, so results match
+    // `route_batch` (and the CLI) for every thread count.
+    let expired = AtomicBool::new(false);
+    let outcomes = fan_out_chunks(queries.len(), threads, |qi| {
+        if expired.load(Ordering::Relaxed) || Instant::now() >= deadline {
+            expired.store(true, Ordering::Relaxed);
+            return None;
+        }
+        let mut rng = db_rng(params.seed, qi);
+        Some(engine.route(&queries[qi], &mut rng))
+    });
+    if expired.load(Ordering::Relaxed) {
+        shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
+        return Response::error(504, "deadline exceeded mid-batch");
+    }
+
+    let results = Json::Arr(
+        outcomes
+            .iter()
+            .zip(&analyzed)
+            .map(|(outcome, (_, unknown))| {
+                let outcome = outcome.as_ref().expect("non-expired batch is complete");
+                Json::obj(vec![
+                    (
+                        "unknown".to_string(),
+                        Json::Arr(unknown.iter().cloned().map(Json::Str).collect()),
+                    ),
+                    (
+                        "ranking".to_string(),
+                        ranking_json(&state, outcome, params.k),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Response::json(
+        200,
+        Json::obj(vec![
+            (
+                "generation".to_string(),
+                Json::Num(shared.generation.load(Ordering::SeqCst) as f64),
+            ),
+            ("results".to_string(), results),
+        ])
+        .render(),
+    )
+}
+
+fn handle_reload(shared: &Shared, request: &Request) -> Response {
+    let path = if request.body.is_empty() {
+        None
+    } else {
+        let body = match parse_body(request) {
+            Ok(body) => body,
+            Err(response) => return response,
+        };
+        match body.get("path") {
+            None => None,
+            Some(v) => match v.as_str() {
+                Some(p) => Some(p.to_string()),
+                None => return Response::error(400, "`path` must be a string"),
+            },
+        }
+    };
+    let path = path.unwrap_or_else(|| shared.current().source().to_string());
+
+    // Build the next generation entirely off to the side; the write lock
+    // is held only for the Arc swap, so routing never blocks on a load.
+    let next = match ServingState::load(&path, shared.config.cache_capacity) {
+        Ok(next) => next,
+        Err(e) => return Response::error(500, &format!("reload failed: {e}")),
+    };
+    let databases = next.databases();
+    *shared.state.write().expect("state lock poisoned") = Arc::new(next);
+    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    shared.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
+
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("generation".to_string(), Json::Num(generation as f64)),
+            ("databases".to_string(), Json::Num(databases as f64)),
+            ("source".to_string(), Json::Str(path)),
+        ])
+        .render(),
+    )
+}

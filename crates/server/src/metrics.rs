@@ -1,0 +1,292 @@
+//! In-process metrics: atomic counters and latency histograms, rendered in
+//! Prometheus text exposition format by the daemon's `GET /metrics`.
+//!
+//! The [`Histogram`] is shared with `dbselect route`'s batch summary so the
+//! CLI and the daemon report percentiles from the same machinery:
+//! exponential buckets over nanoseconds, lock-free `fetch_add` recording,
+//! and percentile estimation by linear interpolation inside the bucket.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A fixed-bucket histogram of durations in nanoseconds.
+///
+/// Buckets are exponential: the `i`-th bucket covers
+/// `(bound[i-1], bound[i]]` with `bound[i] = 1µs · 2^i`, plus an overflow
+/// bucket. Recording is a single atomic increment; percentile queries scan
+/// the (small, fixed) bucket array.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram sized for request latencies: 1µs up to ~67s.
+    pub fn latency() -> Self {
+        let bounds: Vec<u64> = (0..27).map(|i| 1_000u64 << i).collect();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation of `nanos`.
+    pub fn observe(&self, nanos: u64) {
+        let bucket = self
+            .bounds
+            .partition_point(|&bound| bound < nanos)
+            .min(self.counts.len() - 1);
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) in nanoseconds, linearly
+    /// interpolated inside the winning bucket. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            let count = count.load(Ordering::Relaxed);
+            if count == 0 {
+                cumulative += count;
+                continue;
+            }
+            if cumulative + count >= target {
+                let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
+                let upper = *self
+                    .bounds
+                    .get(i)
+                    .unwrap_or(self.bounds.last().unwrap_or(&0));
+                let into = (target - cumulative) as f64 / count as f64;
+                return lower + ((upper.saturating_sub(lower)) as f64 * into) as u64;
+            }
+            cumulative += count;
+        }
+        *self.bounds.last().unwrap_or(&0)
+    }
+}
+
+/// Render nanoseconds human-readably (`950ns`, `12.3µs`, `4.56ms`, `1.20s`).
+pub fn format_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The daemon's metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    /// Request count keyed by (endpoint, status).
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// `/route` handler latency.
+    pub route_latency: Histogram,
+    /// `/route_batch` handler latency.
+    pub batch_latency: Histogram,
+    /// Current depth of the admission queue.
+    pub queue_depth: AtomicU64,
+    /// Connections rejected because the queue was full (503s).
+    pub rejected_total: AtomicU64,
+    /// Requests that exceeded their deadline (504s) or timed out reading
+    /// (408s).
+    pub timeout_total: AtomicU64,
+    /// Successful catalog reloads.
+    pub reload_total: AtomicU64,
+}
+
+impl Metrics {
+    /// A fresh registry; `started` anchors the uptime gauge.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: Mutex::new(BTreeMap::new()),
+            route_latency: Histogram::latency(),
+            batch_latency: Histogram::latency(),
+            queue_depth: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+            timeout_total: AtomicU64::new(0),
+            reload_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one served request.
+    pub fn record(&self, endpoint: &'static str, status: u16) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics lock poisoned")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+    }
+
+    /// Render the Prometheus text exposition. `cache` is the aggregated
+    /// posterior-cache counters of the current catalog's engines;
+    /// `generation`/`databases` describe the currently served catalog.
+    pub fn render(&self, cache: broker::CacheStats, generation: u64, databases: usize) -> String {
+        let mut out = String::new();
+        out.push_str("# TYPE dbselectd_requests_total counter\n");
+        for ((endpoint, status), count) in
+            self.requests.lock().expect("metrics lock poisoned").iter()
+        {
+            out.push_str(&format!(
+                "dbselectd_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
+            ));
+        }
+        for (name, histogram) in [
+            ("route", &self.route_latency),
+            ("route_batch", &self.batch_latency),
+        ] {
+            out.push_str(&format!(
+                "# TYPE dbselectd_request_duration_seconds summary\n\
+                 dbselectd_request_duration_seconds{{endpoint=\"{name}\",quantile=\"0.5\"}} {}\n\
+                 dbselectd_request_duration_seconds{{endpoint=\"{name}\",quantile=\"0.95\"}} {}\n\
+                 dbselectd_request_duration_seconds{{endpoint=\"{name}\",quantile=\"0.99\"}} {}\n\
+                 dbselectd_request_duration_seconds_count{{endpoint=\"{name}\"}} {}\n\
+                 dbselectd_request_duration_seconds_sum{{endpoint=\"{name}\"}} {}\n",
+                histogram.percentile(0.50) as f64 / 1e9,
+                histogram.percentile(0.95) as f64 / 1e9,
+                histogram.percentile(0.99) as f64 / 1e9,
+                histogram.count(),
+                histogram.sum_nanos() as f64 / 1e9,
+            ));
+        }
+        out.push_str(&format!(
+            "# TYPE dbselectd_queue_depth gauge\n\
+             dbselectd_queue_depth {}\n\
+             # TYPE dbselectd_rejected_total counter\n\
+             dbselectd_rejected_total {}\n\
+             # TYPE dbselectd_timeout_total counter\n\
+             dbselectd_timeout_total {}\n\
+             # TYPE dbselectd_reload_total counter\n\
+             dbselectd_reload_total {}\n",
+            self.queue_depth.load(Ordering::Relaxed),
+            self.rejected_total.load(Ordering::Relaxed),
+            self.timeout_total.load(Ordering::Relaxed),
+            self.reload_total.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "# TYPE dbselectd_posterior_cache_hits_total counter\n\
+             dbselectd_posterior_cache_hits_total {}\n\
+             # TYPE dbselectd_posterior_cache_misses_total counter\n\
+             dbselectd_posterior_cache_misses_total {}\n\
+             # TYPE dbselectd_posterior_cache_evictions_total counter\n\
+             dbselectd_posterior_cache_evictions_total {}\n\
+             # TYPE dbselectd_posterior_cache_hit_rate gauge\n\
+             dbselectd_posterior_cache_hit_rate {}\n",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
+        ));
+        out.push_str(&format!(
+            "# TYPE dbselectd_catalog_generation gauge\n\
+             dbselectd_catalog_generation {generation}\n\
+             # TYPE dbselectd_catalog_databases gauge\n\
+             dbselectd_catalog_databases {databases}\n\
+             # TYPE dbselectd_uptime_seconds gauge\n\
+             dbselectd_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64(),
+        ));
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_are_ordered_and_plausible() {
+        let h = Histogram::latency();
+        for micros in 1..=1000u64 {
+            h.observe(micros * 1_000);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // True p50 is 500µs; the winning bucket is (256µs, 512µs].
+        assert!(
+            (256_000..=512_000).contains(&p50),
+            "p50 {p50} outside its bucket"
+        );
+        assert!(p99 <= 1_024_000, "p99 {p99} beyond its bucket");
+    }
+
+    #[test]
+    fn histogram_handles_extremes() {
+        let h = Histogram::latency();
+        assert_eq!(h.percentile(0.99), 0);
+        h.observe(0);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(1.0) > 0);
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(format_nanos(950), "950ns");
+        assert_eq!(format_nanos(12_300), "12.3µs");
+        assert_eq!(format_nanos(4_560_000), "4.56ms");
+        assert_eq!(format_nanos(1_200_000_000), "1.20s");
+    }
+
+    #[test]
+    fn render_contains_all_families() {
+        let m = Metrics::new();
+        m.record("route", 200);
+        m.record("route", 200);
+        m.record("healthz", 200);
+        m.route_latency.observe(5_000);
+        let text = m.render(
+            broker::CacheStats {
+                hits: 3,
+                misses: 1,
+                evictions: 0,
+            },
+            2,
+            7,
+        );
+        assert!(text.contains("dbselectd_requests_total{endpoint=\"route\",status=\"200\"} 2"));
+        assert!(text.contains("dbselectd_request_duration_seconds_count{endpoint=\"route\"} 1"));
+        assert!(text.contains("dbselectd_posterior_cache_hit_rate 0.75"));
+        assert!(text.contains("dbselectd_catalog_generation 2"));
+        assert!(text.contains("dbselectd_catalog_databases 7"));
+    }
+}

@@ -1,0 +1,126 @@
+//! The daemon's bounded admission queue.
+//!
+//! The accept loop pushes connections with [`BoundedQueue::try_push`],
+//! which **fails immediately when the queue is full** — that failure is
+//! the admission-control signal the caller turns into `503` +
+//! `Retry-After`. Workers block on [`BoundedQueue::pop`]. Closing the
+//! queue lets workers drain what was already admitted, then return `None`
+//! so they can exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit `item`, or give it back when the queue is full or closed.
+    /// On success returns the queue depth after the push.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.available.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available (`Some`) or the queue is closed
+    /// *and* drained (`None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Close the queue: pending items stay poppable, new pushes fail, and
+    /// blocked poppers wake up.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_wakes() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert_eq!(q.try_push(8), Err(8), "closed queue rejects");
+        assert_eq!(q.pop(), Some(7), "admitted items drain after close");
+        assert_eq!(q.pop(), None);
+
+        // A popper blocked on an empty queue wakes on close.
+        let q2 = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Err(2));
+    }
+}

@@ -1,0 +1,207 @@
+//! The immutable serving state behind one catalog generation.
+//!
+//! A [`ServingState`] freezes everything a request needs: the loaded
+//! [`StoredCatalog`] (names, categories, term dictionary), the broker
+//! [`Catalog`], and one [`SelectionEngine`] per (algorithm, shrinkage
+//! mode) pair so posterior caches persist across requests. States are
+//! shared as `Arc<ServingState>`; `/admin/reload` builds a fresh state
+//! off to the side and swaps the `Arc` — in-flight requests keep routing
+//! against the generation they started with, so a swap never fails them.
+//!
+//! Query analysis (stemming, dictionary lookup, deduplication) mirrors
+//! `dbselect route` exactly, so a query served over HTTP ranks
+//! bit-identically to the same query routed from a file.
+
+use std::io;
+use std::sync::Arc;
+
+use broker::{Catalog, SelectionEngine};
+use dbselect_core::category_summary::CategoryWeighting;
+use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
+use store::catalog::StoredCatalog;
+use textindex::{Analyzer, TermId};
+
+/// The scoring algorithms the daemon serves (summary-based only; ReDDE
+/// needs raw samples and stays a CLI concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algo {
+    /// bGlOSS.
+    BGloss,
+    /// CORI (default).
+    #[default]
+    Cori,
+    /// Language modelling.
+    Lm,
+}
+
+impl Algo {
+    /// Parse a request's `algo` field.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "bgloss" => Ok(Algo::BGloss),
+            "cori" => Ok(Algo::Cori),
+            "lm" => Ok(Algo::Lm),
+            other => Err(format!("unknown algorithm `{other}` (bgloss|cori|lm)")),
+        }
+    }
+
+    /// All served algorithms.
+    pub fn all() -> [Algo; 3] {
+        [Algo::BGloss, Algo::Cori, Algo::Lm]
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Algo::BGloss => 0,
+            Algo::Cori => 1,
+            Algo::Lm => 2,
+        }
+    }
+}
+
+/// Parse a request's `shrinkage` field.
+pub fn parse_shrinkage(s: &str) -> Result<ShrinkageMode, String> {
+    match s {
+        "adaptive" => Ok(ShrinkageMode::Adaptive),
+        "always" => Ok(ShrinkageMode::Always),
+        "never" => Ok(ShrinkageMode::Never),
+        other => Err(format!(
+            "unknown shrinkage mode `{other}` (adaptive|always|never)"
+        )),
+    }
+}
+
+/// All shrinkage modes, in engine-table order.
+pub const MODES: [ShrinkageMode; 3] = [
+    ShrinkageMode::Adaptive,
+    ShrinkageMode::Always,
+    ShrinkageMode::Never,
+];
+
+fn mode_index(mode: ShrinkageMode) -> usize {
+    match mode {
+        ShrinkageMode::Adaptive => 0,
+        ShrinkageMode::Always => 1,
+        ShrinkageMode::Never => 2,
+    }
+}
+
+/// One catalog generation, frozen for serving.
+pub struct ServingState {
+    frozen: StoredCatalog,
+    catalog: Arc<Catalog>,
+    analyzer: Analyzer,
+    /// `engines[algo.index() * 3 + mode_index(mode)]`.
+    engines: Vec<SelectionEngine>,
+    /// The path this state was loaded from (default for reloads).
+    source: String,
+}
+
+impl ServingState {
+    /// Build a state from an already-loaded frozen catalog.
+    pub fn from_frozen(frozen: StoredCatalog, source: String, cache_capacity: usize) -> Self {
+        let catalog = Arc::new(frozen.to_catalog());
+        let root = frozen.store.root_summary(CategoryWeighting::BySize);
+        let mut engines = Vec::with_capacity(9);
+        for algo in Algo::all() {
+            let algorithm: Arc<dyn SelectionAlgorithm + Send + Sync> = match algo {
+                Algo::BGloss => Arc::new(BGloss),
+                Algo::Cori => Arc::new(Cori::default()),
+                Algo::Lm => Arc::new(Lm::new(0.5, &root)),
+            };
+            for mode in MODES {
+                engines.push(SelectionEngine::new(
+                    Arc::clone(&catalog),
+                    Arc::clone(&algorithm),
+                    AdaptiveConfig {
+                        mode,
+                        ..Default::default()
+                    },
+                    cache_capacity,
+                ));
+            }
+        }
+        ServingState {
+            frozen,
+            catalog,
+            analyzer: Analyzer::english(),
+            engines,
+            source,
+        }
+    }
+
+    /// Load a frozen catalog from disk and freeze it for serving.
+    pub fn load(path: &str, cache_capacity: usize) -> io::Result<Self> {
+        let frozen = StoredCatalog::load(path)?;
+        Ok(ServingState::from_frozen(
+            frozen,
+            path.to_string(),
+            cache_capacity,
+        ))
+    }
+
+    /// The engine serving `(algo, mode)`.
+    pub fn engine(&self, algo: Algo, mode: ShrinkageMode) -> &SelectionEngine {
+        &self.engines[algo.index() * MODES.len() + mode_index(mode)]
+    }
+
+    /// The served catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The path this state was loaded from.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Number of served databases.
+    pub fn databases(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Number of dictionary terms.
+    pub fn terms(&self) -> usize {
+        self.frozen.store.dict.len()
+    }
+
+    /// Database name by catalog index.
+    pub fn name(&self, index: usize) -> &str {
+        &self.frozen.store.databases[index].name
+    }
+
+    /// Full category path of a database.
+    pub fn category(&self, index: usize) -> String {
+        let db = &self.frozen.store.databases[index];
+        self.frozen.store.hierarchy.full_name(db.classification)
+    }
+
+    /// Tokenize query words against the dictionary, deduplicating and
+    /// collecting words profiling never saw — the exact analysis
+    /// `dbselect route` applies.
+    pub fn analyze(&self, words: &[String]) -> (Vec<TermId>, Vec<String>) {
+        let mut query = Vec::new();
+        let mut unknown = Vec::new();
+        for word in words {
+            match self
+                .analyzer
+                .analyze_term(word)
+                .and_then(|t| self.frozen.store.dict.lookup(&t))
+            {
+                Some(id) if !query.contains(&id) => query.push(id),
+                Some(_) => {}
+                None => unknown.push(word.clone()),
+            }
+        }
+        (query, unknown)
+    }
+
+    /// Posterior-cache counters aggregated over every engine.
+    pub fn cache_stats(&self) -> broker::CacheStats {
+        self.engines
+            .iter()
+            .fold(broker::CacheStats::default(), |acc, e| {
+                acc.merged(&e.cache_stats())
+            })
+    }
+}

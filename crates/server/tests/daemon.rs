@@ -1,0 +1,537 @@
+//! End-to-end tests of `dbselectd` over real sockets.
+//!
+//! The load-bearing assertions: rankings served over HTTP are
+//! **bit-identical** to in-process `SelectionEngine::route` for every
+//! (algorithm, shrinkage mode) pair; `/admin/reload` swaps catalogs
+//! without failing a single in-flight request; a full admission queue
+//! answers `503`; a missed deadline answers `504`.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dbselect_core::category_summary::CategoryWeighting;
+use dbselect_core::hierarchy::Hierarchy;
+use dbselect_core::summary::ContentSummary;
+use sampling::scheduler::db_rng;
+use server::json::Json;
+use server::state::{Algo, ServingState, MODES};
+use server::{Server, ServerConfig};
+use store::catalog::StoredCatalog;
+use store::{CollectionStore, StoredDatabase};
+use textindex::{Analyzer, Document, TermDict};
+
+/// A profiled testbed: `scale` perturbs sizes so two fixtures rank
+/// differently (the reload test tells generations apart by ranking).
+fn fixture_store(scale: f64) -> CollectionStore {
+    let analyzer = Analyzer::english();
+    let words = [
+        "heart", "blood", "artery", "surgery", "soccer", "goal", "stadium", "keeper", "stock",
+        "market", "bond", "yield", "virus", "immune", "vaccine", "protein",
+    ];
+    let mut dict = TermDict::new();
+    let terms: Vec<u32> = words
+        .iter()
+        .map(|w| dict.intern(&analyzer.analyze_term(w).expect("fixture word survives")))
+        .collect();
+    let mut hierarchy = Hierarchy::new("Root");
+    let health = hierarchy.ensure_path("Health/Heart");
+    let sports = hierarchy.ensure_path("Sports/Soccer");
+    let finance = hierarchy.ensure_path("Finance");
+    let bio = hierarchy.ensure_path("Health/Immunology");
+
+    // Per database: (name, category, term indices, docs, db_size).
+    let specs: [(&str, _, &[usize], usize, f64); 6] = [
+        ("cardio", health, &[0, 1, 2, 3, 12], 9, 1200.0),
+        ("surgery-digest", health, &[0, 3, 1, 15], 7, 400.0),
+        ("goal-net", sports, &[4, 5, 6, 7], 8, 2600.0),
+        ("terrace-talk", sports, &[4, 6, 7, 9], 5, 150.0),
+        ("tickerwire", finance, &[8, 9, 10, 11, 5], 9, 3100.0),
+        ("pathogen-log", bio, &[12, 13, 14, 15, 1], 6, 900.0),
+    ];
+    let databases = specs
+        .iter()
+        .enumerate()
+        .map(|(dbi, (name, category, term_ixs, n_docs, db_size))| {
+            let docs: Vec<Document> = (0..*n_docs)
+                .map(|d| {
+                    // Deterministic, db-distinct token mix: doc d holds a
+                    // rotating window over the db's vocabulary.
+                    let tokens: Vec<u32> = term_ixs
+                        .iter()
+                        .cycle()
+                        .skip(d % term_ixs.len())
+                        .take(1 + (d + dbi) % term_ixs.len())
+                        .map(|&ix| terms[ix])
+                        .collect();
+                    Document::from_tokens(d as u32, tokens)
+                })
+                .collect();
+            let mut summary = ContentSummary::from_sample(docs.iter(), db_size * scale);
+            if dbi % 2 == 0 {
+                summary.set_gamma(-1.4 - 0.2 * dbi as f64);
+            }
+            StoredDatabase {
+                name: (*name).to_string(),
+                classification: *category,
+                summary,
+                sample_docs: Vec::new(),
+            }
+        })
+        .collect();
+    CollectionStore {
+        dict,
+        hierarchy,
+        databases,
+    }
+}
+
+fn fixture_catalog(scale: f64) -> StoredCatalog {
+    StoredCatalog::freeze(fixture_store(scale), CategoryWeighting::BySize)
+}
+
+fn temp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dbselectd-test-{tag}-{}.cat", std::process::id()))
+}
+
+/// Start a daemon on an OS-assigned port; returns its address and the
+/// accept-loop thread (joined after `/admin/shutdown`).
+fn start(config: ServerConfig, state: ServingState) -> (SocketAddr, JoinHandle<()>) {
+    let daemon = Server::bind(config, state).expect("bind");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run().expect("run"));
+    (addr, handle)
+}
+
+/// One HTTP exchange (the daemon is `Connection: close`).
+fn exchange(addr: SocketAddr, raw: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write");
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).expect("read");
+    let text = String::from_utf8(bytes).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (status, head.to_string(), body.to_string())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<()>) {
+    let (status, _, _) = post(addr, "/admin/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("accept loop exits cleanly");
+}
+
+/// The served ranking as (database, score-bits, shrinkage_used) triples.
+fn parse_ranking(ranking: &Json) -> Vec<(String, u64, bool)> {
+    ranking
+        .as_array()
+        .expect("ranking array")
+        .iter()
+        .map(|entry| {
+            (
+                entry.get("database").unwrap().as_str().unwrap().to_string(),
+                entry.get("score").unwrap().as_f64().unwrap().to_bits(),
+                matches!(entry.get("shrinkage_used").unwrap(), Json::Bool(true)),
+            )
+        })
+        .collect()
+}
+
+/// The in-process expectation for query `index` of a batch.
+fn expected_ranking(
+    state: &ServingState,
+    words: &[String],
+    algo: Algo,
+    mode: selection::ShrinkageMode,
+    seed: u64,
+    index: usize,
+) -> Vec<(String, u64, bool)> {
+    let (query, _) = state.analyze(words);
+    let mut rng = db_rng(seed, index);
+    let outcome = state.engine(algo, mode).route(&query, &mut rng);
+    outcome
+        .ranking
+        .iter()
+        .map(|r| {
+            (
+                state.name(r.index).to_string(),
+                r.score.to_bits(),
+                outcome.used_shrinkage[r.index],
+            )
+        })
+        .collect()
+}
+
+fn words(line: &str) -> Vec<String> {
+    line.split_whitespace().map(str::to_string).collect()
+}
+
+#[test]
+fn route_is_bit_identical_for_every_algo_and_mode() {
+    let frozen = fixture_catalog(1.0);
+    let reference = ServingState::from_frozen(frozen.clone(), "mem".into(), 0);
+    let (addr, handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(frozen, "mem".into(), 0),
+    );
+
+    let queries = [
+        "heart blood surgery",
+        "soccer goal keeper",
+        "stock market yield goal",
+        "virus immune protein blood",
+        "heart unknownword stadium",
+    ];
+    for (algo_name, algo) in [
+        ("bgloss", Algo::BGloss),
+        ("cori", Algo::Cori),
+        ("lm", Algo::Lm),
+    ] {
+        for (mode_name, mode) in [
+            ("adaptive", MODES[0]),
+            ("always", MODES[1]),
+            ("never", MODES[2]),
+        ] {
+            for (qi, line) in queries.iter().enumerate() {
+                let seed = 42 + qi as u64;
+                let body = format!(
+                    r#"{{"query":"{line}","algo":"{algo_name}","shrinkage":"{mode_name}","seed":{seed}}}"#
+                );
+                let (status, _, response) = post(addr, "/route", &body);
+                assert_eq!(status, 200, "{algo_name}/{mode_name}: {response}");
+                let parsed = Json::parse(&response).expect("response JSON");
+                let served = parse_ranking(parsed.get("ranking").unwrap());
+                let expected = expected_ranking(&reference, &words(line), algo, mode, seed, 0);
+                assert_eq!(
+                    served, expected,
+                    "HTTP ranking diverged for {algo_name}/{mode_name} on {line:?}"
+                );
+            }
+        }
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn route_batch_matches_per_query_routing_and_is_thread_invariant() {
+    let frozen = fixture_catalog(1.0);
+    let reference = ServingState::from_frozen(frozen.clone(), "mem".into(), 0);
+    let (addr, handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(frozen, "mem".into(), 0),
+    );
+
+    let lines = [
+        "heart blood",
+        "soccer stadium",
+        "bond yield market",
+        "vaccine protein",
+        "artery surgery virus",
+        "goal keeper stock",
+    ];
+    let queries_json: Vec<String> = lines.iter().map(|l| format!("\"{l}\"")).collect();
+    let mut per_thread_bodies = Vec::new();
+    for threads in [1, 4] {
+        let body = format!(
+            r#"{{"queries":[{}],"algo":"cori","shrinkage":"adaptive","seed":7,"threads":{threads}}}"#,
+            queries_json.join(",")
+        );
+        let (status, _, response) = post(addr, "/route_batch", &body);
+        assert_eq!(status, 200, "{response}");
+        per_thread_bodies.push(response);
+    }
+    assert_eq!(
+        per_thread_bodies[0], per_thread_bodies[1],
+        "batch results must not depend on thread count"
+    );
+
+    let parsed = Json::parse(&per_thread_bodies[0]).unwrap();
+    let results = parsed.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), lines.len());
+    for (qi, (line, result)) in lines.iter().zip(results).enumerate() {
+        let served = parse_ranking(result.get("ranking").unwrap());
+        let expected = expected_ranking(
+            &reference,
+            &words(line),
+            Algo::Cori,
+            selection::ShrinkageMode::Adaptive,
+            7,
+            qi,
+        );
+        assert_eq!(served, expected, "batch query {qi} ({line:?}) diverged");
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn healthz_metrics_and_errors() {
+    let (addr, handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    let (status, _, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    let health = Json::parse(&body).unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(health.get("databases").unwrap().as_u64(), Some(6));
+    assert_eq!(health.get("generation").unwrap().as_u64(), Some(1));
+
+    // Exercise a routing request so latency/cache metrics move.
+    let (status, _, _) = post(addr, "/route", r#"{"query":"heart blood"}"#);
+    assert_eq!(status, 200);
+
+    let (status, head, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(head.contains("text/plain"));
+    for family in [
+        "dbselectd_requests_total{endpoint=\"route\",status=\"200\"} 1",
+        "dbselectd_request_duration_seconds_count{endpoint=\"route\"} 1",
+        "dbselectd_posterior_cache_misses_total",
+        "dbselectd_queue_depth",
+        "dbselectd_catalog_generation 1",
+        "dbselectd_catalog_databases 6",
+        "dbselectd_uptime_seconds",
+    ] {
+        assert!(body.contains(family), "missing {family} in:\n{body}");
+    }
+
+    let (status, _, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, head, _) = get(addr, "/route");
+    assert_eq!(status, 405);
+    assert!(head.contains("Allow:"));
+    let (status, _, _) = post(addr, "/route", "{not json");
+    assert_eq!(status, 400);
+    let (status, _, _) = post(addr, "/route", r#"{"query":"x","algo":"pagerank"}"#);
+    assert_eq!(status, 400);
+    let (status, _, _) = post(addr, "/route", r#"{"seed":1}"#);
+    assert_eq!(status, 400);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn reload_swaps_catalogs_without_failing_inflight_requests() {
+    let path_a = temp_path("gen-a");
+    let path_b = temp_path("gen-b");
+    let gen_a = fixture_catalog(1.0);
+    let gen_b = fixture_catalog(0.05); // different sizes → different scores
+    gen_a.save(&path_a).unwrap();
+    gen_b.save(&path_b).unwrap();
+
+    let ref_a = ServingState::from_frozen(gen_a, "a".into(), 0);
+    let ref_b = ServingState::from_frozen(gen_b, "b".into(), 0);
+    let line = "heart blood surgery goal";
+    let expect_a = expected_ranking(
+        &ref_a,
+        &words(line),
+        Algo::Cori,
+        selection::ShrinkageMode::Adaptive,
+        42,
+        0,
+    );
+    let expect_b = expected_ranking(
+        &ref_b,
+        &words(line),
+        Algo::Cori,
+        selection::ShrinkageMode::Adaptive,
+        42,
+        0,
+    );
+    assert_ne!(
+        expect_a, expect_b,
+        "fixture generations must be distinguishable by ranking"
+    );
+
+    let state = ServingState::load(path_a.to_str().unwrap(), 0).unwrap();
+    let (addr, handle) = start(
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 128,
+            ..Default::default()
+        },
+        state,
+    );
+
+    // Hammer /route from several threads while the catalog is swapped
+    // underneath them. Every response must be 200 and must equal one of
+    // the two generations' rankings, never a mix.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let expect_a = expect_a.clone();
+            let expect_b = expect_b.clone();
+            std::thread::spawn(move || {
+                let mut seen_b = false;
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, _, body) =
+                        post(addr, "/route", &format!(r#"{{"query":"{line}"}}"#));
+                    assert_eq!(
+                        status, 200,
+                        "in-flight request failed during reload: {body}"
+                    );
+                    let ranking =
+                        parse_ranking(Json::parse(&body).unwrap().get("ranking").unwrap());
+                    assert!(
+                        ranking == expect_a || ranking == expect_b,
+                        "ranking matches neither generation: {ranking:?}"
+                    );
+                    seen_b |= ranking == expect_b;
+                }
+                seen_b
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, _, body) = post(
+        addr,
+        "/admin/reload",
+        &format!(r#"{{"path":"{}"}}"#, path_b.display()),
+    );
+    assert_eq!(status, 200, "{body}");
+    let reloaded = Json::parse(&body).unwrap();
+    assert_eq!(reloaded.get("generation").unwrap().as_u64(), Some(2));
+
+    // Post-reload: new requests serve generation B.
+    let (_, _, body) = post(addr, "/route", &format!(r#"{{"query":"{line}"}}"#));
+    let ranking = parse_ranking(Json::parse(&body).unwrap().get("ranking").unwrap());
+    assert_eq!(
+        ranking, expect_b,
+        "post-reload requests must see the new catalog"
+    );
+
+    std::thread::sleep(Duration::from_millis(50));
+    stop.store(true, Ordering::Relaxed);
+    let any_saw_b = hammers
+        .into_iter()
+        .map(|h| h.join().expect("hammer thread"))
+        .fold(false, |acc, saw| acc || saw);
+    assert!(any_saw_b, "hammers never observed the swapped catalog");
+
+    let (_, _, body) = get(addr, "/healthz");
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("generation")
+            .unwrap()
+            .as_u64(),
+        Some(2)
+    );
+
+    shutdown(addr, handle);
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}
+
+#[test]
+fn full_queue_answers_503_with_retry_after() {
+    let (addr, handle) = start(
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 1,
+            debug_sleep: true,
+            ..Default::default()
+        },
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    // Occupy the single worker: this request sleeps server-side.
+    let busy = {
+        std::thread::spawn(move || {
+            let (status, _, _) = exchange(
+                addr,
+                &format!(
+                    "POST /route HTTP/1.1\r\nHost: t\r\nX-Debug-Sleep-Ms: 600\r\nContent-Length: {}\r\n\r\n{}",
+                    r#"{"query":"heart"}"#.len(),
+                    r#"{"query":"heart"}"#
+                ),
+            );
+            status
+        })
+    };
+    std::thread::sleep(Duration::from_millis(200)); // worker popped it, now asleep
+
+    // Fill the queue's single slot with a second held connection …
+    let queued = std::thread::spawn(move || {
+        let (status, _, _) = get(addr, "/healthz");
+        status
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // … so the third connection is rejected at the door.
+    let (status, head, _) = get(addr, "/healthz");
+    assert_eq!(status, 503, "admission control must shed load");
+    assert!(head.contains("Retry-After:"), "503 must carry Retry-After");
+
+    assert_eq!(busy.join().unwrap(), 200, "the slow request still succeeds");
+    assert_eq!(
+        queued.join().unwrap(),
+        200,
+        "the queued request still succeeds"
+    );
+
+    let (_, _, body) = get(addr, "/metrics");
+    assert!(
+        body.contains("dbselectd_rejected_total 1"),
+        "rejection must be counted:\n{body}"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn missed_deadline_answers_504() {
+    let (addr, handle) = start(
+        ServerConfig {
+            workers: 2,
+            deadline: Duration::from_millis(150),
+            debug_sleep: true,
+            ..Default::default()
+        },
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    let body = r#"{"query":"heart blood"}"#;
+    let (status, _, response) = exchange(
+        addr,
+        &format!(
+            "POST /route HTTP/1.1\r\nHost: t\r\nX-Debug-Sleep-Ms: 500\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    );
+    assert_eq!(
+        status, 504,
+        "deadline must expire during the debug sleep: {response}"
+    );
+
+    // A prompt request on the same daemon still succeeds.
+    let (status, _, _) = post(addr, "/route", body);
+    assert_eq!(status, 200);
+
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(metrics.contains("dbselectd_timeout_total 1"), "{metrics}");
+    shutdown(addr, handle);
+}

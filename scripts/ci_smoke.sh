@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# CI smoke test for dbselectd: index a tiny fixture, freeze a catalog,
+# start the daemon, check /healthz and /route, verify the served ranking
+# matches `dbselect route` on the same catalog, then shut down cleanly.
+set -euo pipefail
+
+DBSELECT=${DBSELECT:-./target/release/dbselect}
+ADDR=${ADDR:-127.0.0.1:7731}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# --- fixture: two tiny "databases" of text files --------------------------
+mkdir -p "$WORK/med" "$WORK/soccer"
+printf 'hypertension blood pressure heart artery treatment\n' > "$WORK/med/a.txt"
+printf 'the heart pumps blood through arteries and vessels\n' > "$WORK/med/b.txt"
+printf 'cardiology studies the heart and its diseases\n'      > "$WORK/med/c.txt"
+printf 'soccer goal stadium keeper defender\n'                > "$WORK/soccer/a.txt"
+printf 'the keeper saved a goal before the stadium crowd\n'   > "$WORK/soccer/b.txt"
+
+"$DBSELECT" index --out "$WORK/col.store" --full \
+    med=Health/Medicine="$WORK/med" \
+    soccer=Sports/Soccer="$WORK/soccer"
+"$DBSELECT" catalog --store "$WORK/col.store" --out "$WORK/col.catalog"
+
+# --- start the daemon -----------------------------------------------------
+"$DBSELECT" serve --catalog "$WORK/col.catalog" --addr "$ADDR" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR/healthz" > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$ADDR/healthz"
+echo
+
+# --- route over HTTP and via the CLI, same catalog, same seed -------------
+printf 'heart blood\n' > "$WORK/queries.txt"
+"$DBSELECT" route --catalog "$WORK/col.catalog" --queries "$WORK/queries.txt" \
+    | tee "$WORK/cli.txt"
+curl -sf -X POST "http://$ADDR/route" -d '{"query":"heart blood"}' \
+    | tee "$WORK/http.json"
+echo
+
+python3 "$(dirname "$0")/smoke_diff.py" "$WORK/http.json" "$WORK/cli.txt"
+
+# --- metrics respond and count the served request -------------------------
+curl -sf "http://$ADDR/metrics" | grep 'dbselectd_requests_total{endpoint="route",status="200"} 1'
+
+# --- clean shutdown: daemon exits 0 after /admin/shutdown -----------------
+curl -sf -X POST "http://$ADDR/admin/shutdown"
+echo
+wait "$SERVE_PID"
+echo "smoke test passed"
