@@ -15,6 +15,7 @@ use sampling::scheduler::db_rng;
 use sampling::{profile_qbs, PipelineConfig, SamplerKind};
 use selection::{adaptive_rank, AdaptiveConfig, ShrinkageMode, SummaryPair};
 use store::catalog::StoredCatalog;
+use store::snapshot::ServingSnapshot;
 use store::{CollectionStore, StoredDatabase};
 use textindex::TermId;
 
@@ -120,16 +121,31 @@ fn bench_catalog_build_vs_load(c: &mut Criterion) {
         store,
         dbselect_core::category_summary::CategoryWeighting::BySize,
     );
-    let mut bytes = Vec::new();
-    frozen.write_to(&mut bytes).unwrap();
+    let mut v1_bytes = Vec::new();
+    frozen.write_to(&mut v1_bytes).unwrap();
+    let snapshot = ServingSnapshot::from_stored(&frozen);
+    let mut v2_bytes = Vec::new();
+    snapshot.write_to(&mut v2_bytes).unwrap();
 
+    eprintln!(
+        "[fixture] v1 {} bytes, v2 {} bytes",
+        v1_bytes.len(),
+        v2_bytes.len()
+    );
     let mut group = c.benchmark_group("broker/catalog");
     group.bench_function("build_postings_from_summaries", |b| {
         b.iter(|| Catalog::build(black_box(entries.clone())))
     });
+    // The serving hot path: a v2 snapshot decodes straight into columnar
+    // arrays — no shrunk-summary reassembly, no posting reconstruction.
     group.bench_function("load_frozen_no_em", |b| {
+        b.iter(|| ServingSnapshot::read_from(&mut black_box(v2_bytes.as_slice())).unwrap())
+    });
+    // The legacy path a v1 file still takes: decode, rebuild shrunk
+    // summaries from the recorded λ fit, rebuild postings.
+    group.bench_function("load_v1_rebuild", |b| {
         b.iter(|| {
-            let frozen = StoredCatalog::read_from(&mut black_box(bytes.as_slice())).unwrap();
+            let frozen = StoredCatalog::read_from(&mut black_box(v1_bytes.as_slice())).unwrap();
             frozen.to_catalog()
         })
     });

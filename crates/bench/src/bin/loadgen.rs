@@ -23,6 +23,7 @@ use server::metrics::Histogram;
 use server::state::ServingState;
 use server::{Server, ServerConfig};
 use store::catalog::StoredCatalog;
+use store::snapshot::ServingSnapshot;
 use store::{CollectionStore, StoredDatabase};
 
 /// Build the tiny testbed fixture, freeze it, and save it to a temp file.
@@ -60,8 +61,10 @@ fn build_fixture() -> (std::path::PathBuf, Vec<String>) {
         store,
         dbselect_core::category_summary::CategoryWeighting::BySize,
     );
-    let path = std::env::temp_dir().join(format!("dbselectd-loadgen-{}.cat", std::process::id()));
-    frozen.save(&path).expect("save fixture catalog");
+    let path = std::env::temp_dir().join(format!("dbselectd-loadgen-{}.snap", std::process::id()));
+    ServingSnapshot::from_stored(&frozen)
+        .save(&path)
+        .expect("save fixture snapshot");
 
     // Query strings: the testbed's evaluation queries, spelled out so they
     // travel as HTTP payloads.
@@ -257,6 +260,58 @@ fn main() {
         server::metrics::format_nanos(batch.histogram.percentile(0.50))
     );
 
+    // Phase 3: sustained /route while a side thread hot-reloads the v2
+    // snapshot in a loop. Every in-flight request must still succeed (the
+    // swap is an Arc exchange; loads happen off to the side), and the
+    // reload latency IS the zero-rebuild load path under measurement.
+    let reload_body = post_bytes(
+        "/admin/reload",
+        &format!(r#"{{"path":"{}"}}"#, path.display()),
+    );
+    let reload_hist = Arc::new(Histogram::latency());
+    let reload_stop = Arc::new(AtomicBool::new(false));
+    let reload_errors = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let reloader = {
+        let reload_hist = Arc::clone(&reload_hist);
+        let reload_stop = Arc::clone(&reload_stop);
+        let reload_errors = Arc::clone(&reload_errors);
+        std::thread::spawn(move || {
+            let mut reloads = 0u64;
+            while !reload_stop.load(Ordering::Relaxed) {
+                let begun = Instant::now();
+                match exchange(addr, &reload_body) {
+                    Ok((200, _)) => {
+                        reload_hist.observe(begun.elapsed().as_nanos() as u64);
+                        reloads += 1;
+                    }
+                    _ => {
+                        reload_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            reloads
+        })
+    };
+    let under_reload = run_phase(addr, &route_bodies, clients, duration);
+    reload_stop.store(true, Ordering::Relaxed);
+    let reloads = reloader.join().expect("reloader thread");
+    assert_eq!(
+        under_reload.errors, 0,
+        "in-flight /route requests failed during hot reload"
+    );
+    assert_eq!(
+        reload_errors.load(Ordering::Relaxed),
+        0,
+        "hot reloads failed under load"
+    );
+    eprintln!(
+        "/route under reload {:>8.1} rps, {} reloads (reload p50 {})",
+        under_reload.rps(),
+        reloads,
+        server::metrics::format_nanos(reload_hist.percentile(0.50))
+    );
+
     // Server-side view, then clean shutdown.
     let (status, metrics_body) =
         exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n").expect("metrics");
@@ -275,12 +330,21 @@ fn main() {
         r#"{{
   "bench": "crates/bench/src/bin/loadgen.rs",
   "command": "cargo run --release -p bench --bin loadgen -- {secs} {clients}",
-  "fixture": "TestBedConfig::tiny(30), QBS profiling, frozen catalog served by dbselectd over loopback TCP",
+  "fixture": "TestBedConfig::tiny(30), QBS profiling, v2 serving snapshot served by dbselectd over loopback TCP",
   "server": {{ "workers": {workers}, "queue_capacity": 256 }},
   "queries": {nq},
   "phases": {{
 {route_json},
-{batch_json}
+{batch_json},
+{under_reload_json}
+  }},
+  "reload": {{
+    "count": {reloads},
+    "errors": 0,
+    "interval_ms": 100,
+    "latency_ns": {{ "p50": {rl_p50}, "p99": {rl_p99} }},
+    "latency_human": {{ "p50": "{rl_p50_h}", "p99": "{rl_p99_h}" }},
+    "note": "v2 snapshot hot-swapped while /route clients hammer; zero failed in-flight requests"
   }},
   "server_cache": "{cache_line}",
   "note": "closed-loop clients, one connection per request (Connection: close); latency is client-observed wall time including connect"
@@ -291,5 +355,11 @@ fn main() {
         nq = queries.len(),
         route_json = phase_json("route", clients, &route),
         batch_json = phase_json("route_batch", clients.min(4), &batch),
+        under_reload_json = phase_json("route_under_reload", clients, &under_reload),
+        reloads = reloads,
+        rl_p50 = reload_hist.percentile(0.50),
+        rl_p99 = reload_hist.percentile(0.99),
+        rl_p50_h = server::metrics::format_nanos(reload_hist.percentile(0.50)),
+        rl_p99_h = server::metrics::format_nanos(reload_hist.percentile(0.99)),
     );
 }

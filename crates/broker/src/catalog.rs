@@ -1,45 +1,35 @@
-//! The frozen routing catalog.
+//! The frozen routing catalog, in columnar serving form.
 //!
 //! Profiling and shrinkage produce, per database, a sample-based summary
 //! `Ŝ(D)`, a shrunk summary `R̂(D)`, and a fitted power-law exponent γ.
-//! [`Catalog::build`] freezes those into an immutable, query-serving form
-//! and derives a **summary-level inverted index**: for every term, the
-//! posting list of databases whose unshrunk summary mentions it, with the
-//! `p̂(w|D)` estimate and the sample document frequency that the uncertainty
-//! machinery needs. Collection-level statistics that a per-query scan used
-//! to recompute — `m`, `mcw`, and the effective `cf(w)` counts of Section
-//! 5.3 — become catalog constants or single posting-list lookups.
+//! [`Catalog::build`] freezes those into an immutable, query-serving form:
+//!
+//! * every summary becomes a [`FrozenSummary`] — term-sorted parallel
+//!   arrays answering `p̂(w|D)` by binary search over contiguous memory
+//!   instead of hash-bucket chasing;
+//! * the **summary-level inverted index** is stored CSR-style: one sorted
+//!   term-id array, an offsets array, and flat parallel slabs holding, for
+//!   every `(term, database)` pair whose unshrunk summary mentions the
+//!   term, the database index, the `p̂(w|D)` estimate, the sample document
+//!   frequency the uncertainty machinery needs, and the Section-5.3
+//!   "effective containment" flag.
+//!
+//! Collection-level statistics that a per-query scan used to recompute —
+//! `m`, `mcw`, and the effective `cf(w)` counts of Section 5.3 — become
+//! catalog constants or single index lookups. The columnar form is also
+//! exactly what the v2 snapshot serializes: `store::snapshot` dumps and
+//! reloads these arrays verbatim, so a daemon start or `/admin/reload`
+//! rebuilds nothing.
+//!
+//! Freezing is bit-preserving (see [`dbselect_core::frozen`]): rankings
+//! over the columnar catalog equal rankings over the source summaries,
+//! `f64::to_bits` for `f64::to_bits`.
 
-use std::collections::HashMap;
-
+use dbselect_core::frozen::FrozenSummary;
 use dbselect_core::shrinkage::ShrunkSummary;
 use dbselect_core::summary::{ContentSummary, SummaryView};
 use selection::CollectionContext;
 use textindex::TermId;
-
-/// One database's entry in a term's posting list.
-#[derive(Debug, Clone, Copy)]
-pub struct Posting {
-    /// Database index within the catalog.
-    pub db: u32,
-    /// The unshrunk summary's `p̂(w|D)` (document-frequency model).
-    pub p_df: f64,
-    /// Number of sample documents containing the word (drives the
-    /// word-posterior grid of Section 4).
-    pub sample_df: u32,
-    /// Whether the database "effectively" contains the word under the
-    /// Section-5.3 rounding rule `round(|D̂|·p̂(w|D)) ≥ 1`.
-    pub effective: bool,
-}
-
-/// A term's posting list plus the statistic read off it most often.
-#[derive(Debug, Clone, Default)]
-pub struct PostingList {
-    /// Postings in ascending database order.
-    pub entries: Vec<Posting>,
-    /// Number of `effective` entries — the unshrunk `cf(w)`.
-    pub effective_count: u32,
-}
 
 /// Everything [`Catalog::build`] needs per database.
 #[derive(Debug, Clone)]
@@ -52,12 +42,215 @@ pub struct CatalogEntry {
     pub shrunk: ShrunkSummary,
 }
 
+/// The CSR posting index over the unshrunk summaries: for every term, the
+/// databases that mention it, in ascending database order, as slices of
+/// flat parallel slabs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PostingIndex {
+    /// Distinct indexed terms, strictly ascending.
+    terms: Vec<TermId>,
+    /// `offsets[i]..offsets[i + 1]` is `terms[i]`'s slice of every slab;
+    /// `len() == terms.len() + 1`, first 0, last the slab length.
+    offsets: Vec<u32>,
+    /// Database index per posting.
+    dbs: Vec<u32>,
+    /// The unshrunk summary's `p̂(w|D)` per posting.
+    p_df: Vec<f64>,
+    /// Sample document frequency per posting (drives the word-posterior
+    /// grid of Section 4).
+    sample_df: Vec<u32>,
+    /// Whether the database "effectively" contains the word under the
+    /// Section-5.3 rounding rule `round(|D̂|·p̂(w|D)) ≥ 1`.
+    effective: Vec<bool>,
+    /// Number of `effective` postings per term — the unshrunk `cf(w)`.
+    effective_counts: Vec<u32>,
+}
+
+/// One term's postings: parallel slices into the index slabs.
+#[derive(Debug, Clone, Copy)]
+pub struct Postings<'a> {
+    /// Database indices, ascending.
+    pub dbs: &'a [u32],
+    /// `p̂(w|D)` per database.
+    pub p_df: &'a [f64],
+    /// Sample document frequency per database.
+    pub sample_df: &'a [u32],
+    /// Effective-containment flag per database.
+    pub effective: &'a [bool],
+    /// Number of effective entries — the unshrunk `cf(w)`.
+    pub effective_count: u32,
+}
+
+impl PostingIndex {
+    /// Build the index from frozen unshrunk summaries. Iterating databases
+    /// in ascending order keeps every term's postings sorted by database
+    /// index without an explicit sort.
+    fn build(unshrunk: &[FrozenSummary]) -> PostingIndex {
+        let mut terms: Vec<TermId> = unshrunk.iter().flat_map(|s| s.terms()).copied().collect();
+        terms.sort_unstable();
+        terms.dedup();
+        let mut counts = vec![0u32; terms.len()];
+        for s in unshrunk {
+            for t in s.terms() {
+                counts[terms.binary_search(t).expect("term collected above")] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(terms.len() + 1);
+        offsets.push(0u32);
+        for &c in &counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let total = *offsets.last().unwrap() as usize;
+        let mut cursors: Vec<u32> = offsets[..terms.len()].to_vec();
+        let mut dbs = vec![0u32; total];
+        let mut p_df = vec![0f64; total];
+        let mut sample_df = vec![0u32; total];
+        let mut effective = vec![false; total];
+        let mut effective_counts = vec![0u32; terms.len()];
+        for (db, s) in unshrunk.iter().enumerate() {
+            for (i, t) in s.terms().iter().enumerate() {
+                let pos = terms.binary_search(t).expect("term collected above");
+                let at = cursors[pos] as usize;
+                cursors[pos] += 1;
+                dbs[at] = db as u32;
+                p_df[at] = s.p_df_column()[i];
+                sample_df[at] = s.sample_df_column()[i];
+                let eff = s.effectively_contains(*t);
+                effective[at] = eff;
+                effective_counts[pos] += u32::from(eff);
+            }
+        }
+        PostingIndex {
+            terms,
+            offsets,
+            dbs,
+            p_df,
+            sample_df,
+            effective,
+            effective_counts,
+        }
+    }
+
+    /// Reassemble an index from decoded columns — the snapshot load path.
+    /// Validates every invariant binary search and slicing rely on, so
+    /// corrupt input is rejected instead of causing panics or garbage
+    /// lookups. `effective_counts` is recomputed rather than trusted.
+    pub fn from_raw_parts(
+        n_dbs: usize,
+        terms: Vec<TermId>,
+        offsets: Vec<u32>,
+        dbs: Vec<u32>,
+        p_df: Vec<f64>,
+        sample_df: Vec<u32>,
+        effective: Vec<bool>,
+    ) -> Result<PostingIndex, &'static str> {
+        if terms.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("posting terms not strictly ascending");
+        }
+        if offsets.len() != terms.len() + 1 {
+            return Err("posting offsets length mismatch");
+        }
+        if offsets.first() != Some(&0) {
+            return Err("posting offsets must start at 0");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("posting offsets not monotone");
+        }
+        let total = *offsets.last().unwrap() as usize;
+        if dbs.len() != total
+            || p_df.len() != total
+            || sample_df.len() != total
+            || effective.len() != total
+        {
+            return Err("posting slabs disagree with offsets");
+        }
+        if dbs.iter().any(|&db| db as usize >= n_dbs) {
+            return Err("posting database index out of range");
+        }
+        for w in offsets.windows(2) {
+            let range = &dbs[w[0] as usize..w[1] as usize];
+            if range.windows(2).any(|p| p[0] >= p[1]) {
+                return Err("postings not strictly ascending by database");
+            }
+        }
+        let mut effective_counts = vec![0u32; terms.len()];
+        for (pos, w) in offsets.windows(2).enumerate() {
+            effective_counts[pos] = effective[w[0] as usize..w[1] as usize]
+                .iter()
+                .map(|&e| u32::from(e))
+                .sum();
+        }
+        Ok(PostingIndex {
+            terms,
+            offsets,
+            dbs,
+            p_df,
+            sample_df,
+            effective,
+            effective_counts,
+        })
+    }
+
+    /// The postings of `term`, if any database mentions it.
+    pub fn get(&self, term: TermId) -> Option<Postings<'_>> {
+        let pos = self.terms.binary_search(&term).ok()?;
+        let (lo, hi) = (self.offsets[pos] as usize, self.offsets[pos + 1] as usize);
+        Some(Postings {
+            dbs: &self.dbs[lo..hi],
+            p_df: &self.p_df[lo..hi],
+            sample_df: &self.sample_df[lo..hi],
+            effective: &self.effective[lo..hi],
+            effective_count: self.effective_counts[pos],
+        })
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The sorted term-id column.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// The offsets column (`terms().len() + 1` entries).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The database-index slab.
+    pub fn dbs(&self) -> &[u32] {
+        &self.dbs
+    }
+
+    /// The `p̂(w|D)` slab.
+    pub fn p_df(&self) -> &[f64] {
+        &self.p_df
+    }
+
+    /// The sample-document-frequency slab.
+    pub fn sample_df(&self) -> &[u32] {
+        &self.sample_df
+    }
+
+    /// The effective-containment slab.
+    pub fn effective(&self) -> &[bool] {
+        &self.effective
+    }
+}
+
 /// A profiled collection frozen for serving.
 #[derive(Debug, Clone)]
 pub struct Catalog {
     names: Vec<String>,
-    unshrunk: Vec<ContentSummary>,
-    shrunk: Vec<ShrunkSummary>,
+    unshrunk: Vec<FrozenSummary>,
+    shrunk: Vec<FrozenSummary>,
     /// γ per database (the Appendix-A fit, or the generic −2 fallback),
     /// resolved once so the hot path never re-inspects the summary.
     gammas: Vec<f64>,
@@ -66,7 +259,7 @@ pub struct Catalog {
     /// database's word count, so `mcw` is invariant under the adaptive
     /// per-database choice.
     mcw: f64,
-    postings: HashMap<TermId, PostingList>,
+    index: PostingIndex,
 }
 
 impl Catalog {
@@ -75,12 +268,13 @@ impl Catalog {
         let mut names = Vec::new();
         let mut unshrunk = Vec::new();
         let mut shrunk = Vec::new();
+        let mut gammas = Vec::new();
         for e in entries {
             names.push(e.name);
-            unshrunk.push(e.unshrunk);
-            shrunk.push(e.shrunk);
+            gammas.push(e.unshrunk.gamma().unwrap_or(-2.0));
+            unshrunk.push(FrozenSummary::from_unshrunk(&e.unshrunk));
+            shrunk.push(FrozenSummary::from_shrunk(&e.shrunk));
         }
-        let gammas = unshrunk.iter().map(|s| s.gamma().unwrap_or(-2.0)).collect();
         // Same summation order as `CollectionContext::build` over views in
         // database order, so the constant is bit-identical to the scan.
         let mcw = if unshrunk.is_empty() {
@@ -88,33 +282,43 @@ impl Catalog {
         } else {
             unshrunk.iter().map(|s| s.word_count()).sum::<f64>() / unshrunk.len() as f64
         };
-        let mut postings: HashMap<TermId, PostingList> = HashMap::new();
-        for (db, summary) in unshrunk.iter().enumerate() {
-            // Iterating databases in order keeps every posting list sorted
-            // by database index without an explicit sort.
-            let mut terms: Vec<TermId> = summary.iter().map(|(t, _)| t).collect();
-            terms.sort_unstable();
-            for t in terms {
-                let stats = summary.word(t).expect("term just listed");
-                let effective = summary.effectively_contains(t);
-                let list = postings.entry(t).or_default();
-                list.entries.push(Posting {
-                    db: db as u32,
-                    p_df: summary.p_df(t),
-                    sample_df: stats.sample_df,
-                    effective,
-                });
-                list.effective_count += u32::from(effective);
-            }
-        }
+        let index = PostingIndex::build(&unshrunk);
         Catalog {
             names,
             unshrunk,
             shrunk,
             gammas,
             mcw,
-            postings,
+            index,
         }
+    }
+
+    /// Reassemble a catalog from already-frozen columns — the snapshot
+    /// load path. The caller (the v2 codec) has validated each summary and
+    /// the posting index individually; this checks only cross-field
+    /// consistency.
+    pub fn from_raw_parts(
+        names: Vec<String>,
+        unshrunk: Vec<FrozenSummary>,
+        shrunk: Vec<FrozenSummary>,
+        gammas: Vec<f64>,
+        mcw: f64,
+        index: PostingIndex,
+    ) -> Result<Catalog, &'static str> {
+        if unshrunk.len() != names.len()
+            || shrunk.len() != names.len()
+            || gammas.len() != names.len()
+        {
+            return Err("catalog columns disagree on database count");
+        }
+        Ok(Catalog {
+            names,
+            unshrunk,
+            shrunk,
+            gammas,
+            mcw,
+            index,
+        })
     }
 
     /// Number of databases.
@@ -132,13 +336,13 @@ impl Catalog {
         &self.names
     }
 
-    /// The unshrunk summary `Ŝ(D)` of database `db`.
-    pub fn unshrunk(&self, db: usize) -> &ContentSummary {
+    /// The frozen unshrunk summary `Ŝ(D)` of database `db`.
+    pub fn unshrunk(&self, db: usize) -> &FrozenSummary {
         &self.unshrunk[db]
     }
 
-    /// The shrunk summary `R̂(D)` of database `db`.
-    pub fn shrunk(&self, db: usize) -> &ShrunkSummary {
+    /// The frozen shrunk summary `R̂(D)` of database `db`.
+    pub fn shrunk(&self, db: usize) -> &FrozenSummary {
         &self.shrunk[db]
     }
 
@@ -147,29 +351,39 @@ impl Catalog {
         self.gammas[db]
     }
 
+    /// All resolved γ exponents, in database order.
+    pub fn gammas(&self) -> &[f64] {
+        &self.gammas
+    }
+
     /// Mean database word count (CORI's `mcw`), a catalog constant.
     pub fn mcw(&self) -> f64 {
         self.mcw
     }
 
-    /// The posting list of `term`, if any database mentions it.
-    pub fn postings(&self, term: TermId) -> Option<&PostingList> {
-        self.postings.get(&term)
+    /// The CSR posting index.
+    pub fn posting_index(&self) -> &PostingIndex {
+        &self.index
     }
 
-    /// Number of distinct terms with a posting list.
+    /// The postings of `term`, if any database mentions it.
+    pub fn postings(&self, term: TermId) -> Option<Postings<'_>> {
+        self.index.get(term)
+    }
+
+    /// Number of distinct terms with postings.
     pub fn indexed_terms(&self) -> usize {
-        self.postings.len()
+        self.index.len()
     }
 
     /// The collection context a full scan would compute over every
     /// *unshrunk* view — what the Section-4 uncertainty test scores against.
-    /// `cf` is read off posting-list effective counts; `m` and `mcw` are
+    /// `cf` is read off per-term effective counts; `m` and `mcw` are
     /// catalog constants.
     pub fn unshrunk_context(&self, query: &[TermId]) -> CollectionContext {
         let cf = query
             .iter()
-            .map(|w| self.postings.get(w).map_or(0, |l| l.effective_count))
+            .map(|w| self.index.get(*w).map_or(0, |p| p.effective_count))
             .collect();
         CollectionContext {
             m: self.len(),
@@ -180,28 +394,37 @@ impl Catalog {
 
     /// The collection context over the per-database *chosen* views: for
     /// databases keeping `Ŝ(D)` the effective flag comes from the posting
-    /// list; databases switched to `R̂(D)` are probed directly (a shrunk
+    /// index; databases switched to `R̂(D)` are probed directly (a shrunk
     /// summary may effectively contain words its sample never saw).
+    ///
+    /// When any database uses shrinkage, each query word costs one pass
+    /// over its flat posting slices (subtracting the shrunk databases'
+    /// effective entries from the precomputed count) plus one binary-search
+    /// probe per shrunk database — all `u32` arithmetic, so the counts are
+    /// exactly those of a from-scratch scan.
     pub fn scoring_context(&self, query: &[TermId], used_shrinkage: &[bool]) -> CollectionContext {
         debug_assert_eq!(used_shrinkage.len(), self.len());
-        let shrunk_dbs: Vec<usize> = (0..self.len()).filter(|&i| used_shrinkage[i]).collect();
+        let any_shrunk = used_shrinkage.iter().any(|&u| u);
         let cf = query
             .iter()
             .map(|w| {
                 let mut count = 0u32;
-                if let Some(list) = self.postings.get(w) {
-                    if shrunk_dbs.is_empty() {
-                        count += list.effective_count;
-                    } else {
-                        count += list
-                            .entries
-                            .iter()
-                            .filter(|p| p.effective && !used_shrinkage[p.db as usize])
-                            .count() as u32;
+                if let Some(p) = self.index.get(*w) {
+                    count = p.effective_count;
+                    if any_shrunk {
+                        for (&db, &eff) in p.dbs.iter().zip(p.effective) {
+                            if eff && used_shrinkage[db as usize] {
+                                count -= 1;
+                            }
+                        }
                     }
                 }
-                for &i in &shrunk_dbs {
-                    count += u32::from(self.shrunk[i].effectively_contains(*w));
+                if any_shrunk {
+                    for (i, &used) in used_shrinkage.iter().enumerate() {
+                        if used {
+                            count += u32::from(self.shrunk[i].effectively_contains(*w));
+                        }
+                    }
                 }
                 count
             })
@@ -220,15 +443,23 @@ impl Catalog {
     /// the engine skips scoring it. Databases scoring with shrunk summaries
     /// are never skipped — shrinkage gives every word non-zero probability.
     pub fn candidates(&self, query: &[TermId]) -> Vec<bool> {
-        let mut mask = vec![false; self.len()];
+        let mut mask = Vec::new();
+        self.candidates_into(query, &mut mask);
+        mask
+    }
+
+    /// [`Self::candidates`] into a reusable buffer (cleared and refilled),
+    /// so batch routing allocates the mask once per worker, not per query.
+    pub fn candidates_into(&self, query: &[TermId], mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(self.len(), false);
         for w in query {
-            if let Some(list) = self.postings.get(w) {
-                for p in &list.entries {
-                    mask[p.db as usize] = true;
+            if let Some(p) = self.index.get(*w) {
+                for &db in p.dbs {
+                    mask[db as usize] = true;
                 }
             }
         }
-        mask
     }
 }
 
@@ -249,22 +480,23 @@ mod tests {
     #[test]
     fn postings_are_per_term_and_db_ordered() {
         let c = catalog();
-        let list = c.postings(1).unwrap();
-        assert_eq!(list.entries.len(), 2);
-        assert_eq!(list.entries[0].db, 0);
-        assert_eq!(list.entries[1].db, 1);
-        assert_eq!(list.effective_count, 2);
+        let p = c.postings(1).unwrap();
+        assert_eq!(p.dbs, &[0, 1]);
+        assert_eq!(p.effective_count, 2);
         assert!(c.postings(99).is_none());
         assert_eq!(c.indexed_terms(), 2);
+        let index = c.posting_index();
+        assert_eq!(index.terms(), &[1, 2]);
+        assert_eq!(index.offsets(), &[0, 2, 3]);
     }
 
     #[test]
     fn posting_statistics_match_the_summary() {
         let c = catalog();
-        let p = &c.postings(2).unwrap().entries[0];
-        assert_eq!(p.sample_df, 3);
-        assert_eq!(p.p_df.to_bits(), c.unshrunk(0).p_df(2).to_bits());
-        assert_eq!(p.effective, c.unshrunk(0).effectively_contains(2));
+        let p = c.postings(2).unwrap();
+        assert_eq!(p.sample_df[0], 3);
+        assert_eq!(p.p_df[0].to_bits(), c.unshrunk(0).p_df(2).to_bits());
+        assert_eq!(p.effective[0], c.unshrunk(0).effectively_contains(2));
     }
 
     #[test]
@@ -282,12 +514,45 @@ mod tests {
     }
 
     #[test]
+    fn scoring_context_matches_per_entry_rescan() {
+        let c = catalog();
+        let query = [1u32, 2, 77];
+        for used in [
+            vec![false, false, false],
+            vec![true, false, false],
+            vec![false, true, true],
+            vec![true, true, true],
+        ] {
+            let got = c.scoring_context(&query, &used);
+            // Reference: count per word from scratch over the chosen views.
+            let want: Vec<u32> = query
+                .iter()
+                .map(|&w| {
+                    (0..c.len())
+                        .filter(|&i| {
+                            if used[i] {
+                                c.shrunk(i).effectively_contains(w)
+                            } else {
+                                c.unshrunk(i).effectively_contains(w)
+                            }
+                        })
+                        .count() as u32
+                })
+                .collect();
+            assert_eq!(got.cf, want, "used_shrinkage={used:?}");
+        }
+    }
+
+    #[test]
     fn candidates_require_a_query_word() {
         let c = catalog();
         assert_eq!(c.candidates(&[1]), vec![true, true, false]);
         assert_eq!(c.candidates(&[2]), vec![true, false, false]);
         assert_eq!(c.candidates(&[]), vec![false, false, false]);
         assert_eq!(c.candidates(&[99]), vec![false, false, false]);
+        let mut mask = vec![true; 7];
+        c.candidates_into(&[1], &mut mask);
+        assert_eq!(mask, vec![true, true, false]);
     }
 
     #[test]
@@ -300,6 +565,7 @@ mod tests {
         ]);
         assert_eq!(c.gamma(0), -1.7);
         assert_eq!(c.gamma(1), -2.0);
+        assert_eq!(c.gammas(), &[-1.7, -2.0]);
     }
 
     #[test]
@@ -310,5 +576,59 @@ mod tests {
         let ctx = c.unshrunk_context(&[1]);
         assert_eq!(ctx.m, 0);
         assert_eq!(ctx.cf, vec![0]);
+        assert!(c.posting_index().is_empty());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_reproduces_the_index() {
+        let c = catalog();
+        let index = c.posting_index();
+        let rebuilt = PostingIndex::from_raw_parts(
+            c.len(),
+            index.terms().to_vec(),
+            index.offsets().to_vec(),
+            index.dbs().to_vec(),
+            index.p_df().to_vec(),
+            index.sample_df().to_vec(),
+            index.effective().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(&rebuilt, index);
+    }
+
+    #[test]
+    fn raw_parts_reject_structural_corruption() {
+        let c = catalog();
+        let i = c.posting_index();
+        let parts = |f: &dyn Fn(&mut Vec<TermId>, &mut Vec<u32>, &mut Vec<u32>)| {
+            let mut terms = i.terms().to_vec();
+            let mut offsets = i.offsets().to_vec();
+            let mut dbs = i.dbs().to_vec();
+            f(&mut terms, &mut offsets, &mut dbs);
+            PostingIndex::from_raw_parts(
+                c.len(),
+                terms,
+                offsets,
+                dbs,
+                i.p_df().to_vec(),
+                i.sample_df().to_vec(),
+                i.effective().to_vec(),
+            )
+        };
+        assert!(parts(&|_, _, _| {}).is_ok());
+        assert!(
+            parts(&|terms, _, _| terms.reverse()).is_err(),
+            "unsorted terms"
+        );
+        assert!(
+            parts(&|_, offsets, _| offsets[1] = 9).is_err(),
+            "bad offsets"
+        );
+        assert!(parts(&|_, offsets, _| {
+            offsets.pop();
+        })
+        .is_err());
+        assert!(parts(&|_, _, dbs| dbs[0] = 99).is_err(), "db out of range");
+        assert!(parts(&|_, _, dbs| dbs.swap(0, 1)).is_err(), "unsorted dbs");
     }
 }

@@ -40,7 +40,7 @@ use std::time::Instant;
 use dbselect_core::summary::SummaryView;
 use dbselect_core::uncertainty::WordPosterior;
 use rand::Rng;
-use sampling::scheduler::{db_rng, fan_out_chunks};
+use sampling::scheduler::{db_rng, fan_out_chunks_with};
 use selection::{
     rank_databases_with_context, score_is_uncertain_with_posteriors, AdaptiveConfig,
     AdaptiveOutcome, IndexedView, SelectionAlgorithm, ShrinkageMode,
@@ -99,6 +99,19 @@ impl CacheStats {
             evictions: self.evictions + other.evictions,
         }
     }
+}
+
+/// Reusable per-worker buffers for [`SelectionEngine::route_with_scratch`].
+///
+/// Routing a query needs a candidate mask and, in `Adaptive` mode, a
+/// per-word posterior list per database; allocating those fresh per query
+/// dominates the allocator traffic of a batch. A scratch never influences
+/// results — every buffer is cleared and refilled before use — it only
+/// recycles capacity.
+#[derive(Default)]
+pub struct RouteScratch {
+    candidates: Vec<bool>,
+    posteriors: Vec<Arc<WordPosterior>>,
 }
 
 /// A query-serving engine over a frozen catalog.
@@ -192,9 +205,8 @@ impl SelectionEngine {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let summary = self.catalog.unshrunk(db as usize);
-        let sample_df = summary.word(term).map_or(0, |s| s.sample_df);
         let posterior = Arc::new(WordPosterior::new(
-            sample_df,
+            summary.sample_df(term),
             summary.sample_size(),
             summary.db_size(),
             self.catalog.gamma(db as usize),
@@ -219,9 +231,23 @@ impl SelectionEngine {
     /// [`selection::adaptive_rank`] over the catalog's summary pairs with
     /// the same `rng`.
     pub fn route<R: Rng + ?Sized>(&self, query: &[TermId], rng: &mut R) -> AdaptiveOutcome {
+        self.route_with_scratch(query, rng, &mut RouteScratch::default())
+    }
+
+    /// [`route`](Self::route) with caller-provided scratch buffers, so a
+    /// worker routing many queries reuses allocations instead of paying
+    /// them per query. Results are identical for any scratch history.
+    pub fn route_with_scratch<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> AdaptiveOutcome {
         let n = self.catalog.len();
 
-        // Content Summary Selection step.
+        // Content Summary Selection step. (`used_shrinkage` is handed to
+        // the caller inside the outcome, so it is the one per-query
+        // allocation that cannot come from scratch.)
         let used_shrinkage: Vec<bool> = match self.config.mode {
             ShrinkageMode::Always => vec![true; n],
             ShrinkageMode::Never => vec![false; n],
@@ -234,15 +260,15 @@ impl SelectionEngine {
                 // not candidate pruning.
                 (0..n)
                     .map(|db| {
-                        let posteriors: Vec<Arc<WordPosterior>> = query
-                            .iter()
-                            .map(|&w| self.posterior(db as u32, w))
-                            .collect();
+                        scratch.posteriors.clear();
+                        scratch
+                            .posteriors
+                            .extend(query.iter().map(|&w| self.posterior(db as u32, w)));
                         score_is_uncertain_with_posteriors(
                             self.algorithm.as_ref(),
                             query,
                             self.catalog.unshrunk(db),
-                            &posteriors,
+                            &scratch.posteriors,
                             &ctx,
                             &self.config,
                             rng,
@@ -253,7 +279,8 @@ impl SelectionEngine {
         };
 
         // Scoring + Ranking steps over posting-list candidates.
-        let candidates = self.catalog.candidates(query);
+        self.catalog.candidates_into(query, &mut scratch.candidates);
+        let candidates = &scratch.candidates;
         let ctx = self.catalog.scoring_context(query, &used_shrinkage);
         let items = (0..n).filter_map(|db| {
             if used_shrinkage[db] {
@@ -303,13 +330,18 @@ impl SelectionEngine {
         threads: usize,
         observe: impl Fn(usize, std::time::Duration) + Sync,
     ) -> Vec<AdaptiveOutcome> {
-        fan_out_chunks(queries.len(), threads, |qi| {
-            let started = Instant::now();
-            let mut rng = db_rng(base_seed, qi);
-            let outcome = self.route(&queries[qi], &mut rng);
-            observe(qi, started.elapsed());
-            outcome
-        })
+        fan_out_chunks_with(
+            queries.len(),
+            threads,
+            RouteScratch::default,
+            |qi, scratch| {
+                let started = Instant::now();
+                let mut rng = db_rng(base_seed, qi);
+                let outcome = self.route_with_scratch(&queries[qi], &mut rng, scratch);
+                observe(qi, started.elapsed());
+                outcome
+            },
+        )
     }
 }
 
@@ -321,7 +353,7 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use selection::{adaptive_rank, BGloss, Cori, SummaryPair};
+    use selection::{adaptive_rank, BGloss, Cori, Lm, SummaryPair};
 
     fn bgloss() -> Arc<dyn SelectionAlgorithm + Send + Sync> {
         Arc::new(BGloss)
@@ -368,8 +400,12 @@ mod tests {
             })
             .collect();
         let catalog = Arc::new(Catalog::build(entries.clone()));
-        let algorithms: [Arc<dyn SelectionAlgorithm + Send + Sync>; 2] =
-            [Arc::new(BGloss), Arc::new(Cori::default())];
+        let global = sampled_summary(110_000.0, 900, &[(1, 300), (2, 250), (5, 80), (9, 60)]);
+        let algorithms: [Arc<dyn SelectionAlgorithm + Send + Sync>; 3] = [
+            Arc::new(BGloss),
+            Arc::new(Cori::default()),
+            Arc::new(Lm::new(0.5, &global)),
+        ];
         for algorithm in algorithms {
             for mode in [
                 ShrinkageMode::Adaptive,

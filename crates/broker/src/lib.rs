@@ -19,5 +19,5 @@ pub mod engine;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use catalog::{Catalog, CatalogEntry, Posting, PostingList};
-pub use engine::{CacheStats, SelectionEngine, DEFAULT_CACHE_CAPACITY};
+pub use catalog::{Catalog, CatalogEntry, PostingIndex, Postings};
+pub use engine::{CacheStats, RouteScratch, SelectionEngine, DEFAULT_CACHE_CAPACITY};

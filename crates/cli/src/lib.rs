@@ -24,7 +24,7 @@ use dbselect_core::hierarchy::Hierarchy;
 use dbselect_core::summary::ContentSummary;
 use sampling::{profile_qbs_many, PipelineConfig, QbsConfig};
 use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
-use store::catalog::StoredCatalog;
+use store::snapshot::ServingSnapshot;
 use store::{CollectionStore, StoredDatabase};
 use textindex::{Analyzer, Document, IndexedDatabase, TermDict};
 
@@ -221,20 +221,17 @@ pub fn parse_shrinkage(s: &str) -> Result<ShrinkageMode, String> {
     }
 }
 
-/// Tokenize query words against the store's dictionary, deduplicating and
+/// Tokenize query words against a dictionary, deduplicating and
 /// collecting words the profiler never saw.
 fn analyze_query(
-    store: &CollectionStore,
+    dict: &TermDict,
     analyzer: &Analyzer,
     query_words: &[String],
 ) -> (Vec<u32>, Vec<String>) {
     let mut query = Vec::new();
     let mut unknown = Vec::new();
     for word in query_words {
-        match analyzer
-            .analyze_term(word)
-            .and_then(|t| store.dict.lookup(&t))
-        {
+        match analyzer.analyze_term(word).and_then(|t| dict.lookup(&t)) {
             Some(id) if !query.contains(&id) => query.push(id),
             Some(_) => {}
             None => unknown.push(word.clone()),
@@ -256,7 +253,34 @@ fn build_algorithm(
     }
 }
 
-/// Render one routed ranking (top `k`) into `out`.
+/// Render one routed ranking (top `k`) into `out` from columnar name /
+/// category tables (the snapshot's layout).
+fn render_ranking_columns(
+    out: &mut String,
+    names: &[String],
+    categories: &[String],
+    outcome: &selection::AdaptiveOutcome,
+    k: usize,
+) {
+    for r in outcome.ranking.iter().take(k) {
+        let marker = if outcome.used_shrinkage[r.index] {
+            " [shrunk]"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>12.6}  ({}){marker}",
+            names[r.index], r.score, categories[r.index],
+        );
+    }
+    if outcome.ranking.is_empty() {
+        let _ = writeln!(out, "  (no database has evidence for this query)");
+    }
+}
+
+/// Render one routed ranking (top `k`) into `out`, resolving names and
+/// categories through the store.
 fn render_ranking(
     out: &mut String,
     store: &CollectionStore,
@@ -294,7 +318,7 @@ pub fn select(
     seed: u64,
 ) -> String {
     let analyzer = Analyzer::english();
-    let (query, unknown) = analyze_query(store, &analyzer, query_words);
+    let (query, unknown) = analyze_query(&store.dict, &analyzer, query_words);
     let mut out = String::new();
     if !unknown.is_empty() {
         let _ = writeln!(
@@ -378,9 +402,11 @@ impl Default for RouteOptions {
 }
 
 /// `dbselect route`: serve a batch of queries (one per line) against a
-/// frozen catalog. The shrunk summaries come from the catalog's recorded λ
-/// fit — no EM at serving time. Returns the rendered report.
-pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOptions) -> String {
+/// serving snapshot (v2, or a v1 catalog already migrated through
+/// [`ServingSnapshot::load_any`]). The shrunk summaries come pre-frozen
+/// from the snapshot — no EM, no rebuild at serving time. Returns the
+/// rendered report.
+pub fn route(snapshot: &ServingSnapshot, query_lines: &[String], options: &RouteOptions) -> String {
     let mut out = String::new();
     if options.algo == CliAlgorithm::Redde {
         let _ = writeln!(
@@ -389,10 +415,17 @@ pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOpti
         );
         return out;
     }
-    let store = &frozen.store;
     let analyzer = Analyzer::english();
-    let catalog = Arc::new(frozen.to_catalog());
-    let algorithm = build_algorithm(store, options.algo);
+    let catalog = Arc::new(snapshot.catalog.clone());
+    let algorithm: Arc<dyn SelectionAlgorithm + Send + Sync> = match options.algo {
+        CliAlgorithm::BGloss => Arc::new(BGloss),
+        CliAlgorithm::Cori => Arc::new(Cori::default()),
+        CliAlgorithm::Lm => Arc::new(Lm::from_global_map(
+            0.5,
+            snapshot.lm_global.iter().copied().collect(),
+        )),
+        CliAlgorithm::Redde => unreachable!("ReDDE is not summary-based"),
+    };
     let config = AdaptiveConfig {
         mode: options.shrinkage,
         ..Default::default()
@@ -410,7 +443,7 @@ pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOpti
         .filter(|line| !line.trim().is_empty())
         .map(|line| {
             let words: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-            let (query, unknown) = analyze_query(store, &analyzer, &words);
+            let (query, unknown) = analyze_query(&snapshot.dict, &analyzer, &words);
             (line.trim().to_string(), query, unknown)
         })
         .collect();
@@ -440,7 +473,13 @@ pub fn route(frozen: &StoredCatalog, query_lines: &[String], options: &RouteOpti
             let _ = writeln!(out, "  (no usable query words)");
             continue;
         }
-        render_ranking(&mut out, store, outcome, options.k);
+        render_ranking_columns(
+            &mut out,
+            catalog.names(),
+            &snapshot.categories,
+            outcome,
+            options.k,
+        );
     }
     // Per-query latency summary (the daemon's histogram type, so the CLI
     // and `/metrics` report percentiles the same way). This line varies
@@ -551,6 +590,7 @@ pub fn inspect(store: &CollectionStore, db_name: Option<&str>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use store::catalog::StoredCatalog;
 
     fn write_corpus(root: &Path) {
         let heart = root.join("heart");
@@ -678,12 +718,19 @@ mod tests {
         )
         .unwrap();
 
-        // Freeze the shrinkage fit into a catalog, save, reload.
+        // Freeze the shrinkage fit into a v1 catalog, migrate it to a v2
+        // snapshot on disk, and reload both ways: `load_any` must route
+        // the legacy file and the snapshot identically.
         let path = root.join("collection.catalog");
         StoredCatalog::freeze(store, CategoryWeighting::BySize)
             .save(&path)
             .unwrap();
-        let frozen = StoredCatalog::load(&path).unwrap();
+        let v2_path = root.join("collection.snapshot");
+        ServingSnapshot::load_any(&path)
+            .unwrap()
+            .save(&v2_path)
+            .unwrap();
+        let frozen = ServingSnapshot::load_any(&v2_path).unwrap();
 
         let lines = vec![
             "heart blood pressure".to_string(),
@@ -733,6 +780,12 @@ mod tests {
         };
         assert_eq!(strip(&single, "1 threads"), strip(&many, "8 threads"));
         assert!(single.contains("latency per query: p50"), "{single}");
+
+        // The legacy v1 catalog file routes identically to its migrated
+        // v2 snapshot.
+        let from_v1 = ServingSnapshot::load_any(&path).unwrap();
+        let v1_report = route(&from_v1, &lines, &options);
+        assert_eq!(strip(&report, "2 threads"), strip(&v1_report, "2 threads"));
 
         std::fs::remove_dir_all(&root).ok();
     }

@@ -21,6 +21,7 @@ use cli::{
 use dbselect_core::category_summary::CategoryWeighting;
 use selection::ShrinkageMode;
 use store::catalog::StoredCatalog;
+use store::snapshot::ServingSnapshot;
 use store::CollectionStore;
 
 fn main() {
@@ -36,6 +37,7 @@ fn run() -> Result<(), String> {
         Some("index") => cmd_index(&args[1..]),
         Some("select") => cmd_select(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
+        Some("freeze") => cmd_freeze(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -55,6 +57,8 @@ USAGE:
   dbselect select --store STORE [--algo bgloss|cori|lm|redde]
                   [--shrinkage adaptive|always|never] [-k N] WORD ...
   dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
+  dbselect freeze (--catalog CATALOG | --store STORE [--weighting bysize|uniform])
+                  --out SNAPSHOT
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
                  [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
   dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
@@ -65,6 +69,12 @@ USAGE:
 fitted λ weights) into a serving catalog; `route` loads the catalog — no
 EM at serving time — and evaluates a file of queries (one per line) in
 parallel. Rankings are independent of --threads.
+
+`freeze` writes a v2 serving snapshot: the columnar catalog (frozen
+summaries, posting index, γ exponents, LM global model) in final serving
+form, so loading is a checksummed array read with no rebuilding. It
+accepts a v1 catalog (migration) or a store (EM + freeze in one step).
+`route` and `serve` accept either format and detect it by magic bytes.
 
 `serve` starts `dbselectd`, an HTTP daemon over a frozen catalog:
 POST /route and /route_batch rank databases (bit-identical to `route`),
@@ -181,6 +191,50 @@ fn cmd_catalog(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_freeze(args: &[String]) -> Result<(), String> {
+    let mut catalog_path = None;
+    let mut store_path = None;
+    let mut out = None;
+    let mut weighting = CategoryWeighting::BySize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--catalog" => catalog_path = Some(next_value(&mut it, "--catalog")?),
+            "--store" => store_path = Some(next_value(&mut it, "--store")?),
+            "--out" => out = Some(next_value(&mut it, "--out")?),
+            "--weighting" => {
+                weighting = match next_value(&mut it, "--weighting")?.as_str() {
+                    "bysize" => CategoryWeighting::BySize,
+                    "uniform" => CategoryWeighting::Uniform,
+                    other => return Err(format!("unknown weighting `{other}` (bysize|uniform)")),
+                };
+            }
+            other => return Err(format!("unknown freeze option `{other}`")),
+        }
+    }
+    let out = out.ok_or("freeze requires --out SNAPSHOT")?;
+    let frozen = match (catalog_path, store_path) {
+        (Some(catalog), None) => StoredCatalog::load(&catalog).map_err(|e| e.to_string())?,
+        (None, Some(store)) => {
+            let store = CollectionStore::load(&store).map_err(|e| e.to_string())?;
+            StoredCatalog::freeze(store, weighting)
+        }
+        _ => {
+            return Err("freeze requires exactly one of --catalog CATALOG or --store STORE".into())
+        }
+    };
+    let snapshot = ServingSnapshot::from_stored(&frozen);
+    snapshot.save(&out).map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "froze {} databases ({} terms, {} posting terms) -> {out} ({bytes} bytes, v2 snapshot)",
+        snapshot.catalog.len(),
+        snapshot.dict.len(),
+        snapshot.catalog.posting_index().len(),
+    );
+    Ok(())
+}
+
 fn cmd_route(args: &[String]) -> Result<(), String> {
     let mut catalog_path = None;
     let mut queries_path = None;
@@ -214,7 +268,8 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     }
     let catalog_path = catalog_path.ok_or("route requires --catalog CATALOG")?;
     let queries_path = queries_path.ok_or("route requires --queries FILE")?;
-    let frozen = StoredCatalog::load(&catalog_path).map_err(|e| e.to_string())?;
+    let frozen =
+        ServingSnapshot::load_any(&catalog_path).map_err(|e| format!("{catalog_path}: {e}"))?;
     let lines: Vec<String> = std::fs::read_to_string(&queries_path)
         .map_err(|e| format!("{queries_path}: {e}"))?
         .lines()

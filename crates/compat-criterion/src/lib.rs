@@ -126,16 +126,31 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// True when the binary was invoked with `--test` (mirroring criterion's
+/// smoke mode): each benchmark body runs exactly once, unmeasured, so CI
+/// can verify benchmarks still compile and execute without paying for
+/// warm-up and timed batches.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Runs the closure under measurement.
 #[derive(Debug, Default)]
 pub struct Bencher {
     batch_ns: Vec<f64>,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Measure `routine`: warm up, pick an iteration count that fills a
-    /// batch, then time several batches.
+    /// batch, then time several batches. Under `--test`, run it once and
+    /// skip measurement entirely.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if smoke_mode() {
+            self.smoke = true;
+            black_box(routine());
+            return;
+        }
         // Warm-up, and estimate the per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -158,6 +173,10 @@ impl Bencher {
     }
 
     fn report(&self, id: &str) {
+        if self.smoke {
+            println!("{id:<56} smoke ok (1 iteration, unmeasured)");
+            return;
+        }
         if self.batch_ns.is_empty() {
             println!("{id:<56} (no measurement)");
             return;

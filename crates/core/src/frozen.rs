@@ -1,0 +1,395 @@
+//! Columnar, immutable summary views for the serving hot path.
+//!
+//! [`ContentSummary`] and [`ShrunkSummary`] answer `p̂(w|D)` lookups from
+//! hash maps — the right shape while summaries are being *built* (sampling
+//! inserts words in arbitrary order, EM mixes lazily over shared category
+//! components), but the wrong shape for *serving*, where summaries are
+//! frozen and every query walks thousands of probability lookups. A
+//! [`FrozenSummary`] stores the same numbers as term-sorted parallel arrays
+//! (term ids, `p_df`, `p_tf`, `sample_df`) and answers lookups by binary
+//! search over contiguous memory, so scoring chases no hash buckets and the
+//! whole summary serializes as a straight array dump.
+//!
+//! Freezing is **bit-preserving**: every stored probability is computed
+//! through the source summary's own lookup path at freeze time, and absent
+//! terms fall back to a precomputed default — `0.0` for a content summary,
+//! `λ_0 · uniform_p` for a shrunk mixture (the exact value
+//! [`ShrunkSummary::mix`] produces when no component knows the word,
+//! because λ-weighted additions of absent keys are skipped, not added as
+//! zeros). Rankings computed over frozen views are therefore identical,
+//! `f64::to_bits` for `f64::to_bits`, to rankings over the originals.
+
+use textindex::TermId;
+
+use crate::shrinkage::ShrunkSummary;
+use crate::summary::{ContentSummary, SummaryView};
+
+/// A summary frozen into term-sorted parallel arrays.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenSummary {
+    db_size: f64,
+    sample_size: u32,
+    word_count: f64,
+    /// `p̂(w|D)` for words absent from `terms` (0 for content summaries,
+    /// `λ_0 · uniform_p` for shrunk mixtures).
+    default_p_df: f64,
+    /// Token-level default, same convention.
+    default_p_tf: f64,
+    /// Strictly ascending term ids; the index into the value columns.
+    terms: Vec<TermId>,
+    p_df: Vec<f64>,
+    p_tf: Vec<f64>,
+    sample_df: Vec<u32>,
+}
+
+impl FrozenSummary {
+    /// Freeze a database content summary.
+    pub fn from_unshrunk(s: &ContentSummary) -> FrozenSummary {
+        let mut terms: Vec<TermId> = s.iter().map(|(t, _)| t).collect();
+        terms.sort_unstable();
+        let p_df = terms.iter().map(|&t| ContentSummary::p_df(s, t)).collect();
+        let p_tf = terms.iter().map(|&t| ContentSummary::p_tf(s, t)).collect();
+        let sample_df = terms
+            .iter()
+            .map(|&t| s.word(t).expect("term from iter").sample_df)
+            .collect();
+        FrozenSummary {
+            db_size: s.db_size(),
+            sample_size: s.sample_size(),
+            word_count: s.total_tf(),
+            default_p_df: 0.0,
+            default_p_tf: 0.0,
+            terms,
+            p_df,
+            p_tf,
+            sample_df,
+        }
+    }
+
+    /// Freeze a shrunk summary by materializing the mixture over its full
+    /// (df ∪ tf) vocabulary. Words outside that vocabulary mix to exactly
+    /// `λ_0 · uniform_p` per model, which becomes the stored default.
+    pub fn from_shrunk(s: &ShrunkSummary) -> FrozenSummary {
+        let terms = s.full_vocabulary();
+        let p_df = terms.iter().map(|&t| SummaryView::p_df(s, t)).collect();
+        let p_tf = terms.iter().map(|&t| SummaryView::p_tf(s, t)).collect();
+        let sample_df = vec![0; terms.len()];
+        FrozenSummary {
+            db_size: s.db_size(),
+            sample_size: 0,
+            word_count: s.word_count(),
+            default_p_df: s.lambdas()[0] * s.uniform_p(),
+            default_p_tf: s.lambdas_tf()[0] * s.uniform_p(),
+            terms,
+            p_df,
+            p_tf,
+            sample_df,
+        }
+    }
+
+    /// Reassemble a frozen summary from decoded columns — the snapshot
+    /// load path. Validates the structural invariants a codec cannot
+    /// express (strictly ascending terms, equal column lengths) so corrupt
+    /// input is rejected instead of silently mis-searching.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        db_size: f64,
+        sample_size: u32,
+        word_count: f64,
+        default_p_df: f64,
+        default_p_tf: f64,
+        terms: Vec<TermId>,
+        p_df: Vec<f64>,
+        p_tf: Vec<f64>,
+        sample_df: Vec<u32>,
+    ) -> Result<FrozenSummary, &'static str> {
+        if p_df.len() != terms.len() || p_tf.len() != terms.len() || sample_df.len() != terms.len()
+        {
+            return Err("frozen summary columns disagree on length");
+        }
+        if terms.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("frozen summary terms not strictly ascending");
+        }
+        Ok(FrozenSummary {
+            db_size,
+            sample_size,
+            word_count,
+            default_p_df,
+            default_p_tf,
+            terms,
+            p_df,
+            p_tf,
+            sample_df,
+        })
+    }
+
+    fn position(&self, term: TermId) -> Option<usize> {
+        self.terms.binary_search(&term).ok()
+    }
+
+    /// Estimated database size `|D̂|`.
+    pub fn db_size(&self) -> f64 {
+        self.db_size
+    }
+
+    /// Number of sample documents the summary was built from.
+    pub fn sample_size(&self) -> u32 {
+        self.sample_size
+    }
+
+    /// Estimated total token count (CORI's `cw(D)`).
+    pub fn word_count(&self) -> f64 {
+        self.word_count
+    }
+
+    /// `p̂(w|D)` under the document-frequency model.
+    pub fn p_df(&self, term: TermId) -> f64 {
+        self.position(term)
+            .map_or(self.default_p_df, |i| self.p_df[i])
+    }
+
+    /// `p̂(w|D)` under the term-frequency model.
+    pub fn p_tf(&self, term: TermId) -> f64 {
+        self.position(term)
+            .map_or(self.default_p_tf, |i| self.p_tf[i])
+    }
+
+    /// Number of *sample* documents containing `term` (0 when absent).
+    pub fn sample_df(&self, term: TermId) -> u32 {
+        self.position(term).map_or(0, |i| self.sample_df[i])
+    }
+
+    /// Number of explicitly stored terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term is explicitly stored.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The sorted term-id column.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
+    }
+
+    /// The `p_df` value column, parallel to [`Self::terms`].
+    pub fn p_df_column(&self) -> &[f64] {
+        &self.p_df
+    }
+
+    /// The `p_tf` value column, parallel to [`Self::terms`].
+    pub fn p_tf_column(&self) -> &[f64] {
+        &self.p_tf
+    }
+
+    /// The `sample_df` column, parallel to [`Self::terms`].
+    pub fn sample_df_column(&self) -> &[u32] {
+        &self.sample_df
+    }
+
+    /// The stored default `p_df` for absent terms.
+    pub fn default_p_df(&self) -> f64 {
+        self.default_p_df
+    }
+
+    /// The stored default `p_tf` for absent terms.
+    pub fn default_p_tf(&self) -> f64 {
+        self.default_p_tf
+    }
+}
+
+impl SummaryView for FrozenSummary {
+    fn db_size(&self) -> f64 {
+        self.db_size
+    }
+
+    fn p_df(&self, term: TermId) -> f64 {
+        FrozenSummary::p_df(self, term)
+    }
+
+    fn p_tf(&self, term: TermId) -> f64 {
+        FrozenSummary::p_tf(self, term)
+    }
+
+    fn word_count(&self) -> f64 {
+        self.word_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::category_summary::SummaryComponent;
+    use crate::shrinkage::{shrink, ShrinkageConfig};
+    use crate::summary::WordStats;
+    use textindex::Document;
+
+    fn sample_summary(docs: &[Vec<TermId>], db_size: f64) -> ContentSummary {
+        let docs: Vec<Document> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| Document::from_tokens(i as u32, t.clone()))
+            .collect();
+        ContentSummary::from_sample(docs.iter(), db_size)
+    }
+
+    #[test]
+    fn frozen_unshrunk_is_bit_identical() {
+        let s = sample_summary(&[vec![3, 1, 1], vec![7, 3], vec![9]], 120.0);
+        let f = FrozenSummary::from_unshrunk(&s);
+        for t in [0u32, 1, 3, 7, 9, 100] {
+            assert_eq!(f.p_df(t).to_bits(), s.p_df(t).to_bits());
+            assert_eq!(f.p_tf(t).to_bits(), s.p_tf(t).to_bits());
+            assert_eq!(f.sample_df(t), s.word(t).map_or(0, |w| w.sample_df));
+            assert_eq!(f.effectively_contains(t), s.effectively_contains(t));
+        }
+        assert_eq!(f.db_size().to_bits(), s.db_size().to_bits());
+        assert_eq!(f.word_count().to_bits(), s.total_tf().to_bits());
+        assert_eq!(f.sample_size(), s.sample_size());
+        assert!(f.terms().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn frozen_shrunk_is_bit_identical_including_defaults() {
+        let db = sample_summary(&[vec![1, 2], vec![1, 3]], 100.0);
+        let comp = Arc::new(SummaryComponent {
+            p_df: [(1u32, 0.5f64), (4, 0.2)].into_iter().collect(),
+            p_tf: [(1u32, 0.4f64), (4, 0.3)].into_iter().collect(),
+        });
+        let shrunk = shrink(&db, &[comp], &ShrinkageConfig::default());
+        let f = FrozenSummary::from_shrunk(&shrunk);
+        for t in [0u32, 1, 2, 3, 4, 42, 99_999] {
+            assert_eq!(f.p_df(t).to_bits(), SummaryView::p_df(&shrunk, t).to_bits());
+            assert_eq!(f.p_tf(t).to_bits(), SummaryView::p_tf(&shrunk, t).to_bits());
+            assert_eq!(f.effectively_contains(t), shrunk.effectively_contains(t));
+        }
+        assert_eq!(f.db_size().to_bits(), shrunk.db_size().to_bits());
+        assert_eq!(f.word_count().to_bits(), shrunk.word_count().to_bits());
+    }
+
+    #[test]
+    fn frozen_shrunk_captures_tf_only_component_keys() {
+        // A component with a key only in its tf map (the df denominator
+        // degenerated): full_vocabulary must include it so the frozen view
+        // stores its non-default p_tf.
+        let db = sample_summary(&[vec![1]], 10.0);
+        let comp = Arc::new(SummaryComponent {
+            p_df: HashMap::new(),
+            p_tf: [(8u32, 0.25f64)].into_iter().collect(),
+        });
+        let shrunk = shrink(&db, &[comp], &ShrinkageConfig::default());
+        let f = FrozenSummary::from_shrunk(&shrunk);
+        assert!(f.terms().contains(&8));
+        assert_eq!(f.p_tf(8).to_bits(), SummaryView::p_tf(&shrunk, 8).to_bits());
+        assert_eq!(f.p_df(8).to_bits(), SummaryView::p_df(&shrunk, 8).to_bits());
+    }
+
+    #[test]
+    fn empty_summary_freezes_safely() {
+        let s = sample_summary(&[], 0.0);
+        let f = FrozenSummary::from_unshrunk(&s);
+        assert!(f.is_empty());
+        assert_eq!(f.p_df(0), 0.0);
+        assert_eq!(f.p_tf(0), 0.0);
+        assert_eq!(f.sample_df(0), 0);
+    }
+
+    #[test]
+    fn zero_db_size_matches_source_zeroing() {
+        // db_size == 0 makes ContentSummary::p_df return 0 even for
+        // present words; the frozen copy must store those zeros.
+        let mut words = HashMap::new();
+        words.insert(
+            5u32,
+            WordStats {
+                sample_df: 2,
+                df: 3.0,
+                tf: 4.0,
+            },
+        );
+        let s = ContentSummary::new(0.0, 2, words);
+        let f = FrozenSummary::from_unshrunk(&s);
+        assert_eq!(f.p_df(5).to_bits(), s.p_df(5).to_bits());
+        assert_eq!(f.p_df(5), 0.0);
+        assert_eq!(f.sample_df(5), 2);
+    }
+
+    #[test]
+    fn from_raw_parts_validates_structure() {
+        assert!(FrozenSummary::from_raw_parts(
+            1.0,
+            1,
+            1.0,
+            0.0,
+            0.0,
+            vec![1, 2, 3],
+            vec![0.1, 0.2, 0.3],
+            vec![0.1, 0.2, 0.3],
+            vec![1, 1, 1],
+        )
+        .is_ok());
+        // Unsorted terms.
+        assert!(FrozenSummary::from_raw_parts(
+            1.0,
+            1,
+            1.0,
+            0.0,
+            0.0,
+            vec![2, 1],
+            vec![0.1, 0.2],
+            vec![0.1, 0.2],
+            vec![1, 1],
+        )
+        .is_err());
+        // Duplicate terms.
+        assert!(FrozenSummary::from_raw_parts(
+            1.0,
+            1,
+            1.0,
+            0.0,
+            0.0,
+            vec![1, 1],
+            vec![0.1, 0.2],
+            vec![0.1, 0.2],
+            vec![1, 1],
+        )
+        .is_err());
+        // Ragged columns.
+        assert!(FrozenSummary::from_raw_parts(
+            1.0,
+            1,
+            1.0,
+            0.0,
+            0.0,
+            vec![1, 2],
+            vec![0.1],
+            vec![0.1, 0.2],
+            vec![1, 1],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_bits() {
+        let s = sample_summary(&[vec![1, 2, 2], vec![4]], 50.0);
+        let f = FrozenSummary::from_unshrunk(&s);
+        let rebuilt = FrozenSummary::from_raw_parts(
+            f.db_size(),
+            f.sample_size(),
+            f.word_count(),
+            f.default_p_df(),
+            f.default_p_tf(),
+            f.terms().to_vec(),
+            f.p_df_column().to_vec(),
+            f.p_tf_column().to_vec(),
+            f.sample_df_column().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(f, rebuilt);
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod category_summary;
 pub mod freqest;
+pub mod frozen;
 pub mod hierarchy;
 pub mod shrinkage;
 pub mod summary;
@@ -58,6 +59,7 @@ pub mod prelude {
     pub use crate::freqest::{
         apply_frequency_estimation, checkpoint, FrequencyEstimator, MandelbrotCheckpoint,
     };
+    pub use crate::frozen::FrozenSummary;
     pub use crate::hierarchy::{Category, CategoryId, Hierarchy};
     pub use crate::shrinkage::{shrink, ProbabilityModel, ShrinkageConfig, ShrunkSummary};
     pub use crate::summary::{ContentSummary, SummaryView, WordStats};

@@ -147,6 +147,24 @@ impl ShrunkSummary {
         v
     }
 
+    /// The union vocabulary across **both** probability models: every word
+    /// with a non-default probability under either the document-frequency
+    /// or the term-frequency mixture, ascending. [`Self::vocabulary`] covers
+    /// only the df model; a category component can carry tf-only keys when
+    /// its df denominator degenerates to zero (and vice versa), and
+    /// freezing a shrunk summary into arrays must capture those too.
+    pub fn full_vocabulary(&self) -> Vec<TermId> {
+        let mut seen: HashSet<TermId> = self.db_p_df.keys().copied().collect();
+        seen.extend(self.db_p_tf.keys().copied());
+        for comp in &self.components {
+            seen.extend(comp.p_df.keys().copied());
+            seen.extend(comp.p_tf.keys().copied());
+        }
+        let mut v: Vec<TermId> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Iterate over `(term, p̂_R(w|D))` for the union vocabulary.
     pub fn iter_df(&self) -> impl Iterator<Item = (TermId, f64)> + '_ {
         self.vocabulary()

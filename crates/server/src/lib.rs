@@ -324,6 +324,8 @@ fn handle_metrics(shared: &Shared) -> Response {
             state.cache_stats(),
             shared.generation.load(Ordering::SeqCst),
             state.databases(),
+            state.load_seconds(),
+            state.snapshot_bytes(),
         ),
     )
 }

@@ -150,8 +150,16 @@ impl Metrics {
 
     /// Render the Prometheus text exposition. `cache` is the aggregated
     /// posterior-cache counters of the current catalog's engines;
-    /// `generation`/`databases` describe the currently served catalog.
-    pub fn render(&self, cache: broker::CacheStats, generation: u64, databases: usize) -> String {
+    /// `generation`/`databases`/`load_seconds`/`snapshot_bytes` describe
+    /// the currently served catalog and how it was loaded.
+    pub fn render(
+        &self,
+        cache: broker::CacheStats,
+        generation: u64,
+        databases: usize,
+        load_seconds: f64,
+        snapshot_bytes: u64,
+    ) -> String {
         let mut out = String::new();
         out.push_str("# TYPE dbselectd_requests_total counter\n");
         for ((endpoint, status), count) in
@@ -212,6 +220,10 @@ impl Metrics {
              dbselectd_catalog_generation {generation}\n\
              # TYPE dbselectd_catalog_databases gauge\n\
              dbselectd_catalog_databases {databases}\n\
+             # TYPE dbselectd_catalog_load_seconds gauge\n\
+             dbselectd_catalog_load_seconds {load_seconds:.6}\n\
+             # TYPE dbselectd_catalog_snapshot_bytes gauge\n\
+             dbselectd_catalog_snapshot_bytes {snapshot_bytes}\n\
              # TYPE dbselectd_uptime_seconds gauge\n\
              dbselectd_uptime_seconds {:.3}\n",
             self.started.elapsed().as_secs_f64(),
@@ -282,11 +294,15 @@ mod tests {
             },
             2,
             7,
+            0.012345,
+            4096,
         );
         assert!(text.contains("dbselectd_requests_total{endpoint=\"route\",status=\"200\"} 2"));
         assert!(text.contains("dbselectd_request_duration_seconds_count{endpoint=\"route\"} 1"));
         assert!(text.contains("dbselectd_posterior_cache_hit_rate 0.75"));
         assert!(text.contains("dbselectd_catalog_generation 2"));
         assert!(text.contains("dbselectd_catalog_databases 7"));
+        assert!(text.contains("dbselectd_catalog_load_seconds 0.012345"));
+        assert!(text.contains("dbselectd_catalog_snapshot_bytes 4096"));
     }
 }

@@ -1,25 +1,33 @@
 //! The immutable serving state behind one catalog generation.
 //!
-//! A [`ServingState`] freezes everything a request needs: the loaded
-//! [`StoredCatalog`] (names, categories, term dictionary), the broker
-//! [`Catalog`], and one [`SelectionEngine`] per (algorithm, shrinkage
-//! mode) pair so posterior caches persist across requests. States are
-//! shared as `Arc<ServingState>`; `/admin/reload` builds a fresh state
-//! off to the side and swaps the `Arc` — in-flight requests keep routing
-//! against the generation they started with, so a swap never fails them.
+//! A [`ServingState`] freezes everything a request needs: the serving
+//! snapshot's sidecar tables (term dictionary, category paths, LM's
+//! global model), the columnar broker [`Catalog`], and one
+//! [`SelectionEngine`] per (algorithm, shrinkage mode) pair so posterior
+//! caches persist across requests. States are shared as
+//! `Arc<ServingState>`; `/admin/reload` builds a fresh state off to the
+//! side and swaps the `Arc` — in-flight requests keep routing against the
+//! generation they started with, so a swap never fails them.
+//!
+//! Loading prefers the v2 [`ServingSnapshot`] format (a straight array
+//! read, no shrunk-summary rebuild); v1 [`StoredCatalog`] files still
+//! load through the legacy rebuild path via
+//! [`ServingSnapshot::load_any`].
 //!
 //! Query analysis (stemming, dictionary lookup, deduplication) mirrors
 //! `dbselect route` exactly, so a query served over HTTP ranks
 //! bit-identically to the same query routed from a file.
 
+use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
+use std::time::Instant;
 
 use broker::{Catalog, SelectionEngine};
-use dbselect_core::category_summary::CategoryWeighting;
 use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
 use store::catalog::StoredCatalog;
-use textindex::{Analyzer, TermId};
+use store::snapshot::ServingSnapshot;
+use textindex::{Analyzer, TermDict, TermId};
 
 /// The scoring algorithms the daemon serves (summary-based only; ReDDE
 /// needs raw samples and stays a CLI concern).
@@ -88,26 +96,37 @@ fn mode_index(mode: ShrinkageMode) -> usize {
 
 /// One catalog generation, frozen for serving.
 pub struct ServingState {
-    frozen: StoredCatalog,
+    dict: TermDict,
+    categories: Vec<String>,
     catalog: Arc<Catalog>,
     analyzer: Analyzer,
     /// `engines[algo.index() * 3 + mode_index(mode)]`.
     engines: Vec<SelectionEngine>,
     /// The path this state was loaded from (default for reloads).
     source: String,
+    /// Wall-clock seconds spent loading and freezing this generation.
+    load_seconds: f64,
+    /// On-disk byte size of the catalog file this state came from.
+    snapshot_bytes: u64,
 }
 
 impl ServingState {
-    /// Build a state from an already-loaded frozen catalog.
-    pub fn from_frozen(frozen: StoredCatalog, source: String, cache_capacity: usize) -> Self {
-        let catalog = Arc::new(frozen.to_catalog());
-        let root = frozen.store.root_summary(CategoryWeighting::BySize);
+    /// Build a state from a serving snapshot (already in final form).
+    pub fn from_snapshot(snapshot: ServingSnapshot, source: String, cache_capacity: usize) -> Self {
+        let ServingSnapshot {
+            dict,
+            categories,
+            lm_global,
+            catalog,
+        } = snapshot;
+        let catalog = Arc::new(catalog);
+        let global: HashMap<TermId, f64> = lm_global.into_iter().collect();
         let mut engines = Vec::with_capacity(9);
         for algo in Algo::all() {
             let algorithm: Arc<dyn SelectionAlgorithm + Send + Sync> = match algo {
                 Algo::BGloss => Arc::new(BGloss),
                 Algo::Cori => Arc::new(Cori::default()),
-                Algo::Lm => Arc::new(Lm::new(0.5, &root)),
+                Algo::Lm => Arc::new(Lm::from_global_map(0.5, global.clone())),
             };
             for mode in MODES {
                 engines.push(SelectionEngine::new(
@@ -122,22 +141,36 @@ impl ServingState {
             }
         }
         ServingState {
-            frozen,
+            dict,
+            categories,
             catalog,
             analyzer: Analyzer::english(),
             engines,
             source,
+            load_seconds: 0.0,
+            snapshot_bytes: 0,
         }
     }
 
-    /// Load a frozen catalog from disk and freeze it for serving.
-    pub fn load(path: &str, cache_capacity: usize) -> io::Result<Self> {
-        let frozen = StoredCatalog::load(path)?;
-        Ok(ServingState::from_frozen(
-            frozen,
-            path.to_string(),
+    /// Build a state from an already-loaded v1 frozen catalog.
+    pub fn from_frozen(frozen: StoredCatalog, source: String, cache_capacity: usize) -> Self {
+        ServingState::from_snapshot(
+            ServingSnapshot::from_stored(&frozen),
+            source,
             cache_capacity,
-        ))
+        )
+    }
+
+    /// Load a catalog from disk (v2 snapshot or v1 frozen catalog) and
+    /// freeze it for serving, recording load latency and file size.
+    pub fn load(path: &str, cache_capacity: usize) -> io::Result<Self> {
+        let started = Instant::now();
+        let snapshot = ServingSnapshot::load_any(path)?;
+        let snapshot_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let mut state = ServingState::from_snapshot(snapshot, path.to_string(), cache_capacity);
+        state.load_seconds = started.elapsed().as_secs_f64();
+        state.snapshot_bytes = snapshot_bytes;
+        Ok(state)
     }
 
     /// The engine serving `(algo, mode)`.
@@ -155,6 +188,18 @@ impl ServingState {
         &self.source
     }
 
+    /// Wall-clock seconds the load of this generation took (0 when the
+    /// state was built in memory rather than loaded from a file).
+    pub fn load_seconds(&self) -> f64 {
+        self.load_seconds
+    }
+
+    /// On-disk byte size of this generation's catalog file (0 when built
+    /// in memory).
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_bytes
+    }
+
     /// Number of served databases.
     pub fn databases(&self) -> usize {
         self.catalog.len()
@@ -162,18 +207,17 @@ impl ServingState {
 
     /// Number of dictionary terms.
     pub fn terms(&self) -> usize {
-        self.frozen.store.dict.len()
+        self.dict.len()
     }
 
     /// Database name by catalog index.
     pub fn name(&self, index: usize) -> &str {
-        &self.frozen.store.databases[index].name
+        &self.catalog.names()[index]
     }
 
     /// Full category path of a database.
     pub fn category(&self, index: usize) -> String {
-        let db = &self.frozen.store.databases[index];
-        self.frozen.store.hierarchy.full_name(db.classification)
+        self.categories[index].clone()
     }
 
     /// Tokenize query words against the dictionary, deduplicating and
@@ -186,7 +230,7 @@ impl ServingState {
             match self
                 .analyzer
                 .analyze_term(word)
-                .and_then(|t| self.frozen.store.dict.lookup(&t))
+                .and_then(|t| self.dict.lookup(&t))
             {
                 Some(id) if !query.contains(&id) => query.push(id),
                 Some(_) => {}

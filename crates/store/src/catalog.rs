@@ -299,7 +299,7 @@ mod tests {
         assert_eq!(loaded.mcw().to_bits(), original.mcw().to_bits());
         for db in 0..original.len() {
             assert_eq!(loaded.gamma(db).to_bits(), original.gamma(db).to_bits());
-            for t in original.shrunk(db).vocabulary() {
+            for &t in original.shrunk(db).terms() {
                 assert_eq!(
                     loaded.shrunk(db).p_df(t).to_bits(),
                     original.shrunk(db).p_df(t).to_bits()

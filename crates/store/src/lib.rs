@@ -42,6 +42,7 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod snapshot;
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};

@@ -1,0 +1,625 @@
+//! The v2 serving snapshot: the columnar catalog on disk, loadable with
+//! zero rebuilding.
+//!
+//! The v1 [`StoredCatalog`] persists profiling output (the embedded sample
+//! store plus the fitted λ weights); loading it still re-derives category
+//! components, reassembles every shrunk summary, and rebuilds the posting
+//! index — ~90% of daemon start-up and `/admin/reload` latency. A
+//! [`ServingSnapshot`] instead serializes **exactly the arrays the broker
+//! serves from**: the frozen per-database summaries, the CSR posting
+//! index, the resolved γ exponents, plus the few sidecar tables a daemon
+//! needs (term dictionary, category names, LM's global model). Loading is
+//! a straight array read — no EM, no shrunk-summary rebuild, no posting
+//! reconstruction — and reproduces the in-memory [`Catalog`] bit for bit.
+//!
+//! ## Wire format
+//!
+//! Everything little-endian, every length [`MAX_LEN`]-guarded, every float
+//! NaN-rejected on read (the v1 codec's defensive rules). The payload
+//! between the magic and the trailing checksum is covered by an FNV-1a 64
+//! digest, so any single corrupted byte is detected at load time.
+//!
+//! ```text
+//! magic  b"DBSSNP\x00\x02"               8 bytes, not checksummed
+//! ── checksummed payload ──────────────────────────────────────────
+//! dict        u32 count, then count length-prefixed UTF-8 terms
+//! databases   u32 count, then per database:
+//!               name str · category str (full path) · gamma f64
+//! mcw         f64
+//! unshrunk    per database: frozen summary (below)
+//! shrunk      per database: frozen summary (below)
+//! index       u32 term count · terms u32×n (strictly ascending)
+//!             offsets u32×(n+1) · u32 slab length
+//!             dbs u32×len · p_df f64×len · sample_df u32×len
+//!             effective u8×len (0|1)
+//! lm_global   u32 count · (term u32, p_tf f64)×count, ascending
+//! ── end of payload ───────────────────────────────────────────────
+//! checksum    u64 FNV-1a over the payload, not checksummed
+//!
+//! frozen summary :=
+//!   db_size f64 · sample_size u32 · word_count f64
+//!   default_p_df f64 · default_p_tf f64
+//!   u32 term count · terms u32×n (strictly ascending)
+//!   p_df f64×n · p_tf f64×n · sample_df u32×n
+//! ```
+//!
+//! [`MAX_LEN`]: crate::codec::MAX_LEN
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use broker::{Catalog, PostingIndex};
+use dbselect_core::category_summary::CategoryWeighting;
+use dbselect_core::frozen::FrozenSummary;
+use textindex::{TermDict, TermId};
+
+use crate::catalog::StoredCatalog;
+use crate::codec::{
+    corrupt, read_f64, read_len, read_str, read_u32, read_u64, write_f64, write_str, write_u32,
+    write_u64, ChecksumReader, ChecksumWriter,
+};
+
+/// Magic bytes + format version for serving snapshots (the "v2" catalog
+/// format; v1 is [`StoredCatalog`]'s `DBSCAT`).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"DBSSNP\x00\x02";
+
+/// Everything `dbselectd` and `dbselect route` serve from, in final form.
+#[derive(Debug, Clone)]
+pub struct ServingSnapshot {
+    /// The term dictionary (query analysis).
+    pub dict: TermDict,
+    /// Full category path per database, catalog order (reports).
+    pub categories: Vec<String>,
+    /// LM's global model: `(term, p̂(w|G))` of the Root summary, ascending.
+    pub lm_global: Vec<(TermId, f64)>,
+    /// The columnar serving catalog.
+    pub catalog: Catalog,
+}
+
+impl ServingSnapshot {
+    /// Freeze a v1 [`StoredCatalog`] into serving form — the one-time
+    /// migration / `dbselect freeze` path. Runs the v1 rebuild (category
+    /// aggregation, `from_parts` shrunk summaries, posting construction)
+    /// once; everything downstream reads arrays.
+    pub fn from_stored(stored: &StoredCatalog) -> ServingSnapshot {
+        let catalog = stored.to_catalog();
+        let categories = stored
+            .store
+            .databases
+            .iter()
+            .map(|db| stored.store.hierarchy.full_name(db.classification))
+            .collect();
+        // The Root summary under BySize weighting is the global model both
+        // the CLI and the daemon hand to `Lm::new` — freeze its p_tf map.
+        let root = stored.store.root_summary(CategoryWeighting::BySize);
+        let mut lm_global: Vec<(TermId, f64)> =
+            root.iter().map(|(t, _)| (t, root.p_tf(t))).collect();
+        lm_global.sort_unstable_by_key(|&(t, _)| t);
+        ServingSnapshot {
+            dict: stored.store.dict.clone(),
+            categories,
+            lm_global,
+            catalog,
+        }
+    }
+
+    /// Serialize into `w` (magic, checksummed payload, trailing digest).
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let n = self.catalog.len();
+        if self.categories.len() != n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "one category path per database required",
+            ));
+        }
+        w.write_all(SNAPSHOT_MAGIC)?;
+        let mut cw = ChecksumWriter::new(&mut *w);
+
+        let dict_len = u32::try_from(self.dict.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "dictionary too large"))?;
+        write_u32(&mut cw, dict_len)?;
+        for id in 0..dict_len {
+            write_str(&mut cw, self.dict.term(id))?;
+        }
+
+        write_u32(&mut cw, n as u32)?;
+        for db in 0..n {
+            write_str(&mut cw, &self.catalog.names()[db])?;
+            write_str(&mut cw, &self.categories[db])?;
+            write_f64(&mut cw, self.catalog.gamma(db))?;
+        }
+        write_f64(&mut cw, self.catalog.mcw())?;
+        for db in 0..n {
+            write_frozen(&mut cw, self.catalog.unshrunk(db))?;
+        }
+        for db in 0..n {
+            write_frozen(&mut cw, self.catalog.shrunk(db))?;
+        }
+
+        let index = self.catalog.posting_index();
+        write_u32(&mut cw, index.len() as u32)?;
+        for &t in index.terms() {
+            write_u32(&mut cw, t)?;
+        }
+        for &o in index.offsets() {
+            write_u32(&mut cw, o)?;
+        }
+        write_u32(&mut cw, index.dbs().len() as u32)?;
+        for &db in index.dbs() {
+            write_u32(&mut cw, db)?;
+        }
+        for &p in index.p_df() {
+            write_f64(&mut cw, p)?;
+        }
+        for &s in index.sample_df() {
+            write_u32(&mut cw, s)?;
+        }
+        for &e in index.effective() {
+            cw.write_all(&[u8::from(e)])?;
+        }
+
+        write_u32(&mut cw, self.lm_global.len() as u32)?;
+        for &(t, p) in &self.lm_global {
+            write_u32(&mut cw, t)?;
+            write_f64(&mut cw, p)?;
+        }
+
+        let digest = cw.digest();
+        write_u64(w, digest)
+    }
+
+    /// Deserialize from `r`, validating structure as it goes and the
+    /// payload checksum at the end.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != SNAPSHOT_MAGIC {
+            return Err(corrupt("bad snapshot magic or unsupported version"));
+        }
+        let mut cr = ChecksumReader::new(&mut *r);
+        let snapshot = read_payload(&mut cr)?;
+        let digest = cr.digest();
+        if read_u64(r)? != digest {
+            return Err(corrupt("snapshot checksum mismatch"));
+        }
+        Ok(snapshot)
+    }
+
+    /// Save to a file (buffered).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut w)?;
+        w.flush()
+    }
+
+    /// Load from a file (buffered), rejecting trailing bytes.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        let snapshot = Self::read_from(&mut r)?;
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(corrupt("trailing bytes after snapshot"));
+        }
+        Ok(snapshot)
+    }
+
+    /// Load a serving snapshot from either format: a v2 snapshot reads
+    /// straight into arrays; a v1 [`StoredCatalog`] is rebuilt through the
+    /// legacy path (EM-free, but category aggregation + posting
+    /// construction). This keeps every existing catalog file loadable.
+    pub fn load_any(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let mut magic = [0u8; 8];
+        {
+            let mut f = std::fs::File::open(path)?;
+            f.read_exact(&mut magic)?;
+        }
+        if &magic == SNAPSHOT_MAGIC {
+            Self::load(path)
+        } else {
+            let stored = StoredCatalog::load(path)?;
+            Ok(ServingSnapshot::from_stored(&stored))
+        }
+    }
+}
+
+fn write_frozen<W: Write>(w: &mut W, s: &FrozenSummary) -> io::Result<()> {
+    write_f64(w, s.db_size())?;
+    write_u32(w, s.sample_size())?;
+    write_f64(w, s.word_count())?;
+    write_f64(w, s.default_p_df())?;
+    write_f64(w, s.default_p_tf())?;
+    write_u32(w, s.len() as u32)?;
+    for &t in s.terms() {
+        write_u32(w, t)?;
+    }
+    for &p in s.p_df_column() {
+        write_f64(w, p)?;
+    }
+    for &p in s.p_tf_column() {
+        write_f64(w, p)?;
+    }
+    for &d in s.sample_df_column() {
+        write_u32(w, d)?;
+    }
+    Ok(())
+}
+
+/// Chunked-column readers: the wide slabs dominate decode time, so read
+/// them through a fixed stack buffer (one `read_exact` per ~1k elements
+/// instead of one per element) and convert in place. The buffer is
+/// bounded, so a corrupt length still can't trigger an oversized
+/// allocation — the `Vec` only grows as bytes actually arrive.
+const COLUMN_CHUNK: usize = 1024;
+
+fn read_f64_column<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<f64>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; COLUMN_CHUNK * 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(COLUMN_CHUNK);
+        let bytes = &mut buf[..take * 8];
+        r.read_exact(bytes)?;
+        for chunk in bytes.chunks_exact(8) {
+            let v = f64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            if v.is_nan() {
+                return Err(corrupt("NaN float field"));
+            }
+            out.push(v);
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_u32_column<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<u32>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; COLUMN_CHUNK * 4];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(COLUMN_CHUNK);
+        let bytes = &mut buf[..take * 4];
+        r.read_exact(bytes)?;
+        for chunk in bytes.chunks_exact(4) {
+            out.push(u32::from_le_bytes(chunk.try_into().expect("4-byte chunk")));
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_bool_column<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<bool>> {
+    let mut out = Vec::new();
+    let mut buf = [0u8; COLUMN_CHUNK];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(COLUMN_CHUNK);
+        let bytes = &mut buf[..take];
+        r.read_exact(bytes)?;
+        for &b in bytes.iter() {
+            match b {
+                0 => out.push(false),
+                1 => out.push(true),
+                _ => return Err(corrupt("effective flag must be 0 or 1")),
+            }
+        }
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_frozen<R: Read>(r: &mut R) -> io::Result<FrozenSummary> {
+    let db_size = read_f64(r)?;
+    let sample_size = read_u32(r)?;
+    let word_count = read_f64(r)?;
+    let default_p_df = read_f64(r)?;
+    let default_p_tf = read_f64(r)?;
+    let len = read_len(r)?;
+    let terms = read_u32_column(r, len)?;
+    let p_df = read_f64_column(r, len)?;
+    let p_tf = read_f64_column(r, len)?;
+    let sample_df = read_u32_column(r, len)?;
+    FrozenSummary::from_raw_parts(
+        db_size,
+        sample_size,
+        word_count,
+        default_p_df,
+        default_p_tf,
+        terms,
+        p_df,
+        p_tf,
+        sample_df,
+    )
+    .map_err(corrupt)
+}
+
+fn read_payload<R: Read>(r: &mut R) -> io::Result<ServingSnapshot> {
+    let mut dict = TermDict::new();
+    let dict_len = read_len(r)?;
+    for i in 0..dict_len {
+        let term = read_str(r)?;
+        let id = dict.intern(&term);
+        if id as usize != i {
+            return Err(corrupt("duplicate term in snapshot dictionary"));
+        }
+    }
+
+    let n = read_len(r)?;
+    let mut names = Vec::new();
+    let mut categories = Vec::new();
+    let mut gammas = Vec::new();
+    for _ in 0..n {
+        names.push(read_str(r)?);
+        categories.push(read_str(r)?);
+        gammas.push(read_f64(r)?);
+    }
+    let mcw = read_f64(r)?;
+    let mut unshrunk = Vec::new();
+    for _ in 0..n {
+        unshrunk.push(read_frozen(r)?);
+    }
+    let mut shrunk = Vec::new();
+    for _ in 0..n {
+        shrunk.push(read_frozen(r)?);
+    }
+
+    let term_count = read_len(r)?;
+    let terms = read_u32_column(r, term_count)?;
+    let offsets = read_u32_column(r, term_count + 1)?;
+    let slab_len = read_len(r)?;
+    let dbs = read_u32_column(r, slab_len)?;
+    let p_df = read_f64_column(r, slab_len)?;
+    let sample_df = read_u32_column(r, slab_len)?;
+    let effective = read_bool_column(r, slab_len)?;
+    let index = PostingIndex::from_raw_parts(n, terms, offsets, dbs, p_df, sample_df, effective)
+        .map_err(corrupt)?;
+
+    let lm_len = read_len(r)?;
+    let mut lm_global: Vec<(TermId, f64)> = Vec::new();
+    for _ in 0..lm_len {
+        let t = read_u32(r)?;
+        if let Some(&(prev, _)) = lm_global.last() {
+            if t <= prev {
+                return Err(corrupt("global model terms not strictly ascending"));
+            }
+        }
+        let p = read_f64(r)?;
+        if p < 0.0 {
+            return Err(corrupt("negative global model probability"));
+        }
+        lm_global.push((t, p));
+    }
+
+    let catalog =
+        Catalog::from_raw_parts(names, unshrunk, shrunk, gammas, mcw, index).map_err(corrupt)?;
+    Ok(ServingSnapshot {
+        dict,
+        categories,
+        lm_global,
+        catalog,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectionStore, StoredDatabase};
+    use dbselect_core::hierarchy::Hierarchy;
+    use dbselect_core::summary::ContentSummary;
+    use proptest::prelude::*;
+    use textindex::Document;
+
+    /// A small mixed store: a γ-fitted database, a γ-fallback one, and an
+    /// empty-sample one (exercising every encoding edge the codec has).
+    fn fixture_store() -> CollectionStore {
+        let mut dict = TermDict::new();
+        let terms: Vec<u32> = ["alpha", "beta", "gamma", "delta", "epsilon"]
+            .iter()
+            .map(|t| dict.intern(t))
+            .collect();
+        let mut hierarchy = Hierarchy::new("Root");
+        let heart = hierarchy.ensure_path("Health/Heart");
+        let soccer = hierarchy.ensure_path("Sports/Soccer");
+        let docs1 = [
+            Document::from_tokens(0, vec![terms[0], terms[1], terms[1]]),
+            Document::from_tokens(1, vec![terms[0], terms[2]]),
+        ];
+        let docs2 = [Document::from_tokens(0, vec![terms[3], terms[1]])];
+        let mut s1 = ContentSummary::from_sample(docs1.iter(), 800.0);
+        s1.set_gamma(-1.9);
+        let s2 = ContentSummary::from_sample(docs2.iter(), 120.0);
+        let empty = ContentSummary::from_sample(std::iter::empty(), 0.0);
+        CollectionStore {
+            dict,
+            hierarchy,
+            databases: vec![
+                StoredDatabase {
+                    name: "heart-db".into(),
+                    classification: heart,
+                    summary: s1,
+                    sample_docs: Vec::new(),
+                },
+                StoredDatabase {
+                    name: "soccer-db".into(),
+                    classification: soccer,
+                    summary: s2,
+                    sample_docs: Vec::new(),
+                },
+                StoredDatabase {
+                    name: "empty-db".into(),
+                    classification: heart,
+                    summary: empty,
+                    sample_docs: Vec::new(),
+                },
+            ],
+        }
+    }
+
+    fn fixture_snapshot() -> ServingSnapshot {
+        let frozen = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+        ServingSnapshot::from_stored(&frozen)
+    }
+
+    fn assert_catalogs_bit_identical(a: &Catalog, b: &Catalog) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.names(), b.names());
+        assert_eq!(a.mcw().to_bits(), b.mcw().to_bits());
+        for db in 0..a.len() {
+            assert_eq!(a.gamma(db).to_bits(), b.gamma(db).to_bits());
+            assert_eq!(a.unshrunk(db), b.unshrunk(db));
+            assert_eq!(a.shrunk(db), b.shrunk(db));
+        }
+        assert_eq!(a.posting_index(), b.posting_index());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_bit_identical() {
+        let snapshot = fixture_snapshot();
+        let mut bytes = Vec::new();
+        snapshot.write_to(&mut bytes).unwrap();
+        let restored = ServingSnapshot::read_from(&mut bytes.as_slice()).unwrap();
+        assert_eq!(restored.dict.len(), snapshot.dict.len());
+        for id in 0..snapshot.dict.len() as u32 {
+            assert_eq!(restored.dict.term(id), snapshot.dict.term(id));
+        }
+        assert_eq!(restored.categories, snapshot.categories);
+        assert_eq!(restored.lm_global.len(), snapshot.lm_global.len());
+        for (a, b) in restored.lm_global.iter().zip(&snapshot.lm_global) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+        assert_catalogs_bit_identical(&restored.catalog, &snapshot.catalog);
+    }
+
+    #[test]
+    fn snapshot_catalog_matches_v1_rebuild() {
+        // The frozen catalog inside the snapshot must be the same catalog
+        // the v1 path builds — same arrays, same bits.
+        let frozen = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+        let snapshot = ServingSnapshot::from_stored(&frozen);
+        assert_catalogs_bit_identical(&snapshot.catalog, &frozen.to_catalog());
+    }
+
+    #[test]
+    fn save_load_and_format_sniffing() {
+        let dir = std::env::temp_dir();
+        let v2 = dir.join(format!("dbsel-snap-test-{}.v2", std::process::id()));
+        let v1 = dir.join(format!("dbsel-snap-test-{}.v1", std::process::id()));
+        let frozen = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+        let snapshot = ServingSnapshot::from_stored(&frozen);
+        snapshot.save(&v2).unwrap();
+        frozen.save(&v1).unwrap();
+        // load_any takes both formats to the same serving catalog.
+        let from_v2 = ServingSnapshot::load_any(&v2).unwrap();
+        let from_v1 = ServingSnapshot::load_any(&v1).unwrap();
+        assert_catalogs_bit_identical(&from_v2.catalog, &from_v1.catalog);
+        assert_eq!(from_v2.categories, from_v1.categories);
+        // Trailing garbage is rejected on the v2 path.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&v2).unwrap();
+            f.write_all(b"junk").unwrap();
+        }
+        assert!(ServingSnapshot::load(&v2).is_err());
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v1).ok();
+    }
+
+    #[test]
+    fn truncation_anywhere_is_an_error_not_a_panic() {
+        let mut bytes = Vec::new();
+        fixture_snapshot().write_to(&mut bytes).unwrap();
+        for cut in (0..bytes.len()).step_by(13) {
+            let mut slice = &bytes[..cut];
+            assert!(
+                ServingSnapshot::read_from(&mut slice).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_detects_payload_corruption_the_structure_misses() {
+        let mut bytes = Vec::new();
+        fixture_snapshot().write_to(&mut bytes).unwrap();
+        // Flip one bit in a stored probability: structurally still a valid
+        // snapshot, so only the checksum can catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(ServingSnapshot::read_from(&mut bytes.as_slice()).is_err());
+    }
+
+    proptest! {
+        /// Corruption fuzz: any single mutated byte anywhere in the file
+        /// yields `io::Error` — never a panic, never a silently different
+        /// catalog, never an oversized allocation (decode grows buffers
+        /// only as bytes actually arrive).
+        #[test]
+        fn any_single_byte_mutation_is_rejected(
+            position in 0usize..10_000,
+            xor in 1u8..=255,
+        ) {
+            let mut bytes = Vec::new();
+            fixture_snapshot().write_to(&mut bytes).unwrap();
+            let position = position % bytes.len();
+            bytes[position] ^= xor;
+            prop_assert!(ServingSnapshot::read_from(&mut bytes.as_slice()).is_err());
+        }
+
+        /// Round-trip fuzz over randomized collections: encode→decode is
+        /// bit-identical for arbitrary db sizes, γ presence, and sparse
+        /// word sets (including empty summaries).
+        #[test]
+        fn randomized_snapshots_round_trip(
+            specs in proptest::collection::vec(
+                (
+                    1.0f64..100_000.0,
+                    proptest::option::of(-3.0f64..-1.0),
+                    proptest::collection::vec((0u32..5, 1u32..50), 0..5),
+                ),
+                1..5,
+            ),
+        ) {
+            let mut dict = TermDict::new();
+            for t in ["alpha", "beta", "gamma", "delta", "epsilon"] {
+                dict.intern(t);
+            }
+            let mut hierarchy = Hierarchy::new("Root");
+            let cat = hierarchy.ensure_path("Topic/Sub");
+            let databases = specs
+                .iter()
+                .enumerate()
+                .map(|(i, (db_size, gamma, words))| {
+                    let docs: Vec<Document> = words
+                        .iter()
+                        .enumerate()
+                        .map(|(d, &(t, reps))| {
+                            Document::from_tokens(d as u32, vec![t; reps as usize])
+                        })
+                        .collect();
+                    let mut summary = ContentSummary::from_sample(docs.iter(), *db_size);
+                    if let Some(g) = gamma {
+                        summary.set_gamma(*g);
+                    }
+                    StoredDatabase {
+                        name: format!("db{i}"),
+                        classification: cat,
+                        summary,
+                        sample_docs: Vec::new(),
+                    }
+                })
+                .collect();
+            let store = CollectionStore { dict, hierarchy, databases };
+            let frozen = StoredCatalog::freeze(store, CategoryWeighting::BySize);
+            let snapshot = ServingSnapshot::from_stored(&frozen);
+            let mut bytes = Vec::new();
+            snapshot.write_to(&mut bytes).unwrap();
+            let restored = ServingSnapshot::read_from(&mut bytes.as_slice()).unwrap();
+            assert_catalogs_bit_identical(&restored.catalog, &snapshot.catalog);
+            for (a, b) in restored.lm_global.iter().zip(&snapshot.lm_global) {
+                prop_assert_eq!(a.0, b.0);
+                prop_assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+}

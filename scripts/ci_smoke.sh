@@ -22,8 +22,11 @@ printf 'the keeper saved a goal before the stadium crowd\n'   > "$WORK/soccer/b.
     soccer=Sports/Soccer="$WORK/soccer"
 "$DBSELECT" catalog --store "$WORK/col.store" --out "$WORK/col.catalog"
 
-# --- start the daemon -----------------------------------------------------
-"$DBSELECT" serve --catalog "$WORK/col.catalog" --addr "$ADDR" &
+# --- freeze a v2 serving snapshot; it must route like the v1 catalog ------
+"$DBSELECT" freeze --catalog "$WORK/col.catalog" --out "$WORK/col.snapshot"
+
+# --- start the daemon on the v2 snapshot ----------------------------------
+"$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR" &
 SERVE_PID=$!
 for _ in $(seq 1 50); do
     curl -sf "http://$ADDR/healthz" > /dev/null 2>&1 && break
@@ -43,7 +46,20 @@ echo
 python3 "$(dirname "$0")/smoke_diff.py" "$WORK/http.json" "$WORK/cli.txt"
 
 # --- metrics respond and count the served request -------------------------
-curl -sf "http://$ADDR/metrics" | grep 'dbselectd_requests_total{endpoint="route",status="200"} 1'
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics1.txt"
+grep 'dbselectd_requests_total{endpoint="route",status="200"} 1' "$WORK/metrics1.txt"
+
+# --- catalog gauges are exported, with a real load time and file size -----
+grep '^dbselectd_catalog_generation 1$' "$WORK/metrics1.txt"
+grep '^dbselectd_catalog_load_seconds ' "$WORK/metrics1.txt"
+grep '^dbselectd_catalog_snapshot_bytes ' "$WORK/metrics1.txt"
+SNAP_BYTES=$(stat -c %s "$WORK/col.snapshot" 2>/dev/null || stat -f %z "$WORK/col.snapshot")
+grep "^dbselectd_catalog_snapshot_bytes $SNAP_BYTES\$" "$WORK/metrics1.txt"
+
+# --- hot reload swaps the snapshot and bumps the generation gauge ---------
+curl -sf -X POST "http://$ADDR/admin/reload" -d "{\"path\":\"$WORK/col.snapshot\"}"
+echo
+curl -sf "http://$ADDR/metrics" | grep '^dbselectd_catalog_generation 2$'
 
 # --- clean shutdown: daemon exits 0 after /admin/shutdown -----------------
 curl -sf -X POST "http://$ADDR/admin/shutdown"
