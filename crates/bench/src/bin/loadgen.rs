@@ -8,7 +8,7 @@
 //! cargo run --release -p bench --bin loadgen [-- SECONDS [CLIENTS]]
 //! ```
 
-use std::io::{Read as _, Write as _};
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -82,7 +82,8 @@ fn build_fixture() -> (std::path::PathBuf, Vec<String>) {
     (path, queries)
 }
 
-/// One closed-loop HTTP exchange; returns (status, body).
+/// One closed-loop HTTP exchange on a fresh `Connection: close`
+/// connection; returns (status, body).
 fn exchange(addr: SocketAddr, raw: &[u8]) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.write_all(raw)?;
@@ -98,12 +99,74 @@ fn exchange(addr: SocketAddr, raw: &[u8]) -> std::io::Result<(u16, String)> {
     Ok((status, body.to_string()))
 }
 
+/// A close-mode request: the daemon hangs up after answering, so the
+/// client can frame the response by EOF.
 fn post_bytes(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// A keep-alive request (HTTP/1.1 default): responses must be framed by
+/// `Content-Length` instead of EOF.
+fn post_bytes_keep_alive(path: &str, body: &str) -> Vec<u8> {
     format!(
         "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     )
     .into_bytes()
+}
+
+/// A bodyless GET in either connection mode.
+fn get_bytes(path: &str, keep_alive: bool) -> Vec<u8> {
+    let connection = if keep_alive {
+        ""
+    } else {
+        "Connection: close\r\n"
+    };
+    format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n{connection}\r\n").into_bytes()
+}
+
+/// Read one `Content-Length`-framed response off a persistent connection;
+/// returns (status, server_will_close).
+fn read_framed_response<R: std::io::Read>(
+    reader: &mut BufReader<R>,
+) -> std::io::Result<(u16, bool)> {
+    let bad = |what: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, what.to_string());
+    let mut status = 0u16;
+    let mut length = 0usize;
+    let mut closing = false;
+    let mut first = true;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if first {
+            status = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| bad("missing status"))?;
+            first = false;
+        } else if let Some(v) = line.strip_prefix("Content-Length: ") {
+            length = v.parse().map_err(|_| bad("bad Content-Length"))?;
+        } else if line == "Connection: close" {
+            closing = true;
+        }
+    }
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok((status, closing))
 }
 
 struct PhaseResult {
@@ -146,6 +209,75 @@ fn run_phase(
                         Ok((200, _)) => histogram.observe(begun.elapsed().as_nanos() as u64),
                         _ => {
                             errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    sent += 1;
+                    i += 1;
+                }
+                sent
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let requests: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let seconds = started.elapsed().as_secs_f64();
+    PhaseResult {
+        requests,
+        errors: errors.load(Ordering::Relaxed),
+        seconds,
+        histogram: Arc::try_unwrap(histogram).unwrap_or_else(|_| unreachable!()),
+    }
+}
+
+/// Like [`run_phase`], but every client holds one persistent connection,
+/// framing responses by `Content-Length` and reconnecting only when the
+/// daemon closes (request cap, errors). Same closed loop, same bodies —
+/// the rps delta against [`run_phase`] is the cost of per-request
+/// connect/teardown.
+fn run_keep_alive_phase(
+    addr: SocketAddr,
+    bodies: &[Vec<u8>],
+    clients: usize,
+    duration: Duration,
+) -> PhaseResult {
+    let histogram = Arc::new(Histogram::latency());
+    let stop = Arc::new(AtomicBool::new(false));
+    let errors = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let histogram = Arc::clone(&histogram);
+            let stop = Arc::clone(&stop);
+            let errors = Arc::clone(&errors);
+            let bodies = bodies.to_vec();
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                let mut i = c; // stagger the rotation per client
+                let mut connection: Option<(TcpStream, BufReader<TcpStream>)> = None;
+                while !stop.load(Ordering::Relaxed) {
+                    let begun = Instant::now();
+                    let result = (|| -> std::io::Result<(u16, bool)> {
+                        if connection.is_none() {
+                            let stream = TcpStream::connect(addr)?;
+                            stream.set_nodelay(true)?;
+                            let reader = BufReader::new(stream.try_clone()?);
+                            connection = Some((stream, reader));
+                        }
+                        let (stream, reader) = connection.as_mut().expect("just connected");
+                        stream.write_all(&bodies[i % bodies.len()])?;
+                        read_framed_response(reader)
+                    })();
+                    match result {
+                        Ok((200, closing)) => {
+                            histogram.observe(begun.elapsed().as_nanos() as u64);
+                            if closing {
+                                connection = None; // daemon hit its request cap
+                            }
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            connection = None;
                         }
                     }
                     sent += 1;
@@ -242,6 +374,35 @@ fn main() {
         server::metrics::format_nanos(route.histogram.percentile(0.50))
     );
 
+    // Phase 1b: the same /route traffic over persistent connections.
+    let keep_alive_bodies: Vec<Vec<u8>> = queries
+        .iter()
+        .map(|q| post_bytes_keep_alive("/route", &format!(r#"{{"query":"{q}","seed":42}}"#)))
+        .collect();
+    let keep_alive = run_keep_alive_phase(addr, &keep_alive_bodies, clients, duration);
+    let speedup = keep_alive.rps() / route.rps().max(f64::MIN_POSITIVE);
+    eprintln!(
+        "/route (keep-alive) {:>8.1} rps, p50 {} ({speedup:.2}x over close-per-request)",
+        keep_alive.rps(),
+        server::metrics::format_nanos(keep_alive.histogram.percentile(0.50))
+    );
+
+    // Phase 1c: isolate the connection-lifecycle cost itself. /route is
+    // scoring-bound (one core saturates on posterior math long before TCP
+    // setup matters), so the reconnect-elimination win there shows up as
+    // latency, not throughput. /healthz costs the handler ~nothing, which
+    // makes per-request connect/teardown the dominant term — the rps
+    // ratio of these two phases is the win keep-alive buys per connection.
+    let healthz = run_phase(addr, &[get_bytes("/healthz", false)], clients, duration);
+    let healthz_keep_alive =
+        run_keep_alive_phase(addr, &[get_bytes("/healthz", true)], clients, duration);
+    let conn_speedup = healthz_keep_alive.rps() / healthz.rps().max(f64::MIN_POSITIVE);
+    eprintln!(
+        "/healthz     {:>8.1} rps close, {:>8.1} rps keep-alive ({conn_speedup:.2}x)",
+        healthz.rps(),
+        healthz_keep_alive.rps(),
+    );
+
     // Phase 2: /route_batch with the whole query set per request.
     let all: Vec<String> = queries.iter().map(|q| format!("\"{q}\"")).collect();
     let batch_body = post_bytes(
@@ -314,7 +475,11 @@ fn main() {
 
     // Server-side view, then clean shutdown.
     let (status, metrics_body) =
-        exchange(addr, b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n").expect("metrics");
+        exchange(
+            addr,
+            b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n",
+        )
+        .expect("metrics");
     assert_eq!(status, 200);
     let cache_line = metrics_body
         .lines()
@@ -335,9 +500,14 @@ fn main() {
   "queries": {nq},
   "phases": {{
 {route_json},
+{keep_alive_json},
+{healthz_json},
+{healthz_keep_alive_json},
 {batch_json},
 {under_reload_json}
   }},
+  "route_keep_alive_speedup_vs_close": {speedup:.2},
+  "healthz_keep_alive_speedup_vs_close": {conn_speedup:.2},
   "reload": {{
     "count": {reloads},
     "errors": 0,
@@ -347,13 +517,18 @@ fn main() {
     "note": "v2 snapshot hot-swapped while /route clients hammer; zero failed in-flight requests"
   }},
   "server_cache": "{cache_line}",
-  "note": "closed-loop clients, one connection per request (Connection: close); latency is client-observed wall time including connect"
+  "note": "closed-loop clients; `route` opens one connection per request (Connection: close), `*_keep_alive` holds a persistent HTTP/1.1 connection per client; /route is scoring-bound so its keep-alive win is latency (p50), while the /healthz pair isolates per-request connect/teardown as throughput; latency is client-observed wall time"
 }}"#,
         secs = duration.as_secs_f64(),
         clients = clients,
         workers = workers,
         nq = queries.len(),
         route_json = phase_json("route", clients, &route),
+        keep_alive_json = phase_json("route_keep_alive", clients, &keep_alive),
+        healthz_json = phase_json("healthz", clients, &healthz),
+        healthz_keep_alive_json = phase_json("healthz_keep_alive", clients, &healthz_keep_alive),
+        speedup = speedup,
+        conn_speedup = conn_speedup,
         batch_json = phase_json("route_batch", clients.min(4), &batch),
         under_reload_json = phase_json("route_under_reload", clients, &under_reload),
         reloads = reloads,

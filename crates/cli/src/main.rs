@@ -10,7 +10,8 @@
 //! dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
 //!                [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
 //! dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
-//!                [--deadline-ms N] [--cache N]
+//!                [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
+//!                [--cache N]
 //! dbselect inspect --store STORE [--db NAME]
 //! ```
 
@@ -62,7 +63,8 @@ USAGE:
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
                  [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
   dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
-                 [--deadline-ms N] [--cache N]
+                 [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
+                 [--cache N]
   dbselect inspect --store STORE [--db NAME]
 
 `catalog` runs the shrinkage EM once and freezes the result (summaries,
@@ -79,7 +81,10 @@ accepts a v1 catalog (migration) or a store (EM + freeze in one step).
 `serve` starts `dbselectd`, an HTTP daemon over a frozen catalog:
 POST /route and /route_batch rank databases (bit-identical to `route`),
 GET /healthz and /metrics report status, POST /admin/reload hot-swaps
-the catalog, POST /admin/shutdown exits cleanly.
+the catalog, POST /admin/shutdown exits cleanly. Connections are
+persistent (HTTP/1.1 keep-alive): --keep-alive-requests caps requests
+per connection, --idle-timeout-ms bounds the wait between them, and
+--deadline-ms bounds each request end to end, reads and writes included.
 ";
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
@@ -305,6 +310,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--deadline-ms expects an integer".to_string())?;
                 config.deadline = std::time::Duration::from_millis(ms);
+            }
+            "--keep-alive-requests" => {
+                config.keep_alive_requests = next_value(&mut it, "--keep-alive-requests")?
+                    .parse()
+                    .map_err(|_| "--keep-alive-requests expects an integer".to_string())?;
+            }
+            "--idle-timeout-ms" => {
+                let ms: u64 = next_value(&mut it, "--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-timeout-ms expects an integer".to_string())?;
+                config.idle_timeout = std::time::Duration::from_millis(ms);
             }
             "--cache" => {
                 config.cache_capacity = next_value(&mut it, "--cache")?

@@ -3,7 +3,11 @@
 //! `dbselectd` is std-only (the vendored compat-crate constraint rules out
 //! hyper et al.), so this module implements exactly the slice of HTTP/1.1
 //! the daemon needs: parse one request from a buffered reader with strict
-//! size limits, and write one response with `Connection: close`.
+//! size limits, and write one response whose `Connection` header tells the
+//! client whether the connection stays open. Persistence policy
+//! ([`Request::wants_keep_alive`]) follows RFC 7230 §6.3: HTTP/1.1
+//! defaults to keep-alive, HTTP/1.0 to close, and an explicit
+//! `Connection: close` / `keep-alive` token always wins.
 //!
 //! The parser is the daemon's exposure to untrusted bytes, so its contract
 //! is: **never panic, never allocate unboundedly** — every malformed,
@@ -96,6 +100,8 @@ pub struct Request {
     pub method: String,
     /// The request target as received (path plus optional query string).
     pub target: String,
+    /// Minor HTTP version: 1 for `HTTP/1.1`, 0 for `HTTP/1.0`.
+    pub version_minor: u8,
     /// Header fields in arrival order; names lower-cased, values trimmed.
     pub headers: Vec<(String, String)>,
     /// The body (empty unless `Content-Length` said otherwise).
@@ -117,6 +123,27 @@ impl Request {
         self.target
             .split_once('?')
             .map_or(self.target.as_str(), |(p, _)| p)
+    }
+
+    /// Whether the client allows this connection to serve another request
+    /// (RFC 7230 §6.3). `Connection` is a comma-separated token list; a
+    /// `close` token always closes, a `keep-alive` token opts HTTP/1.0 in,
+    /// and otherwise the version decides: 1.1 persists, 1.0 closes.
+    pub fn wants_keep_alive(&self) -> bool {
+        if let Some(value) = self.header("connection") {
+            let mut saw_keep_alive = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    return false;
+                }
+                saw_keep_alive |= token.eq_ignore_ascii_case("keep-alive");
+            }
+            if saw_keep_alive {
+                return true;
+            }
+        }
+        self.version_minor >= 1
     }
 }
 
@@ -180,9 +207,11 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, H
     if !target.starts_with('/') {
         return Err(HttpError::Malformed("target must start with '/'"));
     }
-    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
-        return Err(HttpError::Malformed("unsupported HTTP version"));
-    }
+    let version_minor = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        _ => return Err(HttpError::Malformed("unsupported HTTP version")),
+    };
 
     // Header fields until the empty line.
     let mut headers: Vec<(String, String)> = Vec::new();
@@ -210,6 +239,7 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, H
     let request = Request {
         method: method.to_string(),
         target: target.to_string(),
+        version_minor,
         headers,
         body: Vec::new(),
     };
@@ -314,21 +344,28 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize `response` with `Connection: close` and a `Content-Length`.
-pub fn write_response<W: Write>(w: &mut W, response: &Response) -> io::Result<()> {
+/// Serialize `response` with a `Content-Length` and a `Connection` header
+/// announcing whether the connection closes after this response.
+pub fn write_response<W: Write>(w: &mut W, response: &Response, close: bool) -> io::Result<()> {
+    // Serialize the whole response first and write it in one call: the
+    // stream is an unbuffered `DeadlineStream`, so every `write!` piece
+    // would otherwise cost its own timeout-arm + send syscall pair.
+    let mut out = Vec::with_capacity(256 + response.body.len());
     write!(
-        w,
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
     )?;
     for (name, value) in &response.extra_headers {
-        write!(w, "{name}: {value}\r\n")?;
+        write!(out, "{name}: {value}\r\n")?;
     }
-    w.write_all(b"\r\n")?;
-    w.write_all(&response.body)?;
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(&response.body);
+    w.write_all(&out)?;
     w.flush()
 }
 
@@ -363,6 +400,29 @@ mod tests {
     fn tolerates_bare_lf_line_endings() {
         let req = parse(b"GET / HTTP/1.1\nA: b\n\n").unwrap();
         assert_eq!(req.header("a"), Some("b"));
+    }
+
+    #[test]
+    fn keep_alive_policy_follows_rfc7230() {
+        // HTTP/1.1 defaults to keep-alive; `close` always wins.
+        assert!(parse(b"GET / HTTP/1.1\r\n\r\n").unwrap().wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        // HTTP/1.0 defaults to close; `keep-alive` opts in.
+        let old = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(old.version_minor, 0);
+        assert!(!old.wants_keep_alive());
+        assert!(parse(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
+        // Unrelated Connection tokens fall back to the version default.
+        assert!(parse(b"GET / HTTP/1.1\r\nConnection: upgrade\r\n\r\n")
+            .unwrap()
+            .wants_keep_alive());
     }
 
     #[test]
@@ -420,16 +480,21 @@ mod tests {
     }
 
     #[test]
-    fn responses_serialize_with_length_and_close() {
+    fn responses_serialize_with_length_and_connection() {
         let mut out = Vec::new();
         let response = Response::json(200, "{\"ok\":true}".to_string())
             .with_header("Retry-After", "1".to_string());
-        write_response(&mut out, &response).unwrap();
+        write_response(&mut out, &response, true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
         assert!(text.contains("Content-Length: 11\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.ends_with("\r\n{\"ok\":true}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text(200, "hi".to_string()), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
     }
 }

@@ -277,17 +277,23 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
                 *pos += 1;
             }
+            Some(&b) if b < 0x20 => {
+                return Err("unescaped control character".to_string());
+            }
             Some(_) => {
-                // Advance over one UTF-8 scalar (input is a &str, so byte
-                // boundaries are valid).
+                // Copy the whole run up to the next quote, escape, or
+                // control byte in one go — per-character validation made
+                // large request bodies quadratic. UTF-8 boundaries are
+                // safe: the input is a `&str` and the run delimiters are
+                // all ASCII.
                 let rest = &bytes[*pos..];
-                let text = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                let c = text.chars().next().ok_or("unterminated string")?;
-                if (c as u32) < 0x20 {
-                    return Err("unescaped control character".to_string());
-                }
-                out.push(c);
-                *pos += c.len_utf8();
+                let run = rest
+                    .iter()
+                    .position(|&b| b == b'"' || b == b'\\' || b < 0x20)
+                    .unwrap_or(rest.len());
+                let text = std::str::from_utf8(&rest[..run]).map_err(|_| "invalid utf-8")?;
+                out.push_str(text);
+                *pos += run;
             }
         }
     }

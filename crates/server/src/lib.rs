@@ -10,11 +10,20 @@
 //!   connection is answered `503` with `Retry-After` *immediately* —
 //!   admission control happens before any request bytes are read, so an
 //!   overloaded daemon sheds load at the door instead of timing out
-//!   deep in the stack.
-//! - **Workers** pop connections, parse one HTTP request each
-//!   (`Connection: close` semantics), and dispatch. Each admitted
-//!   connection carries a deadline (`accept time + deadline`); a request
-//!   that is still unserved when its deadline passes is answered `504`.
+//!   deep in the stack. The rejection write is bounded by a short write
+//!   timeout so a slow rejected client cannot head-of-line-block accept.
+//! - **Workers** pop connections and serve them as HTTP/1.1 persistent
+//!   connections: up to `keep_alive_requests` requests per connection,
+//!   each with its own deadline (the first stamped at accept, later ones
+//!   when their first byte arrives), waiting at most `idle_timeout`
+//!   between requests. Every socket read *and* write re-arms the OS
+//!   timeout against the request deadline ([`DeadlineStream`]), so a
+//!   client dribbling bytes in or draining its response one byte at a
+//!   time (slowloris, either direction) cannot pin a worker past the
+//!   deadline. A request that is still unserved when its deadline passes
+//!   is answered `504`. A handler panic is caught per-connection
+//!   (`catch_unwind`), counted in `dbselectd_worker_panics_total`, and
+//!   never shrinks the pool.
 //! - Routing endpoints resolve the current [`state::ServingState`]
 //!   through an `RwLock<Arc<_>>`. `/admin/reload` builds the *next*
 //!   state off to the side and swaps the `Arc`, so in-flight requests
@@ -33,8 +42,9 @@ pub mod metrics;
 pub mod queue;
 pub mod state;
 
-use std::io::{self, BufReader, Write as _};
+use std::io::{self, BufRead as _, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -57,8 +67,16 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Admission-queue capacity; connections beyond it get `503`.
     pub queue_capacity: usize,
-    /// Per-request deadline, measured from accept.
+    /// Per-request deadline: measured from accept for a connection's
+    /// first request, re-stamped when a later request's first byte
+    /// arrives on a kept-alive connection.
     pub deadline: Duration,
+    /// Maximum requests served per connection before it is closed
+    /// (`Connection: close` on the final response; minimum 1).
+    pub keep_alive_requests: usize,
+    /// How long a kept-alive connection may sit idle between requests
+    /// before the daemon closes it.
+    pub idle_timeout: Duration,
     /// Posterior-cache capacity per engine (0 = unbounded).
     pub cache_capacity: usize,
     /// Honor the `X-Debug-Sleep-Ms` request header (tests and load
@@ -73,6 +91,8 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             deadline: Duration::from_secs(10),
+            keep_alive_requests: 100,
+            idle_timeout: Duration::from_secs(5),
             cache_capacity: broker::DEFAULT_CACHE_CAPACITY,
             debug_sleep: false,
         }
@@ -85,10 +105,65 @@ const MAX_BATCH: usize = 10_000;
 /// `Retry-After` seconds suggested on admission rejection.
 const RETRY_AFTER_SECS: u32 = 1;
 
-/// One admitted connection, carrying its service deadline.
+/// Write-timeout bound on the accept thread's `503` rejection: the
+/// response fits any socket buffer, so this only stops a pathological
+/// client from head-of-line-blocking `accept()`.
+const REJECT_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Floor on the write budget for a response reporting a deadline or
+/// parse error after the request deadline already passed — without it the
+/// `504`/`408` body could never be flushed.
+const ERROR_WRITE_GRACE: Duration = Duration::from_secs(2);
+
+/// Bounds on the lingering close's drain phase (see [`lingering_close`]).
+const LINGER_DRAIN: Duration = Duration::from_millis(500);
+const LINGER_DRAIN_MAX: usize = 64 * 1024;
+
+/// One admitted connection, carrying its first request's deadline.
 struct Job {
     stream: TcpStream,
     deadline: Instant,
+}
+
+/// A `TcpStream` wrapper that re-arms the socket timeout against a
+/// deadline before **every** read and write. `set_read_timeout` alone
+/// bounds each `recv` syscall, not the total: a slowloris client feeding
+/// one byte per poll (or draining its response equally slowly) resets the
+/// clock forever. Going through this wrapper, the total time a worker can
+/// spend on one request's socket I/O is bounded by the deadline.
+struct DeadlineStream {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineStream {
+    /// Time left until the deadline, as a non-zero duration
+    /// (`set_read_timeout` rejects zero), or `TimedOut`.
+    fn remaining(&self) -> io::Result<Duration> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline exceeded"));
+        }
+        Ok(self.deadline - now)
+    }
+}
+
+impl Read for DeadlineStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.set_read_timeout(Some(self.remaining()?))?;
+        self.stream.read(buf)
+    }
+}
+
+impl Write for DeadlineStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.set_write_timeout(Some(self.remaining()?))?;
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
 }
 
 /// State shared between the accept loop and the workers.
@@ -146,7 +221,21 @@ impl Server {
         let workers: Vec<_> = (0..self.shared.config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&self.shared);
-                std::thread::spawn(move || worker_loop(&shared))
+                // Belt and braces: `worker_loop` already catches panics
+                // per connection, but if one ever escapes (queue or
+                // metrics plumbing), count it and re-enter the loop — the
+                // pool never shrinks.
+                std::thread::spawn(move || loop {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&shared))) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            shared
+                                .metrics
+                                .worker_panics_total
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
             })
             .collect();
 
@@ -158,30 +247,45 @@ impl Server {
                 Ok(stream) => stream,
                 Err(_) => continue,
             };
+            // Nagle + the peer's delayed ACK would add ~40ms to every
+            // response on a kept-alive connection (the body segment sits
+            // behind the header segment waiting for an ACK that the
+            // client delays). Closing the socket flushed it before;
+            // persistent connections need the explicit opt-out.
+            let _ = stream.set_nodelay(true);
             let job = Job {
                 stream,
                 deadline: Instant::now() + self.shared.config.deadline,
             };
-            match self.shared.queue.try_push(job) {
-                Ok(depth) => {
-                    self.shared
-                        .metrics
-                        .queue_depth
-                        .store(depth as u64, Ordering::Relaxed);
-                }
-                Err(job) => {
-                    // Admission control: reject at the door, before
-                    // reading a single request byte.
-                    self.shared
-                        .metrics
-                        .rejected_total
-                        .fetch_add(1, Ordering::Relaxed);
-                    self.shared.metrics.record("admission", 503);
-                    let mut stream = job.stream;
-                    let response = Response::error(503, "queue full")
-                        .with_header("Retry-After", RETRY_AFTER_SECS.to_string());
-                    let _ = write_response(&mut stream, &response);
-                }
+            // The gauge is one atomic incremented here and decremented at
+            // pop: publishing `try_push`'s depth (or re-reading `len()`
+            // after pop) lets concurrent updates land out of order and
+            // leave the gauge stale. Incrementing *before* the push and
+            // undoing on rejection means a pop can never decrement ahead
+            // of its push's increment.
+            self.shared
+                .metrics
+                .queue_depth
+                .fetch_add(1, Ordering::Relaxed);
+            if let Err(job) = self.shared.queue.try_push(job) {
+                self.shared
+                    .metrics
+                    .queue_depth
+                    .fetch_sub(1, Ordering::Relaxed);
+                // Admission control: reject at the door, before reading a
+                // single request byte. The write is bounded so a client
+                // that stalls its receive window cannot block `accept()`
+                // for everyone else.
+                self.shared
+                    .metrics
+                    .rejected_total
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics.record("admission", 503);
+                let mut stream = job.stream;
+                let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
+                let response = Response::error(503, "queue full")
+                    .with_header("Retry-After", RETRY_AFTER_SECS.to_string());
+                let _ = write_response(&mut stream, &response, true);
             }
         }
 
@@ -193,79 +297,178 @@ impl Server {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    while let Some(job) = shared.queue.pop() {
-        shared
-            .metrics
-            .queue_depth
-            .store(shared.queue.len() as u64, Ordering::Relaxed);
-        serve_connection(shared, job);
+/// Close a connection whose request was **not** fully read without
+/// destroying the response we just wrote: dropping a socket with unread
+/// bytes in its receive buffer makes the kernel send `RST`, and an `RST`
+/// discards any response data the client has not consumed yet — the
+/// client sees `ECONNRESET` instead of its `504`/`408`. So: shut down the
+/// write side (the `FIN` delivers the response), then drain what the
+/// client keeps sending, bounded in both time and bytes so a hostile
+/// sender cannot pin the worker here.
+fn lingering_close(stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut drain = DeadlineStream {
+        stream,
+        deadline: Instant::now() + LINGER_DRAIN,
+    };
+    let mut scratch = [0u8; 4096];
+    let mut drained = 0usize;
+    loop {
+        match drain.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => {
+                drained += n;
+                if drained >= LINGER_DRAIN_MAX {
+                    return;
+                }
+            }
+        }
     }
 }
 
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        // A panic anywhere in the connection (handler bugs, injected via
+        // `X-Debug-Panic` in tests) drops that connection only: it is
+        // counted, the socket closes by drop, and this worker moves on to
+        // the next job.
+        if std::panic::catch_unwind(AssertUnwindSafe(|| serve_connection(shared, job))).is_err() {
+            shared
+                .metrics
+                .worker_panics_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serve one connection: the HTTP/1.1 keep-alive loop.
+///
+/// State machine per connection: `idle-wait → read → dispatch → write`,
+/// repeated until the client asks to close (`Connection: close`, or
+/// HTTP/1.0 without opt-in), the per-connection request cap is reached,
+/// the idle wait times out, the daemon is draining for shutdown, or any
+/// read/write fails its deadline. The final response always carries
+/// `Connection: close`; all I/O goes through [`DeadlineStream`], so every
+/// exit path frees the worker within one request deadline (plus the
+/// bounded error-write grace).
 fn serve_connection(shared: &Shared, job: Job) {
     let Job { stream, deadline } = job;
-    let mut stream = stream;
+    shared
+        .metrics
+        .connections_total
+        .fetch_add(1, Ordering::Relaxed);
 
-    // A connection that waited out its whole deadline in the queue is
-    // answered 504 without reading the request.
-    let now = Instant::now();
-    if now >= deadline {
-        shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.record("queue", 504);
-        let _ = write_response(&mut stream, &Response::error(504, "deadline exceeded"));
-        return;
-    }
-    // Reading the request may block at most until the deadline.
-    let _ = stream.set_read_timeout(Some(deadline - now));
-
-    let request = {
-        let mut reader = BufReader::new(match stream.try_clone() {
-            Ok(clone) => clone,
-            Err(_) => return,
-        });
-        read_request(&mut reader, &shared.limits)
+    let reader_stream = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
     };
-    let request = match request {
-        Ok(request) => request,
-        Err(HttpError::Closed) => return,
-        Err(err) => {
-            let Some(status) = err.status() else { return };
-            if status == 408 {
+    let mut reader = BufReader::new(DeadlineStream {
+        stream: reader_stream,
+        deadline,
+    });
+    let mut writer = DeadlineStream { stream, deadline };
+    let max_requests = shared.config.keep_alive_requests.max(1);
+    let mut deadline = deadline;
+    let mut served = 0usize;
+
+    loop {
+        if served == 0 {
+            // The first deadline was stamped at accept: a connection that
+            // waited out its whole deadline in the queue is answered 504
+            // without reading the request.
+            if Instant::now() >= deadline {
                 shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record("queue", 504);
+                writer.deadline = Instant::now() + ERROR_WRITE_GRACE;
+                let _ = write_response(&mut writer, &Response::error(504, "deadline exceeded"), true);
+                // The request was never read; close gently or the RST
+                // eats the 504.
+                lingering_close(writer.stream);
+                return;
             }
-            shared.metrics.record("parse", status);
-            let _ = write_response(&mut stream, &Response::error(status, &err.detail()));
+        } else {
+            // Between requests on a kept-alive connection: stop reusing
+            // when draining for shutdown, otherwise wait at most
+            // `idle_timeout` for the next request's first byte, then
+            // stamp a fresh deadline for it. An idle timeout or client
+            // close here ends the connection silently — there is no
+            // request to answer.
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            reader.get_mut().deadline = Instant::now() + shared.config.idle_timeout;
+            match reader.fill_buf() {
+                Ok([]) | Err(_) => return,
+                Ok(_) => {}
+            }
+            deadline = Instant::now() + shared.config.deadline;
+            writer.deadline = deadline;
+        }
+        reader.get_mut().deadline = deadline;
+
+        let request = match read_request(&mut reader, &shared.limits) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return,
+            Err(err) => {
+                let Some(status) = err.status() else { return };
+                if status == 408 {
+                    shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.metrics.record("parse", status);
+                // After a read timeout the write deadline has passed too;
+                // grant the bounded grace so the error body can flush.
+                writer.deadline = writer.deadline.max(Instant::now() + ERROR_WRITE_GRACE);
+                let _ = write_response(&mut writer, &Response::error(status, &err.detail()), true);
+                // The request was only partially read (that is why it
+                // failed); close gently or the RST eats the error body.
+                lingering_close(writer.stream);
+                return;
+            }
+        };
+        served += 1;
+
+        if shared.config.debug_sleep {
+            if request.header("x-debug-panic").is_some() {
+                panic!("panic injected by X-Debug-Panic");
+            }
+            if let Some(ms) = request
+                .header("x-debug-sleep-ms")
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+            }
+        }
+
+        let started = Instant::now();
+        let (endpoint, response) = dispatch(shared, &request, deadline);
+        let elapsed = started.elapsed().as_nanos() as u64;
+        match endpoint {
+            "route" => shared.metrics.route_latency.observe(elapsed),
+            "route_batch" => shared.metrics.batch_latency.observe(elapsed),
+            _ => {}
+        }
+        shared.metrics.record(endpoint, response.status);
+
+        let shutting_down = endpoint == "shutdown" && response.status == 200;
+        let close = !request.wants_keep_alive()
+            || served >= max_requests
+            || shutting_down
+            || shared.stop.load(Ordering::SeqCst);
+        // The dispatch may have consumed the whole deadline (a handler
+        // 504); keep at least the grace so the response still flushes.
+        writer.deadline = writer.deadline.max(Instant::now() + ERROR_WRITE_GRACE);
+        let write_ok = write_response(&mut writer, &response, close).is_ok();
+
+        if shutting_down {
+            shared.stop.store(true, Ordering::SeqCst);
+            // The accept loop is blocked in `accept`; a throwaway
+            // connection wakes it so it can observe the stop flag.
+            let _ = TcpStream::connect(shared.addr);
+        }
+        if close || !write_ok {
             return;
         }
-    };
-
-    if shared.config.debug_sleep {
-        if let Some(ms) = request
-            .header("x-debug-sleep-ms")
-            .and_then(|v| v.parse::<u64>().ok())
-        {
-            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
-        }
-    }
-
-    let started = Instant::now();
-    let (endpoint, response) = dispatch(shared, &request, deadline);
-    let elapsed = started.elapsed().as_nanos() as u64;
-    match endpoint {
-        "route" => shared.metrics.route_latency.observe(elapsed),
-        "route_batch" => shared.metrics.batch_latency.observe(elapsed),
-        _ => {}
-    }
-    shared.metrics.record(endpoint, response.status);
-    let _ = write_response(&mut stream, &response);
-    let _ = stream.flush();
-
-    if endpoint == "shutdown" && response.status == 200 {
-        shared.stop.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in `accept`; a throwaway connection
-        // wakes it so it can observe the stop flag.
-        let _ = TcpStream::connect(shared.addr);
     }
 }
 

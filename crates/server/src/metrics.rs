@@ -46,7 +46,14 @@ impl Histogram {
             .min(self.counts.len() - 1);
         self.counts[bucket].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(nanos, Ordering::Relaxed);
+        // Saturating, not wrapping: one absurd observation (a stuck clock,
+        // u64::MAX) must pin the exported `_sum` at the ceiling rather
+        // than wrap it back to a small, plausible-looking value.
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |sum| {
+                Some(sum.saturating_add(nanos))
+            });
     }
 
     /// Number of observations.
@@ -71,21 +78,28 @@ impl Histogram {
         for (i, count) in self.counts.iter().enumerate() {
             let count = count.load(Ordering::Relaxed);
             if count == 0 {
-                cumulative += count;
                 continue;
             }
             if cumulative + count >= target {
                 let lower = if i == 0 { 0 } else { self.bounds[i - 1] };
-                let upper = *self
-                    .bounds
-                    .get(i)
-                    .unwrap_or(self.bounds.last().unwrap_or(&0));
+                let upper = self.overflow_aware_upper(i);
                 let into = (target - cumulative) as f64 / count as f64;
                 return lower + ((upper.saturating_sub(lower)) as f64 * into) as u64;
             }
             cumulative += count;
         }
-        *self.bounds.last().unwrap_or(&0)
+        self.overflow_aware_upper(self.counts.len() - 1)
+    }
+
+    /// Upper edge of bucket `i`. The overflow bucket has no bound of its
+    /// own; extend the exponential progression one more doubling so
+    /// interpolation inside it stays non-degenerate (`upper > lower`)
+    /// instead of collapsing to the last bound.
+    fn overflow_aware_upper(&self, i: usize) -> u64 {
+        self.bounds
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| self.bounds.last().map_or(0, |&b| b.saturating_mul(2)))
     }
 }
 
@@ -121,6 +135,11 @@ pub struct Metrics {
     pub timeout_total: AtomicU64,
     /// Successful catalog reloads.
     pub reload_total: AtomicU64,
+    /// Connections served by workers (each may carry many requests).
+    pub connections_total: AtomicU64,
+    /// Handler panics caught by the worker pool; the connection dropped
+    /// but the worker survived.
+    pub worker_panics_total: AtomicU64,
 }
 
 impl Metrics {
@@ -135,6 +154,8 @@ impl Metrics {
             rejected_total: AtomicU64::new(0),
             timeout_total: AtomicU64::new(0),
             reload_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            worker_panics_total: AtomicU64::new(0),
         }
     }
 
@@ -195,11 +216,17 @@ impl Metrics {
              # TYPE dbselectd_timeout_total counter\n\
              dbselectd_timeout_total {}\n\
              # TYPE dbselectd_reload_total counter\n\
-             dbselectd_reload_total {}\n",
+             dbselectd_reload_total {}\n\
+             # TYPE dbselectd_connections_total counter\n\
+             dbselectd_connections_total {}\n\
+             # TYPE dbselectd_worker_panics_total counter\n\
+             dbselectd_worker_panics_total {}\n",
             self.queue_depth.load(Ordering::Relaxed),
             self.rejected_total.load(Ordering::Relaxed),
             self.timeout_total.load(Ordering::Relaxed),
             self.reload_total.load(Ordering::Relaxed),
+            self.connections_total.load(Ordering::Relaxed),
+            self.worker_panics_total.load(Ordering::Relaxed),
         ));
         out.push_str(&format!(
             "# TYPE dbselectd_posterior_cache_hits_total counter\n\
@@ -269,6 +296,27 @@ mod tests {
         h.observe(u64::MAX);
         assert_eq!(h.count(), 2);
         assert!(h.percentile(1.0) > 0);
+        // The sum saturates instead of wrapping: 0 + u64::MAX must not
+        // come out as a small value after one more observation.
+        h.observe(1_000);
+        assert_eq!(h.sum_nanos(), u64::MAX);
+    }
+
+    #[test]
+    fn overflow_bucket_interpolates_instead_of_collapsing() {
+        let h = Histogram::latency();
+        let last_bound = 1_000u64 << 26;
+        for _ in 0..10 {
+            h.observe(last_bound + 1);
+        }
+        let p10 = h.percentile(0.10);
+        let p100 = h.percentile(1.0);
+        // Interpolation inside the overflow bucket spans (last, 2·last]:
+        // distinct percentiles give distinct values, never a flat line
+        // pinned at the last bound.
+        assert!(p10 > last_bound, "{p10} must exceed the last bound");
+        assert!(p10 < p100, "{p10} vs {p100} must not be degenerate");
+        assert!(p100 <= last_bound.saturating_mul(2), "{p100}");
     }
 
     #[test]
@@ -304,5 +352,7 @@ mod tests {
         assert!(text.contains("dbselectd_catalog_databases 7"));
         assert!(text.contains("dbselectd_catalog_load_seconds 0.012345"));
         assert!(text.contains("dbselectd_catalog_snapshot_bytes 4096"));
+        assert!(text.contains("dbselectd_connections_total 0"));
+        assert!(text.contains("dbselectd_worker_panics_total 0"));
     }
 }

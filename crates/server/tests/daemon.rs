@@ -6,107 +6,22 @@
 //! without failing a single in-flight request; a full admission queue
 //! answers `503`; a missed deadline answers `504`.
 
-use std::io::{Read as _, Write as _};
+mod common;
+
+use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use dbselect_core::category_summary::CategoryWeighting;
-use dbselect_core::hierarchy::Hierarchy;
-use dbselect_core::summary::ContentSummary;
+use common::{fixture_catalog, start, temp_path};
 use sampling::scheduler::db_rng;
 use server::json::Json;
 use server::state::{Algo, ServingState, MODES};
-use server::{Server, ServerConfig};
-use store::catalog::StoredCatalog;
-use store::{CollectionStore, StoredDatabase};
-use textindex::{Analyzer, Document, TermDict};
+use server::ServerConfig;
 
-/// A profiled testbed: `scale` perturbs sizes so two fixtures rank
-/// differently (the reload test tells generations apart by ranking).
-fn fixture_store(scale: f64) -> CollectionStore {
-    let analyzer = Analyzer::english();
-    let words = [
-        "heart", "blood", "artery", "surgery", "soccer", "goal", "stadium", "keeper", "stock",
-        "market", "bond", "yield", "virus", "immune", "vaccine", "protein",
-    ];
-    let mut dict = TermDict::new();
-    let terms: Vec<u32> = words
-        .iter()
-        .map(|w| dict.intern(&analyzer.analyze_term(w).expect("fixture word survives")))
-        .collect();
-    let mut hierarchy = Hierarchy::new("Root");
-    let health = hierarchy.ensure_path("Health/Heart");
-    let sports = hierarchy.ensure_path("Sports/Soccer");
-    let finance = hierarchy.ensure_path("Finance");
-    let bio = hierarchy.ensure_path("Health/Immunology");
-
-    // Per database: (name, category, term indices, docs, db_size).
-    let specs: [(&str, _, &[usize], usize, f64); 6] = [
-        ("cardio", health, &[0, 1, 2, 3, 12], 9, 1200.0),
-        ("surgery-digest", health, &[0, 3, 1, 15], 7, 400.0),
-        ("goal-net", sports, &[4, 5, 6, 7], 8, 2600.0),
-        ("terrace-talk", sports, &[4, 6, 7, 9], 5, 150.0),
-        ("tickerwire", finance, &[8, 9, 10, 11, 5], 9, 3100.0),
-        ("pathogen-log", bio, &[12, 13, 14, 15, 1], 6, 900.0),
-    ];
-    let databases = specs
-        .iter()
-        .enumerate()
-        .map(|(dbi, (name, category, term_ixs, n_docs, db_size))| {
-            let docs: Vec<Document> = (0..*n_docs)
-                .map(|d| {
-                    // Deterministic, db-distinct token mix: doc d holds a
-                    // rotating window over the db's vocabulary.
-                    let tokens: Vec<u32> = term_ixs
-                        .iter()
-                        .cycle()
-                        .skip(d % term_ixs.len())
-                        .take(1 + (d + dbi) % term_ixs.len())
-                        .map(|&ix| terms[ix])
-                        .collect();
-                    Document::from_tokens(d as u32, tokens)
-                })
-                .collect();
-            let mut summary = ContentSummary::from_sample(docs.iter(), db_size * scale);
-            if dbi % 2 == 0 {
-                summary.set_gamma(-1.4 - 0.2 * dbi as f64);
-            }
-            StoredDatabase {
-                name: (*name).to_string(),
-                classification: *category,
-                summary,
-                sample_docs: Vec::new(),
-            }
-        })
-        .collect();
-    CollectionStore {
-        dict,
-        hierarchy,
-        databases,
-    }
-}
-
-fn fixture_catalog(scale: f64) -> StoredCatalog {
-    StoredCatalog::freeze(fixture_store(scale), CategoryWeighting::BySize)
-}
-
-fn temp_path(tag: &str) -> std::path::PathBuf {
-    std::env::temp_dir().join(format!("dbselectd-test-{tag}-{}.cat", std::process::id()))
-}
-
-/// Start a daemon on an OS-assigned port; returns its address and the
-/// accept-loop thread (joined after `/admin/shutdown`).
-fn start(config: ServerConfig, state: ServingState) -> (SocketAddr, JoinHandle<()>) {
-    let daemon = Server::bind(config, state).expect("bind");
-    let addr = daemon.local_addr();
-    let handle = std::thread::spawn(move || daemon.run().expect("run"));
-    (addr, handle)
-}
-
-/// One HTTP exchange (the daemon is `Connection: close`).
+/// One `Connection: close` HTTP exchange on a fresh connection.
 fn exchange(addr: SocketAddr, raw: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream.write_all(raw.as_bytes()).expect("write");
@@ -126,14 +41,49 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String, String) {
     exchange(
         addr,
         &format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     )
 }
 
 fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
-    exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"))
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+/// Read exactly one response from a kept-alive connection, framed by its
+/// `Content-Length`.
+fn read_one_response<R: std::io::Read>(reader: &mut BufReader<R>) -> (u16, String, String) {
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read header line") > 0,
+            "connection closed mid-headers (head so far: {head:?})"
+        );
+        if line == "\r\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .trim()
+        .parse()
+        .expect("numeric Content-Length");
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body).expect("read body");
+    (status, head, String::from_utf8(body).expect("utf-8 body"))
 }
 
 fn shutdown(addr: SocketAddr, handle: JoinHandle<()>) {
@@ -465,7 +415,7 @@ fn full_queue_answers_503_with_retry_after() {
             let (status, _, _) = exchange(
                 addr,
                 &format!(
-                    "POST /route HTTP/1.1\r\nHost: t\r\nX-Debug-Sleep-Ms: 600\r\nContent-Length: {}\r\n\r\n{}",
+                    "POST /route HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Debug-Sleep-Ms: 600\r\nContent-Length: {}\r\n\r\n{}",
                     r#"{"query":"heart"}"#.len(),
                     r#"{"query":"heart"}"#
                 ),
@@ -503,6 +453,164 @@ fn full_queue_answers_503_with_retry_after() {
 }
 
 #[test]
+fn keep_alive_reuses_connection_and_matches_close_mode() {
+    let (addr, handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    // Reference: the same query over a one-shot close-mode connection.
+    let body = r#"{"query":"heart blood surgery","seed":42}"#;
+    let (status, _, close_mode) = post(addr, "/route", body);
+    assert_eq!(status, 200);
+
+    // Three requests down one persistent connection, then an explicit
+    // close on the fourth.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    for _ in 0..3 {
+        writer
+            .write_all(
+                format!(
+                    "POST /route HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("write");
+        let (status, head, served) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(
+            head.contains("Connection: keep-alive"),
+            "kept-alive response must say so: {head}"
+        );
+        assert_eq!(
+            served, close_mode,
+            "bit-identical responses across connection modes"
+        );
+    }
+    writer
+        .write_all(
+            format!(
+                "POST /route HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("write");
+    let (status, head, served) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+    assert_eq!(served, close_mode);
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read");
+    assert!(rest.is_empty(), "connection must close after `close`");
+
+    // One connection, four requests.
+    let (_, _, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains(r#"dbselectd_requests_total{endpoint="route",status="200"} 5"#),
+        "{metrics}"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn keep_alive_request_cap_closes_the_connection() {
+    let (addr, handle) = start(
+        ServerConfig {
+            keep_alive_requests: 2,
+            ..Default::default()
+        },
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let raw = "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+    writer.write_all(raw.as_bytes()).expect("write");
+    let (_, head, _) = read_one_response(&mut reader);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+
+    // The second (= cap) response announces the close and the daemon
+    // hangs up even though the client never asked.
+    writer.write_all(raw.as_bytes()).expect("write");
+    let (_, head, _) = read_one_response(&mut reader);
+    assert!(head.contains("Connection: close"), "{head}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read");
+    assert!(rest.is_empty(), "connection must close at the request cap");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped() {
+    let (addr, handle) = start(
+        ServerConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..Default::default()
+        },
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("write");
+    let (status, _, _) = read_one_response(&mut reader);
+    assert_eq!(status, 200);
+
+    // Sit idle past the timeout: the daemon closes the connection
+    // silently (no 408 — there is no request to answer).
+    let started = std::time::Instant::now();
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read");
+    assert!(rest.is_empty(), "idle close must not write a response");
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "closed before the idle timeout"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "idle reap took far longer than the timeout"
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn http10_defaults_to_close_and_can_opt_in() {
+    let (addr, handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    // HTTP/1.0 without a Connection header: answered then closed.
+    let (status, head, _) = exchange(addr, "GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: close"), "{head}");
+
+    // HTTP/1.0 with `Connection: keep-alive` opts in.
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let raw = "GET /healthz HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n";
+    for _ in 0..2 {
+        writer.write_all(raw.as_bytes()).expect("write");
+        let (status, head, _) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: keep-alive"), "{head}");
+    }
+    drop(writer);
+    drop(reader);
+    shutdown(addr, handle);
+}
+
+#[test]
 fn missed_deadline_answers_504() {
     let (addr, handle) = start(
         ServerConfig {
@@ -518,7 +626,7 @@ fn missed_deadline_answers_504() {
     let (status, _, response) = exchange(
         addr,
         &format!(
-            "POST /route HTTP/1.1\r\nHost: t\r\nX-Debug-Sleep-Ms: 500\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST /route HTTP/1.1\r\nHost: t\r\nConnection: close\r\nX-Debug-Sleep-Ms: 500\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         ),
     );

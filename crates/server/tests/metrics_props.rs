@@ -1,0 +1,99 @@
+//! Property tests for `Histogram::percentile` against a sorted-vec
+//! reference: monotone in `p`, bounded by the highest recorded bucket,
+//! and never further than one bucket width from the exact order
+//! statistic.
+
+use proptest::prelude::*;
+
+use server::metrics::Histogram;
+
+/// The highest finite bucket bound of `Histogram::latency()` (~67s in
+/// nanoseconds); observations at or below it land in bounded buckets.
+const LAST_BOUND: u64 = 1_000u64 << 26;
+
+/// `(lower, upper]` of the latency bucket an observation falls into,
+/// mirroring the exponential layout (`bound[i] = 1µs · 2^i`), with the
+/// overflow bucket spanning one more doubling.
+fn bucket_edges(nanos: u64) -> (u64, u64) {
+    let bounds: Vec<u64> = (0..27).map(|i| 1_000u64 << i).collect();
+    let i = bounds.partition_point(|&bound| bound < nanos);
+    let lower = if i == 0 { 0 } else { bounds[i - 1] };
+    let upper = bounds.get(i).copied().unwrap_or(LAST_BOUND * 2);
+    (lower, upper)
+}
+
+/// The exact `p`-th percentile of a sorted sample, using the same
+/// ceil-rank convention the histogram targets.
+fn reference_percentile(sorted: &[u64], p: f64) -> u64 {
+    let total = sorted.len() as u64;
+    let target = (p.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+    sorted[(target - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Percentile is monotone in `p`.
+    #[test]
+    fn percentile_is_monotone_in_p(
+        observations in prop::collection::vec(0u64..=LAST_BOUND, 1..200),
+        p_a in 0.0f64..=1.0,
+        p_b in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::latency();
+        for &nanos in &observations {
+            h.observe(nanos);
+        }
+        let (lo, hi) = if p_a <= p_b { (p_a, p_b) } else { (p_b, p_a) };
+        prop_assert!(
+            h.percentile(lo) <= h.percentile(hi),
+            "percentile({lo}) > percentile({hi})"
+        );
+    }
+
+    /// Every percentile stays within the bucket span of the recorded
+    /// extremes: at most the upper edge of the maximum observation's
+    /// bucket, at least the lower edge of the minimum's.
+    #[test]
+    fn percentile_is_bounded_by_recorded_buckets(
+        observations in prop::collection::vec(0u64..=LAST_BOUND, 1..200),
+        p in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::latency();
+        for &nanos in &observations {
+            h.observe(nanos);
+        }
+        let (_, max_upper) = bucket_edges(*observations.iter().max().unwrap());
+        let (min_lower, _) = bucket_edges(*observations.iter().min().unwrap());
+        let value = h.percentile(p);
+        prop_assert!(value <= max_upper, "{value} above max bucket {max_upper}");
+        prop_assert!(value >= min_lower, "{value} below min bucket {min_lower}");
+    }
+
+    /// The interpolated percentile lands in the same bucket as the exact
+    /// order statistic, so it is within one bucket width of it.
+    #[test]
+    fn percentile_matches_sorted_reference_within_a_bucket(
+        observations in prop::collection::vec(0u64..=LAST_BOUND, 1..200),
+        p in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::latency();
+        for &nanos in &observations {
+            h.observe(nanos);
+        }
+        let mut sorted = observations.clone();
+        sorted.sort_unstable();
+        let exact = reference_percentile(&sorted, p);
+        let (lower, upper) = bucket_edges(exact);
+        let value = h.percentile(p);
+        prop_assert!(
+            value >= lower && value <= upper,
+            "percentile({p}) = {value} outside the exact value's bucket \
+             ({exact} in ({lower}, {upper}])"
+        );
+        prop_assert!(
+            value.abs_diff(exact) <= upper - lower,
+            "percentile({p}) = {value} further than one bucket width from {exact}"
+        );
+    }
+}

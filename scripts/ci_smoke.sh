@@ -7,7 +7,10 @@ set -euo pipefail
 DBSELECT=${DBSELECT:-./target/release/dbselect}
 ADDR=${ADDR:-127.0.0.1:7731}
 WORK=$(mktemp -d)
-trap 'rm -rf "$WORK"' EXIT
+SERVE_PID=
+# Kill the daemon too: a failed assertion must not leave it orphaned
+# (holding CI's output pipe open forever).
+trap 'rm -rf "$WORK"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
 
 # --- fixture: two tiny "databases" of text files --------------------------
 mkdir -p "$WORK/med" "$WORK/soccer"
@@ -26,7 +29,10 @@ printf 'the keeper saved a goal before the stadium crowd\n'   > "$WORK/soccer/b.
 "$DBSELECT" freeze --catalog "$WORK/col.catalog" --out "$WORK/col.snapshot"
 
 # --- start the daemon on the v2 snapshot ----------------------------------
-"$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR" &
+# Short deadline/idle-timeout so the fault-injection phase below finishes
+# quickly; both are still far above any healthy request's needs.
+"$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR" \
+    --deadline-ms 2000 --idle-timeout-ms 500 &
 SERVE_PID=$!
 for _ in $(seq 1 50); do
     curl -sf "http://$ADDR/healthz" > /dev/null 2>&1 && break
@@ -55,6 +61,12 @@ grep '^dbselectd_catalog_load_seconds ' "$WORK/metrics1.txt"
 grep '^dbselectd_catalog_snapshot_bytes ' "$WORK/metrics1.txt"
 SNAP_BYTES=$(stat -c %s "$WORK/col.snapshot" 2>/dev/null || stat -f %z "$WORK/col.snapshot")
 grep "^dbselectd_catalog_snapshot_bytes $SNAP_BYTES\$" "$WORK/metrics1.txt"
+
+# --- fault injection: slow clients must not wedge or panic the pool -------
+python3 "$(dirname "$0")/fault_inject.py" "$ADDR" 2.0
+curl -sf "http://$ADDR/healthz" > /dev/null   # pool still serves …
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics2.txt"
+grep '^dbselectd_worker_panics_total 0$' "$WORK/metrics2.txt"   # … and never panicked
 
 # --- hot reload swaps the snapshot and bumps the generation gauge ---------
 curl -sf -X POST "http://$ADDR/admin/reload" -d "{\"path\":\"$WORK/col.snapshot\"}"

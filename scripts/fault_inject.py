@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Fault-injection probes against a running dbselectd.
+
+Drives the pathological clients the daemon's connection lifecycle must
+survive — dribbled request bytes, a stall after headers, a close
+mid-body — and checks keep-alive reuse works. The daemon is expected to
+answer 408 for the slow-read faults within deadline + write grace, free
+the worker, and never panic (the caller asserts the panic counter via
+/metrics afterwards).
+
+Usage: fault_inject.py HOST:PORT [DEADLINE_SECONDS]
+"""
+
+import select
+import socket
+import sys
+import time
+
+# Matches ERROR_WRITE_GRACE in crates/server/src/lib.rs.
+WRITE_GRACE = 2.0
+
+
+def recv_until_eof(sock):
+    """Read until the peer closes; tolerate a late RST after data."""
+    chunks = []
+    while True:
+        try:
+            chunk = sock.recv(4096)
+        except OSError:
+            break
+        if not chunk:
+            break
+        chunks.append(chunk)
+    return b"".join(chunks)
+
+
+def dribble(addr, deadline):
+    """One byte at a time: per-syscall timeouts would never fire, the
+    request deadline must. Expect a 408 within deadline + grace."""
+    sock = socket.create_connection(addr, timeout=deadline + WRITE_GRACE + 5)
+    start = time.time()
+    response = b""
+    payload = b"GET /healthz HTTP/1.1\r\nHost: fault\r\n\r\n"
+    # Pace the dribble so the whole request would take 2x the deadline —
+    # the daemon must cut it off at 1x, never see it complete.
+    interval = 2.0 * deadline / len(payload)
+    for byte in payload:
+        try:
+            sock.sendall(bytes([byte]))
+        except OSError:
+            break  # daemon gave up on us — exactly the point
+        readable, _, _ = select.select([sock], [], [], interval)
+        if readable:
+            response = recv_until_eof(sock)
+            break
+    if not response:
+        response = recv_until_eof(sock)
+    elapsed = time.time() - start
+    sock.close()
+    assert response.startswith(b"HTTP/1.1 408 "), response[:80]
+    assert elapsed < deadline + WRITE_GRACE + 2, f"408 took {elapsed:.1f}s"
+    print(f"  dribble: 408 after {elapsed:.2f}s")
+
+
+def stall_after_headers(addr, deadline):
+    """Promise a body, never send it. Expect a 408."""
+    sock = socket.create_connection(addr, timeout=deadline + WRITE_GRACE + 5)
+    start = time.time()
+    sock.sendall(b"POST /route HTTP/1.1\r\nHost: fault\r\nContent-Length: 32\r\n\r\n")
+    response = recv_until_eof(sock)
+    elapsed = time.time() - start
+    sock.close()
+    assert response.startswith(b"HTTP/1.1 408 "), response[:80]
+    assert elapsed < deadline + WRITE_GRACE + 2, f"408 took {elapsed:.1f}s"
+    print(f"  stall-after-headers: 408 after {elapsed:.2f}s")
+
+
+def close_mid_body(addr):
+    """Send half the promised body and vanish. No response expected; the
+    daemon must shrug it off (the caller checks health and panics)."""
+    sock = socket.create_connection(addr, timeout=5)
+    sock.sendall(b'POST /route HTTP/1.1\r\nHost: fault\r\nContent-Length: 64\r\n\r\n{"query":')
+    sock.close()
+    print("  close-mid-body: sent and vanished")
+
+
+def read_framed(reader):
+    """Read one Content-Length-framed response from a file object."""
+    status = None
+    length = 0
+    while True:
+        line = reader.readline()
+        if not line:
+            raise AssertionError("connection closed mid-headers")
+        if status is None:
+            status = int(line.split()[1])
+        if line in (b"\r\n", b"\n"):
+            break
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = reader.read(length)
+    assert len(body) == length, "truncated body"
+    return status
+
+
+def keep_alive_reuse(addr):
+    """Two requests down one persistent connection must both answer."""
+    sock = socket.create_connection(addr, timeout=5)
+    reader = sock.makefile("rb")
+    for _ in range(2):
+        sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: fault\r\n\r\n")
+        status = read_framed(reader)
+        assert status == 200, status
+    sock.close()
+    print("  keep-alive: 2 requests on one connection")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    host, port = sys.argv[1].rsplit(":", 1)
+    addr = (host, int(port))
+    deadline = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+
+    keep_alive_reuse(addr)
+    dribble(addr, deadline)
+    stall_after_headers(addr, deadline)
+    close_mid_body(addr)
+    print("fault injection passed")
+
+
+if __name__ == "__main__":
+    main()
