@@ -5,8 +5,15 @@
 //! `BENCH_server.json`).
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen [-- SECONDS [CLIENTS]]
+//! cargo run --release -p bench --bin loadgen [-- SECONDS [CLIENTS] [--idle-conns N]]
 //! ```
+//!
+//! Besides the throughput phases, an idle-connection soak parks
+//! `--idle-conns` established keep-alive connections (default 2000,
+//! clamped to the fd rlimit) and re-measures the `/healthz` keep-alive
+//! phase with them in place, reporting the daemon's per-idle-connection
+//! rss/fd footprint and the p99 impact of a large idle population on the
+//! reactor's event loop.
 
 use std::io::{BufRead as _, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -169,6 +176,38 @@ fn read_framed_response<R: std::io::Read>(
     Ok((status, closing))
 }
 
+/// This process's resident set in kB (`VmRSS`), daemon included — the
+/// daemon runs in-process, so deltas capture both ends of each socket.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Open file descriptors in this process.
+fn open_fds() -> u64 {
+    std::fs::read_dir("/proc/self/fd").map_or(0, |d| d.count() as u64)
+}
+
+/// The soft `RLIMIT_NOFILE` bound, for clamping the soak size.
+fn fd_soft_limit() -> u64 {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1024)
+}
+
 struct PhaseResult {
     requests: u64,
     errors: u64,
@@ -325,9 +364,26 @@ fn phase_json(name: &str, clients: usize, result: &PhaseResult) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let duration =
-        Duration::from_secs_f64(args.first().and_then(|a| a.parse().ok()).unwrap_or(3.0));
-    let clients: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let mut secs = 3.0f64;
+    let mut clients = 8usize;
+    let mut idle_conns = 2000usize;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--idle-conns" {
+            idle_conns = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--idle-conns expects an integer");
+        } else if positional == 0 {
+            secs = arg.parse().unwrap_or(secs);
+            positional = 1;
+        } else {
+            clients = arg.parse().unwrap_or(clients);
+            positional = 2;
+        }
+    }
+    let duration = Duration::from_secs_f64(secs);
 
     eprintln!("building tiny(30) fixture catalog …");
     let (path, queries) = build_fixture();
@@ -338,6 +394,9 @@ fn main() {
         workers,
         queue_capacity: 256,
         deadline: Duration::from_secs(10),
+        // Parked soak connections must out-live the measurement phases,
+        // not get reaped mid-soak.
+        idle_timeout: Duration::from_secs(300),
         ..Default::default()
     };
     let state = ServingState::load(path.to_str().unwrap(), config.cache_capacity)
@@ -402,6 +461,48 @@ fn main() {
         healthz.rps(),
         healthz_keep_alive.rps(),
     );
+
+    // Phase 1d: idle-connection soak. Park a large population of
+    // established keep-alive connections (each serves one real request
+    // first, so the daemon tracks it as a genuine idle conn), then
+    // re-run the /healthz keep-alive phase with the population in place.
+    // rss/fd deltas price one idle connection; the p99 delta against the
+    // unsoaked phase is what a big idle population costs the reactor.
+    let soak_target = {
+        // Two fds per parked conn (client end + in-process daemon end),
+        // plus headroom for the daemon, the phases, and stdio.
+        let budget = fd_soft_limit().saturating_sub(512) / 2;
+        idle_conns.min(budget as usize)
+    };
+    let rss_kb_before = rss_kb();
+    let fds_before = open_fds();
+    let warmup = get_bytes("/healthz", true);
+    let mut parked = Vec::with_capacity(soak_target);
+    for _ in 0..soak_target {
+        let conn = (|| -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+            let mut stream = TcpStream::connect(addr)?;
+            let mut reader = BufReader::new(stream.try_clone()?);
+            stream.write_all(&warmup)?;
+            read_framed_response(&mut reader)?;
+            Ok((stream, reader))
+        })();
+        match conn {
+            Ok(c) => parked.push(c),
+            Err(_) => break, // fd budget exhausted — soak with what we got
+        }
+    }
+    let rss_kb_soaked = rss_kb();
+    let fds_soaked = open_fds();
+    let healthz_soaked =
+        run_keep_alive_phase(addr, &[get_bytes("/healthz", true)], clients, duration);
+    let soak_p99_ratio = healthz_soaked.histogram.percentile(0.99) as f64
+        / (healthz_keep_alive.histogram.percentile(0.99) as f64).max(f64::MIN_POSITIVE);
+    eprintln!(
+        "idle soak    {} conns parked: rss {rss_kb_before} → {rss_kb_soaked} kB, fds {fds_before} → {fds_soaked}, /healthz p99 x{soak_p99_ratio:.2}",
+        parked.len(),
+    );
+    let parked_count = parked.len();
+    drop(parked);
 
     // Phase 2: /route_batch with the whole query set per request.
     let all: Vec<String> = queries.iter().map(|q| format!("\"{q}\"")).collect();
@@ -474,12 +575,11 @@ fn main() {
     );
 
     // Server-side view, then clean shutdown.
-    let (status, metrics_body) =
-        exchange(
-            addr,
-            b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n",
-        )
-        .expect("metrics");
+    let (status, metrics_body) = exchange(
+        addr,
+        b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n",
+    )
+    .expect("metrics");
     assert_eq!(status, 200);
     let cache_line = metrics_body
         .lines()
@@ -494,7 +594,7 @@ fn main() {
     println!(
         r#"{{
   "bench": "crates/bench/src/bin/loadgen.rs",
-  "command": "cargo run --release -p bench --bin loadgen -- {secs} {clients}",
+  "command": "cargo run --release -p bench --bin loadgen -- {secs} {clients} --idle-conns {idle_conns}",
   "fixture": "TestBedConfig::tiny(30), QBS profiling, v2 serving snapshot served by dbselectd over loopback TCP",
   "server": {{ "workers": {workers}, "queue_capacity": 256 }},
   "queries": {nq},
@@ -503,8 +603,21 @@ fn main() {
 {keep_alive_json},
 {healthz_json},
 {healthz_keep_alive_json},
+{healthz_soaked_json},
 {batch_json},
 {under_reload_json}
+  }},
+  "idle_soak": {{
+    "requested_conns": {idle_conns},
+    "parked_conns": {parked_count},
+    "fd_soft_limit": {fd_limit},
+    "rss_kb_before": {rss_kb_before},
+    "rss_kb_soaked": {rss_kb_soaked},
+    "rss_kb_per_idle_conn": {rss_per_conn:.2},
+    "open_fds_before": {fds_before},
+    "open_fds_soaked": {fds_soaked},
+    "healthz_keep_alive_p99_ratio_vs_unsoaked": {soak_p99_ratio:.2},
+    "note": "parked conns are established keep-alive connections (one /healthz served each); rss/fds are process-wide and include the in-process daemon AND the loadgen's client ends (3 fds per conn: daemon socket, client socket, client reader dup)"
   }},
   "route_keep_alive_speedup_vs_close": {speedup:.2},
   "healthz_keep_alive_speedup_vs_close": {conn_speedup:.2},
@@ -527,6 +640,21 @@ fn main() {
         keep_alive_json = phase_json("route_keep_alive", clients, &keep_alive),
         healthz_json = phase_json("healthz", clients, &healthz),
         healthz_keep_alive_json = phase_json("healthz_keep_alive", clients, &healthz_keep_alive),
+        healthz_soaked_json = phase_json(
+            "healthz_keep_alive_under_idle_soak",
+            clients,
+            &healthz_soaked
+        ),
+        idle_conns = idle_conns,
+        parked_count = parked_count,
+        fd_limit = fd_soft_limit(),
+        rss_kb_before = rss_kb_before,
+        rss_kb_soaked = rss_kb_soaked,
+        rss_per_conn =
+            (rss_kb_soaked.saturating_sub(rss_kb_before)) as f64 / (parked_count as f64).max(1.0),
+        fds_before = fds_before,
+        fds_soaked = fds_soaked,
+        soak_p99_ratio = soak_p99_ratio,
         speedup = speedup,
         conn_speedup = conn_speedup,
         batch_json = phase_json("route_batch", clients.min(4), &batch),

@@ -64,7 +64,7 @@ USAGE:
                  [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
   dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
                  [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
-                 [--cache N]
+                 [--cache N] [--reactor | --legacy-threaded]
   dbselect inspect --store STORE [--db NAME]
 
 `catalog` runs the shrinkage EM once and freezes the result (summaries,
@@ -85,6 +85,10 @@ the catalog, POST /admin/shutdown exits cleanly. Connections are
 persistent (HTTP/1.1 keep-alive): --keep-alive-requests caps requests
 per connection, --idle-timeout-ms bounds the wait between them, and
 --deadline-ms bounds each request end to end, reads and writes included.
+By default connection I/O runs on an event-driven reactor (--reactor)
+that multiplexes every socket on one thread while --workers threads
+execute requests; --legacy-threaded restores the thread-per-connection
+path. Both serve bit-identical responses.
 ";
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
@@ -328,6 +332,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "--cache expects an integer (0 = unbounded)".to_string())?;
             }
             "--debug-sleep" => config.debug_sleep = true,
+            "--reactor" => config.mode = server::ServeMode::Reactor,
+            "--legacy-threaded" => config.mode = server::ServeMode::Threaded,
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }

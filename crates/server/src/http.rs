@@ -183,13 +183,10 @@ fn read_line<R: BufRead>(
     }
 }
 
-/// Parse one request from `r` under `limits`.
-pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
-    // Request line: METHOD SP TARGET SP HTTP/1.x
-    let line = match read_line(r, limits.max_request_line, "request line")? {
-        None => return Err(HttpError::Closed),
-        Some(line) => line,
-    };
+/// Validate a request line (`METHOD SP TARGET SP HTTP/1.x`). Shared by
+/// the streaming and incremental parsers so their acceptance is
+/// identical by construction.
+fn parse_request_line(line: Vec<u8>) -> Result<(String, String, u8), HttpError> {
     let line =
         String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 request line"))?;
     let mut parts = line.split(' ').filter(|p| !p.is_empty());
@@ -212,6 +209,53 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, H
         "HTTP/1.0" => 0,
         _ => return Err(HttpError::Malformed("unsupported HTTP version")),
     };
+    Ok((method.to_string(), target.to_string(), version_minor))
+}
+
+/// Validate one header line into a (lower-cased name, trimmed value) pair.
+fn parse_header_line(line: Vec<u8>) -> Result<(String, String), HttpError> {
+    let line = String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 header"))?;
+    let (name, value) = line
+        .split_once(':')
+        .ok_or(HttpError::Malformed("header without ':'"))?;
+    let name = name.trim();
+    if name.is_empty() || name.contains(' ') {
+        return Err(HttpError::Malformed("invalid header name"));
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Body length a parsed head declares: fixed `Content-Length` only (no
+/// chunked transfer coding). No `Content-Length` and no transfer coding
+/// means an empty body (RFC 7230 §3.3.3) — curl sends empty POSTs
+/// exactly like that.
+fn declared_body_len(request: &Request, limits: &Limits) -> Result<usize, HttpError> {
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::Malformed("transfer codings are not supported"));
+    }
+    let body_len = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?,
+        None => 0,
+    };
+    if body_len > limits.max_body {
+        return Err(HttpError::TooLarge("body"));
+    }
+    Ok(body_len)
+}
+
+/// Parse one request from `r` under `limits`.
+pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, HttpError> {
+    // Request line: METHOD SP TARGET SP HTTP/1.x
+    let line = match read_line(r, limits.max_request_line, "request line")? {
+        None => return Err(HttpError::Closed),
+        Some(line) => line,
+    };
+    let (method, target, version_minor) = parse_request_line(line)?;
 
     // Header fields until the empty line.
     let mut headers: Vec<(String, String)> = Vec::new();
@@ -224,44 +268,17 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, H
         if headers.len() >= limits.max_headers {
             return Err(HttpError::TooLarge("too many headers"));
         }
-        let line = String::from_utf8(line).map_err(|_| HttpError::Malformed("non-utf8 header"))?;
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpError::Malformed("header without ':'"))?;
-        let name = name.trim();
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpError::Malformed("invalid header name"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        headers.push(parse_header_line(line)?);
     }
 
-    // Body: fixed Content-Length only (no chunked transfer coding).
     let request = Request {
-        method: method.to_string(),
-        target: target.to_string(),
+        method,
+        target,
         version_minor,
         headers,
         body: Vec::new(),
     };
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(HttpError::Malformed("transfer codings are not supported"));
-    }
-    let content_length = match request.header("content-length") {
-        Some(v) => Some(
-            v.parse::<usize>()
-                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?,
-        ),
-        None => None,
-    };
-    // No Content-Length and no transfer coding means an empty body
-    // (RFC 7230 §3.3.3) — curl sends empty POSTs exactly like that.
-    let body_len = content_length.unwrap_or(0);
-    if body_len > limits.max_body {
-        return Err(HttpError::TooLarge("body"));
-    }
+    let body_len = declared_body_len(&request, limits)?;
     let mut body = vec![0u8; body_len];
     if body_len > 0 {
         r.read_exact(&mut body).map_err(|e| {
@@ -273,6 +290,103 @@ pub fn read_request<R: BufRead>(r: &mut R, limits: &Limits) -> Result<Request, H
         })?;
     }
     Ok(Request { body, ..request })
+}
+
+/// Progress of [`try_parse`] over a partially received buffer.
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// The buffer holds a (possibly empty) prefix of a valid request;
+    /// more bytes are needed before anything can be returned.
+    NeedMore,
+    /// One complete request, occupying the first `consumed` bytes of the
+    /// buffer. The caller drains those bytes; anything after them is the
+    /// start of the next pipelined request.
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer this request consumed.
+        consumed: usize,
+    },
+}
+
+/// Split the next `\n`-terminated line out of `buf[*pos..]`, mirroring
+/// [`read_line`]'s limit accounting exactly: a line may span at most
+/// `max + 2` bytes including its terminator, and accumulating that many
+/// bytes *without* seeing a terminator is already oversize. `Ok(None)`
+/// means the line is still incomplete (and within limits).
+fn split_line(
+    buf: &[u8],
+    pos: &mut usize,
+    max: usize,
+    oversize: &'static str,
+) -> Result<Option<Vec<u8>>, HttpError> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            if i + 1 > max + 2 {
+                return Err(HttpError::TooLarge(oversize));
+            }
+            let mut line = rest[..=i].to_vec();
+            while matches!(line.last(), Some(b'\n') | Some(b'\r')) {
+                line.pop();
+            }
+            *pos += i + 1;
+            Ok(Some(line))
+        }
+        None if rest.len() > max + 2 => Err(HttpError::TooLarge(oversize)),
+        None => Ok(None),
+    }
+}
+
+/// Incrementally parse the first request out of `buf`.
+///
+/// This is the nonblocking-reactor counterpart of [`read_request`]: the
+/// reactor appends whatever bytes the socket had ready and re-asks. It is
+/// a pure function of the buffer — no parser state is carried between
+/// calls — so resuming after any split point is trivially equivalent to
+/// parsing the concatenation (held as a property over every byte
+/// boundary by `tests/http_incremental.rs`). Validation is shared with
+/// `read_request` ([`parse_request_line`], [`parse_header_line`],
+/// [`declared_body_len`]), so the two parsers accept and reject
+/// identical inputs; end-of-stream handling is the caller's concern
+/// here (EOF mid-buffer means the request can never complete).
+pub fn try_parse(buf: &[u8], limits: &Limits) -> Result<ParseStatus, HttpError> {
+    let mut pos = 0usize;
+    let Some(line) = split_line(buf, &mut pos, limits.max_request_line, "request line")? else {
+        return Ok(ParseStatus::NeedMore);
+    };
+    let (method, target, version_minor) = parse_request_line(line)?;
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let Some(line) = split_line(buf, &mut pos, limits.max_header_line, "header line")? else {
+            return Ok(ParseStatus::NeedMore);
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        headers.push(parse_header_line(line)?);
+    }
+
+    let request = Request {
+        method,
+        target,
+        version_minor,
+        headers,
+        body: Vec::new(),
+    };
+    let body_len = declared_body_len(&request, limits)?;
+    if buf.len() - pos < body_len {
+        return Ok(ParseStatus::NeedMore);
+    }
+    let body = buf[pos..pos + body_len].to_vec();
+    Ok(ParseStatus::Complete {
+        request: Request { body, ..request },
+        consumed: pos + body_len,
+    })
 }
 
 /// A response ready to be written.
@@ -409,9 +523,11 @@ mod tests {
         assert!(!parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
             .unwrap()
             .wants_keep_alive());
-        assert!(!parse(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
-            .unwrap()
-            .wants_keep_alive());
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
+                .unwrap()
+                .wants_keep_alive()
+        );
         // HTTP/1.0 defaults to close; `keep-alive` opts in.
         let old = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
         assert_eq!(old.version_minor, 0);

@@ -1,29 +1,33 @@
 //! `dbselectd` — a networked metasearch daemon.
 //!
-//! A std-only threaded TCP server with a hand-rolled HTTP/1.1 layer
-//! ([`http`]) serving database-selection requests against a loaded
-//! [`store::catalog::StoredCatalog`]. The architecture is a classic
-//! worker pool:
+//! A std-only TCP server with a hand-rolled HTTP/1.1 layer ([`http`])
+//! serving database-selection requests against a loaded
+//! [`store::catalog::StoredCatalog`]. Since the reactor refactor the
+//! daemon separates **connection I/O** from **request execution**:
 //!
-//! - The **accept loop** owns the listener. Every accepted connection is
-//!   offered to a [`queue::BoundedQueue`]; when the queue is full the
-//!   connection is answered `503` with `Retry-After` *immediately* —
-//!   admission control happens before any request bytes are read, so an
-//!   overloaded daemon sheds load at the door instead of timing out
-//!   deep in the stack. The rejection write is bounded by a short write
-//!   timeout so a slow rejected client cannot head-of-line-block accept.
-//! - **Workers** pop connections and serve them as HTTP/1.1 persistent
-//!   connections: up to `keep_alive_requests` requests per connection,
-//!   each with its own deadline (the first stamped at accept, later ones
-//!   when their first byte arrives), waiting at most `idle_timeout`
-//!   between requests. Every socket read *and* write re-arms the OS
-//!   timeout against the request deadline ([`DeadlineStream`]), so a
-//!   client dribbling bytes in or draining its response one byte at a
-//!   time (slowloris, either direction) cannot pin a worker past the
-//!   deadline. A request that is still unserved when its deadline passes
-//!   is answered `504`. A handler panic is caught per-connection
-//!   (`catch_unwind`), counted in `dbselectd_worker_panics_total`, and
-//!   never shrinks the pool.
+//! - The **reactor** ([`reactor`], the default serve mode) runs a
+//!   single-threaded readiness loop ([`poller`]: epoll on Linux,
+//!   `poll(2)` fallback elsewhere) over the nonblocking listener and all
+//!   accepted sockets. It owns every connection's state machine
+//!   (reading → executing → writing → idle / draining), parses requests
+//!   incrementally ([`http::try_parse`]), resumes writes on `EAGAIN`,
+//!   and enforces every deadline — request, idle, write grace, linger —
+//!   through a coarse [`timer::TimerWheel`] instead of per-syscall OS
+//!   timeouts. Thousands of idle keep-alive connections cost one fd and
+//!   a few hundred bytes each; no thread is pinned by an open socket.
+//! - **Workers** only execute parsed requests: the reactor offers each
+//!   complete request to a [`queue::BoundedQueue`] (a full queue is
+//!   answered `503` + `Retry-After` — admission control at the parse
+//!   boundary), a worker dispatches it against the catalog, serializes
+//!   the response, and posts it to a [`queue::CompletionQueue`], ringing
+//!   the reactor's wakeup pipe. A handler panic is caught per-request,
+//!   counted in `dbselectd_worker_panics_total`, aborts only that
+//!   connection, and never shrinks the pool.
+//! - The **legacy threaded path** (`ServeMode::Threaded`,
+//!   `--legacy-threaded`) keeps the previous architecture — accept loop,
+//!   thread-per-connection workers popping whole connections, per-syscall
+//!   deadline re-arming via [`DeadlineStream`] — as a one-release escape
+//!   hatch while the reactor soaks.
 //! - Routing endpoints resolve the current [`state::ServingState`]
 //!   through an `RwLock<Arc<_>>`. `/admin/reload` builds the *next*
 //!   state off to the side and swaps the `Arc`, so in-flight requests
@@ -31,16 +35,19 @@
 //!   fails a request.
 //!
 //! Rankings served over HTTP are bit-identical to
-//! `broker::SelectionEngine::route`: `/route` draws its RNG from
-//! `db_rng(seed, index)` exactly like `dbselect route` does for the
-//! query at `index` of a batch, and scores are serialized with
+//! `broker::SelectionEngine::route` in both modes: `/route` draws its
+//! RNG from `db_rng(seed, index)` exactly like `dbselect route` does for
+//! the query at `index` of a batch, and scores are serialized with
 //! shortest-roundtrip `f64` formatting ([`json`]).
 
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod poller;
 pub mod queue;
+pub mod reactor;
 pub mod state;
+pub mod timer;
 
 use std::io::{self, BufRead as _, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -55,8 +62,21 @@ use selection::ShrinkageMode;
 use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
 use crate::json::Json;
 use crate::metrics::Metrics;
-use crate::queue::BoundedQueue;
+use crate::poller::Wakeup;
+use crate::queue::{BoundedQueue, CompletionQueue};
 use crate::state::{parse_shrinkage, Algo, ServingState};
+
+/// How the daemon maps connections onto threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// Event-driven: one reactor thread owns all connection I/O, a fixed
+    /// worker pool executes requests (the default).
+    #[default]
+    Reactor,
+    /// Thread-per-connection escape hatch (`--legacy-threaded`): workers
+    /// pop whole connections and serve them with blocking I/O.
+    Threaded,
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -82,6 +102,9 @@ pub struct ServerConfig {
     /// Honor the `X-Debug-Sleep-Ms` request header (tests and load
     /// generators only — lets a client hold a worker deterministically).
     pub debug_sleep: bool,
+    /// Connection handling: event-driven reactor (default) or the legacy
+    /// thread-per-connection path.
+    pub mode: ServeMode,
 }
 
 impl Default for ServerConfig {
@@ -95,6 +118,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(5),
             cache_capacity: broker::DEFAULT_CACHE_CAPACITY,
             debug_sleep: false,
+            mode: ServeMode::Reactor,
         }
     }
 }
@@ -119,10 +143,36 @@ const ERROR_WRITE_GRACE: Duration = Duration::from_secs(2);
 const LINGER_DRAIN: Duration = Duration::from_millis(500);
 const LINGER_DRAIN_MAX: usize = 64 * 1024;
 
-/// One admitted connection, carrying its first request's deadline.
+/// One admitted connection, carrying its first request's deadline
+/// (legacy threaded mode).
 struct Job {
     stream: TcpStream,
     deadline: Instant,
+}
+
+/// One parsed request handed from the reactor to the worker pool.
+pub(crate) struct Task {
+    /// The owning connection's reactor token (slot | generation).
+    pub(crate) token: u64,
+    pub(crate) request: Request,
+    /// Absolute deadline stamped by the reactor when the request's first
+    /// byte arrived (or at accept for a connection's first request).
+    pub(crate) deadline: Instant,
+    /// The reactor already knows this response must close the connection
+    /// (keep-alive request cap reached) regardless of what the client
+    /// asked for.
+    pub(crate) force_close: bool,
+}
+
+/// A worker's answer, routed back to the connection by token.
+pub(crate) struct Completion {
+    pub(crate) token: u64,
+    /// The fully serialized response, or `None` when the handler
+    /// panicked — the connection is dropped without a response.
+    pub(crate) bytes: Option<Vec<u8>>,
+    /// Close the connection after flushing (mirrors the serialized
+    /// `Connection: close` header).
+    pub(crate) close: bool,
 }
 
 /// A `TcpStream` wrapper that re-arms the socket timeout against a
@@ -166,20 +216,29 @@ impl Write for DeadlineStream {
     }
 }
 
-/// State shared between the accept loop and the workers.
-struct Shared {
-    state: RwLock<Arc<ServingState>>,
-    generation: AtomicU64,
-    metrics: Metrics,
+/// State shared between the I/O side (reactor or accept loop) and the
+/// workers.
+pub(crate) struct Shared {
+    pub(crate) state: RwLock<Arc<ServingState>>,
+    pub(crate) generation: AtomicU64,
+    pub(crate) metrics: Metrics,
+    /// Legacy threaded mode: admitted connections awaiting a worker.
     queue: BoundedQueue<Job>,
-    stop: AtomicBool,
-    config: ServerConfig,
-    limits: Limits,
-    addr: SocketAddr,
+    /// Reactor mode: parsed requests awaiting execution.
+    pub(crate) tasks: BoundedQueue<Task>,
+    /// Reactor mode: finished responses awaiting the reactor.
+    pub(crate) completions: CompletionQueue<Completion>,
+    /// Reactor mode: the doorbell workers ring after posting a
+    /// completion.
+    pub(crate) wakeup: Wakeup,
+    pub(crate) stop: AtomicBool,
+    pub(crate) config: ServerConfig,
+    pub(crate) limits: Limits,
+    pub(crate) addr: SocketAddr,
 }
 
 impl Shared {
-    fn current(&self) -> Arc<ServingState> {
+    pub(crate) fn current(&self) -> Arc<ServingState> {
         Arc::clone(&self.state.read().expect("state lock poisoned"))
     }
 }
@@ -196,11 +255,15 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let queue = BoundedQueue::new(config.queue_capacity);
+        let tasks = BoundedQueue::new(config.queue_capacity);
         let shared = Arc::new(Shared {
             state: RwLock::new(Arc::new(state)),
             generation: AtomicU64::new(1),
             metrics: Metrics::new(),
             queue,
+            tasks,
+            completions: CompletionQueue::new(),
+            wakeup: Wakeup::new()?,
             stop: AtomicBool::new(false),
             config,
             limits: Limits::default(),
@@ -214,10 +277,56 @@ impl Server {
         self.shared.addr
     }
 
-    /// Run the accept loop on the calling thread until `/admin/shutdown`.
+    /// Run the daemon on the calling thread until `/admin/shutdown`.
     /// Spawns the worker pool; joins it before returning, so when `run`
     /// returns every admitted request has been answered.
     pub fn run(self) -> io::Result<()> {
+        match self.shared.config.mode {
+            ServeMode::Reactor => self.run_reactor(),
+            ServeMode::Threaded => self.run_threaded(),
+        }
+    }
+
+    /// Reactor mode: connection I/O on this thread, execution on the
+    /// worker pool, completions routed back through the wakeup pipe.
+    fn run_reactor(self) -> io::Result<()> {
+        let workers: Vec<_> = (0..self.shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&self.shared);
+                // Belt and braces as in threaded mode: `execute_loop`
+                // catches panics per task, but if one ever escapes the
+                // plumbing, count it and re-enter — the pool never
+                // shrinks.
+                std::thread::spawn(move || loop {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| execute_loop(&shared))) {
+                        Ok(()) => break,
+                        Err(_) => {
+                            shared
+                                .metrics
+                                .worker_panics_total
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let result = reactor::run(self.listener, &self.shared);
+
+        // The reactor only returns once every connection is closed; any
+        // queued task belongs to a connection it already dropped, so
+        // closing the queue and joining loses no answered request.
+        self.shared.tasks.close();
+        self.shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        result
+    }
+
+    /// Legacy threaded mode: the accept loop on this thread, whole
+    /// connections popped and served by the worker pool.
+    fn run_threaded(self) -> io::Result<()> {
         let workers: Vec<_> = (0..self.shared.config.workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&self.shared);
@@ -329,6 +438,10 @@ fn lingering_close(stream: TcpStream) {
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .open_connections
+            .fetch_add(1, Ordering::Relaxed);
         // A panic anywhere in the connection (handler bugs, injected via
         // `X-Debug-Panic` in tests) drops that connection only: it is
         // counted, the socket closes by drop, and this worker moves on to
@@ -339,6 +452,85 @@ fn worker_loop(shared: &Shared) {
                 .worker_panics_total
                 .fetch_add(1, Ordering::Relaxed);
         }
+        shared
+            .metrics
+            .open_connections
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Reactor-mode worker loop: execute parsed requests, post serialized
+/// responses back, ring the doorbell. A panic in the handler is caught
+/// per-task; the connection gets an abort completion (dropped without a
+/// response) and the worker lives on.
+fn execute_loop(shared: &Shared) {
+    while let Some(task) = shared.tasks.pop() {
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let token = task.token;
+        let completion =
+            match std::panic::catch_unwind(AssertUnwindSafe(|| execute_task(shared, &task))) {
+                Ok(completion) => completion,
+                Err(_) => {
+                    shared
+                        .metrics
+                        .worker_panics_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    Completion {
+                        token,
+                        bytes: None,
+                        close: true,
+                    }
+                }
+            };
+        shared.completions.push(completion);
+        shared.wakeup.notify();
+    }
+}
+
+/// Execute one parsed request: debug hooks, dispatch, metrics, response
+/// serialization, and the keep-alive-vs-close decision — everything the
+/// threaded path does between `read_request` and `write_response`, minus
+/// the socket.
+fn execute_task(shared: &Shared, task: &Task) -> Completion {
+    let request = &task.request;
+    if shared.config.debug_sleep {
+        if request.header("x-debug-panic").is_some() {
+            panic!("panic injected by X-Debug-Panic");
+        }
+        if let Some(ms) = request
+            .header("x-debug-sleep-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+        }
+    }
+
+    let started = Instant::now();
+    let (endpoint, response) = dispatch(shared, request, task.deadline);
+    let elapsed = started.elapsed().as_nanos() as u64;
+    match endpoint {
+        "route" => shared.metrics.route_latency.observe(elapsed),
+        "route_batch" => shared.metrics.batch_latency.observe(elapsed),
+        _ => {}
+    }
+    shared.metrics.record(endpoint, response.status);
+
+    let shutting_down = endpoint == "shutdown" && response.status == 200;
+    if shutting_down {
+        // The wakeup rung for this completion also pops the reactor out
+        // of its wait to observe the flag.
+        shared.stop.store(true, Ordering::SeqCst);
+    }
+    let close = task.force_close
+        || !request.wants_keep_alive()
+        || shutting_down
+        || shared.stop.load(Ordering::SeqCst);
+    let mut bytes = Vec::new();
+    write_response(&mut bytes, &response, close).expect("serializing into a Vec cannot fail");
+    Completion {
+        token: task.token,
+        bytes: Some(bytes),
+        close,
     }
 }
 
@@ -381,7 +573,11 @@ fn serve_connection(shared: &Shared, job: Job) {
                 shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
                 shared.metrics.record("queue", 504);
                 writer.deadline = Instant::now() + ERROR_WRITE_GRACE;
-                let _ = write_response(&mut writer, &Response::error(504, "deadline exceeded"), true);
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(504, "deadline exceeded"),
+                    true,
+                );
                 // The request was never read; close gently or the RST
                 // eats the 504.
                 lingering_close(writer.stream);

@@ -140,6 +140,30 @@ pub struct Metrics {
     /// Handler panics caught by the worker pool; the connection dropped
     /// but the worker survived.
     pub worker_panics_total: AtomicU64,
+    /// Currently open client connections (accepted, not yet closed).
+    pub open_connections: AtomicU64,
+    /// Connections per reactor state, indexed by [`ConnState`]. The
+    /// legacy threaded path leaves these at zero.
+    pub connections_state: [AtomicU64; CONN_STATES.len()],
+    /// Times the reactor's poll wait returned (readiness, doorbell, or
+    /// timer tick).
+    pub reactor_wakeups_total: AtomicU64,
+    /// `EAGAIN`/`EWOULDBLOCK` results across reactor reads, writes, and
+    /// accepts — each one is a syscall that found no progress to make.
+    pub eagain_total: AtomicU64,
+}
+
+/// Reactor connection states, in gauge order.
+pub const CONN_STATES: [&str; 5] = ["reading", "executing", "writing", "idle", "draining"];
+
+/// Index into [`Metrics::connections_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    Reading = 0,
+    Executing = 1,
+    Writing = 2,
+    Idle = 3,
+    Draining = 4,
 }
 
 impl Metrics {
@@ -156,6 +180,21 @@ impl Metrics {
             reload_total: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             worker_panics_total: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            connections_state: Default::default(),
+            reactor_wakeups_total: AtomicU64::new(0),
+            eagain_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Move one connection between state gauges; `None` on either side
+    /// means entering from accept / leaving by close.
+    pub fn transition(&self, from: Option<ConnState>, to: Option<ConnState>) {
+        if let Some(from) = from {
+            self.connections_state[from as usize].fetch_sub(1, Ordering::Relaxed);
+        }
+        if let Some(to) = to {
+            self.connections_state[to as usize].fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -227,6 +266,26 @@ impl Metrics {
             self.reload_total.load(Ordering::Relaxed),
             self.connections_total.load(Ordering::Relaxed),
             self.worker_panics_total.load(Ordering::Relaxed),
+        ));
+        out.push_str(&format!(
+            "# TYPE dbselectd_open_connections gauge\n\
+             dbselectd_open_connections {}\n",
+            self.open_connections.load(Ordering::Relaxed),
+        ));
+        out.push_str("# TYPE dbselectd_connections_state gauge\n");
+        for (state, gauge) in CONN_STATES.iter().zip(&self.connections_state) {
+            out.push_str(&format!(
+                "dbselectd_connections_state{{state=\"{state}\"}} {}\n",
+                gauge.load(Ordering::Relaxed),
+            ));
+        }
+        out.push_str(&format!(
+            "# TYPE dbselectd_reactor_wakeups_total counter\n\
+             dbselectd_reactor_wakeups_total {}\n\
+             # TYPE dbselectd_eagain_total counter\n\
+             dbselectd_eagain_total {}\n",
+            self.reactor_wakeups_total.load(Ordering::Relaxed),
+            self.eagain_total.load(Ordering::Relaxed),
         ));
         out.push_str(&format!(
             "# TYPE dbselectd_posterior_cache_hits_total counter\n\
@@ -354,5 +413,32 @@ mod tests {
         assert!(text.contains("dbselectd_catalog_snapshot_bytes 4096"));
         assert!(text.contains("dbselectd_connections_total 0"));
         assert!(text.contains("dbselectd_worker_panics_total 0"));
+        assert!(text.contains("dbselectd_open_connections 0"));
+        assert!(text.contains("dbselectd_reactor_wakeups_total 0"));
+        assert!(text.contains("dbselectd_eagain_total 0"));
+        for state in CONN_STATES {
+            assert!(
+                text.contains(&format!(
+                    "dbselectd_connections_state{{state=\"{state}\"}} 0"
+                )),
+                "missing state gauge {state}:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_transitions_balance_the_gauges() {
+        let m = Metrics::new();
+        m.transition(None, Some(ConnState::Reading));
+        m.transition(Some(ConnState::Reading), Some(ConnState::Executing));
+        m.transition(Some(ConnState::Executing), Some(ConnState::Writing));
+        m.transition(Some(ConnState::Writing), Some(ConnState::Idle));
+        let text = m.render(broker::CacheStats::default(), 1, 1, 0.0, 0);
+        assert!(text.contains("dbselectd_connections_state{state=\"idle\"} 1"));
+        assert!(text.contains("dbselectd_connections_state{state=\"reading\"} 0"));
+        assert!(text.contains("dbselectd_connections_state{state=\"writing\"} 0"));
+        m.transition(Some(ConnState::Idle), None);
+        let text = m.render(broker::CacheStats::default(), 1, 1, 0.0, 0);
+        assert!(text.contains("dbselectd_connections_state{state=\"idle\"} 0"));
     }
 }

@@ -1,11 +1,18 @@
-//! The daemon's bounded admission queue.
+//! The daemon's bounded admission queue and the reactor's completion
+//! mailbox.
 //!
-//! The accept loop pushes connections with [`BoundedQueue::try_push`],
-//! which **fails immediately when the queue is full** — that failure is
-//! the admission-control signal the caller turns into `503` +
-//! `Retry-After`. Workers block on [`BoundedQueue::pop`]. Closing the
-//! queue lets workers drain what was already admitted, then return `None`
-//! so they can exit.
+//! The accept loop (threaded mode) or the reactor (parsed requests)
+//! pushes work with [`BoundedQueue::try_push`], which **fails immediately
+//! when the queue is full** — that failure is the admission-control
+//! signal the caller turns into `503` + `Retry-After`. Workers block on
+//! [`BoundedQueue::pop`]. Closing the queue lets workers drain what was
+//! already admitted, then return `None` so they can exit.
+//!
+//! [`CompletionQueue`] carries finished work the other way: workers push
+//! (then ring the reactor's wakeup pipe), the reactor drains without ever
+//! blocking. It is unbounded because its depth is already bounded by the
+//! admission queue's capacity — every completion corresponds to an
+//! admitted task.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -82,10 +89,56 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// Nonblocking MPSC mailbox for worker → reactor completions.
+pub struct CompletionQueue<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> CompletionQueue<T> {
+    pub fn new() -> Self {
+        CompletionQueue {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Post one completion. The caller must separately wake the consumer
+    /// (the queue itself never blocks or signals).
+    pub fn push(&self, item: T) {
+        self.items
+            .lock()
+            .expect("completions poisoned")
+            .push_back(item);
+    }
+
+    /// Take the oldest pending completion, if any. Never blocks.
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().expect("completions poisoned").pop_front()
+    }
+}
+
+impl<T> Default for CompletionQueue<T> {
+    fn default() -> Self {
+        CompletionQueue::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn completion_queue_is_fifo_and_nonblocking() {
+        let q = CompletionQueue::new();
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.pop(), Some(1));
+        q.push(3);
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
 
     #[test]
     fn full_queue_rejects_instead_of_blocking() {

@@ -90,7 +90,15 @@ pub fn temp_path(tag: &str) -> std::path::PathBuf {
 
 /// Start a daemon on an OS-assigned port; returns its address and the
 /// accept-loop thread (joined after `/admin/shutdown`).
-pub fn start(config: ServerConfig, state: ServingState) -> (SocketAddr, JoinHandle<()>) {
+///
+/// CI runs the whole integration suite against both connection paths:
+/// `DBSELECTD_TEST_MODE=threaded` flips every daemon started here onto
+/// the legacy thread-per-connection path. Tests that genuinely require
+/// one specific path bind the server directly instead.
+pub fn start(mut config: ServerConfig, state: ServingState) -> (SocketAddr, JoinHandle<()>) {
+    if std::env::var("DBSELECTD_TEST_MODE").as_deref() == Ok("threaded") {
+        config.mode = server::ServeMode::Threaded;
+    }
     let daemon = Server::bind(config, state).expect("bind");
     let addr = daemon.local_addr();
     let handle = std::thread::spawn(move || daemon.run().expect("run"));

@@ -223,7 +223,10 @@ fn client_that_never_reads_cannot_pin_the_worker() {
     // response without costing routing work.
     let pad: Vec<String> = (0..30).map(|i| format!("zzzunknownpad{i:03}")).collect();
     let query = format!("\"heart {}\"", pad.join(" "));
-    let body = format!(r#"{{"queries":[{}],"seed":7}}"#, vec![query; 10_000].join(","));
+    let body = format!(
+        r#"{{"queries":[{}],"seed":7}}"#,
+        vec![query; 10_000].join(",")
+    );
     let request = format!(
         "POST /route_batch HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()

@@ -1,0 +1,170 @@
+//! Property tests pinning the reactor's incremental parser to the
+//! streaming one: a valid pipelined request stream must parse to the
+//! same requests whether it arrives in one buffer, one byte at a time
+//! (every split boundary), or in random chunks — and must match what the
+//! threaded path's `read_request` reads off the same stream.
+
+use proptest::prelude::*;
+use std::io::BufReader;
+
+use server::http::{read_request, try_parse, Limits, ParseStatus, Request};
+
+/// A generated request, pre-serialization.
+#[derive(Debug, Clone)]
+struct GenRequest {
+    method: String,
+    target: String,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+    http10: bool,
+    bare_lf: bool,
+}
+
+impl GenRequest {
+    fn serialize(&self) -> Vec<u8> {
+        let eol: &[u8] = if self.bare_lf { b"\n" } else { b"\r\n" };
+        let version = if self.http10 { "HTTP/1.0" } else { "HTTP/1.1" };
+        let mut out = Vec::new();
+        out.extend_from_slice(format!("{} {} {}", self.method, self.target, version).as_bytes());
+        out.extend_from_slice(eol);
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}").as_bytes());
+            out.extend_from_slice(eol);
+        }
+        if !self.body.is_empty() {
+            out.extend_from_slice(format!("Content-Length: {}", self.body.len()).as_bytes());
+            out.extend_from_slice(eol);
+        }
+        out.extend_from_slice(eol);
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+fn gen_request() -> impl Strategy<Value = GenRequest> {
+    (
+        "[A-Z]{1,7}",
+        "/[a-zA-Z0-9_/.-]{0,24}",
+        prop::collection::vec(
+            (
+                // Names that cannot collide with the framing headers the
+                // generator itself controls.
+                "[Xx][A-Za-z-]{1,11}",
+                // Values: printable ASCII; inner whitespace survives the
+                // trim, edge whitespace is trimmed identically everywhere.
+                "[a-zA-Z0-9 :,;=/-]{0,24}",
+            ),
+            0..4,
+        ),
+        prop::collection::vec(any::<u8>(), 0..48),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(method, target, headers, body, http10, bare_lf)| GenRequest {
+                method,
+                target,
+                headers,
+                body,
+                http10,
+                bare_lf,
+            },
+        )
+}
+
+/// Parse the whole stream with `try_parse`, re-invoked on the remaining
+/// buffer after each complete request (the "one-shot" reference).
+fn parse_one_shot(stream: &[u8], limits: &Limits) -> Vec<Request> {
+    let mut buf = stream.to_vec();
+    let mut requests = Vec::new();
+    loop {
+        match try_parse(&buf, limits).expect("generated stream must be valid") {
+            ParseStatus::Complete { request, consumed } => {
+                buf.drain(..consumed);
+                requests.push(request);
+            }
+            ParseStatus::NeedMore => {
+                assert!(buf.is_empty(), "leftover bytes that never complete");
+                return requests;
+            }
+        }
+    }
+}
+
+/// Parse the stream arriving in `chunks`-sized pieces, re-parsing after
+/// every arrival exactly like the reactor's read loop does.
+fn parse_incremental(stream: &[u8], chunk_sizes: &[usize], limits: &Limits) -> Vec<Request> {
+    let mut requests = Vec::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut fed = 0;
+    let mut sizes = chunk_sizes.iter().copied().cycle();
+    while fed < stream.len() {
+        let n = sizes.next().unwrap_or(1).clamp(1, stream.len() - fed);
+        buf.extend_from_slice(&stream[fed..fed + n]);
+        fed += n;
+        // Drain every request that completed with this chunk (the
+        // reactor parses once per chunk, then again after each write —
+        // same fixpoint, reached in a loop here).
+        while let ParseStatus::Complete { request, consumed } =
+            try_parse(&buf, limits).expect("generated stream must be valid")
+        {
+            buf.drain(..consumed);
+            requests.push(request);
+        }
+    }
+    assert!(buf.is_empty(), "incremental parse left unconsumed bytes");
+    requests
+}
+
+/// Read the same stream with the threaded path's blocking parser.
+fn parse_streaming(stream: &[u8], count: usize, limits: &Limits) -> Vec<Request> {
+    let mut reader = BufReader::new(stream);
+    (0..count)
+        .map(|_| read_request(&mut reader, limits).expect("streaming parser must accept stream"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Byte-at-a-time arrival — every possible split boundary — parses
+    /// identically to the one-shot and streaming parsers.
+    #[test]
+    fn every_byte_boundary_parses_identically(
+        requests in prop::collection::vec(gen_request(), 1..4),
+    ) {
+        let limits = Limits::default();
+        let stream: Vec<u8> = requests.iter().flat_map(|r| r.serialize()).collect();
+
+        let one_shot = parse_one_shot(&stream, &limits);
+        prop_assert_eq!(one_shot.len(), requests.len(), "every request must surface");
+
+        let byte_wise = parse_incremental(&stream, &[1], &limits);
+        prop_assert_eq!(&byte_wise, &one_shot, "byte-at-a-time must match one-shot");
+
+        let streaming = parse_streaming(&stream, requests.len(), &limits);
+        prop_assert_eq!(&streaming, &one_shot, "streaming parser must match one-shot");
+
+        // Parsed structure matches what was generated.
+        for (parsed, generated) in one_shot.iter().zip(&requests) {
+            prop_assert_eq!(&parsed.method, &generated.method);
+            prop_assert_eq!(&parsed.target, &generated.target);
+            prop_assert_eq!(&parsed.body, &generated.body);
+            prop_assert_eq!(parsed.version_minor, u8::from(!generated.http10));
+        }
+    }
+
+    /// Arbitrary chunking (sizes 1..32, cycled) parses identically too —
+    /// the parser cannot care where the kernel splits reads.
+    #[test]
+    fn random_chunk_splits_parse_identically(
+        requests in prop::collection::vec(gen_request(), 1..4),
+        chunk_sizes in prop::collection::vec(1usize..32, 1..8),
+    ) {
+        let limits = Limits::default();
+        let stream: Vec<u8> = requests.iter().flat_map(|r| r.serialize()).collect();
+        let one_shot = parse_one_shot(&stream, &limits);
+        let chunked = parse_incremental(&stream, &chunk_sizes, &limits);
+        prop_assert_eq!(chunked, one_shot);
+    }
+}

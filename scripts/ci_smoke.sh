@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
 # CI smoke test for dbselectd: index a tiny fixture, freeze a catalog,
-# start the daemon, check /healthz and /route, verify the served ranking
-# matches `dbselect route` on the same catalog, then shut down cleanly.
+# then run the full serve/route/fault/reload/shutdown battery against
+# BOTH connection paths — the event-driven reactor (default) and the
+# legacy thread-per-connection fallback — and finish with a 10k
+# idle-connection smoke against the reactor.
 set -euo pipefail
 
 DBSELECT=${DBSELECT:-./target/release/dbselect}
-ADDR=${ADDR:-127.0.0.1:7731}
 WORK=$(mktemp -d)
 SERVE_PID=
 # Kill the daemon too: a failed assertion must not leave it orphaned
 # (holding CI's output pipe open forever).
 trap 'rm -rf "$WORK"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# The 10k idle-connection smoke needs fds for 10k daemon-side sockets
+# plus 10k client-side ones.
+ulimit -n 25000 2>/dev/null || ulimit -n 20000 2>/dev/null || true
 
 # --- fixture: two tiny "databases" of text files --------------------------
 mkdir -p "$WORK/med" "$WORK/soccer"
@@ -28,53 +33,101 @@ printf 'the keeper saved a goal before the stadium crowd\n'   > "$WORK/soccer/b.
 # --- freeze a v2 serving snapshot; it must route like the v1 catalog ------
 "$DBSELECT" freeze --catalog "$WORK/col.catalog" --out "$WORK/col.snapshot"
 
-# --- start the daemon on the v2 snapshot ----------------------------------
-# Short deadline/idle-timeout so the fault-injection phase below finishes
-# quickly; both are still far above any healthy request's needs.
-"$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR" \
-    --deadline-ms 2000 --idle-timeout-ms 500 &
-SERVE_PID=$!
-for _ in $(seq 1 50); do
-    curl -sf "http://$ADDR/healthz" > /dev/null 2>&1 && break
-    sleep 0.2
-done
-curl -sf "http://$ADDR/healthz"
-echo
-
-# --- route over HTTP and via the CLI, same catalog, same seed -------------
 printf 'heart blood\n' > "$WORK/queries.txt"
 "$DBSELECT" route --catalog "$WORK/col.catalog" --queries "$WORK/queries.txt" \
     | tee "$WORK/cli.txt"
-curl -sf -X POST "http://$ADDR/route" -d '{"query":"heart blood"}' \
-    | tee "$WORK/http.json"
-echo
 
-python3 "$(dirname "$0")/smoke_diff.py" "$WORK/http.json" "$WORK/cli.txt"
+# One full smoke battery against a daemon serving with $1 on $2.
+smoke_pass() {
+    local mode_flag=$1 ADDR=$2
+    echo "=== smoke pass: $mode_flag on $ADDR ==="
 
-# --- metrics respond and count the served request -------------------------
-curl -sf "http://$ADDR/metrics" > "$WORK/metrics1.txt"
-grep 'dbselectd_requests_total{endpoint="route",status="200"} 1' "$WORK/metrics1.txt"
+    # Short deadline/idle-timeout so the fault-injection phase below
+    # finishes quickly; both are still far above any healthy request's
+    # needs.
+    "$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR" \
+        --deadline-ms 2000 --idle-timeout-ms 500 "$mode_flag" &
+    SERVE_PID=$!
+    for _ in $(seq 1 50); do
+        curl -sf "http://$ADDR/healthz" > /dev/null 2>&1 && break
+        sleep 0.2
+    done
+    curl -sf "http://$ADDR/healthz"
+    echo
 
-# --- catalog gauges are exported, with a real load time and file size -----
-grep '^dbselectd_catalog_generation 1$' "$WORK/metrics1.txt"
-grep '^dbselectd_catalog_load_seconds ' "$WORK/metrics1.txt"
-grep '^dbselectd_catalog_snapshot_bytes ' "$WORK/metrics1.txt"
-SNAP_BYTES=$(stat -c %s "$WORK/col.snapshot" 2>/dev/null || stat -f %z "$WORK/col.snapshot")
-grep "^dbselectd_catalog_snapshot_bytes $SNAP_BYTES\$" "$WORK/metrics1.txt"
+    # --- route over HTTP and via the CLI, same catalog, same seed ---------
+    curl -sf -X POST "http://$ADDR/route" -d '{"query":"heart blood"}' \
+        | tee "$WORK/http.json"
+    echo
+    python3 "$(dirname "$0")/smoke_diff.py" "$WORK/http.json" "$WORK/cli.txt"
 
-# --- fault injection: slow clients must not wedge or panic the pool -------
-python3 "$(dirname "$0")/fault_inject.py" "$ADDR" 2.0
-curl -sf "http://$ADDR/healthz" > /dev/null   # pool still serves …
-curl -sf "http://$ADDR/metrics" > "$WORK/metrics2.txt"
-grep '^dbselectd_worker_panics_total 0$' "$WORK/metrics2.txt"   # … and never panicked
+    # --- metrics respond and count the served request ---------------------
+    curl -sf "http://$ADDR/metrics" > "$WORK/metrics1.txt"
+    grep 'dbselectd_requests_total{endpoint="route",status="200"} 1' "$WORK/metrics1.txt"
 
-# --- hot reload swaps the snapshot and bumps the generation gauge ---------
-curl -sf -X POST "http://$ADDR/admin/reload" -d "{\"path\":\"$WORK/col.snapshot\"}"
-echo
-curl -sf "http://$ADDR/metrics" | grep '^dbselectd_catalog_generation 2$'
+    # --- catalog gauges are exported, with a real load time and size ------
+    grep '^dbselectd_catalog_generation 1$' "$WORK/metrics1.txt"
+    grep '^dbselectd_catalog_load_seconds ' "$WORK/metrics1.txt"
+    grep '^dbselectd_catalog_snapshot_bytes ' "$WORK/metrics1.txt"
+    SNAP_BYTES=$(stat -c %s "$WORK/col.snapshot" 2>/dev/null || stat -f %z "$WORK/col.snapshot")
+    grep "^dbselectd_catalog_snapshot_bytes $SNAP_BYTES\$" "$WORK/metrics1.txt"
 
-# --- clean shutdown: daemon exits 0 after /admin/shutdown -----------------
-curl -sf -X POST "http://$ADDR/admin/shutdown"
+    # --- connection gauges: both modes track open connections -------------
+    # The scraping connection itself is open and mid-request, so the
+    # gauge is at least 1 at scrape time.
+    grep -E '^dbselectd_open_connections [1-9][0-9]*$' "$WORK/metrics1.txt"
+    for state in reading executing writing idle draining; do
+        grep "^dbselectd_connections_state{state=\"$state\"} " "$WORK/metrics1.txt"
+    done
+    grep '^dbselectd_eagain_total ' "$WORK/metrics1.txt"
+    if [ "$mode_flag" = --reactor ]; then
+        # The reactor's loop has demonstrably turned …
+        grep -E '^dbselectd_reactor_wakeups_total [1-9][0-9]*$' "$WORK/metrics1.txt"
+        # … and the scraping request is the one executing connection.
+        grep 'dbselectd_connections_state{state="executing"} 1' "$WORK/metrics1.txt"
+    else
+        # The threaded path never spins a reactor.
+        grep '^dbselectd_reactor_wakeups_total 0$' "$WORK/metrics1.txt"
+    fi
+
+    # --- fault injection: slow clients must not wedge or panic the pool ---
+    python3 "$(dirname "$0")/fault_inject.py" "$ADDR" 2.0
+    curl -sf "http://$ADDR/healthz" > /dev/null   # pool still serves …
+    curl -sf "http://$ADDR/metrics" > "$WORK/metrics2.txt"
+    grep '^dbselectd_worker_panics_total 0$' "$WORK/metrics2.txt"   # … and never panicked
+
+    # --- hot reload swaps the snapshot and bumps the generation gauge -----
+    curl -sf -X POST "http://$ADDR/admin/reload" -d "{\"path\":\"$WORK/col.snapshot\"}"
+    echo
+    curl -sf "http://$ADDR/metrics" | grep '^dbselectd_catalog_generation 2$'
+
+    # --- clean shutdown: daemon exits 0 after /admin/shutdown -------------
+    curl -sf -X POST "http://$ADDR/admin/shutdown"
+    echo
+    wait "$SERVE_PID"
+    SERVE_PID=
+    echo "=== smoke pass $mode_flag: ok ==="
+}
+
+smoke_pass --reactor          "${ADDR:-127.0.0.1:7731}"
+smoke_pass --legacy-threaded  "${ADDR2:-127.0.0.1:7732}"
+
+# --- 10k idle keep-alive connections on a fixed worker pool ---------------
+# Reactor only: the whole point of the refactor is that parked
+# connections cost a slab slot, not a thread. A long idle timeout keeps
+# them parked for the duration; the worker pool stays at the default.
+ADDR3=${ADDR3:-127.0.0.1:7733}
+"$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR3" \
+    --deadline-ms 5000 --idle-timeout-ms 120000 --reactor &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR3/healthz" > /dev/null 2>&1 && break
+    sleep 0.2
+done
+python3 "$(dirname "$0")/idle_soak.py" "$ADDR3" 10000
+curl -sf -X POST "http://$ADDR3/admin/shutdown"
 echo
 wait "$SERVE_PID"
+SERVE_PID=
+
 echo "smoke test passed"
