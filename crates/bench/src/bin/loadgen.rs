@@ -338,6 +338,40 @@ fn run_keep_alive_phase(
     }
 }
 
+/// Boot a fresh daemon serving `path` as every tenant in `tenants`, with
+/// the scoring phase scattered over `shards` catalog shards (1 =
+/// monolithic). Used by the tenant/shard matrix phases, which need
+/// bind-time configuration the main daemon was not started with.
+fn boot_matrix_daemon(
+    path: &std::path::Path,
+    tenants: &[&str],
+    shards: usize,
+    workers: usize,
+) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: 256,
+        deadline: Duration::from_secs(10),
+        idle_timeout: Duration::from_secs(300),
+        shards,
+        ..Default::default()
+    };
+    let states = tenants
+        .iter()
+        .map(|name| {
+            let state =
+                ServingState::load_sharded(path.to_str().unwrap(), config.cache_capacity, shards)
+                    .expect("load fixture for matrix daemon");
+            (name.to_string(), state)
+        })
+        .collect();
+    let daemon = Server::bind_tenants(config, states).expect("bind matrix daemon");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run().expect("matrix daemon run"));
+    (addr, handle)
+}
+
 fn phase_json(name: &str, clients: usize, result: &PhaseResult) -> String {
     format!(
         r#"    "{name}": {{
@@ -589,6 +623,71 @@ fn main() {
     let (status, _) = exchange(addr, &post_bytes("/admin/shutdown", "")).expect("shutdown");
     assert_eq!(status, 200);
     accept_loop.join().expect("accept loop");
+
+    // Phase 4: shard matrix. The same catalog served monolithically and
+    // scattered over 2 and 4 shards, driven by a single keep-alive client
+    // so the measurement is the scatter's intra-query parallelism, not
+    // client concurrency (under saturation every core is busy either
+    // way). Rankings are bit-identical across rows; only latency moves.
+    // On this tiny fixture (30 dbs, ~µs of scoring per query) the
+    // scatter's thread coordination usually costs more than it saves —
+    // the row exists to price that overhead and to track the trend.
+    let mut shard_rows = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let (maddr, mhandle) = boot_matrix_daemon(&path, &["default"], shards, workers);
+        let result = run_keep_alive_phase(maddr, &keep_alive_bodies, 1, duration);
+        assert_eq!(result.errors, 0, "shard={shards} matrix phase errored");
+        let (status, _) = exchange(maddr, &post_bytes("/admin/shutdown", "")).expect("shutdown");
+        assert_eq!(status, 200);
+        mhandle.join().expect("matrix daemon");
+        eprintln!(
+            "/route shards={shards} {:>8.1} rps, p50 {}",
+            result.rps(),
+            server::metrics::format_nanos(result.histogram.percentile(0.50))
+        );
+        shard_rows.push((shards, result));
+    }
+    let shard_p50_base = shard_rows[0].1.histogram.percentile(0.50) as f64;
+    let shard_speedup = shard_p50_base
+        / (shard_rows.last().unwrap().1.histogram.percentile(0.50) as f64).max(f64::MIN_POSITIVE);
+
+    // Phase 5: tenant matrix. Four tenants of the same catalog behind
+    // /t/<name>/route, clients rotating across tenants — the rps delta
+    // against the single-tenant keep-alive phase is the whole cost of
+    // tenant dispatch (name lookup, quota gate, per-tenant metrics).
+    let tenant_names = ["t0", "t1", "t2", "t3"];
+    let (taddr, thandle) = boot_matrix_daemon(&path, &tenant_names, 1, workers);
+    let tenant_bodies: Vec<Vec<u8>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            post_bytes_keep_alive(
+                &format!("/t/{}/route", tenant_names[i % tenant_names.len()]),
+                &format!(r#"{{"query":"{q}","seed":42}}"#),
+            )
+        })
+        .collect();
+    let tenant_phase = run_keep_alive_phase(taddr, &tenant_bodies, clients, duration);
+    assert_eq!(tenant_phase.errors, 0, "tenant matrix phase errored");
+    // Label isolation on the wire: every tenant shows up in /metrics
+    // under its own label.
+    let (status, tenant_metrics) = exchange(taddr, &get_bytes("/metrics", false)).expect("metrics");
+    assert_eq!(status, 200);
+    for name in tenant_names {
+        assert!(
+            tenant_metrics.contains(&format!("tenant=\"{name}\"")),
+            "tenant {name} missing from /metrics"
+        );
+    }
+    let (status, _) = exchange(taddr, &post_bytes("/admin/shutdown", "")).expect("shutdown");
+    assert_eq!(status, 200);
+    thandle.join().expect("tenant matrix daemon");
+    let tenant_overhead = keep_alive.rps() / tenant_phase.rps().max(f64::MIN_POSITIVE);
+    eprintln!(
+        "/t/<name>/route (4 tenants) {:>8.1} rps ({tenant_overhead:.2}x single-tenant rps)",
+        tenant_phase.rps(),
+    );
+
     std::fs::remove_file(&path).ok();
 
     println!(
@@ -605,7 +704,21 @@ fn main() {
 {healthz_keep_alive_json},
 {healthz_soaked_json},
 {batch_json},
-{under_reload_json}
+{under_reload_json},
+{shards_1_json},
+{shards_2_json},
+{shards_4_json},
+{tenant_matrix_json}
+  }},
+  "shard_matrix": {{
+    "rows": [1, 2, 4],
+    "single_client_p50_speedup_4_shards_vs_1": {shard_speedup:.2},
+    "note": "one keep-alive client against the same catalog at 1/2/4 shards; rankings bit-identical, only the scoring scatter differs. tiny(30) scores in ~µs, so scatter thread coordination dominates — the row prices that overhead"
+  }},
+  "tenant_matrix": {{
+    "tenants": 4,
+    "rps_ratio_single_tenant_vs_4_tenants": {tenant_overhead:.2},
+    "note": "clients rotate /t/t0..t3/route over the same catalog; ratio vs route_keep_alive is the cost of tenant dispatch (lookup, quota gate, per-tenant metrics)"
   }},
   "idle_soak": {{
     "requested_conns": {idle_conns},
@@ -659,6 +772,12 @@ fn main() {
         conn_speedup = conn_speedup,
         batch_json = phase_json("route_batch", clients.min(4), &batch),
         under_reload_json = phase_json("route_under_reload", clients, &under_reload),
+        shards_1_json = phase_json("route_keep_alive_shards_1", 1, &shard_rows[0].1),
+        shards_2_json = phase_json("route_keep_alive_shards_2", 1, &shard_rows[1].1),
+        shards_4_json = phase_json("route_keep_alive_shards_4", 1, &shard_rows[2].1),
+        tenant_matrix_json = phase_json("route_tenant_matrix", clients, &tenant_phase),
+        shard_speedup = shard_speedup,
+        tenant_overhead = tenant_overhead,
         reloads = reloads,
         rl_p50 = reload_hist.percentile(0.50),
         rl_p99 = reload_hist.percentile(0.99),

@@ -84,8 +84,9 @@ pub struct Postings<'a> {
 impl PostingIndex {
     /// Build the index from frozen unshrunk summaries. Iterating databases
     /// in ascending order keeps every term's postings sorted by database
-    /// index without an explicit sort.
-    fn build(unshrunk: &[FrozenSummary]) -> PostingIndex {
+    /// index without an explicit sort. (`pub(crate)` so the shard planner
+    /// can index its sub-catalogs.)
+    pub(crate) fn build(unshrunk: &[FrozenSummary]) -> PostingIndex {
         let mut terms: Vec<TermId> = unshrunk.iter().flat_map(|s| s.terms()).copied().collect();
         terms.sort_unstable();
         terms.dedup();

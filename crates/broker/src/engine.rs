@@ -43,7 +43,8 @@ use rand::Rng;
 use sampling::scheduler::{db_rng, fan_out_chunks_with};
 use selection::{
     rank_databases_with_context, score_is_uncertain_with_posteriors, AdaptiveConfig,
-    AdaptiveOutcome, IndexedView, SelectionAlgorithm, ShrinkageMode,
+    AdaptiveOutcome, CollectionContext, IndexedView, RankedDatabase, SelectionAlgorithm,
+    ShrinkageMode,
 };
 use textindex::TermId;
 
@@ -161,6 +162,13 @@ impl SelectionEngine {
         &self.catalog
     }
 
+    /// The engine's selection algorithm (shared; shard scorers built from
+    /// this engine score with the *same* `Arc`, so float behavior cannot
+    /// drift between the monolithic and sharded paths).
+    pub fn algorithm(&self) -> Arc<dyn SelectionAlgorithm + Send + Sync> {
+        Arc::clone(&self.algorithm)
+    }
+
     /// The engine's adaptive-selection configuration.
     pub fn config(&self) -> &AdaptiveConfig {
         &self.config
@@ -243,12 +251,32 @@ impl SelectionEngine {
         rng: &mut R,
         scratch: &mut RouteScratch,
     ) -> AdaptiveOutcome {
+        let used_shrinkage = self.choose_summaries(query, rng, scratch);
+        let ctx = self.catalog.scoring_context(query, &used_shrinkage);
+        let ranking = self.score_partition(query, &ctx, &used_shrinkage, None, scratch);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
+    /// The Content Summary Selection phase alone: decide, per database,
+    /// whether scoring uses the shrunk summary. In `Adaptive` mode every
+    /// database is tested *in catalog order against one shared `rng`* — the
+    /// Monte-Carlo stream is inherently sequential, which is why the shard
+    /// scatter-gather ([`crate::shard::ShardedEngine`]) runs this phase on
+    /// the full catalog and only scatters the scoring phase.
+    pub fn choose_summaries<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> Vec<bool> {
         let n = self.catalog.len();
 
-        // Content Summary Selection step. (`used_shrinkage` is handed to
-        // the caller inside the outcome, so it is the one per-query
-        // allocation that cannot come from scratch.)
-        let used_shrinkage: Vec<bool> = match self.config.mode {
+        // (`used_shrinkage` is handed to the caller inside the outcome, so
+        // it is the one per-query allocation that cannot come from scratch.)
+        match self.config.mode {
             ShrinkageMode::Always => vec![true; n],
             ShrinkageMode::Never => vec![false; n],
             ShrinkageMode::Adaptive if query.is_empty() => vec![false; n],
@@ -276,32 +304,53 @@ impl SelectionEngine {
                     })
                     .collect()
             }
-        };
+        }
+    }
 
-        // Scoring + Ranking steps over posting-list candidates.
+    /// The Scoring + Ranking phase alone, over posting-list candidates,
+    /// against a caller-supplied collection context.
+    ///
+    /// `ctx` must be the context of the collection the ranking is *about* —
+    /// for monolithic routing that is this engine's own
+    /// [`Catalog::scoring_context`]; for a shard scorer it is the context of
+    /// the **full** catalog, because scores depend on `(m, cf, mcw)` and
+    /// shard-local statistics would change every float. `used_shrinkage` is
+    /// indexed by this engine's local database order; `global_indices`, when
+    /// given, maps each local database to the index reported in the ranking
+    /// (a shard reporting positions in the unsharded catalog). Per-database
+    /// scores are pure functions of `(algorithm, query, view, ctx)`, so a
+    /// partition scored here and merged by
+    /// [`selection::merge::merge_rankings`] is bit-identical to the
+    /// monolithic ranking.
+    pub fn score_partition(
+        &self,
+        query: &[TermId],
+        ctx: &CollectionContext,
+        used_shrinkage: &[bool],
+        global_indices: Option<&[u32]>,
+        scratch: &mut RouteScratch,
+    ) -> Vec<RankedDatabase> {
+        let n = self.catalog.len();
+        debug_assert_eq!(used_shrinkage.len(), n);
         self.catalog.candidates_into(query, &mut scratch.candidates);
         let candidates = &scratch.candidates;
-        let ctx = self.catalog.scoring_context(query, &used_shrinkage);
         let items = (0..n).filter_map(|db| {
+            let index = global_indices.map_or(db, |g| g[db] as usize);
             if used_shrinkage[db] {
                 Some(IndexedView {
-                    index: db,
+                    index,
                     view: self.catalog.shrunk(db) as &dyn SummaryView,
                 })
             } else if candidates[db] {
                 Some(IndexedView {
-                    index: db,
+                    index,
                     view: self.catalog.unshrunk(db) as &dyn SummaryView,
                 })
             } else {
                 None
             }
         });
-        let ranking = rank_databases_with_context(self.algorithm.as_ref(), query, items, &ctx);
-        AdaptiveOutcome {
-            ranking,
-            used_shrinkage,
-        }
+        rank_databases_with_context(self.algorithm.as_ref(), query, items, ctx)
     }
 
     /// Route a batch of queries over `threads` worker threads. Query `i`

@@ -9,7 +9,8 @@
 //! dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
 //! dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
 //!                [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
-//! dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
+//! dbselect serve (--catalog CATALOG | --tenants DIR) [--addr HOST:PORT]
+//!                [--workers N] [--queue N] [--shards N] [--tenant-quota N]
 //!                [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
 //!                [--cache N]
 //! dbselect inspect --store STORE [--db NAME]
@@ -62,7 +63,8 @@ USAGE:
                   --out SNAPSHOT
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
                  [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
-  dbselect serve --catalog CATALOG [--addr HOST:PORT] [--workers N] [--queue N]
+  dbselect serve (--catalog CATALOG | --tenants DIR) [--addr HOST:PORT]
+                 [--workers N] [--queue N] [--shards N] [--tenant-quota N]
                  [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
                  [--cache N] [--reactor | --legacy-threaded]
   dbselect inspect --store STORE [--db NAME]
@@ -89,6 +91,14 @@ By default connection I/O runs on an event-driven reactor (--reactor)
 that multiplexes every socket on one thread while --workers threads
 execute requests; --legacy-threaded restores the thread-per-connection
 path. Both serve bit-identical responses.
+
+`serve --tenants DIR` hosts every snapshot in DIR (one tenant per
+*.snap/*.cat file, named by its stem) behind /t/<name>/route,
+/t/<name>/route_batch and /t/<name>/admin/reload; bare paths alias the
+tenant named `default` (or the first, by name). --tenant-quota caps
+in-flight routing requests per tenant (503 + Retry-After beyond it);
+--shards N scatters each query's scoring phase across N catalog shards
+and merges — rankings stay bit-identical to --shards 1.
 ";
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
@@ -290,6 +300,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut catalog_path = None;
+    let mut tenants_dir = None;
     let mut config = server::ServerConfig {
         addr: "127.0.0.1:7700".to_string(),
         ..Default::default()
@@ -298,6 +309,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--catalog" => catalog_path = Some(next_value(&mut it, "--catalog")?),
+            "--tenants" => tenants_dir = Some(next_value(&mut it, "--tenants")?),
             "--addr" => config.addr = next_value(&mut it, "--addr")?,
             "--workers" => {
                 config.workers = next_value(&mut it, "--workers")?
@@ -331,20 +343,66 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--cache expects an integer (0 = unbounded)".to_string())?;
             }
+            "--shards" => {
+                config.shards = next_value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|_| "--shards expects an integer".to_string())?;
+            }
+            "--tenant-quota" => {
+                config.tenant_quota = next_value(&mut it, "--tenant-quota")?
+                    .parse()
+                    .map_err(|_| "--tenant-quota expects an integer (0 = unlimited)".to_string())?;
+            }
             "--debug-sleep" => config.debug_sleep = true,
             "--reactor" => config.mode = server::ServeMode::Reactor,
             "--legacy-threaded" => config.mode = server::ServeMode::Threaded,
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
-    let catalog_path = catalog_path.ok_or("serve requires --catalog CATALOG")?;
-    let state = server::state::ServingState::load(&catalog_path, config.cache_capacity)
-        .map_err(|e| format!("{catalog_path}: {e}"))?;
-    let daemon = server::Server::bind(config, state).map_err(|e| e.to_string())?;
-    println!(
-        "dbselectd listening on {} (catalog {catalog_path})",
-        daemon.local_addr()
-    );
+    let daemon = match (catalog_path, tenants_dir) {
+        (Some(_), Some(_)) => {
+            return Err("serve takes either --catalog or --tenants, not both".to_string())
+        }
+        (None, None) => return Err("serve requires --catalog CATALOG or --tenants DIR".to_string()),
+        (Some(catalog_path), None) => {
+            let state = server::state::ServingState::load_sharded(
+                &catalog_path,
+                config.cache_capacity,
+                config.shards,
+            )
+            .map_err(|e| format!("{catalog_path}: {e}"))?;
+            let daemon = server::Server::bind(config, state).map_err(|e| e.to_string())?;
+            println!(
+                "dbselectd listening on {} (catalog {catalog_path})",
+                daemon.local_addr()
+            );
+            daemon
+        }
+        (None, Some(dir)) => {
+            let manifest = store::manifest::TenantManifest::scan(std::path::Path::new(&dir))
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let mut states = Vec::with_capacity(manifest.tenants.len());
+            for entry in &manifest.tenants {
+                let path = entry.path.to_str().ok_or("non-UTF-8 snapshot path")?;
+                let state = server::state::ServingState::load_sharded(
+                    path,
+                    config.cache_capacity,
+                    config.shards,
+                )
+                .map_err(|e| format!("{path}: {e}"))?;
+                states.push((entry.name.clone(), state));
+            }
+            let names: Vec<String> = states.iter().map(|(n, _)| n.clone()).collect();
+            let daemon = server::Server::bind_tenants(config, states).map_err(|e| e.to_string())?;
+            println!(
+                "dbselectd listening on {} ({} tenants from {dir}: {})",
+                daemon.local_addr(),
+                names.len(),
+                names.join(", "),
+            );
+            daemon
+        }
+    };
     daemon.run().map_err(|e| e.to_string())
 }
 

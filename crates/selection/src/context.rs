@@ -187,6 +187,22 @@ impl<'a> From<&'a dyn SummaryView> for IndexedView<'a> {
     }
 }
 
+/// The ranking order every selection ranking obeys: descending score,
+/// ties broken by ascending database index. This is *the* total order of
+/// [`rank_databases`] and [`rank_databases_with_context`]; anything that
+/// reassembles rankings from pieces (the broker's shard scatter-gather via
+/// [`crate::merge::merge_rankings`]) must use this exact comparator to stay
+/// bit-identical to a monolithic sort.
+///
+/// Panics on NaN scores, exactly like the sort it factors out of — a NaN
+/// score is a scoring bug, not an ordering question.
+pub fn ranking_order(a: &RankedDatabase, b: &RankedDatabase) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .expect("ranking scores are never NaN")
+        .then(a.index.cmp(&b.index))
+}
+
 /// The scoring core behind [`rank_databases`], with the collection context
 /// supplied by the caller. This lets a serving layer compute `m`, `cf`, and
 /// `mcw` from a precomputed index (posting lists) and score only candidate
@@ -219,12 +235,7 @@ pub fn rank_databases_with_context<'a>(
             (score > threshold).then_some(RankedDatabase { index, score })
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap()
-            .then(a.index.cmp(&b.index))
-    });
+    ranked.sort_by(ranking_order);
     ranked
 }
 

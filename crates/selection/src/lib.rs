@@ -29,11 +29,11 @@ pub use adaptive::{
 };
 pub use bgloss::BGloss;
 pub use context::{
-    rank_databases, rank_databases_with_context, CollectionContext, IndexedView, RankedDatabase,
-    SelectionAlgorithm,
+    rank_databases, rank_databases_with_context, ranking_order, CollectionContext, IndexedView,
+    RankedDatabase, SelectionAlgorithm,
 };
 pub use cori::Cori;
 pub use hierarchical::HierarchicalSelector;
 pub use lm::Lm;
-pub use merge::{merge_results, MergeStrategy, MergedResult};
+pub use merge::{merge_rankings, merge_results, MergeStrategy, MergedResult};
 pub use redde::{Redde, ReddeConfig};

@@ -16,6 +16,8 @@
 
 use textindex::{DocId, SearchOutcome};
 
+use crate::context::{ranking_order, RankedDatabase};
+
 /// A document in the merged result list.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MergedResult {
@@ -54,6 +56,47 @@ pub fn merge_results(
         MergeStrategy::RawScore => by_score(inputs, limit, |doc_score, _| doc_score),
         MergeStrategy::CoriWeighted => cori_weighted(inputs, limit),
     }
+}
+
+/// Merge per-shard *database rankings* into one global ranking.
+///
+/// Each input list must already be sorted by [`ranking_order`] — which every
+/// list produced by [`crate::rank_databases_with_context`] is — and the
+/// lists must not share database indices (a shard partition). The output is
+/// then exactly what sorting the concatenation with [`ranking_order`] would
+/// give: the comparator is a total order over (score, index) pairs with
+/// distinct indices, so the k-way merge reconstructs the monolithic ranking
+/// bit for bit, `f64::to_bits` scores included.
+///
+/// This is the gather half of the broker's shard scatter-gather: shards
+/// rank their databases independently (same float operations, global
+/// collection context) and the merged ranking is indistinguishable from a
+/// single-catalog run.
+pub fn merge_rankings(shards: &[Vec<RankedDatabase>]) -> Vec<RankedDatabase> {
+    match shards.len() {
+        0 => return Vec::new(),
+        1 => return shards[0].clone(),
+        _ => {}
+    }
+    let total = shards.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; shards.len()];
+    let mut out = Vec::with_capacity(total);
+    while out.len() < total {
+        let mut best: Option<(usize, &RankedDatabase)> = None;
+        for (s, shard) in shards.iter().enumerate() {
+            let Some(candidate) = shard.get(cursors[s]) else {
+                continue;
+            };
+            best = match best {
+                Some((_, leader)) if ranking_order(leader, candidate).is_le() => best,
+                _ => Some((s, candidate)),
+            };
+        }
+        let (s, winner) = best.expect("cursors exhausted before total reached");
+        out.push(*winner);
+        cursors[s] += 1;
+    }
+    out
 }
 
 fn round_robin(inputs: &[(usize, f64, SearchOutcome)], limit: usize) -> Vec<MergedResult> {
@@ -254,6 +297,55 @@ mod tests {
             assert_eq!(docs, vec![1, 2, 3], "{strategy:?}");
             assert!(merged.iter().all(|m| m.database == 3));
         }
+    }
+
+    #[test]
+    fn merge_rankings_reconstructs_the_monolithic_sort() {
+        let rank = |pairs: &[(usize, f64)]| -> Vec<RankedDatabase> {
+            pairs
+                .iter()
+                .map(|&(index, score)| RankedDatabase { index, score })
+                .collect()
+        };
+        // Disjoint indices, a cross-shard tie (dbs 2 and 5 at 0.7), and an
+        // empty shard.
+        let shards = vec![
+            rank(&[(0, 0.9), (2, 0.7), (4, 0.1)]),
+            rank(&[(5, 0.7), (1, 0.3)]),
+            rank(&[]),
+        ];
+        let merged = merge_rankings(&shards);
+        let mut expected: Vec<RankedDatabase> = shards.iter().flatten().copied().collect();
+        expected.sort_by(ranking_order);
+        assert_eq!(merged.len(), expected.len());
+        for (m, e) in merged.iter().zip(&expected) {
+            assert_eq!(m.index, e.index);
+            assert_eq!(m.score.to_bits(), e.score.to_bits());
+        }
+        // The tie resolved by ascending index, not shard order.
+        let tied: Vec<usize> = merged
+            .iter()
+            .filter(|r| r.score == 0.7)
+            .map(|r| r.index)
+            .collect();
+        assert_eq!(tied, vec![2, 5]);
+    }
+
+    #[test]
+    fn merge_rankings_handles_degenerate_shapes() {
+        assert!(merge_rankings(&[]).is_empty());
+        assert!(merge_rankings(&[vec![], vec![]]).is_empty());
+        let single = vec![vec![
+            RankedDatabase {
+                index: 3,
+                score: 1.5,
+            },
+            RankedDatabase {
+                index: 0,
+                score: 0.5,
+            },
+        ]];
+        assert_eq!(merge_rankings(&single), single[0]);
     }
 
     #[test]

@@ -61,7 +61,7 @@ use selection::ShrinkageMode;
 
 use crate::http::{read_request, write_response, HttpError, Limits, Request, Response};
 use crate::json::Json;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, TenantMetrics};
 use crate::poller::Wakeup;
 use crate::queue::{BoundedQueue, CompletionQueue};
 use crate::state::{parse_shrinkage, Algo, ServingState};
@@ -105,6 +105,16 @@ pub struct ServerConfig {
     /// Connection handling: event-driven reactor (default) or the legacy
     /// thread-per-connection path.
     pub mode: ServeMode,
+    /// Catalog shards per tenant: `> 1` scatters each `/route` query's
+    /// scoring phase across this many contiguous catalog shards
+    /// ([`broker::ShardedEngine`]); `<= 1` serves monolithically. Either
+    /// way the served ranking is bit-identical.
+    pub shards: usize,
+    /// Per-tenant admission quota: maximum in-flight routing requests per
+    /// tenant before the daemon answers `503` + `Retry-After` (0 =
+    /// unlimited). One hot tenant exhausting the worker pool cannot take
+    /// quota from the others.
+    pub tenant_quota: usize,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +129,8 @@ impl Default for ServerConfig {
             cache_capacity: broker::DEFAULT_CACHE_CAPACITY,
             debug_sleep: false,
             mode: ServeMode::Reactor,
+            shards: 1,
+            tenant_quota: 0,
         }
     }
 }
@@ -216,11 +228,81 @@ impl Write for DeadlineStream {
     }
 }
 
+/// One named catalog hosted by the daemon: its own serving state,
+/// generation chain, in-flight gauge, and label-isolated metrics.
+///
+/// Reloads swap only this tenant's `Arc` — in-flight requests on *any*
+/// tenant keep the state they resolved, so reloading tenant A can never
+/// fail a request on tenant B (or on A itself). The metrics live here
+/// rather than in [`ServingState`] so they survive the tenant's reloads.
+pub(crate) struct Tenant {
+    pub(crate) name: String,
+    pub(crate) state: RwLock<Arc<ServingState>>,
+    pub(crate) generation: AtomicU64,
+    /// Routing requests currently executing against this tenant
+    /// (admission quota gauge).
+    pub(crate) in_flight: AtomicU64,
+    pub(crate) metrics: TenantMetrics,
+}
+
+impl Tenant {
+    fn new(name: String, state: ServingState) -> Tenant {
+        Tenant {
+            name,
+            state: RwLock::new(Arc::new(state)),
+            generation: AtomicU64::new(1),
+            in_flight: AtomicU64::new(0),
+            metrics: TenantMetrics::default(),
+        }
+    }
+
+    pub(crate) fn current(&self) -> Arc<ServingState> {
+        Arc::clone(&self.state.read().expect("tenant state lock poisoned"))
+    }
+}
+
+/// RAII decrement of a tenant's in-flight gauge: the count drops on every
+/// exit path, including a handler panic (the unwind runs this drop before
+/// the worker's `catch_unwind` sees it).
+struct InFlightGuard<'a>(&'a Tenant);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Admit one routing request against `tenant`, or answer `503` +
+/// `Retry-After` when its quota is exhausted.
+fn admit<'a>(shared: &Shared, tenant: &'a Tenant) -> Result<InFlightGuard<'a>, Response> {
+    let quota = shared.config.tenant_quota;
+    let previous = tenant.in_flight.fetch_add(1, Ordering::SeqCst);
+    if quota > 0 && previous as usize >= quota {
+        tenant.in_flight.fetch_sub(1, Ordering::SeqCst);
+        tenant
+            .metrics
+            .quota_rejected_total
+            .fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .rejected_total
+            .fetch_add(1, Ordering::Relaxed);
+        return Err(
+            Response::error(503, &format!("tenant `{}` quota exhausted", tenant.name))
+                .with_header("Retry-After", RETRY_AFTER_SECS.to_string()),
+        );
+    }
+    Ok(InFlightGuard(tenant))
+}
+
 /// State shared between the I/O side (reactor or accept loop) and the
 /// workers.
 pub(crate) struct Shared {
-    pub(crate) state: RwLock<Arc<ServingState>>,
-    pub(crate) generation: AtomicU64,
+    /// Hosted tenants, ascending by name (binary-searchable).
+    pub(crate) tenants: Vec<Arc<Tenant>>,
+    /// Index of the tenant bare paths (`/route`, …) alias: the tenant
+    /// named `default` when present, else the first.
+    pub(crate) default_tenant: usize,
     pub(crate) metrics: Metrics,
     /// Legacy threaded mode: admitted connections awaiting a worker.
     queue: BoundedQueue<Job>,
@@ -238,8 +320,17 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    pub(crate) fn current(&self) -> Arc<ServingState> {
-        Arc::clone(&self.state.read().expect("state lock poisoned"))
+    /// The default tenant (what the bare, pre-multi-tenant paths serve).
+    pub(crate) fn default_tenant(&self) -> &Tenant {
+        &self.tenants[self.default_tenant]
+    }
+
+    /// Look up a tenant by name.
+    pub(crate) fn tenant(&self, name: &str) -> Option<&Arc<Tenant>> {
+        self.tenants
+            .binary_search_by(|t| t.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.tenants[i])
     }
 }
 
@@ -250,15 +341,48 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listener and freeze the initial serving state.
+    /// Bind the listener and freeze the initial serving state as the
+    /// single tenant `default` (served on the bare paths and on
+    /// `/t/default/...` alike).
     pub fn bind(config: ServerConfig, state: ServingState) -> io::Result<Server> {
+        Server::bind_tenants(config, vec![("default".to_string(), state)])
+    }
+
+    /// Bind the listener hosting one named tenant per entry. Bare paths
+    /// (`/route`, `/route_batch`, `/admin/reload`) alias the tenant named
+    /// `default` when present, else the first tenant in name order;
+    /// every tenant is addressable at `/t/<name>/...`.
+    pub fn bind_tenants(
+        config: ServerConfig,
+        states: Vec<(String, ServingState)>,
+    ) -> io::Result<Server> {
+        let invalid = |detail: String| io::Error::new(io::ErrorKind::InvalidInput, detail);
+        if states.is_empty() {
+            return Err(invalid("at least one tenant is required".to_string()));
+        }
+        let mut tenants: Vec<Arc<Tenant>> = states
+            .into_iter()
+            .map(|(name, state)| {
+                store::manifest::validate_tenant_name(&name).map_err(invalid)?;
+                Ok(Arc::new(Tenant::new(name, state)))
+            })
+            .collect::<io::Result<_>>()?;
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        if let Some(w) = tenants.windows(2).find(|w| w[0].name == w[1].name) {
+            return Err(invalid(format!("duplicate tenant `{}`", w[0].name)));
+        }
+        let default_tenant = tenants
+            .iter()
+            .position(|t| t.name == "default")
+            .unwrap_or(0);
+
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let queue = BoundedQueue::new(config.queue_capacity);
         let tasks = BoundedQueue::new(config.queue_capacity);
         let shared = Arc::new(Shared {
-            state: RwLock::new(Arc::new(state)),
-            generation: AtomicU64::new(1),
+            tenants,
+            default_tenant,
             metrics: Metrics::new(),
             queue,
             tasks,
@@ -669,12 +793,28 @@ fn serve_connection(shared: &Shared, job: Job) {
 }
 
 fn dispatch(shared: &Shared, request: &Request, deadline: Instant) -> (&'static str, Response) {
+    if let Some(rest) = request.path().strip_prefix("/t/") {
+        return dispatch_tenant(shared, request, deadline, rest);
+    }
+    // Bare paths alias the default tenant — the single-catalog API is a
+    // special case of the multi-tenant one, not a separate code path.
+    let tenant = shared.default_tenant();
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => ("healthz", handle_healthz(shared)),
         ("GET", "/metrics") => ("metrics", handle_metrics(shared)),
-        ("POST", "/route") => ("route", handle_route(shared, request, deadline)),
-        ("POST", "/route_batch") => ("route_batch", handle_route_batch(shared, request, deadline)),
-        ("POST", "/admin/reload") => ("reload", handle_reload(shared, request)),
+        ("POST", "/route") => (
+            "route",
+            tenant_timed(tenant, "route", || {
+                handle_route(shared, tenant, request, deadline)
+            }),
+        ),
+        ("POST", "/route_batch") => (
+            "route_batch",
+            tenant_timed(tenant, "route_batch", || {
+                handle_route_batch(shared, tenant, request, deadline)
+            }),
+        ),
+        ("POST", "/admin/reload") => ("reload", handle_reload(shared, tenant, request)),
         ("POST", "/admin/shutdown") => (
             "shutdown",
             Response::json(
@@ -698,35 +838,112 @@ fn dispatch(shared: &Shared, request: &Request, deadline: Instant) -> (&'static 
     }
 }
 
+/// Route `/t/<tenant>/<endpoint>` to the named tenant. Only the
+/// per-catalog endpoints exist under `/t/` — process-wide ones
+/// (`/healthz`, `/metrics`, `/admin/shutdown`) stay at the root.
+fn dispatch_tenant(
+    shared: &Shared,
+    request: &Request,
+    deadline: Instant,
+    rest: &str,
+) -> (&'static str, Response) {
+    let Some((name, _)) = rest.split_once('/') else {
+        return ("other", Response::error(404, "no such endpoint"));
+    };
+    let sub = &rest[name.len()..];
+    let Some(tenant) = shared.tenant(name) else {
+        return ("other", Response::error(404, "unknown tenant"));
+    };
+    match (request.method.as_str(), sub) {
+        ("POST", "/route") => (
+            "route",
+            tenant_timed(tenant, "route", || {
+                handle_route(shared, tenant, request, deadline)
+            }),
+        ),
+        ("POST", "/route_batch") => (
+            "route_batch",
+            tenant_timed(tenant, "route_batch", || {
+                handle_route_batch(shared, tenant, request, deadline)
+            }),
+        ),
+        ("POST", "/admin/reload") => ("reload", handle_reload(shared, tenant, request)),
+        (_, "/route" | "/route_batch" | "/admin/reload") => (
+            "other",
+            Response::error(405, "method not allowed").with_header("Allow", "POST".into()),
+        ),
+        _ => ("other", Response::error(404, "no such endpoint")),
+    }
+}
+
+/// Run a routing handler, recording its latency and status in the
+/// tenant's label-isolated metrics (global metrics are recorded by the
+/// caller as before).
+fn tenant_timed(
+    tenant: &Tenant,
+    endpoint: &'static str,
+    handler: impl FnOnce() -> Response,
+) -> Response {
+    let started = Instant::now();
+    let response = handler();
+    let elapsed = started.elapsed().as_nanos() as u64;
+    match endpoint {
+        "route" => tenant.metrics.route_latency.observe(elapsed),
+        "route_batch" => tenant.metrics.batch_latency.observe(elapsed),
+        _ => {}
+    }
+    tenant.metrics.record(endpoint, response.status);
+    response
+}
+
 fn handle_healthz(shared: &Shared) -> Response {
-    let state = shared.current();
+    let tenant = shared.default_tenant();
+    let state = tenant.current();
     Response::json(
         200,
         Json::obj(vec![
             ("status".to_string(), Json::Str("ok".to_string())),
             (
                 "generation".to_string(),
-                Json::Num(shared.generation.load(Ordering::SeqCst) as f64),
+                Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
             ),
             ("databases".to_string(), Json::Num(state.databases() as f64)),
             ("terms".to_string(), Json::Num(state.terms() as f64)),
+            (
+                "tenants".to_string(),
+                Json::Num(shared.tenants.len() as f64),
+            ),
+            ("shards".to_string(), Json::Num(state.shard_count() as f64)),
         ])
         .render(),
     )
 }
 
 fn handle_metrics(shared: &Shared) -> Response {
-    let state = shared.current();
-    Response::text(
-        200,
-        shared.metrics.render(
-            state.cache_stats(),
-            shared.generation.load(Ordering::SeqCst),
+    let tenant = shared.default_tenant();
+    let state = tenant.current();
+    let mut body = shared.metrics.render(
+        state.cache_stats(),
+        tenant.generation.load(Ordering::SeqCst),
+        state.databases(),
+        state.load_seconds(),
+        state.snapshot_bytes(),
+    );
+    // Per-tenant families after the process-wide ones; tenant names are
+    // user input (file stems), so their label values are escaped.
+    body.push_str(metrics::TENANT_TYPE_HEADERS);
+    for tenant in &shared.tenants {
+        let state = tenant.current();
+        body.push_str(&metrics::render_tenant(
+            &tenant.name,
+            &tenant.metrics,
+            tenant.generation.load(Ordering::SeqCst),
             state.databases(),
-            state.load_seconds(),
-            state.snapshot_bytes(),
-        ),
-    )
+            tenant.in_flight.load(Ordering::SeqCst),
+            state.cache_stats(),
+        ));
+    }
+    Response::text(200, body)
 }
 
 /// Common fields of `/route` and `/route_batch` requests.
@@ -817,7 +1034,26 @@ fn ranking_json(state: &ServingState, outcome: &selection::AdaptiveOutcome, k: u
     )
 }
 
-fn handle_route(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+fn handle_route(
+    shared: &Shared,
+    tenant: &Tenant,
+    request: &Request,
+    deadline: Instant,
+) -> Response {
+    let _guard = match admit(shared, tenant) {
+        Ok(guard) => guard,
+        Err(response) => return response,
+    };
+    // Post-admission sleep hook (tests only): unlike `X-Debug-Sleep-Ms`,
+    // which runs before dispatch, this holds the tenant's quota slot.
+    if shared.config.debug_sleep {
+        if let Some(ms) = request
+            .header("x-debug-route-sleep-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            std::thread::sleep(Duration::from_millis(ms.min(60_000)));
+        }
+    }
     let body = match parse_body(request) {
         Ok(body) => body,
         Err(response) => return response,
@@ -843,22 +1079,28 @@ fn handle_route(shared: &Shared, request: &Request, deadline: Instant) -> Respon
         },
     };
 
-    let state = shared.current();
+    let state = tenant.current();
     let (query, unknown) = state.analyze(&words);
     if Instant::now() >= deadline {
         shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
         return Response::error(504, "deadline exceeded");
     }
-    let engine = state.engine(params.algo, params.mode);
     let mut rng = db_rng(params.seed, index);
-    let outcome = engine.route(&query, &mut rng);
+    // Prefer the scatter-gather engine when this state is sharded: the
+    // ranking is bit-identical, only the scoring parallelism differs.
+    let outcome = match state.sharded_engine(params.algo, params.mode) {
+        Some(sharded) => sharded.route(&query, &mut rng),
+        None => state
+            .engine(params.algo, params.mode)
+            .route(&query, &mut rng),
+    };
 
     Response::json(
         200,
         Json::obj(vec![
             (
                 "generation".to_string(),
-                Json::Num(shared.generation.load(Ordering::SeqCst) as f64),
+                Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
             ),
             (
                 "unknown".to_string(),
@@ -873,7 +1115,16 @@ fn handle_route(shared: &Shared, request: &Request, deadline: Instant) -> Respon
     )
 }
 
-fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> Response {
+fn handle_route_batch(
+    shared: &Shared,
+    tenant: &Tenant,
+    request: &Request,
+    deadline: Instant,
+) -> Response {
+    let _guard = match admit(shared, tenant) {
+        Ok(guard) => guard,
+        Err(response) => return response,
+    };
     let body = match parse_body(request) {
         Ok(body) => body,
         Err(response) => return response,
@@ -896,7 +1147,7 @@ fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> 
         },
     };
 
-    let state = shared.current();
+    let state = tenant.current();
     let mut analyzed = Vec::with_capacity(queries_value.len());
     for value in queries_value {
         let words = match parse_query_words(value) {
@@ -908,9 +1159,12 @@ fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> 
     let queries: Vec<Vec<textindex::TermId>> = analyzed.iter().map(|(q, _)| q.clone()).collect();
 
     let engine = state.engine(params.algo, params.mode);
+    let sharded = state.sharded_engine(params.algo, params.mode);
     // Chunked fan-out, deadline-checked per query: query `i` draws from
     // `db_rng(seed, i)` regardless of chunking, so results match
-    // `route_batch` (and the CLI) for every thread count.
+    // `route_batch` (and the CLI) for every thread count. With a sharded
+    // state, shards score sequentially *inside* each query — the batch
+    // fan-out already owns the cores.
     let expired = AtomicBool::new(false);
     let outcomes = fan_out_chunks(queries.len(), threads, |qi| {
         if expired.load(Ordering::Relaxed) || Instant::now() >= deadline {
@@ -918,7 +1172,12 @@ fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> 
             return None;
         }
         let mut rng = db_rng(params.seed, qi);
-        Some(engine.route(&queries[qi], &mut rng))
+        Some(match sharded {
+            Some(se) => {
+                se.route_sequential(&queries[qi], &mut rng, &mut broker::RouteScratch::default())
+            }
+            None => engine.route(&queries[qi], &mut rng),
+        })
     });
     if expired.load(Ordering::Relaxed) {
         shared.metrics.timeout_total.fetch_add(1, Ordering::Relaxed);
@@ -949,7 +1208,7 @@ fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> 
         Json::obj(vec![
             (
                 "generation".to_string(),
-                Json::Num(shared.generation.load(Ordering::SeqCst) as f64),
+                Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
             ),
             ("results".to_string(), results),
         ])
@@ -957,7 +1216,7 @@ fn handle_route_batch(shared: &Shared, request: &Request, deadline: Instant) -> 
     )
 }
 
-fn handle_reload(shared: &Shared, request: &Request) -> Response {
+fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Response {
     let path = if request.body.is_empty() {
         None
     } else {
@@ -973,22 +1232,28 @@ fn handle_reload(shared: &Shared, request: &Request) -> Response {
             },
         }
     };
-    let path = path.unwrap_or_else(|| shared.current().source().to_string());
+    let path = path.unwrap_or_else(|| tenant.current().source().to_string());
 
-    // Build the next generation entirely off to the side; the write lock
-    // is held only for the Arc swap, so routing never blocks on a load.
-    let next = match ServingState::load(&path, shared.config.cache_capacity) {
-        Ok(next) => next,
-        Err(e) => return Response::error(500, &format!("reload failed: {e}")),
-    };
+    // Build the next generation entirely off to the side; only this
+    // tenant's write lock is touched, and only for the Arc swap — routing
+    // on every tenant (including this one) never blocks on the load, and
+    // a failed load leaves the old generation serving.
+    let next =
+        match ServingState::load_sharded(&path, shared.config.cache_capacity, shared.config.shards)
+        {
+            Ok(next) => next,
+            Err(e) => return Response::error(500, &format!("reload failed: {e}")),
+        };
     let databases = next.databases();
-    *shared.state.write().expect("state lock poisoned") = Arc::new(next);
-    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    *tenant.state.write().expect("tenant state lock poisoned") = Arc::new(next);
+    let generation = tenant.generation.fetch_add(1, Ordering::SeqCst) + 1;
     shared.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
+    tenant.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
 
     Response::json(
         200,
         Json::obj(vec![
+            ("tenant".to_string(), Json::Str(tenant.name.clone())),
             ("generation".to_string(), Json::Num(generation as f64)),
             ("databases".to_string(), Json::Num(databases as f64)),
             ("source".to_string(), Json::Str(path)),

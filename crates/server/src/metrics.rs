@@ -103,6 +103,25 @@ impl Histogram {
     }
 }
 
+/// Escape a string for use as a Prometheus label *value*: per the text
+/// exposition format, `\` → `\\`, `"` → `\"`, and a line feed → `\n`.
+/// Static label values in this file never need it, but tenant names are
+/// user-supplied (file stems of the manifest directory) and a quote or
+/// newline in one would otherwise break out of the label and corrupt the
+/// whole scrape.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
 /// Render nanoseconds human-readably (`950ns`, `12.3µs`, `4.56ms`, `1.20s`).
 pub fn format_nanos(nanos: u64) -> String {
     if nanos < 1_000 {
@@ -324,6 +343,116 @@ impl Default for Metrics {
     }
 }
 
+/// Per-tenant metrics, label-isolated: every family below is rendered
+/// with a `tenant="..."` label (escaped — tenant names are user input),
+/// so one tenant's counters never mix into another's. One instance lives
+/// inside each `Tenant` and survives that tenant's reloads; it is *not*
+/// part of the swapped `ServingState`.
+#[derive(Debug)]
+pub struct TenantMetrics {
+    /// Request count keyed by (endpoint, status), this tenant only.
+    pub requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// This tenant's `/route` handler latency.
+    pub route_latency: Histogram,
+    /// This tenant's `/route_batch` handler latency.
+    pub batch_latency: Histogram,
+    /// Successful reloads of this tenant's catalog.
+    pub reload_total: AtomicU64,
+    /// Requests rejected by this tenant's admission quota (503s).
+    pub quota_rejected_total: AtomicU64,
+}
+
+impl Default for TenantMetrics {
+    fn default() -> Self {
+        TenantMetrics {
+            requests: Mutex::new(BTreeMap::new()),
+            route_latency: Histogram::latency(),
+            batch_latency: Histogram::latency(),
+            reload_total: AtomicU64::new(0),
+            quota_rejected_total: AtomicU64::new(0),
+        }
+    }
+}
+
+impl TenantMetrics {
+    /// Count one request served for this tenant.
+    pub fn record(&self, endpoint: &'static str, status: u16) {
+        *self
+            .requests
+            .lock()
+            .expect("tenant metrics lock poisoned")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+    }
+}
+
+/// Render one tenant's families. `# TYPE` headers are emitted by the
+/// caller once per family (Prometheus rejects duplicate headers), so this
+/// yields sample lines only.
+pub fn render_tenant(
+    name: &str,
+    metrics: &TenantMetrics,
+    generation: u64,
+    databases: usize,
+    in_flight: u64,
+    cache: broker::CacheStats,
+) -> String {
+    let tenant = escape_label_value(name);
+    let mut out = String::new();
+    for ((endpoint, status), count) in metrics
+        .requests
+        .lock()
+        .expect("tenant metrics lock poisoned")
+        .iter()
+    {
+        out.push_str(&format!(
+            "dbselectd_tenant_requests_total{{tenant=\"{tenant}\",endpoint=\"{endpoint}\",status=\"{status}\"}} {count}\n"
+        ));
+    }
+    for (endpoint, histogram) in [
+        ("route", &metrics.route_latency),
+        ("route_batch", &metrics.batch_latency),
+    ] {
+        if histogram.count() == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "dbselectd_tenant_request_duration_seconds{{tenant=\"{tenant}\",endpoint=\"{endpoint}\",quantile=\"0.5\"}} {}\n\
+             dbselectd_tenant_request_duration_seconds{{tenant=\"{tenant}\",endpoint=\"{endpoint}\",quantile=\"0.99\"}} {}\n\
+             dbselectd_tenant_request_duration_seconds_count{{tenant=\"{tenant}\",endpoint=\"{endpoint}\"}} {}\n",
+            histogram.percentile(0.50) as f64 / 1e9,
+            histogram.percentile(0.99) as f64 / 1e9,
+            histogram.count(),
+        ));
+    }
+    out.push_str(&format!(
+        "dbselectd_tenant_reload_total{{tenant=\"{tenant}\"}} {}\n\
+         dbselectd_tenant_quota_rejected_total{{tenant=\"{tenant}\"}} {}\n\
+         dbselectd_tenant_in_flight{{tenant=\"{tenant}\"}} {in_flight}\n\
+         dbselectd_tenant_catalog_generation{{tenant=\"{tenant}\"}} {generation}\n\
+         dbselectd_tenant_catalog_databases{{tenant=\"{tenant}\"}} {databases}\n\
+         dbselectd_tenant_posterior_cache_hits_total{{tenant=\"{tenant}\"}} {}\n\
+         dbselectd_tenant_posterior_cache_misses_total{{tenant=\"{tenant}\"}} {}\n",
+        metrics.reload_total.load(Ordering::Relaxed),
+        metrics.quota_rejected_total.load(Ordering::Relaxed),
+        cache.hits,
+        cache.misses,
+    ));
+    out
+}
+
+/// `# TYPE` headers for the per-tenant families, emitted once before the
+/// per-tenant sample lines.
+pub const TENANT_TYPE_HEADERS: &str = "# TYPE dbselectd_tenant_requests_total counter\n\
+     # TYPE dbselectd_tenant_request_duration_seconds summary\n\
+     # TYPE dbselectd_tenant_reload_total counter\n\
+     # TYPE dbselectd_tenant_quota_rejected_total counter\n\
+     # TYPE dbselectd_tenant_in_flight gauge\n\
+     # TYPE dbselectd_tenant_catalog_generation gauge\n\
+     # TYPE dbselectd_tenant_catalog_databases gauge\n\
+     # TYPE dbselectd_tenant_posterior_cache_hits_total counter\n\
+     # TYPE dbselectd_tenant_posterior_cache_misses_total counter\n";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +553,52 @@ mod tests {
                 "missing state gauge {state}:\n{text}"
             );
         }
+    }
+
+    #[test]
+    fn label_values_escape_prometheus_specials() {
+        assert_eq!(escape_label_value("plain-name"), "plain-name");
+        assert_eq!(escape_label_value("back\\slash"), "back\\\\slash");
+        assert_eq!(escape_label_value("quo\"te"), "quo\\\"te");
+        assert_eq!(escape_label_value("new\nline"), "new\\nline");
+        assert_eq!(
+            escape_label_value("\\\"\n"),
+            "\\\\\\\"\\n",
+            "all three specials in sequence"
+        );
+    }
+
+    #[test]
+    fn hostile_tenant_name_renders_on_one_line_per_sample() {
+        let tm = TenantMetrics::default();
+        tm.record("route", 200);
+        tm.route_latency.observe(5_000);
+        tm.reload_total.fetch_add(2, Ordering::Relaxed);
+        let text = render_tenant(
+            "evil\"t\nenant\\x",
+            &tm,
+            3,
+            6,
+            1,
+            broker::CacheStats::default(),
+        );
+        // Every sample line still parses: the raw newline in the tenant
+        // name must have been escaped, so no line starts mid-label.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("dbselectd_tenant_"),
+                "broken exposition line: {line:?}"
+            );
+        }
+        assert!(
+            text.contains("tenant=\"evil\\\"t\\nenant\\\\x\""),
+            "escaped name missing:\n{text}"
+        );
+        assert!(text.contains("dbselectd_tenant_requests_total{tenant=\"evil\\\"t\\nenant\\\\x\",endpoint=\"route\",status=\"200\"} 1"));
+        assert!(text.contains("dbselectd_tenant_reload_total{tenant=\"evil\\\"t\\nenant\\\\x\"} 2"));
+        assert!(text
+            .contains("dbselectd_tenant_catalog_generation{tenant=\"evil\\\"t\\nenant\\\\x\"} 3"));
+        assert!(text.contains("dbselectd_tenant_in_flight{tenant=\"evil\\\"t\\nenant\\\\x\"} 1"));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
-use broker::{Catalog, SelectionEngine};
+use broker::{Catalog, SelectionEngine, ShardPlan, ShardSet, ShardedEngine};
 use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
 use store::catalog::StoredCatalog;
 use store::snapshot::ServingSnapshot;
@@ -101,7 +101,13 @@ pub struct ServingState {
     catalog: Arc<Catalog>,
     analyzer: Analyzer,
     /// `engines[algo.index() * 3 + mode_index(mode)]`.
-    engines: Vec<SelectionEngine>,
+    engines: Vec<Arc<SelectionEngine>>,
+    /// The shard partition when this state serves scatter-gather, shared
+    /// by every sharded engine below. `None` ⇒ monolithic serving.
+    shard_set: Option<Arc<ShardSet>>,
+    /// Scatter-gather wrapper per engine slot (same indexing as
+    /// `engines`); empty when serving monolithically.
+    sharded: Vec<Option<ShardedEngine>>,
     /// The path this state was loaded from (default for reloads).
     source: String,
     /// Wall-clock seconds spent loading and freezing this generation.
@@ -113,6 +119,19 @@ pub struct ServingState {
 impl ServingState {
     /// Build a state from a serving snapshot (already in final form).
     pub fn from_snapshot(snapshot: ServingSnapshot, source: String, cache_capacity: usize) -> Self {
+        ServingState::from_snapshot_sharded(snapshot, source, cache_capacity, 1)
+    }
+
+    /// [`from_snapshot`](Self::from_snapshot), scattering scoring over
+    /// `shards` contiguous catalog shards when `shards > 1`. Sharding is
+    /// a pure execution strategy: the served ranking stays bit-identical
+    /// to monolithic serving (asserted in `broker::shard` tests).
+    pub fn from_snapshot_sharded(
+        snapshot: ServingSnapshot,
+        source: String,
+        cache_capacity: usize,
+        shards: usize,
+    ) -> Self {
         let ServingSnapshot {
             dict,
             categories,
@@ -129,7 +148,7 @@ impl ServingState {
                 Algo::Lm => Arc::new(Lm::from_global_map(0.5, global.clone())),
             };
             for mode in MODES {
-                engines.push(SelectionEngine::new(
+                engines.push(Arc::new(SelectionEngine::new(
                     Arc::clone(&catalog),
                     Arc::clone(&algorithm),
                     AdaptiveConfig {
@@ -137,15 +156,38 @@ impl ServingState {
                         ..Default::default()
                     },
                     cache_capacity,
-                ));
+                )));
             }
         }
+        let shard_set = if shards > 1 && !catalog.is_empty() {
+            let plan = ShardPlan::contiguous(catalog.len(), shards);
+            Some(Arc::new(
+                ShardSet::build(&catalog, plan).expect("contiguous plan always covers the catalog"),
+            ))
+        } else {
+            None
+        };
+        let sharded = match &shard_set {
+            Some(set) => engines
+                .iter()
+                .map(|engine| {
+                    Some(ShardedEngine::new(
+                        Arc::clone(engine),
+                        Arc::clone(set),
+                        set.shard_count(),
+                    ))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         ServingState {
             dict,
             categories,
             catalog,
             analyzer: Analyzer::english(),
             engines,
+            shard_set,
+            sharded,
             source,
             load_seconds: 0.0,
             snapshot_bytes: 0,
@@ -164,10 +206,17 @@ impl ServingState {
     /// Load a catalog from disk (v2 snapshot or v1 frozen catalog) and
     /// freeze it for serving, recording load latency and file size.
     pub fn load(path: &str, cache_capacity: usize) -> io::Result<Self> {
+        ServingState::load_sharded(path, cache_capacity, 1)
+    }
+
+    /// [`load`](Self::load) with scatter-gather scoring over `shards`
+    /// contiguous shards (`shards <= 1` serves monolithically).
+    pub fn load_sharded(path: &str, cache_capacity: usize, shards: usize) -> io::Result<Self> {
         let started = Instant::now();
         let snapshot = ServingSnapshot::load_any(path)?;
         let snapshot_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-        let mut state = ServingState::from_snapshot(snapshot, path.to_string(), cache_capacity);
+        let mut state =
+            ServingState::from_snapshot_sharded(snapshot, path.to_string(), cache_capacity, shards);
         state.load_seconds = started.elapsed().as_secs_f64();
         state.snapshot_bytes = snapshot_bytes;
         Ok(state)
@@ -176,6 +225,19 @@ impl ServingState {
     /// The engine serving `(algo, mode)`.
     pub fn engine(&self, algo: Algo, mode: ShrinkageMode) -> &SelectionEngine {
         &self.engines[algo.index() * MODES.len() + mode_index(mode)]
+    }
+
+    /// The scatter-gather engine for `(algo, mode)`, when this state was
+    /// built with `shards > 1`.
+    pub fn sharded_engine(&self, algo: Algo, mode: ShrinkageMode) -> Option<&ShardedEngine> {
+        self.sharded
+            .get(algo.index() * MODES.len() + mode_index(mode))?
+            .as_ref()
+    }
+
+    /// Number of shards this state scores across (1 ⇒ monolithic).
+    pub fn shard_count(&self) -> usize {
+        self.shard_set.as_ref().map_or(1, |s| s.shard_count())
     }
 
     /// The served catalog.

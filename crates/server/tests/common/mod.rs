@@ -104,3 +104,17 @@ pub fn start(mut config: ServerConfig, state: ServingState) -> (SocketAddr, Join
     let handle = std::thread::spawn(move || daemon.run().expect("run"));
     (addr, handle)
 }
+
+/// [`start`], hosting one named tenant per `(name, state)` entry.
+pub fn start_tenants(
+    mut config: ServerConfig,
+    states: Vec<(String, ServingState)>,
+) -> (SocketAddr, JoinHandle<()>) {
+    if std::env::var("DBSELECTD_TEST_MODE").as_deref() == Ok("threaded") {
+        config.mode = server::ServeMode::Threaded;
+    }
+    let daemon = Server::bind_tenants(config, states).expect("bind tenants");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run().expect("run"));
+    (addr, handle)
+}

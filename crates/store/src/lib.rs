@@ -42,6 +42,7 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod manifest;
 pub mod snapshot;
 
 use std::fs::File;

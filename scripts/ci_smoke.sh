@@ -130,4 +130,66 @@ echo
 wait "$SERVE_PID"
 SERVE_PID=
 
+# --- multi-tenant federated serving ---------------------------------------
+# Two catalogs behind one daemon: alpha = the full med+soccer snapshot,
+# beta = a med-only one, so the tenants demonstrably route differently.
+# --shards 2 makes the daemon-vs-CLI diff below also pin the sharded
+# scatter-gather path to the monolithic CLI ranking, bit for bit.
+ADDR4=${ADDR4:-127.0.0.1:7734}
+mkdir -p "$WORK/tenants"
+cp "$WORK/col.snapshot" "$WORK/tenants/alpha.snap"
+"$DBSELECT" index --out "$WORK/med.store" --full med=Health/Medicine="$WORK/med"
+"$DBSELECT" catalog --store "$WORK/med.store" --out "$WORK/med.catalog"
+"$DBSELECT" freeze --catalog "$WORK/med.catalog" --out "$WORK/tenants/beta.snap"
+
+"$DBSELECT" serve --tenants "$WORK/tenants" --shards 2 --addr "$ADDR4" &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR4/healthz" > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$ADDR4/healthz" | tee "$WORK/healthz_t.json" | grep '"tenants":2'
+grep '"shards":2' "$WORK/healthz_t.json"
+echo
+
+# Sharded /t/alpha/route matches the monolithic CLI ranking bit for bit.
+curl -sf -X POST "http://$ADDR4/t/alpha/route" -d '{"query":"heart blood"}' \
+    | tee "$WORK/http_tenant.json"
+echo
+python3 "$(dirname "$0")/smoke_diff.py" "$WORK/http_tenant.json" "$WORK/cli.txt"
+
+# Hammer-reload alpha at 100ms intervals while beta serves under load:
+# every beta request must succeed (curl -sf + set -e make any failure
+# fatal), and beta's generation/reload counters must stay untouched.
+(
+    for _ in $(seq 1 15); do
+        curl -sf -X POST "http://$ADDR4/t/alpha/admin/reload" \
+            -d "{\"path\":\"$WORK/tenants/alpha.snap\"}" > /dev/null
+        sleep 0.1
+    done
+) &
+RELOAD_PID=$!
+for _ in $(seq 1 200); do
+    curl -sf -X POST "http://$ADDR4/t/beta/route" -d '{"query":"heart blood"}' > /dev/null
+done
+wait "$RELOAD_PID"
+
+# Per-tenant metric isolation: each tenant's counters reflect only its
+# own traffic, under its own label.
+curl -sf "http://$ADDR4/metrics" > "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_requests_total{tenant="alpha",endpoint="route",status="200"} 1$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_requests_total{tenant="beta",endpoint="route",status="200"} 200$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_reload_total{tenant="alpha"} 15$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_reload_total{tenant="beta"} 0$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_catalog_generation{tenant="alpha"} 16$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_catalog_generation{tenant="beta"} 1$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_in_flight{tenant="alpha"} 0$' "$WORK/metrics_t.txt"
+grep 'dbselectd_tenant_in_flight{tenant="beta"} 0$' "$WORK/metrics_t.txt"
+
+curl -sf -X POST "http://$ADDR4/admin/shutdown"
+echo
+wait "$SERVE_PID"
+SERVE_PID=
+echo "=== multi-tenant pass: ok ==="
+
 echo "smoke test passed"
