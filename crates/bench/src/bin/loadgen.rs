@@ -28,7 +28,7 @@ use rand::SeedableRng;
 use sampling::{profile_qbs, PipelineConfig, SamplerKind};
 use server::metrics::Histogram;
 use server::state::ServingState;
-use server::{Server, ServerConfig};
+use server::{ProxyConfig, Server, ServerConfig};
 use store::catalog::StoredCatalog;
 use store::snapshot::ServingSnapshot;
 use store::{CollectionStore, StoredDatabase};
@@ -688,6 +688,151 @@ fn main() {
         tenant_phase.rps(),
     );
 
+    // Phase 6: federated proxy. Two full-snapshot backends started with
+    // --shards 2 behind a scatter-gather proxy: the healthy row prices
+    // the federation hop (one extra network round-trip plus merge), the
+    // fault row kills one backend a third of the way in and restarts it
+    // at two thirds — every client request must still answer 200
+    // (degraded merges over the surviving shard, never a 5xx), and the
+    // dead backend's breaker must open and close again around the
+    // restart.
+    let (b0_addr, b0_handle) = boot_matrix_daemon(&path, &["default"], 2, workers);
+    let (b1_addr, b1_handle) = boot_matrix_daemon(&path, &["default"], 2, workers);
+    let proxy_daemon = Server::bind_proxy(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: 256,
+        deadline: Duration::from_secs(10),
+        idle_timeout: Duration::from_secs(300),
+        proxy: Some(ProxyConfig {
+            backends: vec![b0_addr.to_string(), b1_addr.to_string()],
+            health_interval: Duration::from_millis(100),
+            breaker_failures: 2,
+            breaker_cooldown: Duration::from_millis(500),
+            ..Default::default()
+        }),
+        ..Default::default()
+    })
+    .expect("bind proxy");
+    let proxy_addr = proxy_daemon.local_addr();
+    let proxy_loop = std::thread::spawn(move || proxy_daemon.run().expect("proxy run"));
+
+    // Bit-identity probe: the proxy's merged answer must equal a
+    // backend's own monolithic answer, byte for byte.
+    let probe_body = post_bytes(
+        "/route",
+        &format!(r#"{{"query":"{}","seed":42}}"#, queries[0]),
+    );
+    let (ps, proxy_probe) = exchange(proxy_addr, &probe_body).expect("proxy probe");
+    let (bs, backend_probe) = exchange(b0_addr, &probe_body).expect("backend probe");
+    assert_eq!((ps, bs), (200, 200), "{proxy_probe}");
+    assert_eq!(
+        proxy_probe, backend_probe,
+        "proxy diverged from its backends"
+    );
+
+    let proxy_phase = run_keep_alive_phase(proxy_addr, &keep_alive_bodies, clients, duration);
+    assert_eq!(proxy_phase.errors, 0, "healthy proxy phase errored");
+    let proxy_overhead = keep_alive.rps() / proxy_phase.rps().max(f64::MIN_POSITIVE);
+    eprintln!(
+        "/route via proxy {:>8.1} rps ({proxy_overhead:.2}x direct rps), p50 {}",
+        proxy_phase.rps(),
+        server::metrics::format_nanos(proxy_phase.histogram.percentile(0.50))
+    );
+
+    let chaos = {
+        let path = path.clone();
+        let b1_addr_str = b1_addr.to_string();
+        std::thread::spawn(move || {
+            std::thread::sleep(duration.mul_f64(0.34));
+            let (status, _) =
+                exchange(b1_addr, &post_bytes("/admin/shutdown", "")).expect("kill backend 1");
+            assert_eq!(status, 200);
+            b1_handle.join().expect("backend 1 exits");
+            std::thread::sleep(duration.mul_f64(0.33));
+            // Restart on the same address the proxy was configured with.
+            let config = ServerConfig {
+                addr: b1_addr_str,
+                workers,
+                queue_capacity: 256,
+                idle_timeout: Duration::from_secs(300),
+                shards: 2,
+                ..Default::default()
+            };
+            let state =
+                ServingState::load_sharded(path.to_str().unwrap(), config.cache_capacity, 2)
+                    .expect("reload backend 1 fixture");
+            let daemon = Server::bind(config, state).expect("rebind backend 1");
+            std::thread::spawn(move || daemon.run().expect("backend 1 run"))
+        })
+    };
+    let under_fault = run_phase(proxy_addr, &route_bodies, clients, duration);
+    let b1_handle = chaos.join().expect("chaos thread");
+    assert_eq!(
+        under_fault.errors, 0,
+        "a client saw an error while a backend was down"
+    );
+    eprintln!(
+        "/route via proxy, one backend killed+restarted mid-run: {:>8.1} rps, 0 client errors",
+        under_fault.rps()
+    );
+
+    // The restarted backend must be readmitted: breaker open -> half-open
+    // -> closed, visible in the proxy's metrics.
+    let breaker_closed = format!("dbselectd_backend_breaker_state{{backend=\"{b1_addr}\"}} 0");
+    let recovery_started = Instant::now();
+    let mut proxy_metrics = String::new();
+    while recovery_started.elapsed() < Duration::from_secs(10) {
+        let (_, m) = exchange(proxy_addr, &get_bytes("/metrics", false)).expect("proxy metrics");
+        proxy_metrics = m;
+        if proxy_metrics.contains(&breaker_closed) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        proxy_metrics.contains(&breaker_closed),
+        "breaker never closed after the backend restart:\n{proxy_metrics}"
+    );
+    let proxy_metric = |name: &str| -> u64 {
+        proxy_metrics
+            .lines()
+            .find(|l| l.starts_with(name))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let degraded_total = proxy_metric("dbselectd_proxy_degraded_total");
+    let breaker_opens = proxy_metric(&format!(
+        "dbselectd_backend_breaker_opens_total{{backend=\"{b1_addr}\"}}"
+    ));
+    assert!(
+        degraded_total >= 1,
+        "no degraded responses despite the kill"
+    );
+    assert!(
+        breaker_opens >= 1,
+        "the dead backend's breaker never opened"
+    );
+    let (ps, proxy_probe) = exchange(proxy_addr, &probe_body).expect("recovered probe");
+    assert_eq!(ps, 200);
+    assert_eq!(
+        proxy_probe, backend_probe,
+        "recovered proxy must serve bit-identically again"
+    );
+    eprintln!(
+        "proxy recovery: breaker opened {breaker_opens}x, {degraded_total} degraded merges, bit-identical again"
+    );
+
+    for (baddr, bhandle) in [(proxy_addr, proxy_loop), (b0_addr, b0_handle)] {
+        let (status, _) = exchange(baddr, &post_bytes("/admin/shutdown", "")).expect("shutdown");
+        assert_eq!(status, 200);
+        bhandle.join().expect("daemon exits");
+    }
+    let (status, _) = exchange(b1_addr, &post_bytes("/admin/shutdown", "")).expect("shutdown b1");
+    assert_eq!(status, 200);
+    b1_handle.join().expect("restarted backend exits");
+
     std::fs::remove_file(&path).ok();
 
     println!(
@@ -708,7 +853,9 @@ fn main() {
 {shards_1_json},
 {shards_2_json},
 {shards_4_json},
-{tenant_matrix_json}
+{tenant_matrix_json},
+{proxy_json},
+{proxy_fault_json}
   }},
   "shard_matrix": {{
     "rows": [1, 2, 4],
@@ -719,6 +866,14 @@ fn main() {
     "tenants": 4,
     "rps_ratio_single_tenant_vs_4_tenants": {tenant_overhead:.2},
     "note": "clients rotate /t/t0..t3/route over the same catalog; ratio vs route_keep_alive is the cost of tenant dispatch (lookup, quota gate, per-tenant metrics)"
+  }},
+  "federation": {{
+    "backends": 2,
+    "rps_ratio_direct_vs_proxied": {proxy_overhead:.2},
+    "client_errors_during_backend_kill": {fault_errors},
+    "degraded_responses": {degraded_total},
+    "breaker_opens": {breaker_opens},
+    "note": "scatter-gather proxy over two --shards 2 backends; healthy responses byte-identical to a single daemon. fault row: one backend shut down at t+34% and restarted at t+67% of the phase — clients saw zero errors (degraded 200s instead), and the breaker walked open -> half-open -> closed around the restart"
   }},
   "idle_soak": {{
     "requested_conns": {idle_conns},
@@ -776,6 +931,12 @@ fn main() {
         shards_2_json = phase_json("route_keep_alive_shards_2", 1, &shard_rows[1].1),
         shards_4_json = phase_json("route_keep_alive_shards_4", 1, &shard_rows[2].1),
         tenant_matrix_json = phase_json("route_tenant_matrix", clients, &tenant_phase),
+        proxy_json = phase_json("route_proxy_keep_alive", clients, &proxy_phase),
+        proxy_fault_json = phase_json("route_proxy_under_backend_kill", clients, &under_fault),
+        proxy_overhead = proxy_overhead,
+        fault_errors = under_fault.errors,
+        degraded_total = degraded_total,
+        breaker_opens = breaker_opens,
         shard_speedup = shard_speedup,
         tenant_overhead = tenant_overhead,
         reloads = reloads,

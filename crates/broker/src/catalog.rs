@@ -601,7 +601,8 @@ mod tests {
     fn raw_parts_reject_structural_corruption() {
         let c = catalog();
         let i = c.posting_index();
-        let parts = |f: &dyn Fn(&mut Vec<TermId>, &mut Vec<u32>, &mut Vec<u32>)| {
+        type Mutator<'a> = &'a dyn Fn(&mut Vec<TermId>, &mut Vec<u32>, &mut Vec<u32>);
+        let parts = |f: Mutator| {
             let mut terms = i.terms().to_vec();
             let mut offsets = i.offsets().to_vec();
             let mut dbs = i.dbs().to_vec();

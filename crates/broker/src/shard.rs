@@ -335,6 +335,37 @@ impl ShardedEngine {
         }
     }
 
+    /// Score **one** shard, reporting global database indices — the
+    /// backend half of a *federated* deployment, where each shard lives
+    /// behind a remote daemon and a proxy gathers the partial rankings.
+    ///
+    /// Every backend holds the full catalog and runs the identical
+    /// sequential choose phase (same RNG stream for the same seed) plus
+    /// the global collection context, then scores only `shard`'s members.
+    /// Collecting `route_shard` over all shards and merging through
+    /// [`merge_rankings`] is therefore bit-identical to
+    /// [`route`](Self::route) — the same argument as the in-process
+    /// scatter, just with the scatter on the other side of a socket.
+    ///
+    /// The returned outcome's `ranking` holds only `shard`'s databases
+    /// (sorted by `ranking_order`, global indices); `used_shrinkage`
+    /// still covers the full catalog.
+    pub fn route_shard<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        rng: &mut R,
+        shard: usize,
+        scratch: &mut RouteScratch,
+    ) -> AdaptiveOutcome {
+        let used_shrinkage = self.full.choose_summaries(query, rng, scratch);
+        let ctx = self.full.catalog().scoring_context(query, &used_shrinkage);
+        let ranking = self.score_shard(shard, query, &ctx, &used_shrinkage, scratch);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
     /// Route a batch over `threads` workers, parallel across *queries*
     /// (shards score sequentially inside each query — the scatter and the
     /// batch fan-out would otherwise fight for the same cores). Query `i`
@@ -382,7 +413,7 @@ mod tests {
     use super::*;
     use crate::catalog::CatalogEntry;
     use crate::engine::DEFAULT_CACHE_CAPACITY;
-    use crate::test_support::{entry, sampled_summary, shrunk_for};
+    use crate::test_support::{sampled_summary, shrunk_for};
     use proptest::prelude::*;
     use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
 
@@ -523,6 +554,64 @@ mod tests {
                         let scat = sharded.route(query, &mut db_rng(11, qi));
                         assert_same_outcome(&mono, &scat);
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_shard_partial_routes_merge_into_the_monolithic_ranking() {
+        let catalog = Arc::new(Catalog::build(entries(9)));
+        let global = sampled_summary(120_000.0, 900, &[(1, 300), (2, 250), (3, 80), (4, 60)]);
+        let algorithms: [Arc<dyn SelectionAlgorithm + Send + Sync>; 3] = [
+            Arc::new(BGloss),
+            Arc::new(Cori::default()),
+            Arc::new(Lm::new(0.5, &global)),
+        ];
+        for algorithm in algorithms {
+            for mode in [
+                ShrinkageMode::Adaptive,
+                ShrinkageMode::Always,
+                ShrinkageMode::Never,
+            ] {
+                let config = AdaptiveConfig {
+                    mode,
+                    ..Default::default()
+                };
+                let full = Arc::new(SelectionEngine::new(
+                    Arc::clone(&catalog),
+                    Arc::clone(&algorithm),
+                    config,
+                    DEFAULT_CACHE_CAPACITY,
+                ));
+                let set = Arc::new(
+                    ShardSet::build(&catalog, ShardPlan::contiguous(catalog.len(), 3)).unwrap(),
+                );
+                let sharded = ShardedEngine::new(Arc::clone(&full), set, 2);
+                for (qi, query) in queries().iter().enumerate() {
+                    let mono = full.route(query, &mut db_rng(5, qi));
+                    // Each shard routed independently, each with its own
+                    // fresh RNG — exactly what N remote backends would do.
+                    let per_shard: Vec<Vec<RankedDatabase>> = (0..sharded.shard_count())
+                        .map(|s| {
+                            let partial = sharded.route_shard(
+                                query,
+                                &mut db_rng(5, qi),
+                                s,
+                                &mut RouteScratch::default(),
+                            );
+                            assert_eq!(
+                                partial.used_shrinkage, mono.used_shrinkage,
+                                "choose phase must be shard-invariant"
+                            );
+                            partial.ranking
+                        })
+                        .collect();
+                    let gathered = AdaptiveOutcome {
+                        ranking: merge_rankings(&per_shard),
+                        used_shrinkage: mono.used_shrinkage.clone(),
+                    };
+                    assert_same_outcome(&mono, &gathered);
                 }
             }
         }

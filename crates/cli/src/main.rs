@@ -63,10 +63,13 @@ USAGE:
                   --out SNAPSHOT
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
                  [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
-  dbselect serve (--catalog CATALOG | --tenants DIR) [--addr HOST:PORT]
+  dbselect serve (--catalog CATALOG | --tenants DIR | --proxy --backends A,B,..)
+                 [--addr HOST:PORT]
                  [--workers N] [--queue N] [--shards N] [--tenant-quota N]
                  [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
-                 [--cache N] [--reactor | --legacy-threaded]
+                 [--cache N] [--retry-after-ms N] [--reactor | --legacy-threaded]
+                 [--proxy-retries N] [--hedge-ms N] [--breaker-threshold N]
+                 [--breaker-cooldown-ms N] [--health-interval-ms N]
   dbselect inspect --store STORE [--db NAME]
 
 `catalog` runs the shrinkage EM once and freezes the result (summaries,
@@ -99,6 +102,21 @@ tenant named `default` (or the first, by name). --tenant-quota caps
 in-flight routing requests per tenant (503 + Retry-After beyond it);
 --shards N scatters each query's scoring phase across N catalog shards
 and merges — rankings stay bit-identical to --shards 1.
+
+`serve --proxy --backends A,B,..` starts a federated proxy instead of a
+catalog engine: /route and /route_batch scatter to the listed shard
+daemons (each started with --shards N over the same snapshot) and merge
+the partial rankings, bit-identically to a single monolithic daemon
+when every backend is healthy. Failed shard calls are retried
+(--proxy-retries, exponential backoff), slow ones hedged (--hedge-ms,
+0 disables, default adapts to the backend's p99), and flapping
+backends are fenced by per-backend circuit breakers
+(--breaker-threshold consecutive failures open the breaker for
+--breaker-cooldown-ms; a background health prober every
+--health-interval-ms closes it again). When some — but not all —
+shards fail, the proxy degrades gracefully: it merges what it has and
+marks the response `\"degraded\": true` with the missing shard ids.
+--retry-after-ms sets the Retry-After hint on 503s in every serve mode.
 ";
 
 fn cmd_index(args: &[String]) -> Result<(), String> {
@@ -301,6 +319,8 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let mut catalog_path = None;
     let mut tenants_dir = None;
+    let mut proxy = false;
+    let mut proxy_config = server::ProxyConfig::default();
     let mut config = server::ServerConfig {
         addr: "127.0.0.1:7700".to_string(),
         ..Default::default()
@@ -353,17 +373,86 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--tenant-quota expects an integer (0 = unlimited)".to_string())?;
             }
+            "--retry-after-ms" => {
+                let ms: u64 = next_value(&mut it, "--retry-after-ms")?
+                    .parse()
+                    .map_err(|_| "--retry-after-ms expects an integer".to_string())?;
+                config.retry_after = std::time::Duration::from_millis(ms);
+            }
+            "--proxy" => proxy = true,
+            "--backends" => {
+                proxy_config.backends = next_value(&mut it, "--backends")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--proxy-retries" => {
+                proxy_config.retries = next_value(&mut it, "--proxy-retries")?
+                    .parse()
+                    .map_err(|_| "--proxy-retries expects an integer".to_string())?;
+            }
+            "--hedge-ms" => {
+                let ms: u64 = next_value(&mut it, "--hedge-ms")?
+                    .parse()
+                    .map_err(|_| "--hedge-ms expects an integer (0 = off)".to_string())?;
+                proxy_config.hedge = if ms == 0 {
+                    server::HedgePolicy::Off
+                } else {
+                    server::HedgePolicy::Fixed(std::time::Duration::from_millis(ms))
+                };
+            }
+            "--breaker-threshold" => {
+                proxy_config.breaker_failures = next_value(&mut it, "--breaker-threshold")?
+                    .parse()
+                    .map_err(|_| "--breaker-threshold expects an integer".to_string())?;
+            }
+            "--breaker-cooldown-ms" => {
+                let ms: u64 = next_value(&mut it, "--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|_| "--breaker-cooldown-ms expects an integer".to_string())?;
+                proxy_config.breaker_cooldown = std::time::Duration::from_millis(ms);
+            }
+            "--health-interval-ms" => {
+                let ms: u64 = next_value(&mut it, "--health-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--health-interval-ms expects an integer".to_string())?;
+                proxy_config.health_interval = std::time::Duration::from_millis(ms);
+            }
             "--debug-sleep" => config.debug_sleep = true,
             "--reactor" => config.mode = server::ServeMode::Reactor,
             "--legacy-threaded" => config.mode = server::ServeMode::Threaded,
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
+    if proxy {
+        if catalog_path.is_some() || tenants_dir.is_some() {
+            return Err("serve --proxy takes neither --catalog nor --tenants".to_string());
+        }
+        if proxy_config.backends.is_empty() {
+            return Err("serve --proxy requires --backends HOST:PORT,HOST:PORT,..".to_string());
+        }
+        let backends = proxy_config.backends.clone();
+        config.proxy = Some(proxy_config);
+        let daemon = server::Server::bind_proxy(config).map_err(|e| e.to_string())?;
+        println!(
+            "dbselectd proxy listening on {} ({} backends: {})",
+            daemon.local_addr(),
+            backends.len(),
+            backends.join(", "),
+        );
+        return daemon.run().map_err(|e| e.to_string());
+    }
     let daemon = match (catalog_path, tenants_dir) {
         (Some(_), Some(_)) => {
             return Err("serve takes either --catalog or --tenants, not both".to_string())
         }
-        (None, None) => return Err("serve requires --catalog CATALOG or --tenants DIR".to_string()),
+        (None, None) => {
+            return Err(
+                "serve requires --catalog CATALOG, --tenants DIR, or --proxy --backends"
+                    .to_string(),
+            )
+        }
         (Some(catalog_path), None) => {
             let state = server::state::ServingState::load_sharded(
                 &catalog_path,

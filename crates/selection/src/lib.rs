@@ -35,5 +35,8 @@ pub use context::{
 pub use cori::Cori;
 pub use hierarchical::HierarchicalSelector;
 pub use lm::Lm;
-pub use merge::{merge_rankings, merge_results, MergeStrategy, MergedResult};
+pub use merge::{
+    merge_partial_rankings, merge_rankings, merge_results, MergeStrategy, MergedResult,
+    PartialMerge,
+};
 pub use redde::{Redde, ReddeConfig};

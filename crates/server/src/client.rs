@@ -1,0 +1,456 @@
+//! A minimal std-only HTTP/1.1 client with per-backend keep-alive
+//! connection pools — the outbound half of the proxy tier ([`crate::proxy`]).
+//!
+//! The daemon's routing endpoints are idempotent (a `/route` body plus a
+//! seed fully determines the response), which lets this client be
+//! aggressive about connection reuse: a pooled connection that fails in
+//! any way — the backend restarted, the idle socket was reaped, the
+//! response came back torn — is thrown away and the request transparently
+//! retried once on a fresh connection. Deadlines are enforced the same
+//! way the server side does it ([`crate::DeadlineStream`]'s pattern): the
+//! socket timeout is re-armed against the absolute deadline before every
+//! read and write, so a dribbling backend cannot reset the clock.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Idle connections kept per backend; beyond this, finished connections
+/// are simply closed.
+const MAX_IDLE: usize = 8;
+
+/// Cap on the TCP connect itself, independent of the request deadline: a
+/// SYN-blackholed backend must fail fast enough for the retry budget to
+/// matter.
+const CONNECT_CAP: Duration = Duration::from_secs(1);
+
+/// Bounds on the response head, mirroring the server's request limits.
+const MAX_STATUS_LINE: usize = 1024;
+const MAX_HEADERS: usize = 128;
+const MAX_HEADER_LINE: usize = 8 * 1024;
+
+/// Largest response body accepted from a backend.
+const MAX_RESPONSE_BODY: usize = 64 * 1024 * 1024;
+
+/// A backend's answer: status code plus the complete body.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// The full response body (`Content-Length`-framed).
+    pub body: Vec<u8>,
+}
+
+fn bad(detail: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail.to_string())
+}
+
+/// The client-side twin of the server's `DeadlineStream`: re-arms the
+/// socket timeout against an absolute deadline before every syscall, so
+/// total time on the wire is bounded by the deadline, not per-`recv`.
+struct DeadlineIo {
+    stream: TcpStream,
+    deadline: Instant,
+}
+
+impl DeadlineIo {
+    fn remaining(&self) -> io::Result<Duration> {
+        let now = Instant::now();
+        if now >= self.deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline exceeded"));
+        }
+        Ok(self.deadline - now)
+    }
+}
+
+impl Read for DeadlineIo {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.set_read_timeout(Some(self.remaining()?))?;
+        self.stream.read(buf)
+    }
+}
+
+impl Write for DeadlineIo {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.stream.set_write_timeout(Some(self.remaining()?))?;
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// A keep-alive connection pool to one backend address.
+#[derive(Debug)]
+pub struct Pool {
+    addr: String,
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+impl Pool {
+    /// A pool for `addr` (`host:port`); no connection is made until the
+    /// first request.
+    pub fn new(addr: impl Into<String>) -> Pool {
+        Pool {
+            addr: addr.into(),
+            idle: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The backend address this pool dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Issue one request and read the full response, all bounded by
+    /// `deadline`. Reuses a pooled connection when one is idle; any
+    /// failure on a *reused* connection triggers one transparent retry on
+    /// a fresh connection (the reused socket may have been closed by the
+    /// backend between requests — indistinguishable from a real error
+    /// until we try). Errors from the fresh connection are final.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        deadline: Instant,
+    ) -> io::Result<ClientResponse> {
+        if let Some(stream) = self.checkout() {
+            if let Ok(response) = self.exchange(stream, method, path, body, deadline) {
+                return Ok(response);
+            }
+        }
+        let stream = self.connect(deadline)?;
+        self.exchange(stream, method, path, body, deadline)
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.idle.lock().expect("pool lock poisoned").pop()
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut idle = self.idle.lock().expect("pool lock poisoned");
+        if idle.len() < MAX_IDLE {
+            idle.push(stream);
+        }
+    }
+
+    /// Drop every pooled connection (the breaker opened; the sockets are
+    /// likely dead anyway).
+    pub fn drain(&self) {
+        self.idle.lock().expect("pool lock poisoned").clear();
+    }
+
+    fn connect(&self, deadline: Instant) -> io::Result<TcpStream> {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "deadline exceeded"));
+        }
+        let budget = (deadline - now).min(CONNECT_CAP);
+        let mut last: Option<io::Error> = None;
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, budget) {
+                Ok(stream) => {
+                    // Same rationale as the server side: without nodelay,
+                    // Nagle + delayed ACK adds ~40ms to every kept-alive
+                    // round trip.
+                    let _ = stream.set_nodelay(true);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("`{}` resolved to no address", self.addr),
+            )
+        }))
+    }
+
+    fn exchange(
+        &self,
+        stream: TcpStream,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        deadline: Instant,
+    ) -> io::Result<ClientResponse> {
+        let mut writer = DeadlineIo {
+            stream: stream.try_clone()?,
+            deadline,
+        };
+        writer.write_all(&request_bytes(method, path, &self.addr, body))?;
+        let mut reader = BufReader::new(DeadlineIo { stream, deadline });
+        let (response, keep_alive) = read_client_response(&mut reader)?;
+        // Reuse only a connection with nothing left in flight: stray
+        // buffered bytes would corrupt the next response's framing.
+        if keep_alive && reader.buffer().is_empty() {
+            self.checkin(reader.into_inner().stream);
+        }
+        Ok(response)
+    }
+}
+
+/// Serialize one request. `Content-Length` is always present (including
+/// `0` on GETs) so the backend never waits for a body that is not coming.
+pub fn request_bytes(method: &str, path: &str, host: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    write!(
+        out,
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("writing into a Vec cannot fail");
+    out.extend_from_slice(body);
+    out
+}
+
+/// Read one line up to `cap` bytes, stripping the trailing `\r\n` /
+/// `\n`. EOF mid-line is an error — responses are `Content-Length`
+/// framed, so a clean close can only happen between responses.
+fn read_line_bounded<R: BufRead>(r: &mut R, cap: usize) -> io::Result<String> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (done, used) = {
+            let buf = r.fill_buf()?;
+            if buf.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..pos]);
+                    (true, pos + 1)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (false, buf.len())
+                }
+            }
+        };
+        r.consume(used);
+        if line.len() > cap {
+            return Err(bad("response line too long"));
+        }
+        if done {
+            break;
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| bad("response line is not UTF-8"))
+}
+
+/// Parse one response off the wire. Returns the response and whether the
+/// connection may be reused (HTTP/1.1 without `Connection: close`).
+/// `Content-Length` is required: the daemon always sends it, and exact
+/// framing is what makes a mid-body close detectable instead of looking
+/// like a short-but-complete body.
+fn read_client_response<R: BufRead>(r: &mut R) -> io::Result<(ClientResponse, bool)> {
+    let status_line = read_line_bounded(r, MAX_STATUS_LINE)?;
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("not an HTTP/1.x response"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut close = version != "HTTP/1.1";
+    let mut seen = 0usize;
+    loop {
+        let line = read_line_bounded(r, MAX_HEADER_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        seen += 1;
+        if seen > MAX_HEADERS {
+            return Err(bad("too many response headers"));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("malformed response header"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| bad("unparseable Content-Length"))?,
+                );
+            }
+            "connection" => {
+                for token in value.split(',') {
+                    if token.trim().eq_ignore_ascii_case("close") {
+                        close = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let len = content_length.ok_or_else(|| bad("response without Content-Length"))?;
+    if len > MAX_RESPONSE_BODY {
+        return Err(bad("response body too large"));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((ClientResponse { status, body }, !close))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn deadline() -> Instant {
+        Instant::now() + Duration::from_secs(5)
+    }
+
+    /// A scripted backend: serves `per_conn` responses per connection,
+    /// then closes it, counting accepted connections.
+    fn scripted_backend(response: &'static str, per_conn: usize) -> (String, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let accepted = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let mut stream = stream;
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    for _ in 0..per_conn {
+                        // Read the request head + Content-Length body.
+                        let mut len = 0usize;
+                        loop {
+                            let mut line = String::new();
+                            if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                                return;
+                            }
+                            let trimmed = line.trim();
+                            if trimmed.is_empty() {
+                                break;
+                            }
+                            if let Some(v) = trimmed
+                                .to_ascii_lowercase()
+                                .strip_prefix("content-length:")
+                                .map(str::trim)
+                            {
+                                len = v.parse().unwrap_or(0);
+                            }
+                        }
+                        let mut body = vec![0u8; len];
+                        if reader.read_exact(&mut body).is_err() {
+                            return;
+                        }
+                        if stream.write_all(response.as_bytes()).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        (addr, accepted)
+    }
+
+    const OK: &str =
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+
+    #[test]
+    fn keep_alive_reuses_one_connection() {
+        let (addr, accepted) = scripted_backend(OK, 10);
+        let pool = Pool::new(addr);
+        for _ in 0..3 {
+            let response = pool
+                .request("POST", "/route", b"{\"q\":1}", deadline())
+                .expect("request");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.body, b"{}");
+        }
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            1,
+            "three requests must share one pooled connection"
+        );
+    }
+
+    #[test]
+    fn stale_pooled_connection_is_retried_transparently() {
+        // One response per connection: the pooled socket is dead by the
+        // time the second request reuses it.
+        let (addr, accepted) = scripted_backend(OK, 1);
+        let pool = Pool::new(addr);
+        for _ in 0..3 {
+            let response = pool
+                .request("POST", "/route", b"{}", deadline())
+                .expect("request survives the stale connection");
+            assert_eq!(response.status, 200);
+        }
+        assert_eq!(accepted.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn missing_content_length_is_an_error() {
+        let (addr, _) = scripted_backend("HTTP/1.1 200 OK\r\n\r\n", 1);
+        let pool = Pool::new(addr);
+        let err = pool
+            .request("GET", "/healthz", b"", deadline())
+            .expect_err("unframed response must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mid_body_close_is_detected() {
+        // Content-Length promises 100 bytes; only 2 arrive before close.
+        let (addr, _) = scripted_backend("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n{}", 1);
+        let pool = Pool::new(addr);
+        let err = pool
+            .request("POST", "/route", b"{}", deadline())
+            .expect_err("torn body must fail");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn connection_close_header_disables_reuse() {
+        let (addr, accepted) = scripted_backend(
+            "HTTP/1.1 200 OK\r\nConnection: close\r\nContent-Length: 2\r\n\r\n{}",
+            10,
+        );
+        let pool = Pool::new(addr);
+        for _ in 0..2 {
+            let response = pool
+                .request("POST", "/route", b"{}", deadline())
+                .expect("request");
+            assert_eq!(response.status, 200);
+        }
+        assert_eq!(
+            accepted.load(Ordering::SeqCst),
+            2,
+            "Connection: close must prevent pooling"
+        );
+    }
+
+    #[test]
+    fn connect_refused_is_an_error() {
+        // Bind-then-drop guarantees an unused port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr").to_string()
+        };
+        let pool = Pool::new(addr);
+        assert!(pool.request("GET", "/healthz", b"", deadline()).is_err());
+    }
+}

@@ -40,14 +40,18 @@
 //! the query at `index` of a batch, and scores are serialized with
 //! shortest-roundtrip `f64` formatting ([`json`]).
 
+pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod poller;
+pub mod proxy;
 pub mod queue;
 pub mod reactor;
 pub mod state;
 pub mod timer;
+
+pub use proxy::{HedgePolicy, ProxyConfig};
 
 use std::io::{self, BufRead as _, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -115,6 +119,14 @@ pub struct ServerConfig {
     /// unlimited). One hot tenant exhausting the worker pool cannot take
     /// quota from the others.
     pub tenant_quota: usize,
+    /// The `Retry-After` hint on every 503 this daemon originates
+    /// (admission rejections, quota rejections, proxy all-shards-down).
+    /// Serialized in whole seconds, rounded up, minimum 1.
+    pub retry_after: Duration,
+    /// Federated proxy mode: scatter-gather over these remote shard
+    /// backends instead of serving a local catalog
+    /// ([`Server::bind_proxy`]).
+    pub proxy: Option<ProxyConfig>,
 }
 
 impl Default for ServerConfig {
@@ -131,15 +143,26 @@ impl Default for ServerConfig {
             mode: ServeMode::Reactor,
             shards: 1,
             tenant_quota: 0,
+            retry_after: Duration::from_secs(1),
+            proxy: None,
         }
     }
 }
 
 /// Maximum queries accepted in one `/route_batch` request.
-const MAX_BATCH: usize = 10_000;
+pub(crate) const MAX_BATCH: usize = 10_000;
 
-/// `Retry-After` seconds suggested on admission rejection.
-const RETRY_AFTER_SECS: u32 = 1;
+/// The configured `Retry-After` value as a header string: whole seconds,
+/// rounded up, never below 1 (a `Retry-After: 0` invites an immediate
+/// retry storm).
+pub(crate) fn retry_after_value(config: &ServerConfig) -> String {
+    config
+        .retry_after
+        .as_millis()
+        .div_ceil(1000)
+        .max(1)
+        .to_string()
+}
 
 /// Write-timeout bound on the accept thread's `503` rejection: the
 /// response fits any socket buffer, so this only stops a pathological
@@ -289,7 +312,7 @@ fn admit<'a>(shared: &Shared, tenant: &'a Tenant) -> Result<InFlightGuard<'a>, R
             .fetch_add(1, Ordering::Relaxed);
         return Err(
             Response::error(503, &format!("tenant `{}` quota exhausted", tenant.name))
-                .with_header("Retry-After", RETRY_AFTER_SECS.to_string()),
+                .with_header("Retry-After", retry_after_value(&shared.config)),
         );
     }
     Ok(InFlightGuard(tenant))
@@ -317,6 +340,10 @@ pub(crate) struct Shared {
     pub(crate) config: ServerConfig,
     pub(crate) limits: Limits,
     pub(crate) addr: SocketAddr,
+    /// The federated proxy tier; `Some` iff this daemon was bound with
+    /// [`Server::bind_proxy`] (in which case `tenants` is empty and
+    /// every request is dispatched by [`proxy::dispatch`]).
+    pub(crate) proxy: Option<proxy::ProxyTier>,
 }
 
 impl Shared {
@@ -356,10 +383,40 @@ impl Server {
         config: ServerConfig,
         states: Vec<(String, ServingState)>,
     ) -> io::Result<Server> {
-        let invalid = |detail: String| io::Error::new(io::ErrorKind::InvalidInput, detail);
         if states.is_empty() {
-            return Err(invalid("at least one tenant is required".to_string()));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "at least one tenant is required",
+            ));
         }
+        Server::bind_with(config, states, None)
+    }
+
+    /// Bind the federated proxy tier: no local catalog, every routing
+    /// request scatter-gathered over `config.proxy`'s backends
+    /// ([`proxy`]). The health checker starts with [`run`](Self::run).
+    pub fn bind_proxy(config: ServerConfig) -> io::Result<Server> {
+        let invalid = |detail: &str| io::Error::new(io::ErrorKind::InvalidInput, detail);
+        let proxy_config = config
+            .proxy
+            .clone()
+            .ok_or_else(|| invalid("bind_proxy requires `config.proxy`"))?;
+        if proxy_config.backends.is_empty() {
+            return Err(invalid("proxy mode requires at least one backend"));
+        }
+        Server::bind_with(
+            config,
+            Vec::new(),
+            Some(proxy::ProxyTier::new(proxy_config)),
+        )
+    }
+
+    fn bind_with(
+        config: ServerConfig,
+        states: Vec<(String, ServingState)>,
+        proxy: Option<proxy::ProxyTier>,
+    ) -> io::Result<Server> {
+        let invalid = |detail: String| io::Error::new(io::ErrorKind::InvalidInput, detail);
         let mut tenants: Vec<Arc<Tenant>> = states
             .into_iter()
             .map(|(name, state)| {
@@ -392,6 +449,7 @@ impl Server {
             config,
             limits: Limits::default(),
             addr,
+            proxy,
         });
         Ok(Server { listener, shared })
     }
@@ -402,13 +460,26 @@ impl Server {
     }
 
     /// Run the daemon on the calling thread until `/admin/shutdown`.
-    /// Spawns the worker pool; joins it before returning, so when `run`
-    /// returns every admitted request has been answered.
+    /// Spawns the worker pool (and, in proxy mode, the backend health
+    /// checker); joins them before returning, so when `run` returns every
+    /// admitted request has been answered.
     pub fn run(self) -> io::Result<()> {
-        match self.shared.config.mode {
+        let shared = Arc::clone(&self.shared);
+        let health = shared.proxy.as_ref().map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || proxy::health_loop(&shared))
+        });
+        let result = match self.shared.config.mode {
             ServeMode::Reactor => self.run_reactor(),
             ServeMode::Threaded => self.run_threaded(),
+        };
+        if let Some(handle) = health {
+            // `stop` is already set on the shutdown path; set it on error
+            // exits too so the checker never outlives the listener.
+            shared.stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
         }
+        result
     }
 
     /// Reactor mode: connection I/O on this thread, execution on the
@@ -517,7 +588,7 @@ impl Server {
                 let mut stream = job.stream;
                 let _ = stream.set_write_timeout(Some(REJECT_WRITE_TIMEOUT));
                 let response = Response::error(503, "queue full")
-                    .with_header("Retry-After", RETRY_AFTER_SECS.to_string());
+                    .with_header("Retry-After", retry_after_value(&self.shared.config));
                 let _ = write_response(&mut stream, &response, true);
             }
         }
@@ -792,7 +863,25 @@ fn serve_connection(shared: &Shared, job: Job) {
     }
 }
 
+/// The `/admin/shutdown` success body, shared between catalog and proxy
+/// dispatch (`execute_task` keys the stop flag off endpoint + status).
+pub(crate) fn shutdown_response() -> Response {
+    Response::json(
+        200,
+        Json::obj(vec![(
+            "status".to_string(),
+            Json::Str("shutting down".to_string()),
+        )])
+        .render(),
+    )
+}
+
 fn dispatch(shared: &Shared, request: &Request, deadline: Instant) -> (&'static str, Response) {
+    // Proxy mode replaces the catalog API wholesale — it must run before
+    // any tenant lookup, because a proxy hosts no tenants at all.
+    if shared.proxy.is_some() {
+        return proxy::dispatch(shared, request, deadline);
+    }
     if let Some(rest) = request.path().strip_prefix("/t/") {
         return dispatch_tenant(shared, request, deadline, rest);
     }
@@ -801,6 +890,7 @@ fn dispatch(shared: &Shared, request: &Request, deadline: Instant) -> (&'static 
     let tenant = shared.default_tenant();
     match (request.method.as_str(), request.path()) {
         ("GET", "/healthz") => ("healthz", handle_healthz(shared)),
+        ("GET", "/readyz") => ("readyz", handle_readyz(shared)),
         ("GET", "/metrics") => ("metrics", handle_metrics(shared)),
         ("POST", "/route") => (
             "route",
@@ -815,20 +905,10 @@ fn dispatch(shared: &Shared, request: &Request, deadline: Instant) -> (&'static 
             }),
         ),
         ("POST", "/admin/reload") => ("reload", handle_reload(shared, tenant, request)),
-        ("POST", "/admin/shutdown") => (
-            "shutdown",
-            Response::json(
-                200,
-                Json::obj(vec![(
-                    "status".to_string(),
-                    Json::Str("shutting down".to_string()),
-                )])
-                .render(),
-            ),
-        ),
+        ("POST", "/admin/shutdown") => ("shutdown", shutdown_response()),
         (
             _,
-            "/healthz" | "/metrics" | "/route" | "/route_batch" | "/admin/reload"
+            "/healthz" | "/readyz" | "/metrics" | "/route" | "/route_batch" | "/admin/reload"
             | "/admin/shutdown",
         ) => (
             "other",
@@ -919,6 +999,47 @@ fn handle_healthz(shared: &Shared) -> Response {
     )
 }
 
+/// Readiness, as distinct from liveness (`/healthz`): are the catalogs
+/// loaded and serving? In catalog mode every tenant's first generation is
+/// frozen *before* the listener binds, so by the time a probe can reach
+/// this endpoint readiness is unconditional — the answer is always 200,
+/// and the value is in the body: per-tenant generation plus the snapshot
+/// content checksum, which lets an operator (or the proxy's bit-identity
+/// check) confirm that two daemons serve the same catalog bytes. The
+/// proxy tier overrides this with a genuinely asynchronous answer
+/// ([`proxy`]): 503 until its first full healthy backend sweep.
+fn handle_readyz(shared: &Shared) -> Response {
+    let tenants = Json::Arr(
+        shared
+            .tenants
+            .iter()
+            .map(|tenant| {
+                let state = tenant.current();
+                Json::obj(vec![
+                    ("tenant".to_string(), Json::Str(tenant.name.clone())),
+                    (
+                        "generation".to_string(),
+                        Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
+                    ),
+                    ("databases".to_string(), Json::Num(state.databases() as f64)),
+                    (
+                        "snapshot_checksum".to_string(),
+                        Json::Str(format!("{:016x}", state.checksum())),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Response::json(
+        200,
+        Json::obj(vec![
+            ("ready".to_string(), Json::Bool(true)),
+            ("tenants".to_string(), tenants),
+        ])
+        .render(),
+    )
+}
+
 fn handle_metrics(shared: &Shared) -> Response {
     let tenant = shared.default_tenant();
     let state = tenant.current();
@@ -946,15 +1067,16 @@ fn handle_metrics(shared: &Shared) -> Response {
     Response::text(200, body)
 }
 
-/// Common fields of `/route` and `/route_batch` requests.
-struct RouteParams {
-    algo: Algo,
-    mode: ShrinkageMode,
-    seed: u64,
-    k: usize,
+/// Common fields of `/route` and `/route_batch` requests (shared with
+/// the proxy tier, which validates them before scattering).
+pub(crate) struct RouteParams {
+    pub(crate) algo: Algo,
+    pub(crate) mode: ShrinkageMode,
+    pub(crate) seed: u64,
+    pub(crate) k: usize,
 }
 
-fn parse_route_params(body: &Json) -> Result<RouteParams, Response> {
+pub(crate) fn parse_route_params(body: &Json) -> Result<RouteParams, Response> {
     let algo = match body.get("algo").map(|v| (v, v.as_str())) {
         None => Algo::default(),
         Some((_, Some(name))) => Algo::parse(name).map_err(|e| Response::error(400, &e))?,
@@ -1002,7 +1124,7 @@ fn parse_query_words(value: &Json) -> Result<Vec<String>, String> {
     }
 }
 
-fn parse_body(request: &Request) -> Result<Json, Response> {
+pub(crate) fn parse_body(request: &Request) -> Result<Json, Response> {
     let text = std::str::from_utf8(&request.body)
         .map_err(|_| Response::error(400, "body is not UTF-8"))?;
     Json::parse(text).map_err(|e| Response::error(400, &format!("invalid JSON: {e}")))
@@ -1032,6 +1154,66 @@ fn ranking_json(state: &ServingState, outcome: &selection::AdaptiveOutcome, k: u
             })
             .collect(),
     )
+}
+
+/// Render one shard's partial ranking for a proxy (`"shard": i`
+/// requests): entries carry the **global** catalog `index` instead of a
+/// rank, so the proxy can k-way-merge partial rankings from different
+/// backends and re-derive ranks. Truncation to `k` is per shard — the
+/// global top-k of the merged ranking is contained in the per-shard
+/// top-k lists.
+fn partial_ranking_json(
+    state: &ServingState,
+    outcome: &selection::AdaptiveOutcome,
+    k: usize,
+) -> Json {
+    Json::Arr(
+        outcome
+            .ranking
+            .iter()
+            .take(k)
+            .map(|r| {
+                Json::obj(vec![
+                    ("index".to_string(), Json::Num(r.index as f64)),
+                    (
+                        "database".to_string(),
+                        Json::Str(state.name(r.index).to_string()),
+                    ),
+                    ("category".to_string(), Json::Str(state.category(r.index))),
+                    ("score".to_string(), Json::Num(r.score)),
+                    (
+                        "shrinkage_used".to_string(),
+                        Json::Bool(outcome.used_shrinkage[r.index]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parse the optional `shard` field (proxy-to-backend requests only).
+fn parse_shard(body: &Json) -> Result<Option<usize>, Response> {
+    match body.get("shard") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|s| Some(s as usize))
+            .ok_or_else(|| Response::error(400, "`shard` must be a non-negative integer")),
+    }
+}
+
+/// Validate a requested shard id against the serving state. A
+/// single-shard state accepts shard 0 (the whole catalog is shard 0 of
+/// 1), so a proxy with one backend works against an unsharded daemon.
+fn check_shard(state: &ServingState, shard: usize) -> Result<(), Response> {
+    let shard_count = state.shard_count();
+    if shard >= shard_count {
+        return Err(Response::error(
+            400,
+            &format!("`shard` {shard} out of range (catalog has {shard_count} shards)"),
+        ));
+    }
+    Ok(())
 }
 
 fn handle_route(
@@ -1078,6 +1260,10 @@ fn handle_route(
             None => return Response::error(400, "`index` must be a non-negative integer"),
         },
     };
+    let shard = match parse_shard(&body) {
+        Ok(shard) => shard,
+        Err(response) => return response,
+    };
 
     let state = tenant.current();
     let (query, unknown) = state.analyze(&words);
@@ -1086,6 +1272,46 @@ fn handle_route(
         return Response::error(504, "deadline exceeded");
     }
     let mut rng = db_rng(params.seed, index);
+
+    // Shard-partial serving (proxy-to-backend): route only the requested
+    // shard, but with the choose phase and scoring context computed over
+    // the full catalog — merging every shard's partial ranking
+    // reconstructs the monolithic ranking bit-for-bit.
+    if let Some(s) = shard {
+        if let Err(response) = check_shard(&state, s) {
+            return response;
+        }
+        let outcome = match state.sharded_engine(params.algo, params.mode) {
+            Some(sharded) => {
+                sharded.route_shard(&query, &mut rng, s, &mut broker::RouteScratch::default())
+            }
+            // shards == 1: shard 0 *is* the whole catalog.
+            None => state
+                .engine(params.algo, params.mode)
+                .route(&query, &mut rng),
+        };
+        return Response::json(
+            200,
+            Json::obj(vec![
+                (
+                    "generation".to_string(),
+                    Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
+                ),
+                ("shards".to_string(), Json::Num(state.shard_count() as f64)),
+                ("shard".to_string(), Json::Num(s as f64)),
+                (
+                    "unknown".to_string(),
+                    Json::Arr(unknown.into_iter().map(Json::Str).collect()),
+                ),
+                (
+                    "ranking".to_string(),
+                    partial_ranking_json(&state, &outcome, params.k),
+                ),
+            ])
+            .render(),
+        );
+    }
+
     // Prefer the scatter-gather engine when this state is sharded: the
     // ranking is bit-identical, only the scoring parallelism differs.
     let outcome = match state.sharded_engine(params.algo, params.mode) {
@@ -1146,8 +1372,17 @@ fn handle_route_batch(
             _ => return Response::error(400, "`threads` must be a positive integer"),
         },
     };
+    let shard = match parse_shard(&body) {
+        Ok(shard) => shard,
+        Err(response) => return response,
+    };
 
     let state = tenant.current();
+    if let Some(s) = shard {
+        if let Err(response) = check_shard(&state, s) {
+            return response;
+        }
+    }
     let mut analyzed = Vec::with_capacity(queries_value.len());
     for value in queries_value {
         let words = match parse_query_words(value) {
@@ -1172,11 +1407,21 @@ fn handle_route_batch(
             return None;
         }
         let mut rng = db_rng(params.seed, qi);
-        Some(match sharded {
-            Some(se) => {
+        Some(match (shard, sharded) {
+            // Shard-partial serving for a proxy: same choose phase, only
+            // the requested shard scored.
+            (Some(s), Some(se)) => se.route_shard(
+                &queries[qi],
+                &mut rng,
+                s,
+                &mut broker::RouteScratch::default(),
+            ),
+            // shards == 1: shard 0 is the whole catalog.
+            (Some(_), None) => engine.route(&queries[qi], &mut rng),
+            (None, Some(se)) => {
                 se.route_sequential(&queries[qi], &mut rng, &mut broker::RouteScratch::default())
             }
-            None => engine.route(&queries[qi], &mut rng),
+            (None, None) => engine.route(&queries[qi], &mut rng),
         })
     });
     if expired.load(Ordering::Relaxed) {
@@ -1190,30 +1435,30 @@ fn handle_route_batch(
             .zip(&analyzed)
             .map(|(outcome, (_, unknown))| {
                 let outcome = outcome.as_ref().expect("non-expired batch is complete");
+                let ranking = match shard {
+                    Some(_) => partial_ranking_json(&state, outcome, params.k),
+                    None => ranking_json(&state, outcome, params.k),
+                };
                 Json::obj(vec![
                     (
                         "unknown".to_string(),
                         Json::Arr(unknown.iter().cloned().map(Json::Str).collect()),
                     ),
-                    (
-                        "ranking".to_string(),
-                        ranking_json(&state, outcome, params.k),
-                    ),
+                    ("ranking".to_string(), ranking),
                 ])
             })
             .collect(),
     );
-    Response::json(
-        200,
-        Json::obj(vec![
-            (
-                "generation".to_string(),
-                Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
-            ),
-            ("results".to_string(), results),
-        ])
-        .render(),
-    )
+    let mut fields = vec![(
+        "generation".to_string(),
+        Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
+    )];
+    if let Some(s) = shard {
+        fields.push(("shards".to_string(), Json::Num(state.shard_count() as f64)));
+        fields.push(("shard".to_string(), Json::Num(s as f64)));
+    }
+    fields.push(("results".to_string(), results));
+    Response::json(200, Json::obj(fields).render())
 }
 
 fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Response {
@@ -1242,7 +1487,20 @@ fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Respons
         match ServingState::load_sharded(&path, shared.config.cache_capacity, shared.config.shards)
         {
             Ok(next) => next,
-            Err(e) => return Response::error(500, &format!("reload failed: {e}")),
+            Err(e) => {
+                // The caller named the snapshot; a missing or corrupt one
+                // is their error, not ours (the codec reports corruption
+                // as `InvalidData`/`UnexpectedEof`). Either way the old
+                // generation keeps serving untouched.
+                let status = match e.kind() {
+                    io::ErrorKind::NotFound => 404,
+                    io::ErrorKind::InvalidData
+                    | io::ErrorKind::InvalidInput
+                    | io::ErrorKind::UnexpectedEof => 400,
+                    _ => 500,
+                };
+                return Response::error(status, &format!("reload failed: {e}"));
+            }
         };
     let databases = next.databases();
     *tenant.state.write().expect("tenant state lock poisoned") = Arc::new(next);

@@ -239,6 +239,40 @@ impl Metrics {
         load_seconds: f64,
         snapshot_bytes: u64,
     ) -> String {
+        let mut out = self.render_core();
+        out.push_str(&format!(
+            "# TYPE dbselectd_posterior_cache_hits_total counter\n\
+             dbselectd_posterior_cache_hits_total {}\n\
+             # TYPE dbselectd_posterior_cache_misses_total counter\n\
+             dbselectd_posterior_cache_misses_total {}\n\
+             # TYPE dbselectd_posterior_cache_evictions_total counter\n\
+             dbselectd_posterior_cache_evictions_total {}\n\
+             # TYPE dbselectd_posterior_cache_hit_rate gauge\n\
+             dbselectd_posterior_cache_hit_rate {}\n",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.hit_rate(),
+        ));
+        out.push_str(&format!(
+            "# TYPE dbselectd_catalog_generation gauge\n\
+             dbselectd_catalog_generation {generation}\n\
+             # TYPE dbselectd_catalog_databases gauge\n\
+             dbselectd_catalog_databases {databases}\n\
+             # TYPE dbselectd_catalog_load_seconds gauge\n\
+             dbselectd_catalog_load_seconds {load_seconds:.6}\n\
+             # TYPE dbselectd_catalog_snapshot_bytes gauge\n\
+             dbselectd_catalog_snapshot_bytes {snapshot_bytes}\n",
+        ));
+        out
+    }
+
+    /// The catalog-independent half of [`render`](Self::render): request
+    /// counters, latency summaries, admission/connection/reactor gauges
+    /// and uptime. The proxy tier serves no catalog of its own, so its
+    /// `/metrics` endpoint renders this core plus its per-backend
+    /// families instead of the full monolithic exposition.
+    pub fn render_core(&self) -> String {
         let mut out = String::new();
         out.push_str("# TYPE dbselectd_requests_total counter\n");
         for ((endpoint, status), count) in
@@ -302,35 +336,11 @@ impl Metrics {
             "# TYPE dbselectd_reactor_wakeups_total counter\n\
              dbselectd_reactor_wakeups_total {}\n\
              # TYPE dbselectd_eagain_total counter\n\
-             dbselectd_eagain_total {}\n",
-            self.reactor_wakeups_total.load(Ordering::Relaxed),
-            self.eagain_total.load(Ordering::Relaxed),
-        ));
-        out.push_str(&format!(
-            "# TYPE dbselectd_posterior_cache_hits_total counter\n\
-             dbselectd_posterior_cache_hits_total {}\n\
-             # TYPE dbselectd_posterior_cache_misses_total counter\n\
-             dbselectd_posterior_cache_misses_total {}\n\
-             # TYPE dbselectd_posterior_cache_evictions_total counter\n\
-             dbselectd_posterior_cache_evictions_total {}\n\
-             # TYPE dbselectd_posterior_cache_hit_rate gauge\n\
-             dbselectd_posterior_cache_hit_rate {}\n",
-            cache.hits,
-            cache.misses,
-            cache.evictions,
-            cache.hit_rate(),
-        ));
-        out.push_str(&format!(
-            "# TYPE dbselectd_catalog_generation gauge\n\
-             dbselectd_catalog_generation {generation}\n\
-             # TYPE dbselectd_catalog_databases gauge\n\
-             dbselectd_catalog_databases {databases}\n\
-             # TYPE dbselectd_catalog_load_seconds gauge\n\
-             dbselectd_catalog_load_seconds {load_seconds:.6}\n\
-             # TYPE dbselectd_catalog_snapshot_bytes gauge\n\
-             dbselectd_catalog_snapshot_bytes {snapshot_bytes}\n\
+             dbselectd_eagain_total {}\n\
              # TYPE dbselectd_uptime_seconds gauge\n\
              dbselectd_uptime_seconds {:.3}\n",
+            self.reactor_wakeups_total.load(Ordering::Relaxed),
+            self.eagain_total.load(Ordering::Relaxed),
             self.started.elapsed().as_secs_f64(),
         ));
         out

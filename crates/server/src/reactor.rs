@@ -41,7 +41,7 @@ use crate::metrics::ConnState;
 use crate::poller::{new_poller, Event, Interest, Poller};
 use crate::timer::TimerWheel;
 use crate::{
-    Completion, Shared, Task, ERROR_WRITE_GRACE, LINGER_DRAIN, LINGER_DRAIN_MAX, RETRY_AFTER_SECS,
+    retry_after_value, Completion, Shared, Task, ERROR_WRITE_GRACE, LINGER_DRAIN, LINGER_DRAIN_MAX,
 };
 
 /// Timer-wheel granularity. Every deadline the daemon enforces is tens of
@@ -487,7 +487,7 @@ impl Reactor<'_> {
                             .fetch_add(1, Ordering::Relaxed);
                         shared.metrics.record("admission", 503);
                         let response = Response::error(503, "queue full")
-                            .with_header("Retry-After", RETRY_AFTER_SECS.to_string());
+                            .with_header("Retry-After", retry_after_value(&shared.config));
                         self.respond(slot, &response, false);
                     }
                 }

@@ -114,6 +114,10 @@ pub struct ServingState {
     load_seconds: f64,
     /// On-disk byte size of the catalog file this state came from.
     snapshot_bytes: u64,
+    /// FNV-1a content checksum of the catalog file (the v2 snapshot's
+    /// stored payload digest; 0 when built in memory). `/readyz` reports
+    /// it so operators can tell whether two daemons serve the same bytes.
+    checksum: u64,
 }
 
 impl ServingState {
@@ -191,6 +195,7 @@ impl ServingState {
             source,
             load_seconds: 0.0,
             snapshot_bytes: 0,
+            checksum: 0,
         }
     }
 
@@ -213,12 +218,13 @@ impl ServingState {
     /// contiguous shards (`shards <= 1` serves monolithically).
     pub fn load_sharded(path: &str, cache_capacity: usize, shards: usize) -> io::Result<Self> {
         let started = Instant::now();
-        let snapshot = ServingSnapshot::load_any(path)?;
+        let (snapshot, checksum) = ServingSnapshot::load_any_with_checksum(path)?;
         let snapshot_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
         let mut state =
             ServingState::from_snapshot_sharded(snapshot, path.to_string(), cache_capacity, shards);
         state.load_seconds = started.elapsed().as_secs_f64();
         state.snapshot_bytes = snapshot_bytes;
+        state.checksum = checksum;
         Ok(state)
     }
 
@@ -260,6 +266,12 @@ impl ServingState {
     /// in memory).
     pub fn snapshot_bytes(&self) -> u64 {
         self.snapshot_bytes
+    }
+
+    /// Content checksum of this generation's catalog file (0 when built
+    /// in memory); see [`ServingSnapshot::load_any_with_checksum`].
+    pub fn checksum(&self) -> u64 {
+        self.checksum
     }
 
     /// Number of served databases.

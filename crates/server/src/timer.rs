@@ -152,6 +152,89 @@ mod tests {
     }
 
     #[test]
+    fn implicit_rounds_survive_many_rotations_and_slot_sharing() {
+        let t0 = Instant::now();
+        let tick = Duration::from_millis(10);
+        // 4 slots → 40ms rotation. 410ms out = 10+ full rotations of
+        // parking; it lands in the same slot as a 10ms timer, and the
+        // short one must fire on time without dislodging the parked one.
+        let mut wheel = TimerWheel::new(tick, 4, t0);
+        wheel.arm(t0 + Duration::from_millis(410), 1, 1, t0);
+        wheel.arm(t0 + Duration::from_millis(10), 2, 1, t0);
+
+        assert_eq!(fired(&mut wheel, t0 + Duration::from_millis(11)), [(2, 1)]);
+        // Walk whole rotations one tick at a time: the parked entry must
+        // ride every premature visit without firing or leaking.
+        let mut now = t0 + Duration::from_millis(11);
+        while now + tick < t0 + Duration::from_millis(410) {
+            now += tick;
+            assert!(fired(&mut wheel, now).is_empty(), "early fire at {now:?}");
+            assert_eq!(wheel.len(), 1, "parked entry must stay live");
+            assert!(
+                wheel.next_timeout(now).is_some(),
+                "a parked entry must keep the wheel waking"
+            );
+        }
+        assert_eq!(fired(&mut wheel, t0 + Duration::from_millis(421)), [(1, 1)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn stale_generation_of_a_fired_timer_stays_inert() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        // Generation 1 fires; the reactor then re-arms the same token
+        // with a bumped generation (lazy cancellation of gen 1). The
+        // fired gen-1 entry is gone from the wheel — it must not fire
+        // again, and it must not block or corrupt gen 2.
+        wheel.arm(t0 + Duration::from_millis(15), 7, 1, t0);
+        assert_eq!(fired(&mut wheel, t0 + Duration::from_millis(21)), [(7, 1)]);
+        assert!(wheel.is_empty());
+
+        let now = t0 + Duration::from_millis(21);
+        wheel.arm(now + Duration::from_millis(15), 7, 2, now);
+        let late = now + Duration::from_millis(100);
+        assert_eq!(
+            fired(&mut wheel, late),
+            [(7, 2)],
+            "only the live generation fires; the fired one never repeats"
+        );
+        assert!(wheel.is_empty());
+        // Lazy cancellation the other way: two generations armed at
+        // once. The wheel reports both (it cannot know which is stale);
+        // each carries its own gen so the reactor can drop the old one.
+        wheel.arm(late + Duration::from_millis(5), 9, 3, late);
+        wheel.arm(late + Duration::from_millis(5), 9, 4, late);
+        let mut pairs = fired(&mut wheel, late + Duration::from_millis(11));
+        pairs.sort_unstable();
+        assert_eq!(pairs, [(9, 3), (9, 4)]);
+        assert!(wheel.is_empty(), "stale generations must not leak `live`");
+    }
+
+    #[test]
+    fn mass_expiry_drains_in_a_single_advance() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 16, t0);
+        // Thousands of deadlines landing in the same tick — the
+        // stalled-accept recovery shape. One `advance` must drain them
+        // all, leave the wheel empty, and stop asking for wakeups.
+        const N: u64 = 5000;
+        for i in 0..N {
+            wheel.arm(t0 + Duration::from_millis(7), i, i ^ 0x5a, t0);
+        }
+        assert_eq!(wheel.len(), N as usize);
+        let mut expired = Vec::new();
+        wheel.advance(t0 + Duration::from_millis(20), &mut expired);
+        assert_eq!(expired.len(), N as usize, "everything fires in one call");
+        let mut tokens: Vec<u64> = expired.iter().map(|&(t, _)| t).collect();
+        tokens.sort_unstable();
+        assert_eq!(tokens, (0..N).collect::<Vec<_>>());
+        assert!(expired.iter().all(|&(t, g)| g == t ^ 0x5a));
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.next_timeout(t0 + Duration::from_millis(20)), None);
+    }
+
+    #[test]
     fn many_timers_fire_exactly_once_in_due_order_windows() {
         let t0 = Instant::now();
         let mut wheel = TimerWheel::new(Duration::from_millis(5), 8, t0);

@@ -378,8 +378,7 @@ fn reload_swaps_catalogs_without_failing_inflight_requests() {
     stop.store(true, Ordering::Relaxed);
     let any_saw_b = hammers
         .into_iter()
-        .map(|h| h.join().expect("hammer thread"))
-        .any(|saw| saw);
+        .any(|h| h.join().expect("hammer thread"));
     assert!(any_saw_b, "hammers never observed the swapped catalog");
 
     let (_, _, body) = get(addr, "/healthz");
@@ -764,5 +763,169 @@ fn reactor_holds_hundreds_of_idle_connections_with_a_tiny_worker_pool() {
     assert!(gauge("dbselectd_reactor_wakeups_total") > 0);
 
     drop(parked);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn failed_reloads_answer_4xx_and_keep_serving_the_old_generation() {
+    let path = temp_path("reload-rollback");
+    let catalog = fixture_catalog(1.0);
+    catalog.save(&path).unwrap();
+    let reference = ServingState::from_frozen(catalog, "mem".into(), 0);
+    let line = "heart blood surgery goal";
+    let expected = expected_ranking(
+        &reference,
+        &words(line),
+        Algo::Cori,
+        selection::ShrinkageMode::Adaptive,
+        42,
+        0,
+    );
+
+    let state = ServingState::load(path.to_str().unwrap(), 0).unwrap();
+    let (addr, handle) = start(ServerConfig::default(), state);
+
+    let serving_generation_one = |context: &str| {
+        let (status, _, body) = post(addr, "/route", &format!(r#"{{"query":"{line}"}}"#));
+        assert_eq!(status, 200, "{context}: {body}");
+        let ranking = parse_ranking(Json::parse(&body).unwrap().get("ranking").unwrap());
+        assert_eq!(ranking, expected, "{context}: ranking changed");
+        let (_, _, health) = get(addr, "/healthz");
+        assert_eq!(
+            Json::parse(&health)
+                .unwrap()
+                .get("generation")
+                .unwrap()
+                .as_u64(),
+            Some(1),
+            "{context}: generation must not advance"
+        );
+    };
+    serving_generation_one("before any reload");
+
+    // A reload pointing at a path that does not exist: 404, old
+    // generation keeps serving.
+    let missing = temp_path("reload-missing");
+    let (status, _, body) = post(
+        addr,
+        "/admin/reload",
+        &format!(r#"{{"path":"{}"}}"#, missing.display()),
+    );
+    assert_eq!(
+        status, 404,
+        "missing snapshot must be the client's 404: {body}"
+    );
+    serving_generation_one("after reload from a missing path");
+
+    // A reload pointing at a corrupt file (bad magic): 400, old
+    // generation keeps serving.
+    let corrupt = temp_path("reload-corrupt");
+    std::fs::write(&corrupt, b"definitely not a serving snapshot").unwrap();
+    let (status, _, body) = post(
+        addr,
+        "/admin/reload",
+        &format!(r#"{{"path":"{}"}}"#, corrupt.display()),
+    );
+    assert_eq!(status, 400, "corrupt snapshot must be a 400: {body}");
+    serving_generation_one("after reload from a corrupt file");
+
+    // A truncated file (shorter than the magic) is corrupt too.
+    let truncated = temp_path("reload-truncated");
+    std::fs::write(&truncated, b"DBS").unwrap();
+    let (status, _, body) = post(
+        addr,
+        "/admin/reload",
+        &format!(r#"{{"path":"{}"}}"#, truncated.display()),
+    );
+    assert_eq!(status, 400, "truncated snapshot must be a 400: {body}");
+    serving_generation_one("after reload from a truncated file");
+
+    // And the daemon is still reloadable: the same path that has been
+    // serving all along loads fine and bumps the generation.
+    let (status, _, body) = post(
+        addr,
+        "/admin/reload",
+        &format!(r#"{{"path":"{}"}}"#, path.display()),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        Json::parse(&body)
+            .unwrap()
+            .get("generation")
+            .unwrap()
+            .as_u64(),
+        Some(2),
+        "a good reload after failed ones still advances the generation"
+    );
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&corrupt).ok();
+    std::fs::remove_file(&truncated).ok();
+    shutdown(addr, handle);
+}
+
+#[test]
+fn readyz_reports_generation_and_snapshot_checksum_per_tenant() {
+    let path = temp_path("readyz");
+    fixture_catalog(1.0).save(&path).unwrap();
+    let state = ServingState::load(path.to_str().unwrap(), 0).unwrap();
+    let (addr, handle) = start(ServerConfig::default(), state);
+
+    let (status, _, body) = get(addr, "/readyz");
+    assert_eq!(
+        status, 200,
+        "a bound catalog daemon is always ready: {body}"
+    );
+    let parsed = Json::parse(&body).unwrap();
+    assert_eq!(parsed.get("ready"), Some(&Json::Bool(true)));
+    let tenants = parsed.get("tenants").and_then(Json::as_array).unwrap();
+    assert_eq!(tenants.len(), 1);
+    let tenant = &tenants[0];
+    assert_eq!(tenant.get("tenant").and_then(Json::as_str), Some("default"));
+    assert_eq!(tenant.get("generation").and_then(Json::as_u64), Some(1));
+    assert_eq!(tenant.get("databases").and_then(Json::as_u64), Some(6));
+    let checksum = tenant
+        .get("snapshot_checksum")
+        .and_then(Json::as_str)
+        .expect("checksum string");
+    assert_eq!(checksum.len(), 16, "fixed-width hex: {checksum}");
+    assert!(checksum.chars().all(|c| c.is_ascii_hexdigit()));
+    assert_ne!(
+        checksum, "0000000000000000",
+        "a file-loaded snapshot must carry its content checksum"
+    );
+
+    // Two daemons serving the same snapshot bytes report the same
+    // checksum — the federation bit-identity precondition an operator
+    // can check from the outside.
+    let twin_state = ServingState::load(path.to_str().unwrap(), 0).unwrap();
+    let (twin_addr, twin_handle) = start(ServerConfig::default(), twin_state);
+    let (_, _, twin_body) = get(twin_addr, "/readyz");
+    let twin = Json::parse(&twin_body).unwrap();
+    let twin_checksum = twin.get("tenants").and_then(Json::as_array).unwrap()[0]
+        .get("snapshot_checksum")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(twin_checksum, checksum);
+    shutdown(twin_addr, twin_handle);
+
+    // An in-memory (test-fixture) snapshot has no file to checksum and
+    // reports the zero sentinel.
+    let (mem_addr, mem_handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+    let (_, _, mem_body) = get(mem_addr, "/readyz");
+    let mem = Json::parse(&mem_body).unwrap();
+    assert_eq!(
+        mem.get("tenants").and_then(Json::as_array).unwrap()[0]
+            .get("snapshot_checksum")
+            .and_then(Json::as_str),
+        Some("0000000000000000")
+    );
+    shutdown(mem_addr, mem_handle);
+
+    std::fs::remove_file(&path).ok();
     shutdown(addr, handle);
 }

@@ -94,7 +94,7 @@ proptest! {
     fn json_parser_survives_bracket_soup(picks in prop::collection::vec(0usize..JSON_SOUP.len(), 0..300)) {
         let text: String = picks.iter().map(|&ix| JSON_SOUP[ix]).collect();
         let _ = Json::parse(&text);
-        let deep: String = std::iter::repeat('[').take(200).chain(text.chars()).collect();
+        let deep: String = std::iter::repeat_n('[', 200).chain(text.chars()).collect();
         let _ = Json::parse(&deep);
     }
 }

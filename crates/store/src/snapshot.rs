@@ -221,6 +221,35 @@ impl ServingSnapshot {
             Ok(ServingSnapshot::from_stored(&stored))
         }
     }
+
+    /// [`load_any`](Self::load_any), additionally returning the file's
+    /// content checksum — what `/readyz` reports so operators can tell at
+    /// a glance whether two daemons serve the same snapshot bytes.
+    ///
+    /// For a v2 snapshot this is the stored trailing FNV-1a payload
+    /// digest (already validated against the payload by the load). A v1
+    /// catalog stores no digest, so the same FNV-1a is computed over the
+    /// whole file instead — either way the value is a stable fingerprint
+    /// of the bytes on disk.
+    pub fn load_any_with_checksum(path: impl AsRef<Path>) -> io::Result<(Self, u64)> {
+        use std::io::Seek as _;
+
+        let path = path.as_ref();
+        let snapshot = Self::load_any(path)?;
+        let mut f = std::fs::File::open(path)?;
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic)?;
+        let checksum = if &magic == SNAPSHOT_MAGIC {
+            f.seek(io::SeekFrom::End(-8))?;
+            read_u64(&mut f)?
+        } else {
+            let mut w = ChecksumWriter::new(io::sink());
+            w.write_all(&magic)?;
+            io::copy(&mut f, &mut w)?;
+            w.digest()
+        };
+        Ok((snapshot, checksum))
+    }
 }
 
 fn write_frozen<W: Write>(w: &mut W, s: &FrozenSummary) -> io::Result<()> {
@@ -521,6 +550,36 @@ mod tests {
             f.write_all(b"junk").unwrap();
         }
         assert!(ServingSnapshot::load(&v2).is_err());
+        std::fs::remove_file(&v2).ok();
+        std::fs::remove_file(&v1).ok();
+    }
+
+    #[test]
+    fn checksum_is_stable_and_format_independent() {
+        let dir = std::env::temp_dir();
+        let v2 = dir.join(format!("dbsel-snap-cksum-{}.v2", std::process::id()));
+        let v1 = dir.join(format!("dbsel-snap-cksum-{}.v1", std::process::id()));
+        let frozen = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+        let snapshot = ServingSnapshot::from_stored(&frozen);
+        snapshot.save(&v2).unwrap();
+        frozen.save(&v1).unwrap();
+
+        let (_, a) = ServingSnapshot::load_any_with_checksum(&v2).unwrap();
+        let (_, b) = ServingSnapshot::load_any_with_checksum(&v2).unwrap();
+        assert_eq!(a, b, "same bytes, same checksum");
+        assert_ne!(a, 0);
+
+        // The v2 checksum is the stored trailing payload digest.
+        let bytes = std::fs::read(&v2).unwrap();
+        let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(a, stored);
+
+        // v1 files expose a fingerprint too, and a different one (the
+        // bytes differ).
+        let (_, c) = ServingSnapshot::load_any_with_checksum(&v1).unwrap();
+        assert_ne!(c, 0);
+        assert_ne!(a, c);
+
         std::fs::remove_file(&v2).ok();
         std::fs::remove_file(&v1).ok();
     }

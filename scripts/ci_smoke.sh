@@ -9,9 +9,10 @@ set -euo pipefail
 DBSELECT=${DBSELECT:-./target/release/dbselect}
 WORK=$(mktemp -d)
 SERVE_PID=
-# Kill the daemon too: a failed assertion must not leave it orphaned
+EXTRA_PIDS=
+# Kill the daemons too: a failed assertion must not leave them orphaned
 # (holding CI's output pipe open forever).
-trap 'rm -rf "$WORK"; [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true' EXIT
+trap 'rm -rf "$WORK"; for p in $SERVE_PID $EXTRA_PIDS; do kill -9 "$p" 2>/dev/null || true; done' EXIT
 
 # The 10k idle-connection smoke needs fds for 10k daemon-side sockets
 # plus 10k client-side ones.
@@ -191,5 +192,125 @@ echo
 wait "$SERVE_PID"
 SERVE_PID=
 echo "=== multi-tenant pass: ok ==="
+
+# --- federated proxy: scatter-gather over two shard daemons ---------------
+# Two real backends serve the full snapshot with --shards 2; the proxy
+# scatters each query (shard 0 to one, shard 1 to the other) and merges.
+# A monolithic daemon over the same snapshot is the byte-level oracle.
+ADDR_B0=${ADDR_B0:-127.0.0.1:7735}
+ADDR_B1=${ADDR_B1:-127.0.0.1:7736}
+ADDR_PX=${ADDR_PX:-127.0.0.1:7737}
+ADDR_MONO=${ADDR_MONO:-127.0.0.1:7738}
+
+# Starts a shard backend on $1 in the background; caller reads $!.
+start_backend() {
+    "$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$1" --shards 2 &
+}
+await_healthz() {
+    for _ in $(seq 1 50); do
+        curl -sf "http://$1/healthz" > /dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "daemon on $1 never became healthy" >&2
+    return 1
+}
+
+start_backend "$ADDR_B0"
+B0_PID=$!
+start_backend "$ADDR_B1"
+B1_PID=$!
+"$DBSELECT" serve --catalog "$WORK/col.snapshot" --addr "$ADDR_MONO" &
+MONO_PID=$!
+EXTRA_PIDS="$B0_PID $B1_PID $MONO_PID"
+await_healthz "$ADDR_B0"
+await_healthz "$ADDR_B1"
+await_healthz "$ADDR_MONO"
+
+"$DBSELECT" serve --proxy --backends "$ADDR_B0,$ADDR_B1" --addr "$ADDR_PX" \
+    --health-interval-ms 100 --breaker-threshold 2 --breaker-cooldown-ms 500 \
+    --retry-after-ms 1500 &
+PROXY_PID=$!
+EXTRA_PIDS="$EXTRA_PIDS $PROXY_PID"
+await_healthz "$ADDR_PX"
+
+# /readyz answers 503 until the prober has seen every backend healthy.
+for _ in $(seq 1 50); do
+    curl -sf "http://$ADDR_PX/readyz" > /dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$ADDR_PX/readyz" | grep '"ready":true'
+
+# Proxy /route and /route_batch are byte-identical to the monolithic
+# daemon for every algorithm x shrinkage-mode pair.
+for algo in bgloss cori lm; do
+    for mode in adaptive always never; do
+        BODY="{\"query\":\"heart blood goal\",\"algo\":\"$algo\",\"shrinkage\":\"$mode\",\"seed\":7}"
+        curl -sf -X POST "http://$ADDR_MONO/route" -d "$BODY" > "$WORK/mono.json"
+        curl -sf -X POST "http://$ADDR_PX/route"   -d "$BODY" > "$WORK/proxy.json"
+        cmp "$WORK/mono.json" "$WORK/proxy.json" \
+            || { echo "proxy diverged from monolith for $algo/$mode" >&2; exit 1; }
+    done
+done
+BATCH='{"queries":["heart blood","soccer goal stadium"],"algo":"cori","seed":3,"k":2}'
+curl -sf -X POST "http://$ADDR_MONO/route_batch" -d "$BATCH" > "$WORK/mono_batch.json"
+curl -sf -X POST "http://$ADDR_PX/route_batch"   -d "$BATCH" > "$WORK/proxy_batch.json"
+cmp "$WORK/mono_batch.json" "$WORK/proxy_batch.json"
+echo "=== proxy bit-identity: ok ==="
+
+# --- fault drill: kill one backend under sustained load -------------------
+# Every client request must keep succeeding (curl -sf + set -e make any
+# 5xx fatal): the proxy degrades instead of failing, the dead backend's
+# breaker opens, and after a restart the half-open probe closes it again.
+kill -9 "$B1_PID" 2>/dev/null || true
+SAW_DEGRADED=0
+for i in $(seq 1 60); do
+    curl -sf -X POST "http://$ADDR_PX/route" -d '{"query":"heart blood"}' \
+        > "$WORK/drill.json"
+    grep -q '"degraded":true' "$WORK/drill.json" && SAW_DEGRADED=1
+done
+[ "$SAW_DEGRADED" = 1 ] || { echo "no degraded response after backend kill" >&2; exit 1; }
+grep -q "\"missing_shards\":\[1\]" "$WORK/drill.json"
+
+for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR_PX/metrics" > "$WORK/metrics_px.txt"
+    grep -q "dbselectd_backend_breaker_state{backend=\"$ADDR_B1\"} 1" "$WORK/metrics_px.txt" && break
+    sleep 0.1
+done
+grep "dbselectd_backend_breaker_state{backend=\"$ADDR_B1\"} 1" "$WORK/metrics_px.txt"
+grep -E "dbselectd_backend_breaker_opens_total\{backend=\"$ADDR_B1\"\} [1-9]" "$WORK/metrics_px.txt"
+grep -E '^dbselectd_proxy_degraded_total [1-9][0-9]*$' "$WORK/metrics_px.txt"
+# Zero 5xx reached a client while one shard was up. (`set -e` ignores
+# `!`-prefixed pipelines, so the failure must be explicit.)
+if grep -E 'dbselectd_requests_total\{endpoint="route[^"]*",status="5' "$WORK/metrics_px.txt"; then
+    echo "a 5xx reached a client during the fault drill" >&2
+    exit 1
+fi
+
+# Restart the killed backend on the same address: the breaker must walk
+# open -> half-open -> closed without any client-visible blip.
+start_backend "$ADDR_B1"
+B1_PID=$!
+EXTRA_PIDS="$EXTRA_PIDS $B1_PID"
+await_healthz "$ADDR_B1"
+for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR_PX/metrics" > "$WORK/metrics_px.txt"
+    grep -q "dbselectd_backend_breaker_state{backend=\"$ADDR_B1\"} 0" "$WORK/metrics_px.txt" && break
+    sleep 0.1
+done
+grep "dbselectd_backend_breaker_state{backend=\"$ADDR_B1\"} 0" "$WORK/metrics_px.txt"
+grep "dbselectd_backend_up{backend=\"$ADDR_B1\"} 1" "$WORK/metrics_px.txt"
+
+# Fully recovered: byte-identical to the monolith again.
+BODY='{"query":"heart blood goal","algo":"lm","shrinkage":"always","seed":11}'
+curl -sf -X POST "http://$ADDR_MONO/route" -d "$BODY" > "$WORK/mono.json"
+curl -sf -X POST "http://$ADDR_PX/route"   -d "$BODY" > "$WORK/proxy.json"
+cmp "$WORK/mono.json" "$WORK/proxy.json"
+echo "=== proxy fault drill: ok ==="
+
+for a in "$ADDR_PX" "$ADDR_B0" "$ADDR_B1" "$ADDR_MONO"; do
+    curl -sf -X POST "http://$a/admin/shutdown" > /dev/null
+done
+wait "$PROXY_PID" "$B0_PID" "$MONO_PID" 2>/dev/null || true
+EXTRA_PIDS=
 
 echo "smoke test passed"
