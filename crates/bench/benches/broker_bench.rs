@@ -152,6 +152,117 @@ fn bench_catalog_build_vs_load(c: &mut Criterion) {
     group.finish();
 }
 
+/// A serving-scale synthetic catalog: `n` databases over a 400-term
+/// vocabulary, ~24 terms each, so every query word posts in ~6% of the
+/// catalog. The testbed fixture (12 databases) is too small for top-k
+/// pruning to have anything to skip; federated serving is exactly the
+/// regime where the catalog dwarfs `k`.
+fn synthetic_catalog(n: usize) -> (std::sync::Arc<Catalog>, Vec<Vec<TermId>>) {
+    use dbselect_core::category_summary::SummaryComponent;
+    use dbselect_core::shrinkage::{shrink, ShrinkageConfig};
+    use dbselect_core::summary::{ContentSummary, WordStats};
+    use std::collections::{BTreeSet, HashMap};
+
+    const VOCAB: u64 = 400;
+    let component = std::sync::Arc::new(SummaryComponent {
+        p_df: (0..VOCAB as u32).map(|t| (t, 0.01)).collect(),
+        p_tf: (0..VOCAB as u32).map(|t| (t, 0.003)).collect(),
+    });
+    let entries: Vec<CatalogEntry> = (0..n)
+        .map(|i| {
+            let db_size = 500.0 + (i as f64 * 37.0) % 90_000.0;
+            let words: HashMap<TermId, WordStats> = (0..24u64)
+                .map(|j| ((i as u64 * 131 + j * 97) % VOCAB) as u32)
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .enumerate()
+                .map(|(j, t)| {
+                    let sample_df = ((i + j * 7) % 89 + 1) as u32;
+                    let df = f64::from(sample_df) / 100.0 * db_size;
+                    (
+                        t,
+                        WordStats {
+                            sample_df,
+                            df,
+                            tf: df * 2.0,
+                        },
+                    )
+                })
+                .collect();
+            let unshrunk = ContentSummary::new(db_size, 100, words);
+            let shrunk = shrink(
+                &unshrunk,
+                &[std::sync::Arc::clone(&component)],
+                &ShrinkageConfig::default(),
+            );
+            CatalogEntry {
+                name: format!("db{i}"),
+                unshrunk,
+                shrunk,
+            }
+        })
+        .collect();
+    let queries: Vec<Vec<TermId>> = (0..20u64)
+        .map(|q| (0..4u64).map(|w| ((q * 53 + w * 17) % VOCAB) as u32).collect())
+        .collect();
+    (std::sync::Arc::new(Catalog::build(entries)), queries)
+}
+
+/// Pruned top-k vs. full-ranking routing on the `/route` hot path, over a
+/// 500-database synthetic catalog. The `full` baselines call `route`
+/// (per-db probability vectors, virtual dispatch per summary); the
+/// `pruned` rows call `route_topk` (batch kernels over the CSR slabs plus
+/// maxscore early termination). `never` mode is pure scoring; `adaptive`
+/// includes the Monte-Carlo choose phase the pruned path must leave
+/// untouched.
+fn bench_topk_pruning(c: &mut Criterion) {
+    let (catalog, queries) = synthetic_catalog(500);
+
+    let mut group = c.benchmark_group("broker/route_topk");
+    for (mode_name, mode) in [
+        ("never", ShrinkageMode::Never),
+        ("adaptive", ShrinkageMode::Adaptive),
+    ] {
+        let config = AdaptiveConfig {
+            mode,
+            ..Default::default()
+        };
+        let engine = SelectionEngine::new(
+            std::sync::Arc::clone(&catalog),
+            std::sync::Arc::new(selection::Cori::default()),
+            config,
+            broker::DEFAULT_CACHE_CAPACITY,
+        );
+        group.bench_function(BenchmarkId::new("full", mode_name), |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .enumerate()
+                    .map(|(qi, query)| {
+                        let mut rng = db_rng(9, qi);
+                        engine.route(black_box(query), &mut rng)
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        for k in [1usize, 5, 10] {
+            group.bench_function(BenchmarkId::new(format!("pruned/{mode_name}"), k), |b| {
+                b.iter(|| {
+                    queries
+                        .iter()
+                        .enumerate()
+                        .map(|(qi, query)| {
+                            let mut rng = db_rng(9, qi);
+                            engine.route_topk(black_box(query), k, &mut rng)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_posterior_cache(c: &mut Criterion) {
     let (bed, profiled) = fixture();
     let catalog = std::sync::Arc::new(
@@ -193,6 +304,7 @@ fn bench_posterior_cache(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_batch_route,
+    bench_topk_pruning,
     bench_catalog_build_vs_load,
     bench_posterior_cache
 );

@@ -5,8 +5,13 @@
 //! `BENCH_server.json`).
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen [-- SECONDS [CLIENTS] [--idle-conns N]]
+//! cargo run --release -p bench --bin loadgen [-- SECONDS [CLIENTS] [--idle-conns N] [--topk K]]
 //! ```
+//!
+//! `--topk K` adds `"k":K` to every `/route` body, exercising the pruned
+//! top-k serving path in all throughput phases. Independent of the knob, a
+//! dedicated sweep phase measures keep-alive `/route` at k ∈ {1, 5, 10,
+//! full} and reports throughput and latency per cell in a `topk` block.
 //!
 //! Besides the throughput phases, an idle-connection soak parks
 //! `--idle-conns` established keep-alive connections (default 2000,
@@ -401,6 +406,7 @@ fn main() {
     let mut secs = 3.0f64;
     let mut clients = 8usize;
     let mut idle_conns = 2000usize;
+    let mut topk: Option<usize> = None;
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -409,6 +415,12 @@ fn main() {
                 .next()
                 .and_then(|v| v.parse().ok())
                 .expect("--idle-conns expects an integer");
+        } else if arg == "--topk" {
+            topk = Some(
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--topk expects a positive integer"),
+            );
         } else if positional == 0 {
             secs = arg.parse().unwrap_or(secs);
             positional = 1;
@@ -455,10 +467,17 @@ fn main() {
         "fixture queries must be fully known to the catalog: {body}"
     );
 
+    // `--topk K` routes every measured /route body through the pruned
+    // top-k path; without it the daemon serves the full ranking.
+    let route_body = |q: &str, k: Option<usize>| match k {
+        Some(k) => format!(r#"{{"query":"{q}","seed":42,"k":{k}}}"#),
+        None => format!(r#"{{"query":"{q}","seed":42}}"#),
+    };
+
     // Phase 1: single-query /route, all clients.
     let route_bodies: Vec<Vec<u8>> = queries
         .iter()
-        .map(|q| post_bytes("/route", &format!(r#"{{"query":"{q}","seed":42}}"#)))
+        .map(|q| post_bytes("/route", &route_body(q, topk)))
         .collect();
     let route = run_phase(addr, &route_bodies, clients, duration);
     eprintln!(
@@ -470,7 +489,7 @@ fn main() {
     // Phase 1b: the same /route traffic over persistent connections.
     let keep_alive_bodies: Vec<Vec<u8>> = queries
         .iter()
-        .map(|q| post_bytes_keep_alive("/route", &format!(r#"{{"query":"{q}","seed":42}}"#)))
+        .map(|q| post_bytes_keep_alive("/route", &route_body(q, topk)))
         .collect();
     let keep_alive = run_keep_alive_phase(addr, &keep_alive_bodies, clients, duration);
     let speedup = keep_alive.rps() / route.rps().max(f64::MIN_POSITIVE);
@@ -479,6 +498,29 @@ fn main() {
         keep_alive.rps(),
         server::metrics::format_nanos(keep_alive.histogram.percentile(0.50))
     );
+
+    // Phase 1e: top-k pruning sweep. The same keep-alive /route traffic
+    // truncated at k ∈ {1, 5, 10} versus the full ranking — each cell is
+    // throughput and tail latency of the pruned serving path at that k.
+    // On the tiny fixture (12 dbs) the kernel win is modest and mostly
+    // shows up as smaller response bodies; the catalog-scale kernel win
+    // is priced by `broker_bench`'s route_topk group (BENCH_broker.json).
+    let mut topk_cells: Vec<(Option<usize>, PhaseResult)> = Vec::new();
+    for cell in [Some(1usize), Some(5), Some(10), None] {
+        let bodies: Vec<Vec<u8>> = queries
+            .iter()
+            .map(|q| post_bytes_keep_alive("/route", &route_body(q, cell)))
+            .collect();
+        let result = run_keep_alive_phase(addr, &bodies, clients, duration);
+        let label = cell.map_or("full".to_string(), |k| k.to_string());
+        assert_eq!(result.errors, 0, "topk sweep cell k={label} errored");
+        eprintln!(
+            "/route k={label:<4} {:>8.1} rps, p99 {}",
+            result.rps(),
+            server::metrics::format_nanos(result.histogram.percentile(0.99))
+        );
+        topk_cells.push((cell, result));
+    }
 
     // Phase 1c: isolate the connection-lifecycle cost itself. /route is
     // scoring-bound (one core saturates on posterior math long before TCP
@@ -835,6 +877,23 @@ fn main() {
 
     std::fs::remove_file(&path).ok();
 
+    let topk_rows = topk_cells
+        .iter()
+        .map(|(cell, r)| {
+            let label = cell.map_or(r#""full""#.to_string(), |k| k.to_string());
+            format!(
+                r#"      {{ "k": {label}, "clients": {clients}, "requests": {}, "sustained_rps": {:.1}, "p50_ns": {}, "p99_ns": {}, "p50": "{}", "p99": "{}" }}"#,
+                r.requests,
+                r.rps(),
+                r.histogram.percentile(0.50),
+                r.histogram.percentile(0.99),
+                server::metrics::format_nanos(r.histogram.percentile(0.50)),
+                server::metrics::format_nanos(r.histogram.percentile(0.99)),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     println!(
         r#"{{
   "bench": "crates/bench/src/bin/loadgen.rs",
@@ -887,6 +946,13 @@ fn main() {
     "healthz_keep_alive_p99_ratio_vs_unsoaked": {soak_p99_ratio:.2},
     "note": "parked conns are established keep-alive connections (one /healthz served each); rss/fds are process-wide and include the in-process daemon AND the loadgen's client ends (3 fds per conn: daemon socket, client socket, client reader dup)"
   }},
+  "topk": {{
+    "knob": {knob},
+    "cells": [
+{topk_rows}
+    ],
+    "note": "keep-alive /route sweep over the pruned top-k serving path; `k` caps the served ranking inside the engine (maxscore kernels), `full` is the untruncated baseline. With 12 fixture databases the cells mostly price response-body size; the catalog-scale kernel win (2.1x at k=10 over 500 dbs) is recorded in BENCH_broker.json's route_topk group"
+  }},
   "route_keep_alive_speedup_vs_close": {speedup:.2},
   "healthz_keep_alive_speedup_vs_close": {conn_speedup:.2},
   "reload": {{
@@ -901,6 +967,7 @@ fn main() {
   "note": "closed-loop clients; `route` opens one connection per request (Connection: close), `*_keep_alive` holds a persistent HTTP/1.1 connection per client; /route is scoring-bound so its keep-alive win is latency (p50), while the /healthz pair isolates per-request connect/teardown as throughput; latency is client-observed wall time"
 }}"#,
         secs = duration.as_secs_f64(),
+        knob = topk.map_or_else(|| "null".to_string(), |k| k.to_string()),
         clients = clients,
         workers = workers,
         nq = queries.len(),

@@ -28,7 +28,7 @@
 use dbselect_core::frozen::FrozenSummary;
 use dbselect_core::shrinkage::ShrunkSummary;
 use dbselect_core::summary::{ContentSummary, SummaryView};
-use selection::CollectionContext;
+use selection::{CollectionContext, TermBound};
 use textindex::TermId;
 
 /// Everything [`Catalog::build`] needs per database.
@@ -64,6 +64,17 @@ pub struct PostingIndex {
     effective: Vec<bool>,
     /// Number of `effective` postings per term — the unshrunk `cf(w)`.
     effective_counts: Vec<u32>,
+    /// The unshrunk summary's token probability `p_tf(w|D)` per posting —
+    /// LM's native probability space, gathered by the top-k kernels.
+    p_tf: Vec<f64>,
+    /// Per-term `max_D fl(p̂(w|D)·|D|)` — score-bound material (see
+    /// [`selection::TermBound`]). Recomputable from the summaries
+    /// ([`Self::recompute_aux`]), persisted by v3 snapshots.
+    max_df: Vec<f64>,
+    /// Per-term `max_D p̂(w|D)`.
+    max_p_df: Vec<f64>,
+    /// Per-term `max_D p_tf(w|D)`.
+    max_p_tf: Vec<f64>,
 }
 
 /// One term's postings: parallel slices into the index slabs.
@@ -79,6 +90,11 @@ pub struct Postings<'a> {
     pub effective: &'a [bool],
     /// Number of effective entries — the unshrunk `cf(w)`.
     pub effective_count: u32,
+    /// Token probability `p_tf(w|D)` per database (empty when the index's
+    /// auxiliary columns have not been computed yet).
+    pub p_tf: &'a [f64],
+    /// The term's score-bound maxima.
+    pub bound: TermBound,
 }
 
 impl PostingIndex {
@@ -121,7 +137,7 @@ impl PostingIndex {
                 effective_counts[pos] += u32::from(eff);
             }
         }
-        PostingIndex {
+        let mut index = PostingIndex {
             terms,
             offsets,
             dbs,
@@ -129,13 +145,87 @@ impl PostingIndex {
             sample_df,
             effective,
             effective_counts,
+            p_tf: Vec::new(),
+            max_df: Vec::new(),
+            max_p_df: Vec::new(),
+            max_p_tf: Vec::new(),
+        };
+        index.recompute_aux(unshrunk);
+        index
+    }
+
+    /// Recompute the auxiliary columns (`p_tf` slab, per-term maxima) from
+    /// the frozen unshrunk summaries. One deterministic code path serves
+    /// both [`Self::build`] and the backward-load of snapshots that predate
+    /// the columns, so recomputed values are bit-identical to persisted
+    /// ones.
+    pub(crate) fn recompute_aux(&mut self, unshrunk: &[FrozenSummary]) {
+        let total = self.dbs.len();
+        let mut p_tf = vec![0f64; total];
+        let mut max_df = vec![0f64; self.terms.len()];
+        let mut max_p_df = vec![0f64; self.terms.len()];
+        let mut max_p_tf = vec![0f64; self.terms.len()];
+        for (pos, w) in self.offsets.windows(2).enumerate() {
+            let term = self.terms[pos];
+            for at in w[0] as usize..w[1] as usize {
+                let s = &unshrunk[self.dbs[at] as usize];
+                let ptf = s.p_tf(term);
+                let pdf = self.p_df[at];
+                p_tf[at] = ptf;
+                // The exact float product the CORI kernel forms per row, so
+                // the maximum dominates every row's `df` bit-exactly.
+                max_df[pos] = max_df[pos].max(pdf * s.db_size());
+                max_p_df[pos] = max_p_df[pos].max(pdf);
+                max_p_tf[pos] = max_p_tf[pos].max(ptf);
+            }
         }
+        self.p_tf = p_tf;
+        self.max_df = max_df;
+        self.max_p_df = max_p_df;
+        self.max_p_tf = max_p_tf;
+    }
+
+    /// Whether the auxiliary columns are populated (always true after
+    /// [`Self::build`]; false for a bare [`Self::from_raw_parts`] until
+    /// [`Self::set_aux`] or [`Self::recompute_aux`] runs).
+    pub fn aux_ready(&self) -> bool {
+        self.p_tf.len() == self.dbs.len()
+            && self.max_df.len() == self.terms.len()
+            && self.max_p_df.len() == self.terms.len()
+            && self.max_p_tf.len() == self.terms.len()
+    }
+
+    /// Install persisted auxiliary columns (the v3 snapshot load path),
+    /// validating lengths against the core columns.
+    pub fn set_aux(
+        &mut self,
+        p_tf: Vec<f64>,
+        max_df: Vec<f64>,
+        max_p_df: Vec<f64>,
+        max_p_tf: Vec<f64>,
+    ) -> Result<(), &'static str> {
+        if p_tf.len() != self.dbs.len() {
+            return Err("p_tf slab disagrees with postings");
+        }
+        if max_df.len() != self.terms.len()
+            || max_p_df.len() != self.terms.len()
+            || max_p_tf.len() != self.terms.len()
+        {
+            return Err("term maxima disagree with term count");
+        }
+        self.p_tf = p_tf;
+        self.max_df = max_df;
+        self.max_p_df = max_p_df;
+        self.max_p_tf = max_p_tf;
+        Ok(())
     }
 
     /// Reassemble an index from decoded columns — the snapshot load path.
     /// Validates every invariant binary search and slicing rely on, so
     /// corrupt input is rejected instead of causing panics or garbage
-    /// lookups. `effective_counts` is recomputed rather than trusted.
+    /// lookups. `effective_counts` is recomputed rather than trusted. The
+    /// auxiliary columns start empty; callers install them with
+    /// [`Self::set_aux`] (v3 snapshots) or recompute them (older formats).
     pub fn from_raw_parts(
         n_dbs: usize,
         terms: Vec<TermId>,
@@ -189,6 +279,10 @@ impl PostingIndex {
             sample_df,
             effective,
             effective_counts,
+            p_tf: Vec::new(),
+            max_df: Vec::new(),
+            max_p_df: Vec::new(),
+            max_p_tf: Vec::new(),
         })
     }
 
@@ -202,6 +296,12 @@ impl PostingIndex {
             sample_df: &self.sample_df[lo..hi],
             effective: &self.effective[lo..hi],
             effective_count: self.effective_counts[pos],
+            p_tf: self.p_tf.get(lo..hi).unwrap_or(&[]),
+            bound: TermBound {
+                max_df: self.max_df.get(pos).copied().unwrap_or(0.0),
+                max_p_df: self.max_p_df.get(pos).copied().unwrap_or(0.0),
+                max_p_tf: self.max_p_tf.get(pos).copied().unwrap_or(0.0),
+            },
         })
     }
 
@@ -244,6 +344,27 @@ impl PostingIndex {
     pub fn effective(&self) -> &[bool] {
         &self.effective
     }
+
+    /// The `p_tf(w|D)` slab (empty until the auxiliary columns exist).
+    pub fn p_tf(&self) -> &[f64] {
+        &self.p_tf
+    }
+
+    /// Per-term `max fl(p̂·|D|)` column (empty until the auxiliary columns
+    /// exist).
+    pub fn max_df(&self) -> &[f64] {
+        &self.max_df
+    }
+
+    /// Per-term `max p̂(w|D)` column.
+    pub fn max_p_df(&self) -> &[f64] {
+        &self.max_p_df
+    }
+
+    /// Per-term `max p_tf(w|D)` column.
+    pub fn max_p_tf(&self) -> &[f64] {
+        &self.max_p_tf
+    }
 }
 
 /// A profiled collection frozen for serving.
@@ -260,6 +381,14 @@ pub struct Catalog {
     /// database's word count, so `mcw` is invariant under the adaptive
     /// per-database choice.
     mcw: f64,
+    /// Smallest unshrunk `cw(D)` — the CORI upper bound's denominator
+    /// floor. Always recomputed (O(n), cheap), never persisted.
+    min_word_count: f64,
+    /// Whether every unshrunk summary reports `0.0` for absent terms —
+    /// the invariant the kernels' zero-filled scatter matrix relies on.
+    /// True for every summary `FrozenSummary::from_unshrunk` produces;
+    /// checked so a hand-crafted snapshot cannot break bit-identity.
+    kernel_safe: bool,
     index: PostingIndex,
 }
 
@@ -284,14 +413,35 @@ impl Catalog {
             unshrunk.iter().map(|s| s.word_count()).sum::<f64>() / unshrunk.len() as f64
         };
         let index = PostingIndex::build(&unshrunk);
+        let (min_word_count, kernel_safe) = Self::summary_stats(&unshrunk);
         Catalog {
             names,
             unshrunk,
             shrunk,
             gammas,
             mcw,
+            min_word_count,
+            kernel_safe,
             index,
         }
+    }
+
+    /// The recomputed-not-persisted per-catalog constants: the smallest
+    /// unshrunk word count and the zero-default invariant check.
+    fn summary_stats(unshrunk: &[FrozenSummary]) -> (f64, bool) {
+        let min_word_count = unshrunk
+            .iter()
+            .map(|s| s.word_count())
+            .fold(f64::INFINITY, f64::min);
+        let min_word_count = if min_word_count.is_finite() {
+            min_word_count
+        } else {
+            0.0
+        };
+        let kernel_safe = unshrunk
+            .iter()
+            .all(|s| s.default_p_df() == 0.0 && s.default_p_tf() == 0.0);
+        (min_word_count, kernel_safe)
     }
 
     /// Reassemble a catalog from already-frozen columns — the snapshot
@@ -312,12 +462,21 @@ impl Catalog {
         {
             return Err("catalog columns disagree on database count");
         }
+        let mut index = index;
+        if !index.aux_ready() {
+            // Snapshots predating the auxiliary columns (v1/v2): derive
+            // them from the summaries, bit-identical to freeze-time values.
+            index.recompute_aux(&unshrunk);
+        }
+        let (min_word_count, kernel_safe) = Self::summary_stats(&unshrunk);
         Ok(Catalog {
             names,
             unshrunk,
             shrunk,
             gammas,
             mcw,
+            min_word_count,
+            kernel_safe,
             index,
         })
     }
@@ -360,6 +519,25 @@ impl Catalog {
     /// Mean database word count (CORI's `mcw`), a catalog constant.
     pub fn mcw(&self) -> f64 {
         self.mcw
+    }
+
+    /// Smallest unshrunk word count `cw(D)` over the catalog (0 when
+    /// empty) — floor for score-bound denominators.
+    pub fn min_word_count(&self) -> f64 {
+        self.min_word_count
+    }
+
+    /// Whether the pruned top-k kernels may serve this catalog: requires
+    /// the auxiliary posting columns and the zero-default invariant the
+    /// kernels' zero-filled gather relies on.
+    pub fn kernel_ready(&self) -> bool {
+        self.kernel_safe && self.index.aux_ready()
+    }
+
+    /// The score-bound maxima of `term` ([`TermBound::absent`] when no
+    /// database mentions it).
+    pub fn term_bound(&self, term: TermId) -> TermBound {
+        self.index.get(term).map_or_else(TermBound::absent, |p| p.bound)
     }
 
     /// The CSR posting index.
@@ -584,7 +762,7 @@ mod tests {
     fn raw_parts_round_trip_reproduces_the_index() {
         let c = catalog();
         let index = c.posting_index();
-        let rebuilt = PostingIndex::from_raw_parts(
+        let mut rebuilt = PostingIndex::from_raw_parts(
             c.len(),
             index.terms().to_vec(),
             index.offsets().to_vec(),
@@ -594,6 +772,12 @@ mod tests {
             index.effective().to_vec(),
         )
         .unwrap();
+        // Raw parts carry no aux columns; recomputing them from the same
+        // summaries must land on bit-identical slabs (the invariant that
+        // lets older snapshots rebuild bounds at load time).
+        assert!(!rebuilt.aux_ready());
+        let summaries: Vec<_> = (0..c.len()).map(|db| c.unshrunk(db).clone()).collect();
+        rebuilt.recompute_aux(&summaries);
         assert_eq!(&rebuilt, index);
     }
 
@@ -632,5 +816,103 @@ mod tests {
         .is_err());
         assert!(parts(&|_, _, dbs| dbs[0] = 99).is_err(), "db out of range");
         assert!(parts(&|_, _, dbs| dbs.swap(0, 1)).is_err(), "unsorted dbs");
+    }
+
+    #[test]
+    fn aux_columns_mirror_the_summaries() {
+        let c = catalog();
+        let index = c.posting_index();
+        assert!(index.aux_ready());
+        assert!(c.kernel_ready());
+        assert_eq!(index.p_tf().len(), index.dbs().len());
+        assert_eq!(index.max_df().len(), index.terms().len());
+        for (pos, &term) in index.terms().iter().enumerate() {
+            let p = c.postings(term).unwrap();
+            assert_eq!(p.p_tf.len(), p.dbs.len());
+            for (j, &db) in p.dbs.iter().enumerate() {
+                let s = c.unshrunk(db as usize);
+                // The slab stores the exact per-summary probabilities...
+                assert_eq!(p.p_tf[j].to_bits(), s.p_tf(term).to_bits());
+                // ...and the maxima dominate every posting, with max_df
+                // holding the exact float product the CORI kernel forms.
+                assert!(p.bound.max_p_df >= p.p_df[j]);
+                assert!(p.bound.max_p_tf >= p.p_tf[j]);
+                assert!(p.bound.max_df >= p.p_df[j] * s.db_size());
+            }
+            assert_eq!(index.max_df()[pos].to_bits(), p.bound.max_df.to_bits());
+        }
+        // Terms outside the index get the absent bound.
+        assert_eq!(c.term_bound(99), TermBound::absent());
+    }
+
+    #[test]
+    fn set_aux_validates_column_lengths() {
+        let c = catalog();
+        let i = c.posting_index();
+        let postings = i.dbs().len();
+        let terms = i.terms().len();
+        let mut rebuilt = PostingIndex::from_raw_parts(
+            c.len(),
+            i.terms().to_vec(),
+            i.offsets().to_vec(),
+            i.dbs().to_vec(),
+            i.p_df().to_vec(),
+            i.sample_df().to_vec(),
+            i.effective().to_vec(),
+        )
+        .unwrap();
+        assert!(rebuilt
+            .set_aux(
+                vec![0.0; postings + 1],
+                vec![0.0; terms],
+                vec![0.0; terms],
+                vec![0.0; terms],
+            )
+            .is_err());
+        assert!(rebuilt
+            .set_aux(
+                vec![0.0; postings],
+                vec![0.0; terms - 1],
+                vec![0.0; terms],
+                vec![0.0; terms],
+            )
+            .is_err());
+        assert!(!rebuilt.aux_ready(), "failed set_aux must not half-install");
+        rebuilt
+            .set_aux(
+                i.p_tf().to_vec(),
+                i.max_df().to_vec(),
+                i.max_p_df().to_vec(),
+                i.max_p_tf().to_vec(),
+            )
+            .unwrap();
+        assert_eq!(&rebuilt, i, "installing the freeze-time aux restores equality");
+    }
+
+    #[test]
+    fn catalog_raw_parts_recompute_missing_aux() {
+        let c = catalog();
+        let index = PostingIndex::from_raw_parts(
+            c.len(),
+            c.posting_index().terms().to_vec(),
+            c.posting_index().offsets().to_vec(),
+            c.posting_index().dbs().to_vec(),
+            c.posting_index().p_df().to_vec(),
+            c.posting_index().sample_df().to_vec(),
+            c.posting_index().effective().to_vec(),
+        )
+        .unwrap();
+        let rebuilt = Catalog::from_raw_parts(
+            c.names().to_vec(),
+            (0..c.len()).map(|db| c.unshrunk(db).clone()).collect(),
+            (0..c.len()).map(|db| c.shrunk(db).clone()).collect(),
+            c.gammas().to_vec(),
+            c.mcw(),
+            index,
+        )
+        .unwrap();
+        assert!(rebuilt.kernel_ready());
+        assert_eq!(rebuilt.posting_index(), c.posting_index());
+        assert_eq!(rebuilt.min_word_count(), c.min_word_count());
     }
 }

@@ -43,8 +43,8 @@ use rand::Rng;
 use sampling::scheduler::{db_rng, fan_out_chunks_with};
 use selection::{
     rank_databases_with_context, score_is_uncertain_with_posteriors, AdaptiveConfig,
-    AdaptiveOutcome, CollectionContext, IndexedView, RankedDatabase, SelectionAlgorithm,
-    ShrinkageMode,
+    AdaptiveOutcome, CollectionContext, IndexedView, ProbabilitySpace, RankedDatabase,
+    SelectionAlgorithm, ShrinkageMode, TermBound, TopK,
 };
 use textindex::TermId;
 
@@ -113,6 +113,20 @@ impl CacheStats {
 pub struct RouteScratch {
     candidates: Vec<bool>,
     posteriors: Vec<Arc<WordPosterior>>,
+    // Buffers of the pruned top-k path (`score_partition_topk`): the
+    // db→row map, per-row metadata, the row-major probability matrix,
+    // presence masks, and the compacted survivor rows.
+    row_of: Vec<u32>,
+    row_dbs: Vec<u32>,
+    row_sizes: Vec<f64>,
+    row_wcs: Vec<f64>,
+    matrix: Vec<f64>,
+    masks: Vec<u64>,
+    survivors: Vec<u32>,
+    compact: Vec<f64>,
+    compact_sizes: Vec<f64>,
+    compact_wcs: Vec<f64>,
+    scores: Vec<f64>,
 }
 
 /// A query-serving engine over a frozen catalog.
@@ -351,6 +365,237 @@ impl SelectionEngine {
             }
         });
         rank_databases_with_context(self.algorithm.as_ref(), query, items, ctx)
+    }
+
+    /// Rank only the top `k` databases for one query. **Bit-identical**
+    /// (`f64::to_bits`) to truncating [`route`](Self::route)'s full ranking
+    /// to its first `k` entries, for every algorithm, shrinkage mode, seed,
+    /// and `k` — the non-negotiable guardrail of the pruned path.
+    ///
+    /// When the algorithm exposes a [`selection::ScoreKernel`], scoring
+    /// runs through the batch kernels with maxscore-style early
+    /// termination: a bounded heap tracks the best `k` scores seen, and any
+    /// database whose per-term score upper bound falls strictly below the
+    /// heap's worst kept score is skipped without being scored. Skipping is
+    /// provably invisible: bounds dominate realized scores, and a database
+    /// strictly below the k-th score can never enter the top k.
+    ///
+    /// `Adaptive` mode is *never* pruned out of its Monte-Carlo stream: the
+    /// summary-choice phase runs unchanged (same RNG draws as the full
+    /// path); only the deterministic scoring phase prunes, and databases
+    /// routed to their shrunk summary are batch-scored without pruning
+    /// (shrinkage gives every word non-zero probability, so posting-slab
+    /// bounds do not cover them).
+    pub fn route_topk<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        k: usize,
+        rng: &mut R,
+    ) -> AdaptiveOutcome {
+        self.route_topk_with_scratch(query, k, rng, &mut RouteScratch::default())
+    }
+
+    /// [`route_topk`](Self::route_topk) with caller-provided scratch.
+    pub fn route_topk_with_scratch<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        k: usize,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> AdaptiveOutcome {
+        let used_shrinkage = self.choose_summaries(query, rng, scratch);
+        let ctx = self.catalog.scoring_context(query, &used_shrinkage);
+        let ranking = self.score_partition_topk(query, k, &ctx, &used_shrinkage, None, scratch);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
+    /// The top-k counterpart of [`score_partition`](Self::score_partition):
+    /// returns exactly the first `min(k, len)` entries the full partition
+    /// ranking would have, bit for bit.
+    ///
+    /// Falls back to scoring the full partition (then truncating) when the
+    /// algorithm has no kernel, the query is empty, or the catalog lacks
+    /// the kernel invariants ([`Catalog::kernel_ready`]). Otherwise:
+    ///
+    /// 1. databases scored with their *shrunk* summary are gathered into a
+    ///    flat row matrix and batch-scored — no pruning, but no per-entry
+    ///    allocation or virtual dispatch either;
+    /// 2. unshrunk candidates are scattered from the posting slabs into a
+    ///    zeroed row matrix plus per-row presence masks, upper-bound
+    ///    filtered against the heap's current k-th score, and only the
+    ///    survivors are batch-scored.
+    pub fn score_partition_topk(
+        &self,
+        query: &[TermId],
+        k: usize,
+        ctx: &CollectionContext,
+        used_shrinkage: &[bool],
+        global_indices: Option<&[u32]>,
+        scratch: &mut RouteScratch,
+    ) -> Vec<RankedDatabase> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let kernel = match self.algorithm.score_kernel() {
+            Some(kernel) if !query.is_empty() && self.catalog.kernel_ready() => kernel,
+            _ => {
+                let mut full =
+                    self.score_partition(query, ctx, used_shrinkage, global_indices, scratch);
+                full.truncate(k);
+                return full;
+            }
+        };
+        let n = self.catalog.len();
+        debug_assert_eq!(used_shrinkage.len(), n);
+        let qlen = query.len();
+        let space = kernel.space();
+        let bounds: Vec<TermBound> = query.iter().map(|&w| self.catalog.term_bound(w)).collect();
+        let prep = kernel.prepare(query, ctx, &bounds, self.catalog.min_word_count());
+        let mut heap = TopK::new(k.min(n));
+        self.catalog.candidates_into(query, &mut scratch.candidates);
+
+        // Phase A: shrunk-scored databases. Gathered per summary (shrunk
+        // probabilities are not in the posting slabs) and batch-scored
+        // without pruning, so Always mode gets the kernel win only.
+        scratch.row_dbs.clear();
+        scratch.row_sizes.clear();
+        scratch.row_wcs.clear();
+        scratch.matrix.clear();
+        for db in 0..n {
+            if !used_shrinkage[db] {
+                continue;
+            }
+            let s = self.catalog.shrunk(db);
+            scratch.row_dbs.push(db as u32);
+            scratch.row_sizes.push(s.db_size());
+            scratch.row_wcs.push(s.word_count());
+            for &w in query {
+                scratch.matrix.push(match space {
+                    ProbabilitySpace::DocumentFrequency => s.p_df(w),
+                    ProbabilitySpace::TokenFrequency => s.p_tf(w),
+                });
+            }
+        }
+        scratch.scores.clear();
+        scratch.scores.resize(scratch.row_dbs.len(), 0.0);
+        kernel.score_rows(
+            &prep,
+            &scratch.matrix,
+            &scratch.row_sizes,
+            &scratch.row_wcs,
+            &mut scratch.scores,
+        );
+        for (r, &db) in scratch.row_dbs.iter().enumerate() {
+            let score = scratch.scores[r];
+            if score > prep.drop_threshold {
+                let index = global_indices.map_or(db as usize, |g| g[db as usize] as usize);
+                heap.push(RankedDatabase { index, score });
+            }
+        }
+
+        // Phase B: unshrunk candidates. One pass over each query word's
+        // posting slices scatters the native-space probabilities into a
+        // zeroed matrix; absent (row, word) cells stay 0.0, which is
+        // exactly the unshrunk summaries' default (`Catalog::kernel_ready`
+        // guarantees it).
+        scratch.row_of.clear();
+        scratch.row_of.resize(n, u32::MAX);
+        scratch.row_dbs.clear();
+        scratch.row_sizes.clear();
+        scratch.row_wcs.clear();
+        for db in 0..n {
+            if used_shrinkage[db] || !scratch.candidates[db] {
+                continue;
+            }
+            let s = self.catalog.unshrunk(db);
+            scratch.row_of[db] = scratch.row_dbs.len() as u32;
+            scratch.row_dbs.push(db as u32);
+            scratch.row_sizes.push(s.db_size());
+            scratch.row_wcs.push(s.word_count());
+        }
+        let rows = scratch.row_dbs.len();
+        scratch.matrix.clear();
+        scratch.matrix.resize(rows * qlen, 0.0);
+        scratch.masks.clear();
+        scratch.masks.resize(rows, 0);
+        for (kpos, &w) in query.iter().enumerate() {
+            if let Some(p) = self.catalog.postings(w) {
+                let slab = match space {
+                    ProbabilitySpace::DocumentFrequency => p.p_df,
+                    ProbabilitySpace::TokenFrequency => p.p_tf,
+                };
+                for (j, &db) in p.dbs.iter().enumerate() {
+                    let row = scratch.row_of[db as usize];
+                    if row != u32::MAX {
+                        scratch.matrix[row as usize * qlen + kpos] = slab[j];
+                        if kpos < 64 {
+                            scratch.masks[row as usize] |= 1 << kpos;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Blocked prune-then-score: filter a block of rows against the
+        // current k-th score, compact the survivors, batch-score them.
+        // Skipping requires *strictly* `ub < worst` — a bound equal to the
+        // k-th score can still displace it on the index tiebreak.
+        const BLOCK: usize = 128;
+        let mut start = 0;
+        while start < rows {
+            let end = (start + BLOCK).min(rows);
+            scratch.survivors.clear();
+            for row in start..end {
+                let ub = kernel.upper_bound(&prep, scratch.masks[row], scratch.row_sizes[row]);
+                if ub <= prep.drop_threshold {
+                    // The row cannot clear the ranker's drop filter.
+                    continue;
+                }
+                if let Some(worst) = heap.worst_score() {
+                    if ub < worst {
+                        continue;
+                    }
+                }
+                scratch.survivors.push(row as u32);
+            }
+            if scratch.survivors.is_empty() {
+                start = end;
+                continue;
+            }
+            scratch.compact.clear();
+            scratch.compact_sizes.clear();
+            scratch.compact_wcs.clear();
+            for &row in &scratch.survivors {
+                let row = row as usize;
+                scratch
+                    .compact
+                    .extend_from_slice(&scratch.matrix[row * qlen..row * qlen + qlen]);
+                scratch.compact_sizes.push(scratch.row_sizes[row]);
+                scratch.compact_wcs.push(scratch.row_wcs[row]);
+            }
+            scratch.scores.clear();
+            scratch.scores.resize(scratch.survivors.len(), 0.0);
+            kernel.score_rows(
+                &prep,
+                &scratch.compact,
+                &scratch.compact_sizes,
+                &scratch.compact_wcs,
+                &mut scratch.scores,
+            );
+            for (i, &row) in scratch.survivors.iter().enumerate() {
+                let score = scratch.scores[i];
+                if score > prep.drop_threshold {
+                    let db = scratch.row_dbs[row as usize] as usize;
+                    let index = global_indices.map_or(db, |g| g[db] as usize);
+                    heap.push(RankedDatabase { index, score });
+                }
+            }
+            start = end;
+        }
+        heap.into_sorted()
     }
 
     /// Route a batch of queries over `threads` worker threads. Query `i`
@@ -610,6 +855,76 @@ mod tests {
                 for (x, y) in a.ranking.iter().zip(&b.ranking) {
                     prop_assert_eq!(x.index, y.index);
                     prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                }
+            }
+        }
+
+        /// Tentpole guardrail: `route_topk` is **bit-identical** to
+        /// truncating the full ranking, for every algorithm × shrinkage
+        /// mode × k (including k > n), on random catalogs. Adaptive mode
+        /// must consume the exact same Monte-Carlo RNG stream on both
+        /// paths, which `used_shrinkage` equality witnesses.
+        #[test]
+        fn route_topk_matches_truncated_full_ranking(
+            seed in 0u64..1_000_000,
+            db_sizes in proptest::collection::vec(50.0f64..80_000.0, 1..7),
+        ) {
+            let entries: Vec<CatalogEntry> = db_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &db_size)| {
+                    let words: Vec<(TermId, u32)> = (0..5)
+                        .map(|w| (w + 1, ((i as u32 + 2) * (w + 3) * 13) % 95))
+                        .filter(|&(_, sdf)| sdf > 0)
+                        .collect();
+                    let unshrunk = sampled_summary(db_size, 100, &words);
+                    let shrunk = shrunk_for(&unshrunk, &[(1, 0.05), (3, 0.02), (9, 0.001)]);
+                    CatalogEntry { name: format!("db{i}"), unshrunk, shrunk }
+                })
+                .collect();
+            let catalog = Arc::new(Catalog::build(entries));
+            prop_assert!(catalog.kernel_ready(), "built catalogs expose kernel aux columns");
+            let global = sampled_summary(
+                200_000.0,
+                500,
+                &[(1, 40), (2, 30), (3, 20), (4, 10), (9, 5)],
+            );
+            let algorithms: [Arc<dyn SelectionAlgorithm + Send + Sync>; 3] = [
+                Arc::new(BGloss),
+                Arc::new(Cori::default()),
+                Arc::new(Lm::new(0.5, &global)),
+            ];
+            let queries: Vec<Vec<TermId>> =
+                vec![vec![1, 3], vec![2, 4, 9], vec![1], vec![], vec![4, 4, 2, 1]];
+            for algorithm in &algorithms {
+                for mode in [
+                    ShrinkageMode::Adaptive,
+                    ShrinkageMode::Always,
+                    ShrinkageMode::Never,
+                ] {
+                    let config = AdaptiveConfig { mode, ..Default::default() };
+                    let engine = SelectionEngine::new(
+                        Arc::clone(&catalog),
+                        Arc::clone(algorithm),
+                        config,
+                        DEFAULT_CACHE_CAPACITY,
+                    );
+                    for (qi, query) in queries.iter().enumerate() {
+                        let full = engine.route(query, &mut db_rng(seed, qi));
+                        prop_assert!(
+                            engine.route_topk(query, 0, &mut db_rng(seed, qi)).ranking.is_empty()
+                        );
+                        for k in 1..=engine.catalog().len() + 1 {
+                            let pruned = engine.route_topk(query, k, &mut db_rng(seed, qi));
+                            prop_assert_eq!(&pruned.used_shrinkage, &full.used_shrinkage);
+                            let want = &full.ranking[..k.min(full.ranking.len())];
+                            prop_assert_eq!(pruned.ranking.len(), want.len());
+                            for (x, y) in pruned.ranking.iter().zip(want) {
+                                prop_assert_eq!(x.index, y.index);
+                                prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                            }
+                        }
+                    }
                 }
             }
         }

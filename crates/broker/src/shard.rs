@@ -314,6 +314,79 @@ impl ShardedEngine {
         }
     }
 
+    /// Rank only the top `k` databases; bit-identical to truncating
+    /// [`route`](Self::route)'s merged ranking to `k` entries.
+    ///
+    /// Each shard computes its *local* top `k` through the pruned kernel
+    /// path ([`SelectionEngine::score_partition_topk`]), the partial lists
+    /// merge through [`merge_rankings`], and the merge is truncated to `k`.
+    /// Correct because every entry of the global top `k` is, a fortiori,
+    /// within its own shard's top `k` — so no survivor is ever pruned on
+    /// the shard that owns it, and [`merge_rankings`] of the truncated
+    /// per-shard lists agrees with the truncated full merge on the first
+    /// `k` entries.
+    pub fn route_topk<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        k: usize,
+        rng: &mut R,
+    ) -> AdaptiveOutcome {
+        self.route_topk_with_scratch(query, k, rng, &mut RouteScratch::default())
+    }
+
+    /// [`route_topk`](Self::route_topk) with caller-provided scratch for
+    /// the choose phase.
+    pub fn route_topk_with_scratch<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        k: usize,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> AdaptiveOutcome {
+        let used_shrinkage = self.full.choose_summaries(query, rng, scratch);
+        let ctx = self.full.catalog().scoring_context(query, &used_shrinkage);
+        let per_shard = fan_out(self.scorers.len(), self.threads, |s| {
+            self.score_shard_topk(
+                s,
+                query,
+                k,
+                &ctx,
+                &used_shrinkage,
+                &mut RouteScratch::default(),
+            )
+        });
+        let mut ranking = merge_rankings(&per_shard);
+        ranking.truncate(k);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
+    /// [`route_topk`](Self::route_topk) with the shard scatter run
+    /// sequentially on the calling thread — the top-k counterpart of
+    /// [`route_sequential`](Self::route_sequential), used by the batch
+    /// handler's per-query workers.
+    pub fn route_sequential_topk<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        k: usize,
+        rng: &mut R,
+        scratch: &mut RouteScratch,
+    ) -> AdaptiveOutcome {
+        let used_shrinkage = self.full.choose_summaries(query, rng, scratch);
+        let ctx = self.full.catalog().scoring_context(query, &used_shrinkage);
+        let per_shard: Vec<Vec<RankedDatabase>> = (0..self.scorers.len())
+            .map(|s| self.score_shard_topk(s, query, k, &ctx, &used_shrinkage, scratch))
+            .collect();
+        let mut ranking = merge_rankings(&per_shard);
+        ranking.truncate(k);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
     /// [`route`](Self::route), but scoring every shard sequentially on
     /// the calling thread — for callers that already parallelize across
     /// queries and must not nest a per-query scatter inside their own
@@ -366,6 +439,29 @@ impl ShardedEngine {
         }
     }
 
+    /// [`route_shard`](Self::route_shard) truncated to the shard-local top
+    /// `k` through the pruned kernel path — what a federated backend
+    /// returns when the proxy forwards a `"k"` request field. Merging all
+    /// shards' partial lists and truncating to `k` reproduces the
+    /// monolithic top `k` bit for bit (see
+    /// [`route_topk`](Self::route_topk)).
+    pub fn route_shard_topk<R: Rng + ?Sized>(
+        &self,
+        query: &[TermId],
+        k: usize,
+        rng: &mut R,
+        shard: usize,
+        scratch: &mut RouteScratch,
+    ) -> AdaptiveOutcome {
+        let used_shrinkage = self.full.choose_summaries(query, rng, scratch);
+        let ctx = self.full.catalog().scoring_context(query, &used_shrinkage);
+        let ranking = self.score_shard_topk(shard, query, k, &ctx, &used_shrinkage, scratch);
+        AdaptiveOutcome {
+            ranking,
+            used_shrinkage,
+        }
+    }
+
     /// Route a batch over `threads` workers, parallel across *queries*
     /// (shards score sequentially inside each query — the scatter and the
     /// batch fan-out would otherwise fight for the same cores). Query `i`
@@ -405,6 +501,25 @@ impl ShardedEngine {
             .map(|&g| used_shrinkage[g as usize])
             .collect();
         self.scorers[s].score_partition(query, ctx, &local_used, Some(members), scratch)
+    }
+
+    /// Shard `s`'s local top `k` against the global context, global
+    /// database indices.
+    fn score_shard_topk(
+        &self,
+        s: usize,
+        query: &[TermId],
+        k: usize,
+        ctx: &CollectionContext,
+        used_shrinkage: &[bool],
+        scratch: &mut RouteScratch,
+    ) -> Vec<RankedDatabase> {
+        let members = self.set.members_of(s);
+        let local_used: Vec<bool> = members
+            .iter()
+            .map(|&g| used_shrinkage[g as usize])
+            .collect();
+        self.scorers[s].score_partition_topk(query, k, ctx, &local_used, Some(members), scratch)
     }
 }
 
@@ -707,6 +822,105 @@ mod tests {
                         for (x, y) in mono.ranking.iter().zip(&scat.ranking) {
                             prop_assert_eq!(x.index, y.index);
                             prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Tentpole guardrail, sharded variant: per-shard pruned top-k,
+        /// merged and truncated, equals the truncated monolithic ranking at
+        /// `f64::to_bits` for shard counts 1/2/4 across all 3 algorithms ×
+        /// 3 shrinkage modes × every k. Both the in-process scatter
+        /// (`route_topk`) and the federated composition
+        /// (`route_shard_topk` per shard + merge) are checked.
+        #[test]
+        fn sharded_topk_matches_monolithic_truncation(
+            seed in 0u64..1_000_000,
+            db_sizes in proptest::collection::vec(100.0f64..60_000.0, 1..8),
+        ) {
+            let entries: Vec<CatalogEntry> = db_sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &db_size)| {
+                    let words: Vec<(TermId, u32)> = (0..4)
+                        .map(|w| (w + 1, ((i as u32 + 2) * (w + 5)) % 80))
+                        .filter(|&(_, sdf)| sdf > 0)
+                        .collect();
+                    let unshrunk = sampled_summary(db_size, 100, &words);
+                    let shrunk = shrunk_for(&unshrunk, &[(2, 0.05), (3, 0.02)]);
+                    CatalogEntry { name: format!("db{i}"), unshrunk, shrunk }
+                })
+                .collect();
+            let catalog = Arc::new(Catalog::build(entries));
+            let global = sampled_summary(
+                130_000.0,
+                900,
+                &[(1, 280), (2, 230), (3, 90), (4, 50)],
+            );
+            let algorithms: [Arc<dyn SelectionAlgorithm + Send + Sync>; 3] = [
+                Arc::new(BGloss),
+                Arc::new(Cori::default()),
+                Arc::new(Lm::new(0.5, &global)),
+            ];
+            let queries: Vec<Vec<TermId>> = vec![vec![1, 3], vec![2, 4, 9], vec![1], vec![]];
+            for algorithm in algorithms {
+                for mode in [
+                    ShrinkageMode::Adaptive,
+                    ShrinkageMode::Always,
+                    ShrinkageMode::Never,
+                ] {
+                    let config = AdaptiveConfig { mode, ..Default::default() };
+                    let full = Arc::new(SelectionEngine::new(
+                        Arc::clone(&catalog),
+                        Arc::clone(&algorithm),
+                        config,
+                        DEFAULT_CACHE_CAPACITY,
+                    ));
+                    for shards in [1usize, 2, 4] {
+                        let set = Arc::new(
+                            ShardSet::build(
+                                &catalog,
+                                ShardPlan::contiguous(catalog.len(), shards),
+                            )
+                            .unwrap(),
+                        );
+                        let sharded =
+                            ShardedEngine::new(Arc::clone(&full), Arc::clone(&set), 2);
+                        for (qi, query) in queries.iter().enumerate() {
+                            let mono = full.route(query, &mut db_rng(seed, qi));
+                            for k in 1..=catalog.len() + 1 {
+                                let want = &mono.ranking[..k.min(mono.ranking.len())];
+                                let scat = sharded.route_topk(query, k, &mut db_rng(seed, qi));
+                                prop_assert_eq!(&scat.used_shrinkage, &mono.used_shrinkage);
+                                prop_assert_eq!(scat.ranking.len(), want.len());
+                                for (x, y) in scat.ranking.iter().zip(want) {
+                                    prop_assert_eq!(x.index, y.index);
+                                    prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                                }
+                                // Federated composition: backends each
+                                // return their shard-local top k.
+                                let partials: Vec<Vec<RankedDatabase>> = (0..shards)
+                                    .map(|s| {
+                                        sharded
+                                            .route_shard_topk(
+                                                query,
+                                                k,
+                                                &mut db_rng(seed, qi),
+                                                s,
+                                                &mut RouteScratch::default(),
+                                            )
+                                            .ranking
+                                    })
+                                    .collect();
+                                let mut merged = merge_rankings(&partials);
+                                merged.truncate(k);
+                                prop_assert_eq!(merged.len(), want.len());
+                                for (x, y) in merged.iter().zip(want) {
+                                    prop_assert_eq!(x.index, y.index);
+                                    prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+                                }
+                            }
                         }
                     }
                 }

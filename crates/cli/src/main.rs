@@ -8,7 +8,7 @@
 //!                 [--shrinkage adaptive|always|never] [-k N] WORD ...
 //! dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
 //! dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
-//!                [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
+//!                [--shrinkage adaptive|always|never] [-k N | --k N] [--seed N] [--threads N]
 //! dbselect serve (--catalog CATALOG | --tenants DIR) [--addr HOST:PORT]
 //!                [--workers N] [--queue N] [--shards N] [--tenant-quota N]
 //!                [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
@@ -62,7 +62,7 @@ USAGE:
   dbselect freeze (--catalog CATALOG | --store STORE [--weighting bysize|uniform])
                   --out SNAPSHOT
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
-                 [--shrinkage adaptive|always|never] [-k N] [--seed N] [--threads N]
+                 [--shrinkage adaptive|always|never] [-k N | --k N] [--seed N] [--threads N]
   dbselect serve (--catalog CATALOG | --tenants DIR | --proxy --backends A,B,..)
                  [--addr HOST:PORT]
                  [--workers N] [--queue N] [--shards N] [--tenant-quota N]
@@ -264,7 +264,7 @@ fn cmd_freeze(args: &[String]) -> Result<(), String> {
     snapshot.save(&out).map_err(|e| e.to_string())?;
     let bytes = std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0);
     println!(
-        "froze {} databases ({} terms, {} posting terms) -> {out} ({bytes} bytes, v2 snapshot)",
+        "froze {} databases ({} terms, {} posting terms) -> {out} ({bytes} bytes, v3 snapshot)",
         snapshot.catalog.len(),
         snapshot.dict.len(),
         snapshot.catalog.posting_index().len(),
@@ -285,10 +285,10 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
             "--shrinkage" => {
                 options.shrinkage = parse_shrinkage(&next_value(&mut it, "--shrinkage")?)?;
             }
-            "-k" => {
-                options.k = next_value(&mut it, "-k")?
+            "-k" | "--k" => {
+                options.k = next_value(&mut it, arg)?
                     .parse()
-                    .map_err(|_| "-k expects an integer".to_string())?;
+                    .map_err(|_| format!("{arg} expects an integer"))?;
             }
             "--seed" => {
                 options.seed = next_value(&mut it, "--seed")?

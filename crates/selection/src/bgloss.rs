@@ -58,6 +58,12 @@ impl SelectionAlgorithm for BGloss {
     ) -> Option<(f64, Vec<(f64, f64)>)> {
         Some((summary.db_size(), vec![(1.0, 0.0); query.len()]))
     }
+
+    /// bGlOSS has a batch kernel (see [`crate::topk`]), unlocking the
+    /// pruned top-k serving path.
+    fn score_kernel(&self) -> Option<&dyn crate::topk::ScoreKernel> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

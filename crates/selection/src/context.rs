@@ -145,6 +145,15 @@ pub trait SelectionAlgorithm {
     ) -> f64 {
         self.score_with_p(query, &vec![0.0; query.len()], summary, ctx)
     }
+
+    /// The algorithm's batch scoring kernel (see [`crate::topk`]), if it
+    /// has one. A kernel unlocks the pruned top-k serving path; algorithms
+    /// without one (the default) are served through the full per-entry
+    /// scan. A returned kernel's `score_rows` MUST be bit-identical to
+    /// [`Self::score_with_p`] row by row.
+    fn score_kernel(&self) -> Option<&dyn crate::topk::ScoreKernel> {
+        None
+    }
 }
 
 /// One entry of a database ranking.

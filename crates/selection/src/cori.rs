@@ -104,6 +104,12 @@ impl SelectionAlgorithm for Cori {
         }
         score / query.len() as f64
     }
+
+    /// CORI has a batch kernel (see [`crate::topk`]), unlocking the pruned
+    /// top-k serving path.
+    fn score_kernel(&self) -> Option<&dyn crate::topk::ScoreKernel> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

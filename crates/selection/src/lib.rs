@@ -22,6 +22,7 @@ pub mod hierarchical;
 pub mod lm;
 pub mod merge;
 pub mod redde;
+pub mod topk;
 
 pub use adaptive::{
     adaptive_rank, score_is_uncertain, score_is_uncertain_with_posteriors, AdaptiveConfig,
@@ -40,3 +41,4 @@ pub use merge::{
     PartialMerge,
 };
 pub use redde::{Redde, ReddeConfig};
+pub use topk::{PreparedKernel, ProbabilitySpace, ScoreKernel, TermBound, TopK};

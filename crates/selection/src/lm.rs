@@ -136,6 +136,12 @@ impl SelectionAlgorithm for Lm {
             .collect();
         Some((1.0, coefficients))
     }
+
+    /// LM has a batch kernel (see [`crate::topk`]), unlocking the pruned
+    /// top-k serving path.
+    fn score_kernel(&self) -> Option<&dyn crate::topk::ScoreKernel> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]

@@ -1093,12 +1093,15 @@ pub(crate) fn parse_route_params(body: &Json) -> Result<RouteParams, Response> {
             .as_u64()
             .ok_or_else(|| Response::error(400, "`seed` must be a non-negative integer"))?,
     };
+    // `k` drives the engines' pruned top-k path, not just response
+    // truncation; `k: 0` is rejected rather than silently coerced into
+    // "no results" (almost always a client bug).
     let k = match body.get("k") {
         None => usize::MAX,
-        Some(v) => v
-            .as_u64()
-            .ok_or_else(|| Response::error(400, "`k` must be a non-negative integer"))?
-            as usize,
+        Some(v) => match v.as_u64() {
+            Some(k) if k >= 1 => k as usize,
+            _ => return Err(Response::error(400, "`k` must be a positive integer")),
+        },
     };
     Ok(RouteParams {
         algo,
@@ -1282,13 +1285,17 @@ fn handle_route(
             return response;
         }
         let outcome = match state.sharded_engine(params.algo, params.mode) {
-            Some(sharded) => {
-                sharded.route_shard(&query, &mut rng, s, &mut broker::RouteScratch::default())
-            }
+            Some(sharded) => sharded.route_shard_topk(
+                &query,
+                params.k,
+                &mut rng,
+                s,
+                &mut broker::RouteScratch::default(),
+            ),
             // shards == 1: shard 0 *is* the whole catalog.
             None => state
                 .engine(params.algo, params.mode)
-                .route(&query, &mut rng),
+                .route_topk(&query, params.k, &mut rng),
         };
         return Response::json(
             200,
@@ -1314,11 +1321,13 @@ fn handle_route(
 
     // Prefer the scatter-gather engine when this state is sharded: the
     // ranking is bit-identical, only the scoring parallelism differs.
+    // `k` reaches the engines' pruned top-k path here — truncation is no
+    // longer a serialization detail.
     let outcome = match state.sharded_engine(params.algo, params.mode) {
-        Some(sharded) => sharded.route(&query, &mut rng),
+        Some(sharded) => sharded.route_topk(&query, params.k, &mut rng),
         None => state
             .engine(params.algo, params.mode)
-            .route(&query, &mut rng),
+            .route_topk(&query, params.k, &mut rng),
     };
 
     Response::json(
@@ -1409,19 +1418,23 @@ fn handle_route_batch(
         let mut rng = db_rng(params.seed, qi);
         Some(match (shard, sharded) {
             // Shard-partial serving for a proxy: same choose phase, only
-            // the requested shard scored.
-            (Some(s), Some(se)) => se.route_shard(
+            // the requested shard scored (to its shard-local top k).
+            (Some(s), Some(se)) => se.route_shard_topk(
                 &queries[qi],
+                params.k,
                 &mut rng,
                 s,
                 &mut broker::RouteScratch::default(),
             ),
             // shards == 1: shard 0 is the whole catalog.
-            (Some(_), None) => engine.route(&queries[qi], &mut rng),
-            (None, Some(se)) => {
-                se.route_sequential(&queries[qi], &mut rng, &mut broker::RouteScratch::default())
-            }
-            (None, None) => engine.route(&queries[qi], &mut rng),
+            (Some(_), None) => engine.route_topk(&queries[qi], params.k, &mut rng),
+            (None, Some(se)) => se.route_sequential_topk(
+                &queries[qi],
+                params.k,
+                &mut rng,
+                &mut broker::RouteScratch::default(),
+            ),
+            (None, None) => engine.route_topk(&queries[qi], params.k, &mut rng),
         })
     });
     if expired.load(Ordering::Relaxed) {

@@ -183,6 +183,54 @@ fn route_is_bit_identical_for_every_algo_and_mode() {
     shutdown(addr, handle);
 }
 
+/// Tentpole guardrail, over the wire: for every algorithm × shrinkage
+/// mode × k, the `"k"`-requested `/route` body serializes exactly the
+/// first k entries of the full ranking — same order, same score bytes —
+/// because the pruned top-k path underneath is bit-identical to
+/// truncation. Serialization is deterministic, so comparing rendered
+/// JSON compares bytes.
+#[test]
+fn topk_bodies_are_byte_identical_to_the_full_ranking_prefix() {
+    let (addr, handle) = start(
+        ServerConfig::default(),
+        ServingState::from_frozen(fixture_catalog(1.0), "mem".into(), 0),
+    );
+
+    let queries = ["heart blood surgery", "soccer goal keeper", "stock market yield goal"];
+    for algo in ["bgloss", "cori", "lm"] {
+        for mode in ["adaptive", "always", "never"] {
+            for (qi, line) in queries.iter().enumerate() {
+                let seed = 42 + qi as u64;
+                let body = format!(
+                    r#"{{"query":"{line}","algo":"{algo}","shrinkage":"{mode}","seed":{seed}}}"#
+                );
+                let (status, _, full_body) = post(addr, "/route", &body);
+                assert_eq!(status, 200, "{full_body}");
+                let full = Json::parse(&full_body).unwrap();
+                let ranking = full.get("ranking").unwrap().as_array().unwrap().to_vec();
+                for k in 1..=ranking.len() + 1 {
+                    let body = format!(
+                        r#"{{"query":"{line}","algo":"{algo}","shrinkage":"{mode}","seed":{seed},"k":{k}}}"#
+                    );
+                    let (status, _, topk_body) = post(addr, "/route", &body);
+                    assert_eq!(status, 200, "{topk_body}");
+                    if k >= ranking.len() {
+                        // No truncation: the entire response body is the
+                        // same bytes the k-less request produced.
+                        assert_eq!(topk_body, full_body, "{algo}/{mode} k={k}");
+                        continue;
+                    }
+                    let served = Json::parse(&topk_body).unwrap();
+                    let want = Json::Arr(ranking[..k].to_vec()).render();
+                    let got = served.get("ranking").unwrap().render();
+                    assert_eq!(got, want, "{algo}/{mode} k={k} on {line:?}");
+                }
+            }
+        }
+    }
+    shutdown(addr, handle);
+}
+
 #[test]
 fn route_batch_matches_per_query_routing_and_is_thread_invariant() {
     let frozen = fixture_catalog(1.0);

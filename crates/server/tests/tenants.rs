@@ -517,19 +517,13 @@ fn k_truncates_the_served_ranking_only() {
         "k=2 must serve the top-2 prefix"
     );
 
-    let (status, _, text) = post(addr, "/route", &format!(r#"{{"query":"{line}","k":0}}"#));
-    assert_eq!(status, 200, "{text}");
-    assert_eq!(
-        Json::parse(&text)
-            .unwrap()
-            .get("ranking")
-            .unwrap()
-            .as_array()
-            .unwrap()
-            .len(),
-        0,
-        "k=0 must serve an empty ranking"
-    );
+    // `k: 0` (and non-integer / negative k) is a client error, not an
+    // empty ranking.
+    for bad in [r#""k":0"#, r#""k":-1"#, r#""k":1.5"#, r#""k":"two""#] {
+        let (status, _, text) = post(addr, "/route", &format!(r#"{{"query":"{line}",{bad}}}"#));
+        assert_eq!(status, 400, "{bad}: {text}");
+        assert!(text.contains("`k` must be a positive integer"), "{text}");
+    }
 
     // Oversized and absent k serve the full ranking.
     let (_, _, text) = post(addr, "/route", &format!(r#"{{"query":"{line}","k":999}}"#));

@@ -20,7 +20,7 @@
 //! digest, so any single corrupted byte is detected at load time.
 //!
 //! ```text
-//! magic  b"DBSSNP\x00\x02"               8 bytes, not checksummed
+//! magic  b"DBSSNP\x00\x03"               8 bytes, not checksummed
 //! ── checksummed payload ──────────────────────────────────────────
 //! dict        u32 count, then count length-prefixed UTF-8 terms
 //! databases   u32 count, then per database:
@@ -32,6 +32,8 @@
 //!             offsets u32×(n+1) · u32 slab length
 //!             dbs u32×len · p_df f64×len · sample_df u32×len
 //!             effective u8×len (0|1)
+//!             p_tf f64×len                       (v3 kernel aux)
+//!             max_df f64×n · max_p_df f64×n · max_p_tf f64×n
 //! lm_global   u32 count · (term u32, p_tf f64)×count, ascending
 //! ── end of payload ───────────────────────────────────────────────
 //! checksum    u64 FNV-1a over the payload, not checksummed
@@ -42,6 +44,16 @@
 //!   u32 term count · terms u32×n (strictly ascending)
 //!   p_df f64×n · p_tf f64×n · sample_df u32×n
 //! ```
+//!
+//! v2 files (`\x02` magic) lack the kernel aux columns — the token-space
+//! posting slab plus the per-term score maxima that power the pruned
+//! top-k serving path. They still load: [`Catalog::from_raw_parts`]
+//! recomputes the aux columns from the frozen summaries at load time,
+//! through the same code `dbselect freeze` runs, so a v2 load is
+//! bit-identical to the v3 fast path (asserted by the backward-load test
+//! below). v3 loads additionally verify that the persisted maxima
+//! dominate their posting slabs, so a structurally valid file can never
+//! smuggle an unsound pruning bound past the checksum.
 //!
 //! [`MAX_LEN`]: crate::codec::MAX_LEN
 
@@ -59,9 +71,13 @@ use crate::codec::{
     write_u64, ChecksumReader, ChecksumWriter,
 };
 
-/// Magic bytes + format version for serving snapshots (the "v2" catalog
-/// format; v1 is [`StoredCatalog`]'s `DBSCAT`).
-const SNAPSHOT_MAGIC: &[u8; 8] = b"DBSSNP\x00\x02";
+/// Magic bytes + format version for serving snapshots (the "v3" catalog
+/// format with kernel aux columns; v1 is [`StoredCatalog`]'s `DBSCAT`).
+const SNAPSHOT_MAGIC: &[u8; 8] = b"DBSSNP\x00\x03";
+
+/// The previous serving-snapshot version, still accepted on read; aux
+/// columns are recomputed from the summaries at load time.
+const SNAPSHOT_MAGIC_V2: &[u8; 8] = b"DBSSNP\x00\x02";
 
 /// Everything `dbselectd` and `dbselect route` serve from, in final form.
 #[derive(Debug, Clone)]
@@ -105,6 +121,13 @@ impl ServingSnapshot {
 
     /// Serialize into `w` (magic, checksummed payload, trailing digest).
     pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        self.write_versioned(w, 3)
+    }
+
+    /// Version-dispatched serializer. `version` 2 omits the kernel aux
+    /// columns — kept (privately) so the backward-load test can produce
+    /// genuine v2 bytes without pinning a fixture file.
+    fn write_versioned<W: Write>(&self, w: &mut W, version: u8) -> io::Result<()> {
         let n = self.catalog.len();
         if self.categories.len() != n {
             return Err(io::Error::new(
@@ -112,7 +135,18 @@ impl ServingSnapshot {
                 "one category path per database required",
             ));
         }
-        w.write_all(SNAPSHOT_MAGIC)?;
+        let index = self.catalog.posting_index();
+        if version >= 3 && !index.aux_ready() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "kernel aux columns missing; cannot write a v3 snapshot",
+            ));
+        }
+        w.write_all(if version >= 3 {
+            SNAPSHOT_MAGIC
+        } else {
+            SNAPSHOT_MAGIC_V2
+        })?;
         let mut cw = ChecksumWriter::new(&mut *w);
 
         let dict_len = u32::try_from(self.dict.len())
@@ -136,7 +170,6 @@ impl ServingSnapshot {
             write_frozen(&mut cw, self.catalog.shrunk(db))?;
         }
 
-        let index = self.catalog.posting_index();
         write_u32(&mut cw, index.len() as u32)?;
         for &t in index.terms() {
             write_u32(&mut cw, t)?;
@@ -157,6 +190,20 @@ impl ServingSnapshot {
         for &e in index.effective() {
             cw.write_all(&[u8::from(e)])?;
         }
+        if version >= 3 {
+            for &p in index.p_tf() {
+                write_f64(&mut cw, p)?;
+            }
+            for &m in index.max_df() {
+                write_f64(&mut cw, m)?;
+            }
+            for &m in index.max_p_df() {
+                write_f64(&mut cw, m)?;
+            }
+            for &m in index.max_p_tf() {
+                write_f64(&mut cw, m)?;
+            }
+        }
 
         write_u32(&mut cw, self.lm_global.len() as u32)?;
         for &(t, p) in &self.lm_global {
@@ -173,11 +220,15 @@ impl ServingSnapshot {
     pub fn read_from<R: Read>(r: &mut R) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != SNAPSHOT_MAGIC {
+        let version = if &magic == SNAPSHOT_MAGIC {
+            3
+        } else if &magic == SNAPSHOT_MAGIC_V2 {
+            2
+        } else {
             return Err(corrupt("bad snapshot magic or unsupported version"));
-        }
+        };
         let mut cr = ChecksumReader::new(&mut *r);
-        let snapshot = read_payload(&mut cr)?;
+        let snapshot = read_payload(&mut cr, version)?;
         let digest = cr.digest();
         if read_u64(r)? != digest {
             return Err(corrupt("snapshot checksum mismatch"));
@@ -203,7 +254,7 @@ impl ServingSnapshot {
         Ok(snapshot)
     }
 
-    /// Load a serving snapshot from either format: a v2 snapshot reads
+    /// Load a serving snapshot from any format: a v2/v3 snapshot reads
     /// straight into arrays; a v1 [`StoredCatalog`] is rebuilt through the
     /// legacy path (EM-free, but category aggregation + posting
     /// construction). This keeps every existing catalog file loadable.
@@ -214,7 +265,7 @@ impl ServingSnapshot {
             let mut f = std::fs::File::open(path)?;
             f.read_exact(&mut magic)?;
         }
-        if &magic == SNAPSHOT_MAGIC {
+        if &magic == SNAPSHOT_MAGIC || &magic == SNAPSHOT_MAGIC_V2 {
             Self::load(path)
         } else {
             let stored = StoredCatalog::load(path)?;
@@ -239,7 +290,7 @@ impl ServingSnapshot {
         let mut f = std::fs::File::open(path)?;
         let mut magic = [0u8; 8];
         f.read_exact(&mut magic)?;
-        let checksum = if &magic == SNAPSHOT_MAGIC {
+        let checksum = if &magic == SNAPSHOT_MAGIC || &magic == SNAPSHOT_MAGIC_V2 {
             f.seek(io::SeekFrom::End(-8))?;
             read_u64(&mut f)?
         } else {
@@ -362,7 +413,7 @@ fn read_frozen<R: Read>(r: &mut R) -> io::Result<FrozenSummary> {
     .map_err(corrupt)
 }
 
-fn read_payload<R: Read>(r: &mut R) -> io::Result<ServingSnapshot> {
+fn read_payload<R: Read>(r: &mut R, version: u8) -> io::Result<ServingSnapshot> {
     let mut dict = TermDict::new();
     let dict_len = read_len(r)?;
     for i in 0..dict_len {
@@ -400,8 +451,33 @@ fn read_payload<R: Read>(r: &mut R) -> io::Result<ServingSnapshot> {
     let p_df = read_f64_column(r, slab_len)?;
     let sample_df = read_u32_column(r, slab_len)?;
     let effective = read_bool_column(r, slab_len)?;
-    let index = PostingIndex::from_raw_parts(n, terms, offsets, dbs, p_df, sample_df, effective)
-        .map_err(corrupt)?;
+    let mut index =
+        PostingIndex::from_raw_parts(n, terms, offsets, dbs, p_df, sample_df, effective)
+            .map_err(corrupt)?;
+    if version >= 3 {
+        let p_tf = read_f64_column(r, slab_len)?;
+        let max_df = read_f64_column(r, term_count)?;
+        let max_p_df = read_f64_column(r, term_count)?;
+        let max_p_tf = read_f64_column(r, term_count)?;
+        // Soundness gate: the maxima are pruning upper bounds, so a stored
+        // maximum below any posting it covers would let the pruned top-k
+        // path silently drop a true top-k entry. Reject such files.
+        for (pos, window) in index.offsets().windows(2).enumerate() {
+            for at in window[0] as usize..window[1] as usize {
+                let db = index.dbs()[at] as usize;
+                let size = unshrunk[db].db_size();
+                if max_p_df[pos] < index.p_df()[at]
+                    || max_p_tf[pos] < p_tf[at]
+                    || max_df[pos] < index.p_df()[at] * size
+                {
+                    return Err(corrupt("term maxima do not dominate postings"));
+                }
+            }
+        }
+        index
+            .set_aux(p_tf, max_df, max_p_df, max_p_tf)
+            .map_err(corrupt)?;
+    }
 
     let lm_len = read_len(r)?;
     let mut lm_global: Vec<(TermId, f64)> = Vec::new();
@@ -582,6 +658,26 @@ mod tests {
 
         std::fs::remove_file(&v2).ok();
         std::fs::remove_file(&v1).ok();
+    }
+
+    #[test]
+    fn v2_snapshots_backward_load_bit_identically() {
+        // Older snapshots lack the kernel aux columns; loading one must
+        // recompute them and land on the exact catalog a v3 file carries —
+        // including the persisted-vs-recomputed aux slabs, which the
+        // posting-index equality covers bit for bit.
+        let snapshot = fixture_snapshot();
+        let mut v3 = Vec::new();
+        snapshot.write_to(&mut v3).unwrap();
+        let mut v2 = Vec::new();
+        snapshot.write_versioned(&mut v2, 2).unwrap();
+        assert!(v2.len() < v3.len(), "v2 must omit the aux columns");
+        assert_eq!(&v2[..8], SNAPSHOT_MAGIC_V2);
+        let from_v3 = ServingSnapshot::read_from(&mut v3.as_slice()).unwrap();
+        let from_v2 = ServingSnapshot::read_from(&mut v2.as_slice()).unwrap();
+        assert!(from_v2.catalog.kernel_ready(), "v2 load recomputes aux");
+        assert_catalogs_bit_identical(&from_v2.catalog, &from_v3.catalog);
+        assert_eq!(from_v2.categories, from_v3.categories);
     }
 
     #[test]

@@ -113,6 +113,59 @@ smoke_pass() {
 smoke_pass --reactor          "${ADDR:-127.0.0.1:7731}"
 smoke_pass --legacy-threaded  "${ADDR2:-127.0.0.1:7732}"
 
+# --- top-k pruning: daemon k=3 equals the CLI's truncated ranking ---------
+# Five databases with distinct document frequencies for the query terms,
+# so the full ranking has five entries and k=3 genuinely truncates. The
+# daemon serves k through the pruned maxscore kernels; the CLI's -k 3
+# output is the truncation oracle. Both a monolithic daemon and a
+# --shards 2 daemon (per-shard top-k, merged) must agree with it.
+ADDR_K=${ADDR_K:-127.0.0.1:7739}
+for i in 1 2 3 4 5; do
+    mkdir -p "$WORK/kdb$i"
+    for j in $(seq 1 "$i"); do
+        printf 'heart blood pressure artery\n' > "$WORK/kdb$i/h$j.txt"
+    done
+    for j in $(seq "$i" 5); do
+        printf 'calendar paper window music\n' > "$WORK/kdb$i/f$j.txt"
+    done
+done
+"$DBSELECT" index --out "$WORK/k.store" --full \
+    k1=Health/Medicine="$WORK/kdb1" \
+    k2=Health/Medicine="$WORK/kdb2" \
+    k3=Health/Medicine="$WORK/kdb3" \
+    k4=Health/Medicine="$WORK/kdb4" \
+    k5=Health/Medicine="$WORK/kdb5"
+"$DBSELECT" catalog --store "$WORK/k.store" --out "$WORK/k.catalog"
+"$DBSELECT" freeze --catalog "$WORK/k.catalog" --out "$WORK/k.snapshot"
+printf 'heart blood\n' > "$WORK/kq.txt"
+"$DBSELECT" route --catalog "$WORK/k.snapshot" --queries "$WORK/kq.txt" -k 3 \
+    | tee "$WORK/cli_k3.txt"
+
+topk_pass() {
+    echo "=== top-k pass: ${*:-monolith} ==="
+    "$DBSELECT" serve --catalog "$WORK/k.snapshot" --addr "$ADDR_K" "$@" &
+    SERVE_PID=$!
+    for _ in $(seq 1 50); do
+        curl -sf "http://$ADDR_K/healthz" > /dev/null 2>&1 && break
+        sleep 0.2
+    done
+    curl -sf -X POST "http://$ADDR_K/route" -d '{"query":"heart blood","k":3}' \
+        | tee "$WORK/http_k3.json"
+    echo
+    python3 "$(dirname "$0")/smoke_diff.py" "$WORK/http_k3.json" "$WORK/cli_k3.txt"
+    # k=0 is a client bug, not "no results": the daemon must answer 400.
+    CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$ADDR_K/route" \
+        -d '{"query":"heart blood","k":0}')
+    [ "$CODE" = 400 ] || { echo "k=0 answered $CODE, expected 400" >&2; exit 1; }
+    curl -sf -X POST "http://$ADDR_K/admin/shutdown"
+    echo
+    wait "$SERVE_PID"
+    SERVE_PID=
+}
+topk_pass
+topk_pass --shards 2
+echo "=== top-k pruning diff: ok ==="
+
 # --- 10k idle keep-alive connections on a fixed worker pool ---------------
 # Reactor only: the whole point of the refactor is that parked
 # connections cost a slab slot, not a thread. A long idle timeout keeps
