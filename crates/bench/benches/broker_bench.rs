@@ -263,6 +263,113 @@ fn bench_topk_pruning(c: &mut Criterion) {
     group.finish();
 }
 
+/// Refresh-round cost scaling on the tiny(30) testbed: applying `touched`
+/// re-probes (restricted EM refit per database) and serializing the
+/// round's delta record, versus freezing and serializing the full
+/// snapshot — the delta path's whole point is that time and bytes track
+/// the touched-db count, not the catalog.
+fn bench_refresh(c: &mut Criterion) {
+    use store::delta::DeltaRecord;
+    use store::refresh::RefreshSession;
+
+    let bed = TestBedConfig::tiny(30).build();
+    let mut rng = StdRng::seed_from_u64(40);
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        ..Default::default()
+    };
+    let databases: Vec<StoredDatabase> = bed
+        .databases
+        .iter()
+        .map(|tdb| {
+            let profile = profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng);
+            StoredDatabase {
+                name: tdb.name.clone(),
+                classification: tdb.category,
+                summary: profile.summary,
+                sample_docs: Vec::new(),
+            }
+        })
+        .collect();
+    let store = CollectionStore {
+        dict: bed.dict.clone(),
+        hierarchy: bed.hierarchy.clone(),
+        databases,
+    };
+    let frozen = StoredCatalog::freeze(
+        store,
+        dbselect_core::category_summary::CategoryWeighting::BySize,
+    );
+
+    // Fresh re-probe results (a different sampling seed stands in for
+    // drifted content), computed once outside the measured loops.
+    let mut rng = StdRng::seed_from_u64(41);
+    let probes: Vec<_> = bed
+        .databases
+        .iter()
+        .map(|tdb| profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng).summary)
+        .collect();
+
+    let mut session = RefreshSession::new(frozen);
+    let dict_base = session.dict().len() as u32;
+
+    let mut full_bytes = Vec::new();
+    session.freeze_full().write_to(&mut full_bytes).unwrap();
+
+    let mut group = c.benchmark_group("broker/refresh");
+    // Baseline: what shipping a refresh WITHOUT deltas would cost — a
+    // full freeze plus a full snapshot serialization, per round.
+    group.bench_function("full_freeze_serialize", |b| {
+        b.iter(|| {
+            let mut bytes = Vec::new();
+            session.freeze_full().write_to(&mut bytes).unwrap();
+            bytes.len()
+        })
+    });
+    for touched in [1usize, 2, 4, 8] {
+        // Report the delta's size alongside the timing rows.
+        let patches: Vec<_> = (0..touched)
+            .map(|db| session.apply_probe(db, probes[db].clone()))
+            .collect();
+        let record = DeltaRecord {
+            parent: 0,
+            generation: 1,
+            dict_base,
+            appended_terms: Vec::new(),
+            patches,
+        };
+        let mut delta_bytes = Vec::new();
+        record.write_to(&mut delta_bytes).unwrap();
+        eprintln!(
+            "[refresh] touched {touched}: delta {} bytes vs full snapshot {} bytes",
+            delta_bytes.len(),
+            full_bytes.len()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("round", touched),
+            &touched,
+            |b, &touched| {
+                b.iter(|| {
+                    let patches: Vec<_> = (0..touched)
+                        .map(|db| session.apply_probe(db, black_box(probes[db].clone())))
+                        .collect();
+                    let record = DeltaRecord {
+                        parent: 0,
+                        generation: 1,
+                        dict_base,
+                        appended_terms: Vec::new(),
+                        patches,
+                    };
+                    let mut bytes = Vec::new();
+                    record.write_to(&mut bytes).unwrap();
+                    bytes.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_posterior_cache(c: &mut Criterion) {
     let (bed, profiled) = fixture();
     let catalog = std::sync::Arc::new(
@@ -306,6 +413,7 @@ criterion_group!(
     bench_batch_route,
     bench_topk_pruning,
     bench_catalog_build_vs_load,
+    bench_refresh,
     bench_posterior_cache
 );
 criterion_main!(benches);

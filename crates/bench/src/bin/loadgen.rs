@@ -28,18 +28,29 @@ use std::time::{Duration, Instant};
 
 use bench::experiment::{profile_collection, HarnessConfig};
 use corpus::TestBedConfig;
+use dbselect_core::summary::ContentSummary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sampling::{profile_qbs, PipelineConfig, SamplerKind};
+use sampling::{profile_qbs, PipelineConfig, RefreshScheduler, SamplerKind};
 use server::metrics::Histogram;
 use server::state::ServingState;
 use server::{ProxyConfig, Server, ServerConfig};
 use store::catalog::StoredCatalog;
+use store::delta::{delta_file_name, ChainWriter};
+use store::refresh::RefreshSession;
 use store::snapshot::ServingSnapshot;
 use store::{CollectionStore, StoredDatabase};
 
 /// Build the tiny testbed fixture, freeze it, and save it to a temp file.
-fn build_fixture() -> (std::path::PathBuf, Vec<String>) {
+/// Also returns the frozen catalog itself plus one fresh re-probe summary
+/// per database (sampled under a different seed, standing in for drifted
+/// content) so the refresh-churn phase can append genuine delta rounds.
+fn build_fixture() -> (
+    std::path::PathBuf,
+    Vec<String>,
+    StoredCatalog,
+    Vec<ContentSummary>,
+) {
     let mut bed = TestBedConfig::tiny(30).build();
     let config = HarnessConfig::new(SamplerKind::Qbs, true, 30);
     // Profiling is only exercised to keep the fixture identical to the
@@ -78,6 +89,13 @@ fn build_fixture() -> (std::path::PathBuf, Vec<String>) {
         .save(&path)
         .expect("save fixture snapshot");
 
+    let mut rng = StdRng::seed_from_u64(41);
+    let probes: Vec<ContentSummary> = bed
+        .databases
+        .iter()
+        .map(|tdb| profile_qbs(&tdb.db, &bed.seed_lexicon, &pipeline, &mut rng).summary)
+        .collect();
+
     // Query strings: the testbed's evaluation queries, spelled out so they
     // travel as HTTP payloads.
     let queries: Vec<String> = bed
@@ -91,7 +109,7 @@ fn build_fixture() -> (std::path::PathBuf, Vec<String>) {
                 .join(" ")
         })
         .collect();
-    (path, queries)
+    (path, queries, frozen, probes)
 }
 
 /// One closed-loop HTTP exchange on a fresh `Connection: close`
@@ -432,7 +450,7 @@ fn main() {
     let duration = Duration::from_secs_f64(secs);
 
     eprintln!("building tiny(30) fixture catalog …");
-    let (path, queries) = build_fixture();
+    let (path, queries, frozen, probes) = build_fixture();
 
     let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let config = ServerConfig {
@@ -875,6 +893,121 @@ fn main() {
     assert_eq!(status, 200);
     b1_handle.join().expect("restarted backend exits");
 
+    // Phase 7: refresh churn. A daemon serves a delta chain directory
+    // with the background refresher polling at 50ms, while a churn thread
+    // plays the refresh pipeline against the chain: scheduler picks two
+    // stale databases per round, applies their re-probe summaries through
+    // the pinned-epoch session, and appends one delta file every ~100ms.
+    // Keep-alive /route clients hammer throughout — every in-flight
+    // request must succeed across every generation swap, the daemon must
+    // converge on the final tip generation, and the load-failure counter
+    // must stay zero.
+    let chain_dir =
+        std::env::temp_dir().join(format!("dbselectd-loadgen-chain-{}", std::process::id()));
+    std::fs::remove_dir_all(&chain_dir).ok();
+    std::fs::create_dir_all(&chain_dir).expect("create chain dir");
+    let session = RefreshSession::new(frozen);
+    let n_dbs = session.len();
+    let base = session.freeze_full();
+    let writer = ChainWriter::create(&chain_dir, &base).expect("write chain base");
+    let refresh_config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity: 256,
+        deadline: Duration::from_secs(10),
+        idle_timeout: Duration::from_secs(300),
+        refresh_interval: Some(Duration::from_millis(50)),
+        ..Default::default()
+    };
+    let refresh_state = ServingState::load(
+        chain_dir.to_str().unwrap(),
+        refresh_config.cache_capacity,
+    )
+    .expect("load chain base");
+    let refresh_daemon = Server::bind(refresh_config, refresh_state).expect("bind refresh daemon");
+    let refresh_addr = refresh_daemon.local_addr();
+    let refresh_loop = std::thread::spawn(move || refresh_daemon.run().expect("refresh daemon run"));
+
+    let churn_stop = Arc::new(AtomicBool::new(false));
+    let churn = {
+        let churn_stop = Arc::clone(&churn_stop);
+        let chain_dir = chain_dir.clone();
+        std::thread::spawn(move || {
+            let mut session = session;
+            let mut writer = writer;
+            let append_hist = Histogram::latency();
+            let mut delta_bytes = 0u64;
+            let mut scheduler = RefreshScheduler::new(n_dbs, 2, 42);
+            for db in 0..n_dbs {
+                scheduler.set_coverage(db, session.coverage(db));
+            }
+            while !churn_stop.load(Ordering::Relaxed) {
+                let picks = scheduler.next_round();
+                let patches: Vec<_> = picks
+                    .iter()
+                    .map(|&db| session.apply_probe(db, probes[db].clone()))
+                    .collect();
+                for &db in &picks {
+                    scheduler.set_coverage(db, session.coverage(db));
+                }
+                let begun = Instant::now();
+                let generation = writer
+                    .append_round(session.dict(), patches)
+                    .expect("append refresh round");
+                append_hist.observe(begun.elapsed().as_nanos() as u64);
+                delta_bytes += std::fs::metadata(chain_dir.join(delta_file_name(generation)))
+                    .map_or(0, |m| m.len());
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            (writer.generation(), delta_bytes, append_hist)
+        })
+    };
+    let under_refresh = run_keep_alive_phase(refresh_addr, &keep_alive_bodies, clients, duration);
+    churn_stop.store(true, Ordering::Relaxed);
+    let (final_generation, refresh_delta_bytes, append_hist) =
+        churn.join().expect("churn thread");
+    assert_eq!(
+        under_refresh.errors, 0,
+        "in-flight /route requests failed during refresh churn"
+    );
+    assert!(final_generation >= 1, "churn never appended a round");
+    // The refresher polls every 50ms; the daemon must converge on the
+    // final chain tip shortly after the last append.
+    let tip_marker = format!(r#""catalog_generation":{final_generation}"#);
+    let convergence_started = Instant::now();
+    let mut readyz = String::new();
+    while convergence_started.elapsed() < Duration::from_secs(10) {
+        let (_, body) = exchange(refresh_addr, &get_bytes("/readyz", false)).expect("readyz");
+        readyz = body;
+        if readyz.contains(&tip_marker) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        readyz.contains(&tip_marker),
+        "daemon never converged on chain generation {final_generation}: {readyz}"
+    );
+    let (status, refresh_metrics) =
+        exchange(refresh_addr, &get_bytes("/metrics", false)).expect("refresh metrics");
+    assert_eq!(status, 200);
+    assert!(
+        refresh_metrics.contains("dbselectd_catalog_load_failures_total 0"),
+        "chain loads failed during refresh churn:\n{refresh_metrics}"
+    );
+    let (status, _) =
+        exchange(refresh_addr, &post_bytes("/admin/shutdown", "")).expect("shutdown refresh");
+    assert_eq!(status, 200);
+    refresh_loop.join().expect("refresh daemon exits");
+    eprintln!(
+        "/route under refresh churn {:>8.1} rps, {} rounds appended ({} delta bytes), converged at generation {}",
+        under_refresh.rps(),
+        final_generation,
+        refresh_delta_bytes,
+        final_generation,
+    );
+    std::fs::remove_dir_all(&chain_dir).ok();
+
     std::fs::remove_file(&path).ok();
 
     let topk_rows = topk_cells
@@ -914,7 +1047,8 @@ fn main() {
 {shards_4_json},
 {tenant_matrix_json},
 {proxy_json},
-{proxy_fault_json}
+{proxy_fault_json},
+{under_refresh_json}
   }},
   "shard_matrix": {{
     "rows": [1, 2, 4],
@@ -963,6 +1097,20 @@ fn main() {
     "latency_human": {{ "p50": "{rl_p50_h}", "p99": "{rl_p99_h}" }},
     "note": "v2 snapshot hot-swapped while /route clients hammer; zero failed in-flight requests"
   }},
+  "refresh": {{
+    "rounds": {final_generation},
+    "budget_per_round": 2,
+    "databases": {n_dbs},
+    "round_interval_ms": 100,
+    "refresher_poll_ms": 50,
+    "final_catalog_generation": {final_generation},
+    "delta_bytes_total": {refresh_delta_bytes},
+    "delta_bytes_per_round": {delta_per_round:.0},
+    "append_latency_ns": {{ "p50": {ap_p50}, "p99": {ap_p99} }},
+    "append_latency_human": {{ "p50": "{ap_p50_h}", "p99": "{ap_p99_h}" }},
+    "catalog_load_failures_total": 0,
+    "note": "a churn thread plays the live-refresh pipeline (scheduler picks 2 stale dbs/round, pinned-epoch apply_probe, one delta file appended per round) against a chain directory the daemon serves with --refresh-interval-ms 50, while keep-alive /route clients hammer. Zero failed in-flight requests across every generation swap, zero chain-load failures, and the daemon converged on the final tip generation; delta bytes per round price re-freezing only the touched rows (full snapshot is ~3.3MB)"
+  }},
   "server_cache": "{cache_line}",
   "note": "closed-loop clients; `route` opens one connection per request (Connection: close), `*_keep_alive` holds a persistent HTTP/1.1 connection per client; /route is scoring-bound so its keep-alive win is latency (p50), while the /healthz pair isolates per-request connect/teardown as throughput; latency is client-observed wall time"
 }}"#,
@@ -1000,6 +1148,15 @@ fn main() {
         tenant_matrix_json = phase_json("route_tenant_matrix", clients, &tenant_phase),
         proxy_json = phase_json("route_proxy_keep_alive", clients, &proxy_phase),
         proxy_fault_json = phase_json("route_proxy_under_backend_kill", clients, &under_fault),
+        under_refresh_json = phase_json("route_under_refresh_churn", clients, &under_refresh),
+        final_generation = final_generation,
+        n_dbs = n_dbs,
+        refresh_delta_bytes = refresh_delta_bytes,
+        delta_per_round = refresh_delta_bytes as f64 / (final_generation as f64).max(1.0),
+        ap_p50 = append_hist.percentile(0.50),
+        ap_p99 = append_hist.percentile(0.99),
+        ap_p50_h = server::metrics::format_nanos(append_hist.percentile(0.50)),
+        ap_p99_h = server::metrics::format_nanos(append_hist.percentile(0.99)),
         proxy_overhead = proxy_overhead,
         fault_errors = under_fault.errors,
         degraded_total = degraded_total,

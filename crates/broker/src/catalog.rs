@@ -42,6 +42,21 @@ pub struct CatalogEntry {
     pub shrunk: ShrunkSummary,
 }
 
+/// An in-place replacement of one database's catalog columns — what a
+/// refresh round produces per re-probed database. Applied in a batch by
+/// [`Catalog::apply_updates`].
+#[derive(Debug, Clone)]
+pub struct DbUpdate {
+    /// Index of the database being replaced.
+    pub db: usize,
+    /// The re-resolved power-law exponent (Appendix-A fit or −2 fallback).
+    pub gamma: f64,
+    /// The re-probed sample summary `Ŝ(D)`, frozen.
+    pub unshrunk: FrozenSummary,
+    /// The re-fitted shrinkage summary `R̂(D)`, frozen.
+    pub shrunk: FrozenSummary,
+}
+
 /// The CSR posting index over the unshrunk summaries: for every term, the
 /// databases that mention it, in ascending database order, as slices of
 /// flat parallel slabs.
@@ -286,6 +301,173 @@ impl PostingIndex {
         })
     }
 
+    /// Rebuild only the posting rows touched by replacing the summaries
+    /// of `touched` databases (ascending, deduped; `old` holds their
+    /// pre-update summaries, `unshrunk` is the full post-update array).
+    ///
+    /// A term's row can only change if a touched database mentioned the
+    /// term before or mentions it now, so every other row — and its
+    /// auxiliary maxima — is copied verbatim as a slab slice. Affected
+    /// rows are re-merged in ascending database order and their maxima
+    /// re-folded exactly as [`Self::recompute_aux`] folds them, which is
+    /// what keeps the incremental result bit-identical to a full
+    /// [`Self::build`] over the updated summaries.
+    pub(crate) fn update_dbs(
+        &self,
+        touched: &[u32],
+        old: &[&FrozenSummary],
+        unshrunk: &[FrozenSummary],
+    ) -> PostingIndex {
+        debug_assert!(self.aux_ready());
+        debug_assert_eq!(touched.len(), old.len());
+        let mut is_touched = vec![false; unshrunk.len()];
+        for &db in touched {
+            is_touched[db as usize] = true;
+        }
+
+        // Terms whose rows may change: old ∪ new vocabulary of the
+        // touched databases.
+        let mut affected: Vec<TermId> = Vec::new();
+        for s in old {
+            affected.extend_from_slice(s.terms());
+        }
+        for &db in touched {
+            affected.extend_from_slice(unshrunk[db as usize].terms());
+        }
+        affected.sort_unstable();
+        affected.dedup();
+
+        // Fresh postings per affected term, ascending by database because
+        // `touched` is ascending.
+        let mut contribs: std::collections::BTreeMap<TermId, Vec<(u32, f64, u32, bool)>> =
+            std::collections::BTreeMap::new();
+        for &db in touched {
+            let s = &unshrunk[db as usize];
+            for (i, &t) in s.terms().iter().enumerate() {
+                contribs.entry(t).or_default().push((
+                    db,
+                    s.p_df_column()[i],
+                    s.sample_df_column()[i],
+                    s.effectively_contains(t),
+                ));
+            }
+        }
+
+        let mut terms = Vec::with_capacity(self.terms.len() + affected.len());
+        let mut offsets = vec![0u32];
+        let mut dbs = Vec::with_capacity(self.dbs.len());
+        let mut p_df = Vec::with_capacity(self.p_df.len());
+        let mut sample_df = Vec::with_capacity(self.sample_df.len());
+        let mut effective = Vec::with_capacity(self.effective.len());
+        let mut effective_counts = Vec::with_capacity(self.effective_counts.len());
+        let mut p_tf = Vec::with_capacity(self.p_tf.len());
+        let mut max_df = Vec::with_capacity(self.max_df.len());
+        let mut max_p_df = Vec::with_capacity(self.max_p_df.len());
+        let mut max_p_tf = Vec::with_capacity(self.max_p_tf.len());
+
+        let (mut oi, mut ai) = (0usize, 0usize);
+        loop {
+            let next_old = self.terms.get(oi).copied();
+            let next_aff = affected.get(ai).copied();
+            let term = match (next_old, next_aff) {
+                (None, None) => break,
+                (Some(t), None) | (None, Some(t)) => t,
+                (Some(a), Some(b)) => a.min(b),
+            };
+            let in_old = next_old == Some(term);
+            let is_affected = next_aff == Some(term);
+            if in_old && !is_affected {
+                // Untouched row: verbatim slab copy, maxima included.
+                let (lo, hi) = (self.offsets[oi] as usize, self.offsets[oi + 1] as usize);
+                terms.push(term);
+                dbs.extend_from_slice(&self.dbs[lo..hi]);
+                p_df.extend_from_slice(&self.p_df[lo..hi]);
+                sample_df.extend_from_slice(&self.sample_df[lo..hi]);
+                effective.extend_from_slice(&self.effective[lo..hi]);
+                p_tf.extend_from_slice(&self.p_tf[lo..hi]);
+                effective_counts.push(self.effective_counts[oi]);
+                max_df.push(self.max_df[oi]);
+                max_p_df.push(self.max_p_df[oi]);
+                max_p_tf.push(self.max_p_tf[oi]);
+                offsets.push(dbs.len() as u32);
+            } else {
+                // Affected row: survivors (old postings of untouched
+                // databases) merged with fresh postings, both ascending.
+                let (lo, hi) = if in_old {
+                    (self.offsets[oi] as usize, self.offsets[oi + 1] as usize)
+                } else {
+                    (0, 0)
+                };
+                let fresh: &[(u32, f64, u32, bool)] =
+                    contribs.get(&term).map_or(&[], Vec::as_slice);
+                let row_start = dbs.len();
+                let mut si = lo;
+                let mut fi = 0usize;
+                loop {
+                    while si < hi && is_touched[self.dbs[si] as usize] {
+                        si += 1;
+                    }
+                    let s_db = (si < hi).then(|| self.dbs[si]);
+                    let f_db = (fi < fresh.len()).then(|| fresh[fi].0);
+                    match (s_db, f_db) {
+                        (None, None) => break,
+                        (Some(sd), fd) if fd.is_none_or(|fd| sd < fd) => {
+                            dbs.push(self.dbs[si]);
+                            p_df.push(self.p_df[si]);
+                            sample_df.push(self.sample_df[si]);
+                            effective.push(self.effective[si]);
+                            p_tf.push(self.p_tf[si]);
+                            si += 1;
+                        }
+                        _ => {
+                            let (db, pd, sd, eff) = fresh[fi];
+                            dbs.push(db);
+                            p_df.push(pd);
+                            sample_df.push(sd);
+                            effective.push(eff);
+                            p_tf.push(unshrunk[db as usize].p_tf(term));
+                            fi += 1;
+                        }
+                    }
+                }
+                if dbs.len() > row_start {
+                    terms.push(term);
+                    let (mut ec, mut mdf, mut mpdf, mut mptf) = (0u32, 0f64, 0f64, 0f64);
+                    // Same fold, same row order as `recompute_aux`.
+                    for at in row_start..dbs.len() {
+                        let s = &unshrunk[dbs[at] as usize];
+                        ec += u32::from(effective[at]);
+                        mdf = mdf.max(p_df[at] * s.db_size());
+                        mpdf = mpdf.max(p_df[at]);
+                        mptf = mptf.max(p_tf[at]);
+                    }
+                    effective_counts.push(ec);
+                    max_df.push(mdf);
+                    max_p_df.push(mpdf);
+                    max_p_tf.push(mptf);
+                    offsets.push(dbs.len() as u32);
+                }
+                // An emptied row drops its term entirely, matching a full
+                // build (which only indexes terms some summary mentions).
+            }
+            oi += usize::from(in_old);
+            ai += usize::from(is_affected);
+        }
+        PostingIndex {
+            terms,
+            offsets,
+            dbs,
+            p_df,
+            sample_df,
+            effective,
+            effective_counts,
+            p_tf,
+            max_df,
+            max_p_df,
+            max_p_tf,
+        }
+    }
+
     /// The postings of `term`, if any database mentions it.
     pub fn get(&self, term: TermId) -> Option<Postings<'_>> {
         let pos = self.terms.binary_search(&term).ok()?;
@@ -424,6 +606,56 @@ impl Catalog {
             kernel_safe,
             index,
         }
+    }
+
+    /// Apply a batch of per-database refresh updates, rebuilding **only**
+    /// the touched columns: replaced summaries slot into the per-db
+    /// arrays, the posting index re-merges only rows a touched database
+    /// participates in ([`PostingIndex::update_dbs`]), and the catalog
+    /// constants (`mcw`, `min_word_count`, `kernel_safe`) are re-folded
+    /// with the exact summation [`Self::build`] uses. The result is
+    /// bit-identical to a full `build` over the updated entries, at a
+    /// cost proportional to the touched vocabulary instead of the
+    /// catalog.
+    pub fn apply_updates(&self, updates: &[DbUpdate]) -> Result<Catalog, &'static str> {
+        if updates.iter().any(|u| u.db >= self.len()) {
+            return Err("update database index out of range");
+        }
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        order.sort_by_key(|&i| updates[i].db);
+        if order.windows(2).any(|w| updates[w[0]].db == updates[w[1]].db) {
+            return Err("duplicate database in update batch");
+        }
+        let names = self.names.clone();
+        let mut unshrunk = self.unshrunk.clone();
+        let mut shrunk = self.shrunk.clone();
+        let mut gammas = self.gammas.clone();
+        let touched: Vec<u32> = order.iter().map(|&i| updates[i].db as u32).collect();
+        let old: Vec<&FrozenSummary> = order.iter().map(|&i| &self.unshrunk[updates[i].db]).collect();
+        for u in updates {
+            unshrunk[u.db] = u.unshrunk.clone();
+            shrunk[u.db] = u.shrunk.clone();
+            gammas[u.db] = u.gamma;
+        }
+        let index = self.index.update_dbs(&touched, &old, &unshrunk);
+        // Same summation order as `build`, so the constant stays
+        // bit-identical to a from-scratch freeze.
+        let mcw = if unshrunk.is_empty() {
+            0.0
+        } else {
+            unshrunk.iter().map(|s| s.word_count()).sum::<f64>() / unshrunk.len() as f64
+        };
+        let (min_word_count, kernel_safe) = Self::summary_stats(&unshrunk);
+        Ok(Catalog {
+            names,
+            unshrunk,
+            shrunk,
+            gammas,
+            mcw,
+            min_word_count,
+            kernel_safe,
+            index,
+        })
     }
 
     /// The recomputed-not-persisted per-catalog constants: the smallest
@@ -887,6 +1119,131 @@ mod tests {
             )
             .unwrap();
         assert_eq!(&rebuilt, i, "installing the freeze-time aux restores equality");
+    }
+
+    fn update_from(db: usize, e: &CatalogEntry) -> DbUpdate {
+        DbUpdate {
+            db,
+            gamma: e.unshrunk.gamma().unwrap_or(-2.0),
+            unshrunk: FrozenSummary::from_unshrunk(&e.unshrunk),
+            shrunk: FrozenSummary::from_shrunk(&e.shrunk),
+        }
+    }
+
+    fn assert_catalogs_identical(a: &Catalog, b: &Catalog) {
+        assert_eq!(a.names(), b.names());
+        assert_eq!(a.mcw().to_bits(), b.mcw().to_bits());
+        assert_eq!(a.min_word_count().to_bits(), b.min_word_count().to_bits());
+        assert_eq!(a.kernel_ready(), b.kernel_ready());
+        for db in 0..a.len() {
+            assert_eq!(a.gamma(db).to_bits(), b.gamma(db).to_bits(), "gamma {db}");
+            assert_eq!(a.unshrunk(db), b.unshrunk(db), "unshrunk {db}");
+            assert_eq!(a.shrunk(db), b.shrunk(db), "shrunk {db}");
+        }
+        assert_eq!(a.posting_index(), b.posting_index());
+    }
+
+    #[test]
+    fn apply_updates_is_bit_identical_to_full_rebuild() {
+        let base = vec![
+            entry("a", sampled_summary(1000.0, 100, &[(1, 50), (2, 3)])),
+            entry("b", sampled_summary(500.0, 80, &[(1, 10)])),
+            entry("c", sampled_summary(200.0, 50, &[])),
+        ];
+        let catalog = Catalog::build(base.clone());
+        // b gains a brand-new term (9) and drops term 1; c's empty sample
+        // fills in; a is untouched. Together these exercise term
+        // insertion, row shrink, and whole-term removal (term 1 keeps
+        // only a's posting).
+        let mut refreshed_b = sampled_summary(640.0, 90, &[(2, 7), (9, 4)]);
+        refreshed_b.set_gamma(-1.8);
+        let updates = vec![
+            update_from(1, &entry("b", refreshed_b.clone())),
+            update_from(2, &entry("c", sampled_summary(250.0, 60, &[(1, 2), (7, 9)]))),
+        ];
+        let incremental = catalog.apply_updates(&updates).unwrap();
+        let mut rebuilt_entries = base.clone();
+        rebuilt_entries[1] = entry("b", refreshed_b);
+        rebuilt_entries[2] = entry("c", sampled_summary(250.0, 60, &[(1, 2), (7, 9)]));
+        let full = Catalog::build(rebuilt_entries);
+        assert_catalogs_identical(&incremental, &full);
+    }
+
+    #[test]
+    fn apply_updates_drops_terms_nobody_mentions_anymore() {
+        let base = vec![
+            entry("a", sampled_summary(1000.0, 100, &[(1, 50), (2, 3)])),
+            entry("b", sampled_summary(500.0, 80, &[(1, 10)])),
+        ];
+        let catalog = Catalog::build(base.clone());
+        // a empties out: term 2 loses its only posting and must vanish
+        // from the index, exactly as a full rebuild would drop it.
+        let updates = vec![update_from(0, &entry("a", sampled_summary(900.0, 70, &[])))];
+        let incremental = catalog.apply_updates(&updates).unwrap();
+        let mut rebuilt = base;
+        rebuilt[0] = entry("a", sampled_summary(900.0, 70, &[]));
+        assert_catalogs_identical(&incremental, &Catalog::build(rebuilt));
+        assert!(incremental.postings(2).is_none());
+    }
+
+    #[test]
+    fn apply_updates_rejects_bad_batches() {
+        let catalog = Catalog::build(vec![
+            entry("a", sampled_summary(1000.0, 100, &[(1, 50)])),
+            entry("b", sampled_summary(500.0, 80, &[(1, 10)])),
+        ]);
+        let good = update_from(0, &entry("a", sampled_summary(100.0, 10, &[(1, 5)])));
+        let mut oob = good.clone();
+        oob.db = 7;
+        assert!(catalog.apply_updates(&[oob]).is_err());
+        assert!(catalog.apply_updates(&[good.clone(), good]).is_err());
+        assert!(catalog.apply_updates(&[]).is_ok(), "empty batch is a no-op");
+    }
+
+    proptest::proptest! {
+        /// Randomized equivalence: patching any subset of databases with
+        /// arbitrary replacement summaries lands on the same catalog —
+        /// bit for bit, aux maxima included — as freezing the updated
+        /// entries from scratch.
+        #[test]
+        fn random_update_batches_match_full_rebuild(
+            base in proptest::collection::vec(
+                (10.0f64..5_000.0, 5u32..100,
+                 proptest::collection::vec((0u32..8, 1u32..40), 0..6)),
+                1..6),
+            patch in proptest::collection::vec(
+                (10.0f64..5_000.0, 5u32..100,
+                 proptest::collection::vec((0u32..8, 1u32..40), 0..6)),
+                1..6),
+            mask in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 6),
+        ) {
+            let summary = |&(size, n, ref words): &(f64, u32, Vec<(u32, u32)>)| {
+                let mut dedup: Vec<(u32, u32)> = Vec::new();
+                for &(t, df) in words {
+                    if !dedup.iter().any(|&(seen, _)| seen == t) {
+                        dedup.push((t, df.min(n)));
+                    }
+                }
+                sampled_summary(size, n, &dedup)
+            };
+            let entries: Vec<CatalogEntry> = base
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| entry(&format!("db{i}"), summary(spec)))
+                .collect();
+            let catalog = Catalog::build(entries.clone());
+            let mut updates = Vec::new();
+            let mut rebuilt = entries;
+            for (db, spec) in patch.iter().enumerate().take(rebuilt.len()) {
+                if mask[db] {
+                    let e = entry(&format!("db{db}"), summary(spec));
+                    updates.push(update_from(db, &e));
+                    rebuilt[db] = e;
+                }
+            }
+            let incremental = catalog.apply_updates(&updates).unwrap();
+            assert_catalogs_identical(&incremental, &Catalog::build(rebuilt));
+        }
     }
 
     #[test]

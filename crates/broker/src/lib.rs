@@ -20,6 +20,6 @@ pub mod shard;
 #[cfg(test)]
 pub(crate) mod test_support;
 
-pub use catalog::{Catalog, CatalogEntry, PostingIndex, Postings};
+pub use catalog::{Catalog, CatalogEntry, DbUpdate, PostingIndex, Postings};
 pub use engine::{CacheStats, RouteScratch, SelectionEngine, DEFAULT_CACHE_CAPACITY};
 pub use shard::{Partitioning, ShardPlan, ShardSet, ShardedEngine};

@@ -22,8 +22,11 @@ use broker::{Catalog, CatalogEntry, SelectionEngine, DEFAULT_CACHE_CAPACITY};
 use dbselect_core::category_summary::CategoryWeighting;
 use dbselect_core::hierarchy::Hierarchy;
 use dbselect_core::summary::ContentSummary;
-use sampling::{profile_qbs_many, PipelineConfig, QbsConfig};
+use sampling::{profile_qbs_many, PipelineConfig, QbsConfig, RefreshScheduler};
 use selection::{AdaptiveConfig, BGloss, Cori, Lm, SelectionAlgorithm, ShrinkageMode};
+use store::catalog::StoredCatalog;
+use store::delta::ChainWriter;
+use store::refresh::RefreshSession;
 use store::snapshot::ServingSnapshot;
 use store::{CollectionStore, StoredDatabase};
 use textindex::{Analyzer, Document, IndexedDatabase, TermDict};
@@ -587,6 +590,201 @@ pub fn inspect(store: &CollectionStore, db_name: Option<&str>) -> String {
     out
 }
 
+/// Options for `dbselect refresh`.
+#[derive(Debug, Clone, Copy)]
+pub struct RefreshOptions {
+    /// Refresh rounds to run (each appends one delta to the chain).
+    pub rounds: usize,
+    /// Databases re-probed per round.
+    pub budget: usize,
+    /// Scheduler + sampling seed.
+    pub seed: u64,
+    /// Target QBS sample size per re-probe (ignored with `full`).
+    pub sample_size: usize,
+    /// Re-read every document instead of sampling (cooperative mode).
+    pub full: bool,
+    /// Profiling threads.
+    pub threads: usize,
+    /// Pause between rounds (live-refresh pacing for a polling daemon).
+    pub round_interval: Option<std::time::Duration>,
+}
+
+impl Default for RefreshOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        RefreshOptions {
+            rounds: 1,
+            budget: 2,
+            seed: 42,
+            sample_size: 300,
+            full: false,
+            threads,
+            round_interval: None,
+        }
+    }
+}
+
+/// `dbselect refresh`: re-probe a few stale databases per round and
+/// append each round as a delta to a snapshot chain.
+///
+/// The chain directory either does not hold a base yet (one is frozen
+/// from the catalog) or holds exactly the base this catalog freezes to —
+/// a chain that already has delta rounds cannot be resumed, because the
+/// session that wrote them owned the dictionary growth; re-base with a
+/// fresh `dbselect freeze` instead. Databases named by a spec are
+/// eligible for re-probing (their directories are re-read each round, so
+/// drifted content is picked up); catalog databases without a spec stay
+/// frozen at their base summaries.
+///
+/// Returns the per-round report: which databases each round touched, the
+/// round's wall time, and the delta's size on disk — the evidence that
+/// refresh cost scales with the touched set, not the catalog.
+pub fn refresh(
+    catalog_path: &str,
+    chain_dir: &Path,
+    specs: &[DbSpec],
+    options: &RefreshOptions,
+) -> io::Result<String> {
+    let stored = StoredCatalog::load(catalog_path)?;
+    let mut session = RefreshSession::new(stored);
+
+    // Map specs onto catalog indices by database name.
+    let mut spec_for_db: Vec<Option<&DbSpec>> = vec![None; session.len()];
+    for spec in specs {
+        match session.names().iter().position(|n| *n == spec.name) {
+            Some(db) => spec_for_db[db] = Some(spec),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{}: no such database in {catalog_path}", spec.name),
+                ))
+            }
+        }
+    }
+    if spec_for_db.iter().all(Option::is_none) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "refresh requires at least one NAME=CATEGORY/PATH=DIR spec",
+        ));
+    }
+
+    // Create the chain base, or verify an existing base (e.g. one written
+    // by `dbselect freeze` into the chain directory) matches the catalog.
+    let reference = session.freeze_full();
+    let mut writer = if chain_dir.join(store::delta::BASE_FILE).exists() {
+        ChainWriter::open_base_only(chain_dir, &reference)?
+    } else {
+        ChainWriter::create(chain_dir, &reference)?
+    };
+    drop(reference);
+
+    let mut scheduler = RefreshScheduler::new(session.len(), options.budget, options.seed);
+    for db in 0..session.len() {
+        scheduler.set_eligible(db, spec_for_db[db].is_some());
+        scheduler.set_coverage(db, session.coverage(db));
+    }
+
+    let analyzer = Analyzer::english();
+    let pipeline = PipelineConfig {
+        frequency_estimation: true,
+        qbs: QbsConfig {
+            target_sample_size: options.sample_size,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "refreshing {} of {} databases per round over {} ({} rounds, seed {})",
+        options.budget.min(specs.len()),
+        session.len(),
+        chain_dir.display(),
+        options.rounds,
+        options.seed,
+    );
+    for round in 0..options.rounds {
+        let started = Instant::now();
+        let picks = scheduler.next_round();
+        if picks.is_empty() {
+            let _ = writeln!(out, "round {}: nothing eligible to refresh", round + 1);
+            continue;
+        }
+
+        // Re-read the picked databases' directories (content may have
+        // drifted since the last probe), interning new vocabulary into
+        // the session dictionary.
+        let mut reloaded = Vec::with_capacity(picks.len());
+        for &db in &picks {
+            let spec = spec_for_db[db].expect("scheduler only picks eligible databases");
+            let docs = read_documents(Path::new(&spec.dir), &analyzer, session.dict_mut())?;
+            if docs.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{}: no readable documents in {}", spec.name, spec.dir),
+                ));
+            }
+            reloaded.push(IndexedDatabase::new(spec.name.clone(), docs));
+        }
+
+        let summaries: Vec<ContentSummary> = if options.full {
+            reloaded.iter().map(ContentSummary::perfect).collect()
+        } else {
+            // The round's QBS bootstrap lexicon: the most document-
+            // frequent words across the re-read databases.
+            let mut df_totals: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
+            for db in &reloaded {
+                for (term, list) in db.index().terms() {
+                    *df_totals.entry(term).or_insert(0) += list.document_frequency();
+                }
+            }
+            let mut by_df: Vec<(usize, u32)> = df_totals.into_iter().map(|(t, c)| (c, t)).collect();
+            by_df.sort_unstable_by(|a, b| b.cmp(a));
+            let lexicon: Vec<u32> = by_df.into_iter().take(2000).map(|(_, t)| t).collect();
+            let refs: Vec<&IndexedDatabase> = reloaded.iter().collect();
+            // Seed by chain generation so every round probes differently
+            // but the whole run stays deterministic.
+            let round_seed = options.seed ^ (writer.generation() + 1);
+            profile_qbs_many(&refs, &lexicon, &pipeline, round_seed, options.threads)
+                .into_iter()
+                .map(|profile| profile.summary)
+                .collect()
+        };
+
+        let mut patches = Vec::with_capacity(picks.len());
+        for (&db, summary) in picks.iter().zip(summaries) {
+            patches.push(session.apply_probe(db, summary));
+            scheduler.set_coverage(db, session.coverage(db));
+        }
+        let generation = writer.append_round(session.dict(), patches)?;
+        let delta_path = chain_dir.join(store::delta::delta_file_name(generation));
+        let bytes = std::fs::metadata(&delta_path).map(|m| m.len()).unwrap_or(0);
+        let names: Vec<&str> = picks
+            .iter()
+            .map(|&db| spec_for_db[db].expect("picked databases have specs").name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "round {} -> generation {generation}: refreshed {} in {:.1} ms ({bytes} bytes delta)",
+            round + 1,
+            names.join(", "),
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        if let (Some(interval), true) = (options.round_interval, round + 1 < options.rounds) {
+            std::thread::sleep(interval);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "chain tip: generation {} (checksum {:016x})",
+        writer.generation(),
+        writer.tip_checksum(),
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -786,6 +984,106 @@ mod tests {
         let from_v1 = ServingSnapshot::load_any(&path).unwrap();
         let v1_report = route(&from_v1, &lines, &options);
         assert_eq!(strip(&report, "2 threads"), strip(&v1_report, "2 threads"));
+
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn refresh_appends_deltas_that_replay_bit_identically() {
+        let root = temp_root("refresh");
+        write_corpus(&root);
+        let specs = specs(&root);
+        let store = build_store(
+            &specs,
+            &IndexOptions {
+                full: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let catalog_path = root.join("collection.catalog");
+        StoredCatalog::freeze(store, CategoryWeighting::BySize)
+            .save(&catalog_path)
+            .unwrap();
+        let catalog_path = catalog_path.to_string_lossy().into_owned();
+        let chain = root.join("chain");
+
+        // Drift the heart database before the first refresh round.
+        std::fs::write(
+            root.join("heart/doc9.txt"),
+            "Arrhythmia monitoring with a wearable electrocardiogram",
+        )
+        .unwrap();
+
+        let options = RefreshOptions {
+            rounds: 2,
+            budget: 1,
+            seed: 9,
+            full: true,
+            ..Default::default()
+        };
+        let report = refresh(&catalog_path, &chain, &specs, &options).unwrap();
+        assert!(report.contains("round 1 -> generation 1"), "{report}");
+        assert!(report.contains("round 2 -> generation 2"), "{report}");
+        assert_eq!(store::delta::chain_tip_generation(&chain).unwrap(), 2);
+
+        // The replayed chain routes the drifted vocabulary to heart-db.
+        let loaded = store::delta::load_chain(&chain).unwrap();
+        assert_eq!(loaded.generation, 2);
+        let report = route(
+            &loaded.snapshot,
+            &["arrhythmia electrocardiogram".to_string()],
+            &RouteOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert!(report.contains("heart-db"), "{report}");
+
+        // A chain with deltas cannot be resumed (re-base instead).
+        let err = refresh(&catalog_path, &chain, &specs, &options).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains("re-base"), "{err}");
+
+        // A base written by `dbselect freeze` is accepted as-is...
+        let fresh = root.join("fresh-chain");
+        std::fs::create_dir_all(&fresh).unwrap();
+        let frozen = StoredCatalog::load(&catalog_path).unwrap();
+        ServingSnapshot::from_stored(&frozen)
+            .save(fresh.join(store::delta::BASE_FILE))
+            .unwrap();
+        let report = refresh(
+            &catalog_path,
+            &fresh,
+            &specs,
+            &RefreshOptions {
+                rounds: 1,
+                ..options
+            },
+        )
+        .unwrap();
+        assert!(report.contains("generation 1"), "{report}");
+
+        // ...but a base from a *different* catalog is rejected.
+        let other = root.join("other-chain");
+        std::fs::create_dir_all(&other).unwrap();
+        std::fs::copy(
+            chain.join(store::delta::delta_file_name(1)),
+            other.join(store::delta::BASE_FILE),
+        )
+        .unwrap();
+        let err = refresh(&catalog_path, &other, &specs, &options).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("does not match"), "{err}");
+
+        // Unknown spec names fail fast.
+        let bogus = DbSpec {
+            name: "no-such-db".into(),
+            category: "X".into(),
+            dir: root.join("heart").to_string_lossy().into_owned(),
+        };
+        let err = refresh(&catalog_path, &root.join("x-chain"), &[bogus], &options).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
 
         std::fs::remove_dir_all(&root).ok();
     }

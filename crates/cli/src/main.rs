@@ -7,6 +7,7 @@
 //! dbselect select --store STORE [--algo bgloss|cori|lm|redde]
 //!                 [--shrinkage adaptive|always|never] [-k N] WORD ...
 //! dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
+//! dbselect refresh --catalog CATALOG --chain DIR [--rounds N] [--budget K] NAME=CATEGORY/PATH=DIR ...
 //! dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
 //!                [--shrinkage adaptive|always|never] [-k N | --k N] [--seed N] [--threads N]
 //! dbselect serve (--catalog CATALOG | --tenants DIR) [--addr HOST:PORT]
@@ -17,8 +18,8 @@
 //! ```
 
 use cli::{
-    build_store, inspect, parse_shrinkage, route, select, CliAlgorithm, DbSpec, IndexOptions,
-    RouteOptions,
+    build_store, inspect, parse_shrinkage, refresh, route, select, CliAlgorithm, DbSpec,
+    IndexOptions, RefreshOptions, RouteOptions,
 };
 use dbselect_core::category_summary::CategoryWeighting;
 use selection::ShrinkageMode;
@@ -40,6 +41,7 @@ fn run() -> Result<(), String> {
         Some("select") => cmd_select(&args[1..]),
         Some("catalog") => cmd_catalog(&args[1..]),
         Some("freeze") => cmd_freeze(&args[1..]),
+        Some("refresh") => cmd_refresh(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
@@ -61,6 +63,9 @@ USAGE:
   dbselect catalog --store STORE --out CATALOG [--weighting bysize|uniform]
   dbselect freeze (--catalog CATALOG | --store STORE [--weighting bysize|uniform])
                   --out SNAPSHOT
+  dbselect refresh --catalog CATALOG --chain DIR [--rounds N] [--budget K]
+                   [--seed N] [--sample N | --full] [--threads N]
+                   [--round-interval-ms N] NAME=CATEGORY/PATH=DIR ...
   dbselect route --catalog CATALOG --queries FILE [--algo bgloss|cori|lm]
                  [--shrinkage adaptive|always|never] [-k N | --k N] [--seed N] [--threads N]
   dbselect serve (--catalog CATALOG | --tenants DIR | --proxy --backends A,B,..)
@@ -68,6 +73,7 @@ USAGE:
                  [--workers N] [--queue N] [--shards N] [--tenant-quota N]
                  [--deadline-ms N] [--keep-alive-requests N] [--idle-timeout-ms N]
                  [--cache N] [--retry-after-ms N] [--reactor | --legacy-threaded]
+                 [--refresh-interval-ms N]
                  [--proxy-retries N] [--hedge-ms N] [--breaker-threshold N]
                  [--breaker-cooldown-ms N] [--health-interval-ms N]
   dbselect inspect --store STORE [--db NAME]
@@ -83,6 +89,17 @@ form, so loading is a checksummed array read with no rebuilding. It
 accepts a v1 catalog (migration) or a store (EM + freeze in one step).
 `route` and `serve` accept either format and detect it by magic bytes.
 
+`refresh` runs live summary refresh: each round, a budgeted scheduler
+picks the stalest / least-covered databases named by a spec, re-probes
+their directories with QBS (or --full), re-fits **only their** shrinkage
+mixtures against the pinned base epoch, and appends the touched rows as
+a delta to the snapshot chain in --chain DIR (base.snap + numbered
+deltas). Replaying the chain is bit-identical to a full freeze of the
+same post-refresh state; refresh cost scales with the touched set, not
+the catalog. `route` and `serve` accept the chain directory anywhere a
+catalog path is accepted. A chain that already holds deltas cannot be
+resumed — re-base with a fresh `dbselect freeze`.
+
 `serve` starts `dbselectd`, an HTTP daemon over a frozen catalog:
 POST /route and /route_batch rank databases (bit-identical to `route`),
 GET /healthz and /metrics report status, POST /admin/reload hot-swaps
@@ -93,7 +110,11 @@ per connection, --idle-timeout-ms bounds the wait between them, and
 By default connection I/O runs on an event-driven reactor (--reactor)
 that multiplexes every socket on one thread while --workers threads
 execute requests; --legacy-threaded restores the thread-per-connection
-path. Both serve bit-identical responses.
+path. Both serve bit-identical responses. --refresh-interval-ms N polls
+each tenant's source every N ms and hot-swaps newer delta-chain
+generations in automatically (no /admin/reload needed); swaps are kept
+strictly monotone and a broken chain leaves the serving generation
+untouched (counted in dbselectd_catalog_load_failures_total).
 
 `serve --tenants DIR` hosts every snapshot in DIR (one tenant per
 *.snap/*.cat file, named by its stem) behind /t/<name>/route,
@@ -272,6 +293,64 @@ fn cmd_freeze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_refresh(args: &[String]) -> Result<(), String> {
+    let mut catalog_path = None;
+    let mut chain_dir = None;
+    let mut options = RefreshOptions::default();
+    let mut specs = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--catalog" => catalog_path = Some(next_value(&mut it, "--catalog")?),
+            "--chain" => chain_dir = Some(next_value(&mut it, "--chain")?),
+            "--rounds" => {
+                options.rounds = next_value(&mut it, "--rounds")?
+                    .parse()
+                    .map_err(|_| "--rounds expects an integer".to_string())?;
+            }
+            "--budget" => {
+                options.budget = next_value(&mut it, "--budget")?
+                    .parse()
+                    .map_err(|_| "--budget expects an integer".to_string())?;
+            }
+            "--seed" => {
+                options.seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--sample" => {
+                options.sample_size = next_value(&mut it, "--sample")?
+                    .parse()
+                    .map_err(|_| "--sample expects an integer".to_string())?;
+            }
+            "--full" => options.full = true,
+            "--threads" => {
+                options.threads = next_value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects an integer".to_string())?;
+            }
+            "--round-interval-ms" => {
+                let ms: u64 = next_value(&mut it, "--round-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--round-interval-ms expects an integer".to_string())?;
+                options.round_interval = Some(std::time::Duration::from_millis(ms));
+            }
+            spec => specs.push(DbSpec::parse(spec)?),
+        }
+    }
+    let catalog_path = catalog_path.ok_or("refresh requires --catalog CATALOG")?;
+    let chain_dir = chain_dir.ok_or("refresh requires --chain DIR")?;
+    let report = refresh(
+        &catalog_path,
+        std::path::Path::new(&chain_dir),
+        &specs,
+        &options,
+    )
+    .map_err(|e| e.to_string())?;
+    print!("{report}");
+    Ok(())
+}
+
 fn cmd_route(args: &[String]) -> Result<(), String> {
     let mut catalog_path = None;
     let mut queries_path = None;
@@ -418,6 +497,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|_| "--health-interval-ms expects an integer".to_string())?;
                 proxy_config.health_interval = std::time::Duration::from_millis(ms);
+            }
+            "--refresh-interval-ms" => {
+                let ms: u64 = next_value(&mut it, "--refresh-interval-ms")?
+                    .parse()
+                    .map_err(|_| "--refresh-interval-ms expects an integer".to_string())?;
+                config.refresh_interval = Some(std::time::Duration::from_millis(ms));
             }
             "--debug-sleep" => config.debug_sleep = true,
             "--reactor" => config.mode = server::ServeMode::Reactor,

@@ -22,6 +22,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod probes;
 pub mod qbs;
+pub mod refresh;
 pub mod rules;
 pub mod sample;
 pub mod scheduler;
@@ -35,6 +36,7 @@ pub use pipeline::{
 };
 pub use probes::ProbeSource;
 pub use qbs::{qbs_sample, QbsConfig};
+pub use refresh::RefreshScheduler;
 pub use rules::{Rule, RuleClassifier, RuleLearnerConfig};
 pub use sample::DocumentSample;
 pub use scheduler::{db_rng, fan_out};

@@ -127,6 +127,11 @@ pub struct ServerConfig {
     /// backends instead of serving a local catalog
     /// ([`Server::bind_proxy`]).
     pub proxy: Option<ProxyConfig>,
+    /// Background refresh polling: every interval, re-scan each tenant
+    /// whose source is a delta-chain directory and hot-swap in any new
+    /// chain tip through the same guarded reload path `/admin/reload`
+    /// uses. `None` (the default) disables the refresher thread.
+    pub refresh_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +150,7 @@ impl Default for ServerConfig {
             tenant_quota: 0,
             retry_after: Duration::from_secs(1),
             proxy: None,
+            refresh_interval: None,
         }
     }
 }
@@ -469,14 +475,26 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || proxy::health_loop(&shared))
         });
+        // The background refresher only makes sense over local catalogs
+        // (a proxy holds no tenants to refresh).
+        let refresher = match shared.config.refresh_interval {
+            Some(interval) if shared.proxy.is_none() => {
+                let shared = Arc::clone(&shared);
+                Some(std::thread::spawn(move || refresh_loop(&shared, interval)))
+            }
+            _ => None,
+        };
         let result = match self.shared.config.mode {
             ServeMode::Reactor => self.run_reactor(),
             ServeMode::Threaded => self.run_threaded(),
         };
+        // `stop` is already set on the shutdown path; set it on error
+        // exits too so no helper thread outlives the listener.
+        shared.stop.store(true, Ordering::SeqCst);
         if let Some(handle) = health {
-            // `stop` is already set on the shutdown path; set it on error
-            // exits too so the checker never outlives the listener.
-            shared.stop.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+        if let Some(handle) = refresher {
             let _ = handle.join();
         }
         result
@@ -1021,6 +1039,10 @@ fn handle_readyz(shared: &Shared) -> Response {
                         "generation".to_string(),
                         Json::Num(tenant.generation.load(Ordering::SeqCst) as f64),
                     ),
+                    (
+                        "catalog_generation".to_string(),
+                        Json::Num(state.catalog_generation() as f64),
+                    ),
                     ("databases".to_string(), Json::Num(state.databases() as f64)),
                     (
                         "snapshot_checksum".to_string(),
@@ -1474,21 +1496,53 @@ fn handle_route_batch(
     Response::json(200, Json::obj(fields).render())
 }
 
+/// Install `next` as `tenant`'s serving state — unless doing so would
+/// move the delta-chain generation *backwards*, in which case the current
+/// state keeps serving and `Err` carries its chain generation.
+///
+/// The staleness check, the `Arc` swap, and the serving-generation bump
+/// all happen inside one write-lock critical section. Two concurrent
+/// installs (overlapping `/admin/reload`s, or a reload racing the
+/// background refresher) therefore serialize completely: whichever loses
+/// the lock race re-checks against the state the winner installed, so
+/// generations observed by readers only ever increase. `force` bypasses
+/// the staleness check (re-basing a chain legitimately resets its
+/// numbering).
+fn install_state(
+    tenant: &Tenant,
+    next: ServingState,
+    force: bool,
+) -> Result<u64, (u64, u64)> {
+    let mut slot = tenant.state.write().expect("tenant state lock poisoned");
+    let serving = slot.catalog_generation();
+    if !force && next.catalog_generation() < serving {
+        return Err((serving, tenant.generation.load(Ordering::SeqCst)));
+    }
+    *slot = Arc::new(next);
+    Ok(tenant.generation.fetch_add(1, Ordering::SeqCst) + 1)
+}
+
 fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Response {
-    let path = if request.body.is_empty() {
-        None
+    let (path, force) = if request.body.is_empty() {
+        (None, false)
     } else {
         let body = match parse_body(request) {
             Ok(body) => body,
             Err(response) => return response,
         };
-        match body.get("path") {
+        let path = match body.get("path") {
             None => None,
             Some(v) => match v.as_str() {
                 Some(p) => Some(p.to_string()),
                 None => return Response::error(400, "`path` must be a string"),
             },
-        }
+        };
+        let force = match body.get("force") {
+            None => false,
+            Some(Json::Bool(b)) => *b,
+            Some(_) => return Response::error(400, "`force` must be a boolean"),
+        };
+        (path, force)
     };
     let path = path.unwrap_or_else(|| tenant.current().source().to_string());
 
@@ -1505,6 +1559,10 @@ fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Respons
                 // is their error, not ours (the codec reports corruption
                 // as `InvalidData`/`UnexpectedEof`). Either way the old
                 // generation keeps serving untouched.
+                shared
+                    .metrics
+                    .catalog_load_failures_total
+                    .fetch_add(1, Ordering::Relaxed);
                 let status = match e.kind() {
                     io::ErrorKind::NotFound => 404,
                     io::ErrorKind::InvalidData
@@ -1516,8 +1574,35 @@ fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Respons
             }
         };
     let databases = next.databases();
-    *tenant.state.write().expect("tenant state lock poisoned") = Arc::new(next);
-    let generation = tenant.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    let catalog_generation = next.catalog_generation();
+    let generation = match install_state(tenant, next, force) {
+        Ok(generation) => generation,
+        Err((serving_chain, serving)) => {
+            // A newer chain tip was installed while this load ran (or the
+            // caller named an older chain on purpose). Refusing the swap
+            // keeps generations monotone; the body reports what is
+            // actually serving so the caller can re-read and retry.
+            return Response::json(
+                409,
+                Json::obj(vec![
+                    (
+                        "error".to_string(),
+                        Json::Str(format!(
+                            "stale catalog: loaded chain generation {catalog_generation} \
+                             but generation {serving_chain} is serving"
+                        )),
+                    ),
+                    ("tenant".to_string(), Json::Str(tenant.name.clone())),
+                    ("generation".to_string(), Json::Num(serving as f64)),
+                    (
+                        "catalog_generation".to_string(),
+                        Json::Num(serving_chain as f64),
+                    ),
+                ])
+                .render(),
+            );
+        }
+    };
     shared.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
     tenant.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
 
@@ -1526,9 +1611,78 @@ fn handle_reload(shared: &Shared, tenant: &Tenant, request: &Request) -> Respons
         Json::obj(vec![
             ("tenant".to_string(), Json::Str(tenant.name.clone())),
             ("generation".to_string(), Json::Num(generation as f64)),
+            (
+                "catalog_generation".to_string(),
+                Json::Num(catalog_generation as f64),
+            ),
             ("databases".to_string(), Json::Num(databases as f64)),
             ("source".to_string(), Json::Str(path)),
         ])
         .render(),
     )
+}
+
+/// The background refresher: every `interval`, poll each tenant whose
+/// source is a delta-chain directory; when the chain on disk has grown
+/// past the serving generation, load the new tip off to the side and
+/// hot-swap it through [`install_state`] — the same guarded, monotone
+/// path `/admin/reload` takes, so a refresh swap can never fail an
+/// in-flight request or go backwards. A broken chain (mid-write, corrupt
+/// delta, replaced base) only increments
+/// `dbselectd_catalog_load_failures_total`; the previous generation keeps
+/// serving and the next poll retries.
+fn refresh_loop(shared: &Shared, interval: Duration) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        // Sleep in short slices so shutdown is observed promptly even
+        // under long intervals.
+        let mut slept = Duration::ZERO;
+        while slept < interval {
+            if shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let slice = (interval - slept).min(Duration::from_millis(25));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        for tenant in &shared.tenants {
+            let current = tenant.current();
+            let source = current.source().to_string();
+            if !std::path::Path::new(&source).is_dir() {
+                continue;
+            }
+            let tip = match store::delta::chain_tip_generation(std::path::Path::new(&source)) {
+                Ok(tip) => tip,
+                Err(_) => {
+                    shared
+                        .metrics
+                        .catalog_load_failures_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            };
+            if tip <= current.catalog_generation() {
+                continue;
+            }
+            match ServingState::load_sharded(
+                &source,
+                shared.config.cache_capacity,
+                shared.config.shards,
+            ) {
+                Ok(next) => {
+                    // A concurrent admin reload may have installed an even
+                    // newer tip; losing that race is not an error.
+                    if install_state(tenant, next, false).is_ok() {
+                        shared.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
+                        tenant.metrics.reload_total.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => {
+                    shared
+                        .metrics
+                        .catalog_load_failures_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
 }

@@ -159,6 +159,10 @@ pub struct Metrics {
     /// Handler panics caught by the worker pool; the connection dropped
     /// but the worker survived.
     pub worker_panics_total: AtomicU64,
+    /// Catalog loads (admin reloads or background refresh polls) that
+    /// failed — missing file, corrupt snapshot, broken delta chain. The
+    /// previous generation keeps serving through every one of these.
+    pub catalog_load_failures_total: AtomicU64,
     /// Currently open client connections (accepted, not yet closed).
     pub open_connections: AtomicU64,
     /// Connections per reactor state, indexed by [`ConnState`]. The
@@ -199,6 +203,7 @@ impl Metrics {
             reload_total: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
             worker_panics_total: AtomicU64::new(0),
+            catalog_load_failures_total: AtomicU64::new(0),
             open_connections: AtomicU64::new(0),
             connections_state: Default::default(),
             reactor_wakeups_total: AtomicU64::new(0),
@@ -312,13 +317,16 @@ impl Metrics {
              # TYPE dbselectd_connections_total counter\n\
              dbselectd_connections_total {}\n\
              # TYPE dbselectd_worker_panics_total counter\n\
-             dbselectd_worker_panics_total {}\n",
+             dbselectd_worker_panics_total {}\n\
+             # TYPE dbselectd_catalog_load_failures_total counter\n\
+             dbselectd_catalog_load_failures_total {}\n",
             self.queue_depth.load(Ordering::Relaxed),
             self.rejected_total.load(Ordering::Relaxed),
             self.timeout_total.load(Ordering::Relaxed),
             self.reload_total.load(Ordering::Relaxed),
             self.connections_total.load(Ordering::Relaxed),
             self.worker_panics_total.load(Ordering::Relaxed),
+            self.catalog_load_failures_total.load(Ordering::Relaxed),
         ));
         out.push_str(&format!(
             "# TYPE dbselectd_open_connections gauge\n\
@@ -552,6 +560,7 @@ mod tests {
         assert!(text.contains("dbselectd_catalog_snapshot_bytes 4096"));
         assert!(text.contains("dbselectd_connections_total 0"));
         assert!(text.contains("dbselectd_worker_panics_total 0"));
+        assert!(text.contains("dbselectd_catalog_load_failures_total 0"));
         assert!(text.contains("dbselectd_open_connections 0"));
         assert!(text.contains("dbselectd_reactor_wakeups_total 0"));
         assert!(text.contains("dbselectd_eagain_total 0"));

@@ -118,6 +118,10 @@ pub struct ServingState {
     /// stored payload digest; 0 when built in memory). `/readyz` reports
     /// it so operators can tell whether two daemons serve the same bytes.
     checksum: u64,
+    /// Tip generation of the delta chain this state was loaded from
+    /// (0 for plain single-file snapshots and in-memory states). Reload
+    /// enforces that swaps never move this backwards.
+    catalog_generation: u64,
 }
 
 impl ServingState {
@@ -196,6 +200,7 @@ impl ServingState {
             load_seconds: 0.0,
             snapshot_bytes: 0,
             checksum: 0,
+            catalog_generation: 0,
         }
     }
 
@@ -218,13 +223,23 @@ impl ServingState {
     /// contiguous shards (`shards <= 1` serves monolithically).
     pub fn load_sharded(path: &str, cache_capacity: usize, shards: usize) -> io::Result<Self> {
         let started = Instant::now();
-        let (snapshot, checksum) = ServingSnapshot::load_any_with_checksum(path)?;
-        let snapshot_bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        // A directory is a delta chain: replay base + deltas and record
+        // the tip generation so swaps can be kept monotone.
+        let (snapshot, checksum, snapshot_bytes, catalog_generation) =
+            if std::path::Path::new(path).is_dir() {
+                let chain = store::delta::load_chain(std::path::Path::new(path))?;
+                (chain.snapshot, chain.checksum, chain.bytes, chain.generation)
+            } else {
+                let (snapshot, checksum) = ServingSnapshot::load_any_with_checksum(path)?;
+                let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                (snapshot, checksum, bytes, 0)
+            };
         let mut state =
             ServingState::from_snapshot_sharded(snapshot, path.to_string(), cache_capacity, shards);
         state.load_seconds = started.elapsed().as_secs_f64();
         state.snapshot_bytes = snapshot_bytes;
         state.checksum = checksum;
+        state.catalog_generation = catalog_generation;
         Ok(state)
     }
 
@@ -272,6 +287,13 @@ impl ServingState {
     /// in memory); see [`ServingSnapshot::load_any_with_checksum`].
     pub fn checksum(&self) -> u64 {
         self.checksum
+    }
+
+    /// Delta-chain tip generation this state serves (0 for plain
+    /// snapshots). The reload path refuses to replace a state with one
+    /// whose chain generation is lower.
+    pub fn catalog_generation(&self) -> u64 {
+        self.catalog_generation
     }
 
     /// Number of served databases.

@@ -1,0 +1,474 @@
+//! Delta snapshots: refresh rounds persisted as a chain.
+//!
+//! A refresh round re-probes a handful of databases and leaves everything
+//! else bit-untouched, so persisting a whole v3 snapshot per round would
+//! write the entire catalog to replace a few rows. A **delta snapshot**
+//! records only the touched databases — their re-frozen summary pair, the
+//! re-resolved γ, and whatever dictionary terms the new sample introduced
+//! — and chains onto its parent cryptographic-checksum-style:
+//!
+//! * each file's payload is covered by the same FNV-1a 64 digest the
+//!   serving snapshot uses, and
+//! * each delta embeds its **parent's digest** plus a **monotone
+//!   generation number**, so a chain replays only against the exact bytes
+//!   it was cut from. Replace the base (or any mid-chain delta) and every
+//!   descendant is rejected *before* anything is applied — a chain load
+//!   is all-or-nothing.
+//!
+//! ## On-disk layout
+//!
+//! A chain is a directory:
+//!
+//! ```text
+//! chain/
+//!   base.snap          full v3 serving snapshot        (generation 0)
+//!   delta-000001.snap  first refresh round             (generation 1)
+//!   delta-000002.snap  ...
+//! ```
+//!
+//! ## Delta wire format
+//!
+//! Everything little-endian, `MAX_LEN`-guarded, NaN-rejected — the
+//! workspace codec rules.
+//!
+//! ```text
+//! magic  b"DBSDEL\x00\x01"              8 bytes, not checksummed
+//! ── checksummed payload ──────────────────────────────────────────
+//! parent      u64   payload digest of the previous chain file
+//! generation  u64   1-based position in the chain
+//! dict_base   u32   dictionary length before this delta's terms
+//! dict_new    u32 count, then count length-prefixed UTF-8 terms
+//! patches     u32 count, then per touched database (ascending):
+//!               db u32 · gamma f64
+//!               unshrunk frozen summary · shrunk frozen summary
+//! ── end of payload ───────────────────────────────────────────────
+//! checksum    u64   FNV-1a over the payload
+//! ```
+//!
+//! Replaying a chain applies each delta through
+//! [`broker::Catalog::apply_updates`] — the same touched-rows-only merge
+//! the in-memory refresher uses — so `load_chain(dir)` is bit-identical
+//! to a full freeze of the post-refresh store (asserted by the refresh
+//! proptests).
+
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use broker::DbUpdate;
+use dbselect_core::frozen::FrozenSummary;
+
+use crate::codec::{
+    corrupt, read_f64, read_len, read_str, read_u32, read_u64, write_f64, write_str, write_u32,
+    write_u64, ChecksumReader, ChecksumWriter,
+};
+use crate::snapshot::{read_frozen, write_frozen, ServingSnapshot};
+
+/// Magic bytes + format version for delta snapshots.
+const DELTA_MAGIC: &[u8; 8] = b"DBSDEL\x00\x01";
+
+/// The base snapshot's file name inside a chain directory.
+pub const BASE_FILE: &str = "base.snap";
+
+/// The delta file name for `generation` (1-based).
+pub fn delta_file_name(generation: u64) -> String {
+    format!("delta-{generation:06}.snap")
+}
+
+/// One touched database inside a delta: everything
+/// [`broker::Catalog::apply_updates`] needs to replace its columns.
+#[derive(Debug, Clone)]
+pub struct DbPatch {
+    /// Index of the re-probed database.
+    pub db: u32,
+    /// Re-resolved power-law exponent.
+    pub gamma: f64,
+    /// Re-frozen sample summary `Ŝ(D)`.
+    pub unshrunk: FrozenSummary,
+    /// Re-frozen shrinkage summary `R̂(D)`.
+    pub shrunk: FrozenSummary,
+}
+
+/// One refresh round on disk.
+#[derive(Debug, Clone)]
+pub struct DeltaRecord {
+    /// Payload digest of the parent chain file.
+    pub parent: u64,
+    /// 1-based chain position.
+    pub generation: u64,
+    /// Dictionary length before `appended_terms` (chain-order check).
+    pub dict_base: u32,
+    /// Terms the refresh interned beyond `dict_base`, in id order.
+    pub appended_terms: Vec<String>,
+    /// Touched databases, ascending by index.
+    pub patches: Vec<DbPatch>,
+}
+
+impl DeltaRecord {
+    /// Serialize (magic, checksummed payload, trailing digest); returns
+    /// the payload digest — the `parent` value of the next delta.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<u64> {
+        w.write_all(DELTA_MAGIC)?;
+        let mut cw = ChecksumWriter::new(&mut *w);
+        write_u64(&mut cw, self.parent)?;
+        write_u64(&mut cw, self.generation)?;
+        write_u32(&mut cw, self.dict_base)?;
+        write_u32(&mut cw, self.appended_terms.len() as u32)?;
+        for term in &self.appended_terms {
+            write_str(&mut cw, term)?;
+        }
+        write_u32(&mut cw, self.patches.len() as u32)?;
+        for p in &self.patches {
+            write_u32(&mut cw, p.db)?;
+            write_f64(&mut cw, p.gamma)?;
+            write_frozen(&mut cw, &p.unshrunk)?;
+            write_frozen(&mut cw, &p.shrunk)?;
+        }
+        let digest = cw.digest();
+        write_u64(w, digest)?;
+        Ok(digest)
+    }
+
+    /// Deserialize, validating structure and the payload checksum.
+    /// Returns the record and its payload digest.
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<(DeltaRecord, u64)> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != DELTA_MAGIC {
+            return Err(corrupt("bad delta magic or unsupported version"));
+        }
+        let mut cr = ChecksumReader::new(&mut *r);
+        let parent = read_u64(&mut cr)?;
+        let generation = read_u64(&mut cr)?;
+        if generation == 0 {
+            return Err(corrupt("delta generation must be positive"));
+        }
+        let dict_base = read_u32(&mut cr)?;
+        let appended = read_len(&mut cr)?;
+        let mut appended_terms = Vec::new();
+        for _ in 0..appended {
+            appended_terms.push(read_str(&mut cr)?);
+        }
+        let patch_count = read_len(&mut cr)?;
+        let mut patches: Vec<DbPatch> = Vec::new();
+        for _ in 0..patch_count {
+            let db = read_u32(&mut cr)?;
+            if let Some(prev) = patches.last() {
+                if db <= prev.db {
+                    return Err(corrupt("delta patches not strictly ascending by database"));
+                }
+            }
+            let gamma = read_f64(&mut cr)?;
+            let unshrunk = read_frozen(&mut cr)?;
+            let shrunk = read_frozen(&mut cr)?;
+            patches.push(DbPatch {
+                db,
+                gamma,
+                unshrunk,
+                shrunk,
+            });
+        }
+        let digest = cr.digest();
+        if read_u64(r)? != digest {
+            return Err(corrupt("delta checksum mismatch"));
+        }
+        Ok((
+            DeltaRecord {
+                parent,
+                generation,
+                dict_base,
+                appended_terms,
+                patches,
+            },
+            digest,
+        ))
+    }
+
+    /// Load from a file (buffered), rejecting trailing bytes.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<(DeltaRecord, u64)> {
+        let mut r = BufReader::new(std::fs::File::open(path)?);
+        let record = Self::read_from(&mut r)?;
+        let mut probe = [0u8; 1];
+        if r.read(&mut probe)? != 0 {
+            return Err(corrupt("trailing bytes after delta"));
+        }
+        Ok(record)
+    }
+}
+
+/// Everything a chain load produces beyond the snapshot itself.
+#[derive(Debug)]
+pub struct ChainLoad {
+    /// The replayed serving snapshot (base + every delta applied).
+    pub snapshot: ServingSnapshot,
+    /// Number of deltas applied — the chain's tip generation.
+    pub generation: u64,
+    /// Payload digest of the tip file (base digest for a bare chain):
+    /// the fingerprint `/readyz` reports.
+    pub checksum: u64,
+    /// Total on-disk size of base + deltas.
+    pub bytes: u64,
+}
+
+/// Prefix load errors with the failing file and its chain role, keeping
+/// the error kind (the daemon's 404/400 mapping relies on it).
+fn chain_context(path: &Path, role: &str, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{} ({role}): {e}", path.display()))
+}
+
+/// The deltas present in `dir`, sorted ascending by generation, without
+/// opening any of them. Non-delta file names are ignored.
+fn scan_deltas(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut deltas = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(number) = name
+            .strip_prefix("delta-")
+            .and_then(|rest| rest.strip_suffix(".snap"))
+        else {
+            continue;
+        };
+        if number.is_empty() || !number.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let generation: u64 = number
+            .parse()
+            .map_err(|_| corrupt("delta file number out of range"))?;
+        deltas.push((generation, entry.path()));
+    }
+    deltas.sort_unstable();
+    Ok(deltas)
+}
+
+/// The tip generation a chain directory advertises (0 with no deltas),
+/// from file names alone — the cheap poll the daemon's refresher runs
+/// every interval. Errors if `dir` is not a chain directory at all.
+pub fn chain_tip_generation(dir: impl AsRef<Path>) -> io::Result<u64> {
+    let dir = dir.as_ref();
+    if !dir.join(BASE_FILE).is_file() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{}: no {BASE_FILE} in chain directory", dir.display()),
+        ));
+    }
+    Ok(scan_deltas(dir)?.last().map_or(0, |&(g, _)| g))
+}
+
+/// Replay a chain directory into serving form: load the base snapshot,
+/// then apply every delta in generation order through the incremental
+/// catalog update. Validation is strict and the application atomic —
+/// any gap in the numbering, any generation or parent-digest mismatch,
+/// any structural defect anywhere rejects the **whole** chain with the
+/// failing file and chain position in the error, and nothing
+/// half-applied escapes (the snapshot is only assembled locally).
+pub fn load_chain(dir: impl AsRef<Path>) -> io::Result<ChainLoad> {
+    let dir = dir.as_ref();
+    let base_path = dir.join(BASE_FILE);
+    let (mut snapshot, mut tip) = ServingSnapshot::load_with_digest(&base_path)
+        .map_err(|e| chain_context(&base_path, "chain base", e))?;
+    let mut bytes = std::fs::metadata(&base_path)?.len();
+
+    let deltas = scan_deltas(dir)?;
+    let mut generation = 0u64;
+    for (number, path) in deltas {
+        let role = format!("chain delta {number}");
+        let wrap = |e: io::Error| chain_context(&path, &role, e);
+        if number != generation + 1 {
+            return Err(wrap(corrupt(if number <= generation {
+                "duplicate delta generation"
+            } else {
+                "gap in delta chain numbering"
+            })));
+        }
+        let (record, digest) = DeltaRecord::load(&path).map_err(wrap)?;
+        if record.generation != number {
+            return Err(wrap(corrupt("delta generation disagrees with file name")));
+        }
+        if record.parent != tip {
+            return Err(wrap(corrupt(
+                "parent checksum mismatch: chain base or predecessor was replaced",
+            )));
+        }
+        if record.dict_base as usize != snapshot.dict.len() {
+            return Err(wrap(corrupt("delta dictionary base disagrees with chain")));
+        }
+        for term in &record.appended_terms {
+            let id = snapshot.dict.intern(term);
+            if id as usize != snapshot.dict.len() - 1 {
+                return Err(wrap(corrupt("delta appends a term the dictionary already has")));
+            }
+        }
+        let updates: Vec<DbUpdate> = record
+            .patches
+            .into_iter()
+            .map(|p| DbUpdate {
+                db: p.db as usize,
+                gamma: p.gamma,
+                unshrunk: p.unshrunk,
+                shrunk: p.shrunk,
+            })
+            .collect();
+        snapshot.catalog = snapshot.catalog.apply_updates(&updates).map_err(corrupt).map_err(wrap)?;
+        bytes += std::fs::metadata(&path)?.len();
+        tip = digest;
+        generation = number;
+    }
+    Ok(ChainLoad {
+        snapshot,
+        generation,
+        checksum: tip,
+        bytes,
+    })
+}
+
+/// Appends refresh rounds to a chain directory. Files are written to a
+/// temporary name and renamed into place, so a concurrently polling
+/// daemon never observes a half-written delta.
+#[derive(Debug)]
+pub struct ChainWriter {
+    dir: PathBuf,
+    tip: u64,
+    generation: u64,
+    dict_len: usize,
+}
+
+impl ChainWriter {
+    /// Start a fresh chain: write `base` as `base.snap` (failing if one
+    /// already exists — a chain's base is immutable by construction).
+    pub fn create(dir: impl AsRef<Path>, base: &ServingSnapshot) -> io::Result<ChainWriter> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(BASE_FILE);
+        if path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("{}: chain base already exists", path.display()),
+            ));
+        }
+        write_atomically(&path, |w| base.write_to(w))?;
+        let tip = read_trailing_digest(&path)?;
+        Ok(ChainWriter {
+            dir,
+            tip,
+            generation: 0,
+            dict_len: base.dict.len(),
+        })
+    }
+
+    /// Resume a chain directory that holds only a base (no deltas yet),
+    /// verifying the on-disk base is bit-identical to `expected` — the
+    /// caller's reconstruction of the pre-refresh catalog. A chain with
+    /// deltas cannot be resumed (the session that wrote them owned the
+    /// dictionary growth); re-base with a fresh full freeze instead.
+    pub fn open_base_only(
+        dir: impl AsRef<Path>,
+        expected: &ServingSnapshot,
+    ) -> io::Result<ChainWriter> {
+        let dir = dir.as_ref().to_path_buf();
+        let tip_generation = chain_tip_generation(&dir)?;
+        if tip_generation != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "{}: chain already holds {tip_generation} delta round(s); \
+                     re-base with a fresh full freeze to start a new chain",
+                    dir.display()
+                ),
+            ));
+        }
+        let path = dir.join(BASE_FILE);
+        let mut buf = Vec::new();
+        expected.write_to(&mut buf)?;
+        let expected_digest = u64::from_le_bytes(
+            buf[buf.len() - 8..]
+                .try_into()
+                .expect("snapshot serialization always ends in a digest"),
+        );
+        let on_disk = read_trailing_digest(&path)?;
+        if on_disk != expected_digest {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: existing chain base (checksum {on_disk:016x}) does not match \
+                     the catalog being refreshed (checksum {expected_digest:016x})",
+                    path.display()
+                ),
+            ));
+        }
+        Ok(ChainWriter {
+            dir,
+            tip: on_disk,
+            generation: 0,
+            dict_len: expected.dict.len(),
+        })
+    }
+
+    /// The chain's current tip generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The chain's current tip payload digest.
+    pub fn tip_checksum(&self) -> u64 {
+        self.tip
+    }
+
+    /// [`append`](Self::append) with the appended dictionary terms read
+    /// straight off the session dictionary: everything interned past the
+    /// previous chain file's dictionary length rides along.
+    pub fn append_round(
+        &mut self,
+        dict: &textindex::TermDict,
+        patches: Vec<DbPatch>,
+    ) -> io::Result<u64> {
+        let appended = (self.dict_len..dict.len())
+            .map(|id| dict.term(id as u32).to_string())
+            .collect();
+        self.append(appended, patches)
+    }
+
+    /// Append one refresh round: `appended_terms` are the dictionary
+    /// terms interned since the previous chain file (id order), and
+    /// `patches` the touched databases, ascending. Returns the new tip
+    /// generation.
+    pub fn append(&mut self, appended_terms: Vec<String>, patches: Vec<DbPatch>) -> io::Result<u64> {
+        let record = DeltaRecord {
+            parent: self.tip,
+            generation: self.generation + 1,
+            dict_base: u32::try_from(self.dict_len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "dictionary too large"))?,
+            appended_terms,
+            patches,
+        };
+        let path = self.dir.join(delta_file_name(record.generation));
+        let digest = write_atomically(&path, |w| record.write_to(w))?;
+        self.generation = record.generation;
+        self.tip = digest;
+        self.dict_len += record.appended_terms.len();
+        Ok(self.generation)
+    }
+}
+
+/// Write through a sibling temp file + rename, so readers only ever see
+/// complete files.
+fn write_atomically<T>(
+    path: &Path,
+    write: impl FnOnce(&mut BufWriter<std::fs::File>) -> io::Result<T>,
+) -> io::Result<T> {
+    let tmp = path.with_extension("tmp");
+    let mut w = BufWriter::new(std::fs::File::create(&tmp)?);
+    let out = write(&mut w)?;
+    w.flush()?;
+    drop(w);
+    std::fs::rename(&tmp, path)?;
+    Ok(out)
+}
+
+/// The trailing FNV-1a payload digest of a snapshot/delta file.
+fn read_trailing_digest(path: &Path) -> io::Result<u64> {
+    use std::io::Seek as _;
+    let mut f = std::fs::File::open(path)?;
+    f.seek(io::SeekFrom::End(-8))?;
+    read_u64(&mut f)
+}

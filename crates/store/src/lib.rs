@@ -42,7 +42,9 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod delta;
 pub mod manifest;
+pub mod refresh;
 pub mod snapshot;
 
 use std::fs::File;

@@ -1,0 +1,213 @@
+//! Incremental refresh of a frozen collection: re-probe a few databases,
+//! re-fit **their** shrinkage mixtures, and emit per-round delta patches
+//! — without perturbing a single bit of any untouched database.
+//!
+//! ## The pinned epoch
+//!
+//! Shrinkage ties every database to the category hierarchy: components
+//! are aggregates over *all* databases, so naively re-running
+//! [`CollectionStore::shrink_all`] after one database changes would move
+//! every database's shrunk summary (the touched database's new sample
+//! leaks into every shared aggregate). That would make "delta" snapshots
+//! as large as full ones and refresh cost proportional to the catalog.
+//!
+//! A [`RefreshSession`] instead **pins the epoch model** at session
+//! start:
+//!
+//! * the per-database category components (path-edge aggregates plus the
+//!   leaf remainder, exactly as [`CategorySummaries::components_for`]
+//!   computed them from the base store),
+//! * the uniform-model probability `1/|V|` of the base dictionary, and
+//! * LM's global model (the Root summary).
+//!
+//! A refresh round then re-fits the EM mixture **only for the re-probed
+//! database**, against its pinned components — the "restricted EM refit".
+//! Untouched databases keep their components, λs, and summaries
+//! literally unchanged, so a delta records only the touched databases
+//! and replaying it is bit-identical to [`RefreshSession::freeze_full`],
+//! a full freeze of the same post-refresh state under the same pinned
+//! epoch. Re-basing the epoch (folding refreshed samples back into the
+//! shared aggregates) is a full `dbselect freeze`, which starts a new
+//! chain.
+
+use std::sync::Arc;
+
+use dbselect_core::category_summary::{CategorySummaries, CategoryWeighting, SummaryComponent};
+use dbselect_core::frozen::FrozenSummary;
+use dbselect_core::hierarchy::CategoryId;
+use dbselect_core::shrinkage::{shrink, ShrinkageConfig, ShrunkSummary};
+use dbselect_core::summary::ContentSummary;
+use textindex::{TermDict, TermId};
+
+use broker::{Catalog, CatalogEntry};
+
+use crate::catalog::StoredCatalog;
+use crate::delta::DbPatch;
+use crate::snapshot::ServingSnapshot;
+
+/// A refresh epoch over a frozen v1 catalog: applies re-probe results
+/// one database at a time and can freeze the full current state for
+/// reference (or as a chain base).
+#[derive(Debug)]
+pub struct RefreshSession {
+    stored: StoredCatalog,
+    /// Pinned per-database category components (base epoch).
+    components: Vec<Vec<Arc<SummaryComponent>>>,
+    /// Pinned shrinkage config — `uniform_p` is `1/|V|` of the *base*
+    /// dictionary, even after probes grow the dictionary.
+    config: ShrinkageConfig,
+    /// Pinned global model (Root summary under BySize, the same model
+    /// [`ServingSnapshot::from_stored`] freezes).
+    lm_global: Vec<(TermId, f64)>,
+    /// Full category path per database (fixed; classification does not
+    /// change under refresh).
+    categories: Vec<String>,
+}
+
+impl RefreshSession {
+    /// Pin the epoch model of `stored` and start a session.
+    pub fn new(stored: StoredCatalog) -> RefreshSession {
+        let refs: Vec<(CategoryId, &ContentSummary)> = stored
+            .store
+            .databases
+            .iter()
+            .map(|db| (db.classification, &db.summary))
+            .collect();
+        let summaries = CategorySummaries::build(&stored.store.hierarchy, &refs, stored.weighting);
+        let components = stored
+            .store
+            .databases
+            .iter()
+            .map(|db| {
+                summaries.components_for(
+                    &stored.store.hierarchy,
+                    db.classification,
+                    &db.summary,
+                    true,
+                )
+            })
+            .collect();
+        let config = ShrinkageConfig {
+            uniform_p: 1.0 / stored.store.dict.len().max(1) as f64,
+            ..Default::default()
+        };
+        let root = stored.store.root_summary(CategoryWeighting::BySize);
+        let mut lm_global: Vec<(TermId, f64)> =
+            root.iter().map(|(t, _)| (t, root.p_tf(t))).collect();
+        lm_global.sort_unstable_by_key(|&(t, _)| t);
+        let categories = stored
+            .store
+            .databases
+            .iter()
+            .map(|db| stored.store.hierarchy.full_name(db.classification))
+            .collect();
+        RefreshSession {
+            stored,
+            components,
+            config,
+            lm_global,
+            categories,
+        }
+    }
+
+    /// Number of databases under refresh.
+    pub fn len(&self) -> usize {
+        self.stored.store.databases.len()
+    }
+
+    /// True when the session manages no databases.
+    pub fn is_empty(&self) -> bool {
+        self.stored.store.databases.is_empty()
+    }
+
+    /// Database names, index order.
+    pub fn names(&self) -> Vec<&str> {
+        self.stored
+            .store
+            .databases
+            .iter()
+            .map(|db| db.name.as_str())
+            .collect()
+    }
+
+    /// The shared term dictionary (probes intern new terms into it).
+    pub fn dict(&self) -> &TermDict {
+        &self.stored.store.dict
+    }
+
+    /// Mutable dictionary access for re-probe document ingestion.
+    pub fn dict_mut(&mut self) -> &mut TermDict {
+        &mut self.stored.store.dict
+    }
+
+    /// The current content summary of `db` (base, or last probe applied).
+    pub fn summary(&self, db: usize) -> &ContentSummary {
+        &self.stored.store.databases[db].summary
+    }
+
+    /// Sample coverage of `db` — `sample_size / |D̂|`, the uncertainty
+    /// signal the refresh scheduler prioritizes on (0 when the size
+    /// estimate is degenerate).
+    pub fn coverage(&self, db: usize) -> f64 {
+        let s = self.summary(db);
+        if s.db_size() > 0.0 {
+            f64::from(s.sample_size()) / s.db_size()
+        } else {
+            1.0
+        }
+    }
+
+    /// Apply one re-probe result: re-fit the database's EM mixture
+    /// against its **pinned** components (the restricted refit — no other
+    /// database's λs move), store the new summary and λs, and return the
+    /// delta patch that takes a serving catalog from the previous state
+    /// to this one.
+    pub fn apply_probe(&mut self, db: usize, summary: ContentSummary) -> DbPatch {
+        let fitted = shrink(&summary, &self.components[db], &self.config);
+        self.stored.lambdas_df[db] = fitted.lambdas().to_vec();
+        self.stored.lambdas_tf[db] = fitted.lambdas_tf().to_vec();
+        let patch = DbPatch {
+            db: db as u32,
+            gamma: summary.gamma().unwrap_or(-2.0),
+            unshrunk: FrozenSummary::from_unshrunk(&summary),
+            shrunk: FrozenSummary::from_shrunk(&fitted),
+        };
+        self.stored.store.databases[db].summary = summary;
+        patch
+    }
+
+    /// Freeze the session's **entire current state** under the pinned
+    /// epoch — the reference a replayed delta chain must match bit for
+    /// bit. At generation 0 (no probes applied) this equals
+    /// [`ServingSnapshot::from_stored`], so a `dbselect freeze` output
+    /// can serve as a chain base.
+    pub fn freeze_full(&self) -> ServingSnapshot {
+        let entries: Vec<CatalogEntry> = self
+            .stored
+            .store
+            .databases
+            .iter()
+            .enumerate()
+            .map(|(i, db)| {
+                let shrunk = ShrunkSummary::from_parts(
+                    &db.summary,
+                    &self.components[i],
+                    self.stored.lambdas_df[i].clone(),
+                    self.stored.lambdas_tf[i].clone(),
+                    self.config.uniform_p,
+                );
+                CatalogEntry {
+                    name: db.name.clone(),
+                    unshrunk: db.summary.clone(),
+                    shrunk,
+                }
+            })
+            .collect();
+        ServingSnapshot {
+            dict: self.stored.store.dict.clone(),
+            categories: self.categories.clone(),
+            lm_global: self.lm_global.clone(),
+            catalog: Catalog::build(entries),
+        }
+    }
+}

@@ -243,8 +243,17 @@ impl ServingSnapshot {
         w.flush()
     }
 
-    /// Load from a file (buffered), rejecting trailing bytes.
+    /// Load from a file (buffered), rejecting trailing bytes. Errors
+    /// carry the file path (kind preserved).
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        Self::load_file(path).map_err(|e| with_path_context(path, e))
+    }
+
+    /// The context-free file load `load`/`load_any` wrap; the chain
+    /// loader calls it directly so a delta-chain error names the failing
+    /// chain member exactly once.
+    fn load_file(path: &Path) -> io::Result<Self> {
         let mut r = BufReader::new(std::fs::File::open(path)?);
         let snapshot = Self::read_from(&mut r)?;
         let mut probe = [0u8; 1];
@@ -254,19 +263,42 @@ impl ServingSnapshot {
         Ok(snapshot)
     }
 
+    /// [`load`](Self::load) without path context, plus the stored payload
+    /// digest (already verified against the payload) — what chain replay
+    /// links parents by.
+    pub(crate) fn load_with_digest(path: &Path) -> io::Result<(Self, u64)> {
+        use std::io::Seek as _;
+        let snapshot = Self::load_file(path)?;
+        let mut f = std::fs::File::open(path)?;
+        f.seek(io::SeekFrom::End(-8))?;
+        let digest = read_u64(&mut f)?;
+        Ok((snapshot, digest))
+    }
+
     /// Load a serving snapshot from any format: a v2/v3 snapshot reads
     /// straight into arrays; a v1 [`StoredCatalog`] is rebuilt through the
     /// legacy path (EM-free, but category aggregation + posting
-    /// construction). This keeps every existing catalog file loadable.
+    /// construction); a **directory** is replayed as a delta chain
+    /// (`base.snap` + `delta-NNNNNN.snap`, see [`crate::delta`]). This
+    /// keeps every existing catalog file loadable. Errors carry the file
+    /// path — and, for chains, the chain position — with the error kind
+    /// preserved.
     pub fn load_any(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref();
+        if path.is_dir() {
+            return crate::delta::load_chain(path).map(|c| c.snapshot);
+        }
+        Self::load_any_file(path).map_err(|e| with_path_context(path, e))
+    }
+
+    fn load_any_file(path: &Path) -> io::Result<Self> {
         let mut magic = [0u8; 8];
         {
             let mut f = std::fs::File::open(path)?;
             f.read_exact(&mut magic)?;
         }
         if &magic == SNAPSHOT_MAGIC || &magic == SNAPSHOT_MAGIC_V2 {
-            Self::load(path)
+            Self::load_file(path)
         } else {
             let stored = StoredCatalog::load(path)?;
             Ok(ServingSnapshot::from_stored(&stored))
@@ -281,29 +313,40 @@ impl ServingSnapshot {
     /// digest (already validated against the payload by the load). A v1
     /// catalog stores no digest, so the same FNV-1a is computed over the
     /// whole file instead — either way the value is a stable fingerprint
-    /// of the bytes on disk.
+    /// of the bytes on disk. A chain directory reports its tip delta's
+    /// digest, which by parent-linking fingerprints the whole chain.
     pub fn load_any_with_checksum(path: impl AsRef<Path>) -> io::Result<(Self, u64)> {
         use std::io::Seek as _;
 
         let path = path.as_ref();
-        let snapshot = Self::load_any(path)?;
-        let mut f = std::fs::File::open(path)?;
+        if path.is_dir() {
+            return crate::delta::load_chain(path).map(|c| (c.snapshot, c.checksum));
+        }
+        let wrap = |e| with_path_context(path, e);
+        let snapshot = Self::load_any_file(path).map_err(wrap)?;
+        let mut f = std::fs::File::open(path).map_err(wrap)?;
         let mut magic = [0u8; 8];
-        f.read_exact(&mut magic)?;
+        f.read_exact(&mut magic).map_err(wrap)?;
         let checksum = if &magic == SNAPSHOT_MAGIC || &magic == SNAPSHOT_MAGIC_V2 {
-            f.seek(io::SeekFrom::End(-8))?;
-            read_u64(&mut f)?
+            f.seek(io::SeekFrom::End(-8)).map_err(wrap)?;
+            read_u64(&mut f).map_err(wrap)?
         } else {
             let mut w = ChecksumWriter::new(io::sink());
             w.write_all(&magic)?;
-            io::copy(&mut f, &mut w)?;
+            io::copy(&mut f, &mut w).map_err(wrap)?;
             w.digest()
         };
         Ok((snapshot, checksum))
     }
 }
 
-fn write_frozen<W: Write>(w: &mut W, s: &FrozenSummary) -> io::Result<()> {
+/// Prefix an I/O error with the file it came from, preserving the kind
+/// (the daemon's 404-vs-400 mapping keys off it).
+pub(crate) fn with_path_context(path: &Path, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
+}
+
+pub(crate) fn write_frozen<W: Write>(w: &mut W, s: &FrozenSummary) -> io::Result<()> {
     write_f64(w, s.db_size())?;
     write_u32(w, s.sample_size())?;
     write_f64(w, s.word_count())?;
@@ -388,7 +431,7 @@ fn read_bool_column<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<bool>> {
     Ok(out)
 }
 
-fn read_frozen<R: Read>(r: &mut R) -> io::Result<FrozenSummary> {
+pub(crate) fn read_frozen<R: Read>(r: &mut R) -> io::Result<FrozenSummary> {
     let db_size = read_f64(r)?;
     let sample_size = read_u32(r)?;
     let word_count = read_f64(r)?;

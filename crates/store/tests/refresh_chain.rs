@@ -1,0 +1,315 @@
+//! Delta-chain integration tests: refresh rounds persisted as chained
+//! deltas must replay bit-identically to a full freeze of the same
+//! post-refresh state, and every corruption of a chain must be rejected
+//! atomically with the failing file and chain position in the error.
+
+use std::path::{Path, PathBuf};
+
+use broker::Catalog;
+use dbselect_core::category_summary::CategoryWeighting;
+use dbselect_core::hierarchy::Hierarchy;
+use dbselect_core::summary::ContentSummary;
+use proptest::prelude::*;
+use store::catalog::StoredCatalog;
+use store::delta::{self, ChainWriter, DbPatch};
+use store::refresh::RefreshSession;
+use store::snapshot::ServingSnapshot;
+use store::{CollectionStore, StoredDatabase};
+use textindex::{Document, TermDict};
+
+/// Six databases over four categories — the same shape the server's
+/// fixture uses, small enough to freeze in microseconds.
+fn fixture_store() -> CollectionStore {
+    let mut dict = TermDict::new();
+    let words = [
+        "aorta", "stent", "valve", "striker", "corner", "keeper", "ticker", "yield", "virus",
+        "spore", "plasma", "serum", "goal", "pitch", "bond", "cell",
+    ];
+    let ids: Vec<u32> = words.iter().map(|w| dict.intern(w)).collect();
+    let mut hierarchy = Hierarchy::new("Root");
+    let heart = hierarchy.ensure_path("Health/Heart");
+    let path_ = hierarchy.ensure_path("Health/Pathology");
+    let soccer = hierarchy.ensure_path("Sports/Soccer");
+    let finance = hierarchy.ensure_path("Finance");
+    let db = |name: &str, cat, size: f64, gamma: Option<f64>, docs: &[&[usize]]| {
+        let docs: Vec<Document> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, toks)| Document::from_tokens(i as u32, toks.iter().map(|&t| ids[t]).collect()))
+            .collect();
+        let mut summary = ContentSummary::from_sample(docs.iter(), size);
+        if let Some(g) = gamma {
+            summary.set_gamma(g);
+        }
+        StoredDatabase {
+            name: name.into(),
+            classification: cat,
+            summary,
+            sample_docs: Vec::new(),
+        }
+    };
+    CollectionStore {
+        dict,
+        hierarchy,
+        databases: vec![
+            db("cardio", heart, 900.0, Some(-1.8), &[&[0, 1, 2], &[0, 0, 11]]),
+            db("surgery", heart, 400.0, None, &[&[1, 2, 15], &[2, 11]]),
+            db("goal-net", soccer, 1500.0, Some(-2.1), &[&[3, 4, 5], &[12, 13, 3]]),
+            db("terrace", soccer, 300.0, None, &[&[4, 13]]),
+            db("tickerwire", finance, 2500.0, Some(-1.6), &[&[6, 7, 14], &[6, 14]]),
+            db("pathogen", path_, 700.0, None, &[&[8, 9, 10], &[8, 15]]),
+        ],
+    }
+}
+
+/// A synthetic re-probe summary for `db`: drifts term content, may
+/// intern brand-new vocabulary, may change the size estimate and γ.
+fn probe(session: &mut RefreshSession, db: usize, round: u64) -> ContentSummary {
+    let fresh = session
+        .dict_mut()
+        .intern(&format!("drift-{db}-r{round}"));
+    let old_terms: Vec<u32> = session.summary(db).iter().map(|(t, _)| t).collect();
+    let mut docs = vec![Document::from_tokens(0, vec![fresh, fresh])];
+    for (i, &t) in old_terms.iter().enumerate().skip(round as usize % 2) {
+        docs.push(Document::from_tokens(1 + i as u32, vec![t, fresh]));
+    }
+    let mut summary = ContentSummary::from_sample(docs.iter(), 1000.0 + 37.0 * round as f64);
+    if db % 2 == 0 {
+        summary.set_gamma(-1.5 - 0.1 * round as f64);
+    }
+    summary
+}
+
+fn temp_chain(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dbsel-chain-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn assert_catalogs_bit_identical(a: &Catalog, b: &Catalog) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.names(), b.names());
+    assert_eq!(a.mcw().to_bits(), b.mcw().to_bits());
+    assert_eq!(a.min_word_count().to_bits(), b.min_word_count().to_bits());
+    for db in 0..a.len() {
+        assert_eq!(a.gamma(db).to_bits(), b.gamma(db).to_bits());
+        assert_eq!(a.unshrunk(db), b.unshrunk(db));
+        assert_eq!(a.shrunk(db), b.shrunk(db));
+    }
+    assert_eq!(a.posting_index(), b.posting_index());
+}
+
+/// Build a 3-round chain in `dir`, touching `budget` databases per round
+/// round-robin, and return the session (whose state is the post-refresh
+/// reference).
+fn build_chain(dir: &Path, budget: usize) -> RefreshSession {
+    let stored = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+    let mut session = RefreshSession::new(stored);
+    let mut writer = ChainWriter::create(dir, &session.freeze_full()).unwrap();
+    let n = session.len();
+    for round in 1u64..=3 {
+        let picks: Vec<usize> = (0..budget)
+            .map(|i| ((round as usize - 1) * budget + i) % n)
+            .collect();
+        let mut patches: Vec<DbPatch> = Vec::new();
+        for &db in &picks {
+            let summary = probe(&mut session, db, round);
+            patches.push(session.apply_probe(db, summary));
+        }
+        patches.sort_by_key(|p| p.db);
+        writer.append_round(session.dict(), patches).unwrap();
+    }
+    assert_eq!(writer.generation(), 3);
+    session
+}
+
+#[test]
+fn chain_replay_is_bit_identical_to_full_freeze() {
+    let dir = temp_chain("replay");
+    let session = build_chain(&dir, 2);
+    let replayed = delta::load_chain(&dir).unwrap();
+    assert_eq!(replayed.generation, 3);
+
+    let reference = session.freeze_full();
+    assert_catalogs_bit_identical(&replayed.snapshot.catalog, &reference.catalog);
+    assert_eq!(replayed.snapshot.categories, reference.categories);
+    assert_eq!(replayed.snapshot.dict.len(), reference.dict.len());
+    for id in 0..reference.dict.len() as u32 {
+        assert_eq!(replayed.snapshot.dict.term(id), reference.dict.term(id));
+    }
+    for (a, b) in replayed.snapshot.lm_global.iter().zip(&reference.lm_global) {
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.to_bits(), b.1.to_bits());
+    }
+    // The v3 dominance invariant holds on the chained load: per-term
+    // maxima still dominate every posting after in-place row updates.
+    let index = replayed.snapshot.catalog.posting_index();
+    assert!(replayed.snapshot.catalog.kernel_ready());
+    for &term in index.terms() {
+        let p = replayed.snapshot.catalog.postings(term).unwrap();
+        for (j, &db) in p.dbs.iter().enumerate() {
+            let s = replayed.snapshot.catalog.unshrunk(db as usize);
+            assert!(p.bound.max_p_df >= p.p_df[j]);
+            assert!(p.bound.max_p_tf >= p.p_tf[j]);
+            assert!(p.bound.max_df >= p.p_df[j] * s.db_size());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn deltas_write_only_touched_databases() {
+    let dir = temp_chain("size");
+    build_chain(&dir, 1);
+    let base = std::fs::metadata(dir.join(delta::BASE_FILE)).unwrap().len();
+    for generation in 1..=3u64 {
+        let delta = std::fs::metadata(dir.join(delta::delta_file_name(generation)))
+            .unwrap()
+            .len();
+        // One touched database out of six: the round's bytes are a small
+        // fraction of the full snapshot, not another copy of it.
+        assert!(
+            delta * 2 < base,
+            "delta {generation} is {delta} bytes vs base {base}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_any_replays_chain_directories() {
+    let dir = temp_chain("loadany");
+    let session = build_chain(&dir, 2);
+    let via_any = ServingSnapshot::load_any(&dir).unwrap();
+    assert_catalogs_bit_identical(&via_any.catalog, &session.freeze_full().catalog);
+    let (_, checksum) = ServingSnapshot::load_any_with_checksum(&dir).unwrap();
+    let replayed = delta::load_chain(&dir).unwrap();
+    assert_eq!(checksum, replayed.checksum);
+    assert_eq!(delta::chain_tip_generation(&dir).unwrap(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn replaced_base_is_rejected_with_chain_position() {
+    let dir = temp_chain("rebase");
+    build_chain(&dir, 2);
+    // Replace the base with a *valid* snapshot of a different store —
+    // every byte of the new base checks out on its own; only the chain
+    // linkage can catch the swap.
+    let mut other = fixture_store();
+    other.databases.pop();
+    let other = StoredCatalog::freeze(other, CategoryWeighting::BySize);
+    ServingSnapshot::from_stored(&other)
+        .save(dir.join(delta::BASE_FILE))
+        .unwrap();
+    let err = delta::load_chain(&dir).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(msg.contains("chain delta 1"), "missing position: {msg}");
+    assert!(msg.contains("parent checksum"), "missing cause: {msg}");
+    assert!(msg.contains("delta-000001.snap"), "missing path: {msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chain_errors_carry_path_and_generation_context() {
+    let dir = temp_chain("context");
+    build_chain(&dir, 2);
+
+    // A corrupt mid-chain delta names itself, not the base.
+    let victim = dir.join(delta::delta_file_name(2));
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&victim, &bytes).unwrap();
+    let err = delta::load_chain(&dir).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("chain delta 2"), "{msg}");
+    assert!(msg.contains("delta-000002.snap"), "{msg}");
+
+    // A gap in the numbering is its own, position-naming error.
+    std::fs::rename(&victim, dir.join(delta::delta_file_name(9))).unwrap();
+    let err = delta::load_chain(&dir).unwrap_err();
+    assert!(err.to_string().contains("gap in delta chain"), "{err}");
+
+    // A missing base is NotFound and names the directory member.
+    let nochain = temp_chain("nochain");
+    std::fs::create_dir_all(&nochain).unwrap();
+    let err = delta::load_chain(&nochain).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    assert!(err.to_string().contains("base.snap"), "{err}");
+
+    // Plain-file loads carry the path too (the load_any satellite fix).
+    let missing = nochain.join("nope.snap");
+    let err = ServingSnapshot::load_any(&missing).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+    assert!(err.to_string().contains("nope.snap"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&nochain).ok();
+}
+
+proptest! {
+    /// The single-byte-mutation fuzz, extended to chains: flipping any
+    /// byte of any chain member (base or any delta) makes the chain load
+    /// fail — never a panic, never a silently different catalog.
+    #[test]
+    fn any_single_byte_mutation_in_any_chain_member_is_rejected(
+        member in 0usize..4,
+        position in 0usize..100_000,
+        xor in 1u8..=255,
+    ) {
+        let dir = temp_chain("fuzz");
+        build_chain(&dir, 2);
+        let victim = if member == 0 {
+            dir.join(delta::BASE_FILE)
+        } else {
+            dir.join(delta::delta_file_name(member as u64))
+        };
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let position = position % bytes.len();
+        bytes[position] ^= xor;
+        std::fs::write(&victim, &bytes).unwrap();
+        prop_assert!(delta::load_chain(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn untouched_databases_never_change_under_refresh() {
+    // The pinned-epoch guarantee that makes deltas sound: applying a
+    // probe to one database leaves every other database's frozen columns
+    // bit-identical.
+    let stored = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+    let mut session = RefreshSession::new(stored);
+    let before = session.freeze_full();
+    let summary = probe(&mut session, 2, 1);
+    session.apply_probe(2, summary);
+    let after = session.freeze_full();
+    for db in 0..before.catalog.len() {
+        if db == 2 {
+            assert_ne!(before.catalog.unshrunk(db), after.catalog.unshrunk(db));
+            continue;
+        }
+        assert_eq!(before.catalog.unshrunk(db), after.catalog.unshrunk(db));
+        assert_eq!(before.catalog.shrunk(db), after.catalog.shrunk(db));
+        assert_eq!(
+            before.catalog.gamma(db).to_bits(),
+            after.catalog.gamma(db).to_bits()
+        );
+    }
+}
+
+#[test]
+fn session_freeze_at_generation_zero_matches_from_stored() {
+    // `dbselect freeze` output can seed a chain: the session's reference
+    // freeze with no probes applied is the stock snapshot, bit for bit.
+    let stored = StoredCatalog::freeze(fixture_store(), CategoryWeighting::BySize);
+    let from_stored = ServingSnapshot::from_stored(&stored);
+    let session = RefreshSession::new(stored);
+    assert_catalogs_bit_identical(&session.freeze_full().catalog, &from_stored.catalog);
+}

@@ -366,4 +366,84 @@ done
 wait "$PROXY_PID" "$B0_PID" "$MONO_PID" 2>/dev/null || true
 EXTRA_PIDS=
 
+# --- live refresh: a 3-delta chain swapped in under client load -----------
+# The daemon serves a chain directory and polls it; `dbselect refresh`
+# appends three deltas while a client hammers /route. Every in-flight
+# request must succeed across the swaps (curl -sf + set -e), the served
+# chain generation must reach the tip, and a corrupted delta must roll
+# back atomically — old generation keeps serving, failure counted.
+ADDR_R=${ADDR_R:-127.0.0.1:7743}
+mkdir -p "$WORK/chain"
+"$DBSELECT" freeze --catalog "$WORK/col.catalog" --out "$WORK/chain/base.snap"
+
+"$DBSELECT" serve --catalog "$WORK/chain" --addr "$ADDR_R" --refresh-interval-ms 100 &
+SERVE_PID=$!
+await_healthz "$ADDR_R"
+curl -sf "http://$ADDR_R/metrics" | grep '^dbselectd_catalog_generation 1$'
+
+# Sustained client load for the whole refresh window.
+(
+    for _ in $(seq 1 150); do
+        curl -sf -X POST "http://$ADDR_R/route" -d '{"query":"heart blood"}' > /dev/null
+    done
+) &
+LOAD_PID=$!
+
+# Drift the med database, then append three delta rounds, paced so the
+# 100ms poller swaps mid-load.
+printf 'arrhythmia electrocardiogram monitoring of the heart\n' > "$WORK/med/d.txt"
+"$DBSELECT" refresh --catalog "$WORK/col.catalog" --chain "$WORK/chain" \
+    --rounds 3 --budget 1 --full --round-interval-ms 300 \
+    med=Health/Medicine="$WORK/med" \
+    soccer=Sports/Soccer="$WORK/soccer" | tee "$WORK/refresh.txt"
+grep 'round 3 -> generation 3' "$WORK/refresh.txt"
+ls "$WORK/chain/delta-000001.snap" "$WORK/chain/delta-000002.snap" \
+   "$WORK/chain/delta-000003.snap" > /dev/null
+
+wait "$LOAD_PID"    # zero failed in-flight requests across the swaps
+
+# The poller walked the chain to its tip: served chain generation 3, the
+# swap gauge strictly above its initial 1, and zero load failures.
+for _ in $(seq 1 100); do
+    curl -sf "http://$ADDR_R/readyz" > "$WORK/readyz_r.json"
+    grep -q '"catalog_generation":3' "$WORK/readyz_r.json" && break
+    sleep 0.1
+done
+grep '"catalog_generation":3' "$WORK/readyz_r.json"
+curl -sf "http://$ADDR_R/metrics" > "$WORK/metrics_r.txt"
+grep -E '^dbselectd_catalog_generation [2-9][0-9]*$' "$WORK/metrics_r.txt"
+grep '^dbselectd_catalog_load_failures_total 0$' "$WORK/metrics_r.txt"
+
+# The drifted vocabulary is served: terms that only exist in delta rounds
+# route to the med database.
+curl -sf -X POST "http://$ADDR_R/route" -d '{"query":"arrhythmia electrocardiogram"}' \
+    | grep '"med"'
+
+# Corrupt the tip delta (truncate its digest) and force a reload of the
+# chain: the load must fail naming the bad file, the old generation must
+# keep serving, and the failure must be counted.
+cp "$WORK/chain/delta-000003.snap" "$WORK/delta3.bak"
+D3_BYTES=$(stat -c %s "$WORK/chain/delta-000003.snap" 2>/dev/null \
+    || stat -f %z "$WORK/chain/delta-000003.snap")
+head -c $((D3_BYTES - 1)) "$WORK/delta3.bak" > "$WORK/chain/delta-000003.snap"
+CODE=$(curl -s -o "$WORK/reload_err.json" -w '%{http_code}' \
+    -X POST "http://$ADDR_R/admin/reload" -d "{\"path\":\"$WORK/chain\"}")
+[ "$CODE" = 400 ] || { echo "corrupt chain reload answered $CODE, expected 400" >&2; exit 1; }
+grep 'delta-000003.snap' "$WORK/reload_err.json"
+curl -sf "http://$ADDR_R/readyz" | grep '"catalog_generation":3'   # still serving the old tip
+curl -sf -X POST "http://$ADDR_R/route" -d '{"query":"heart blood"}' > /dev/null
+curl -sf "http://$ADDR_R/metrics" \
+    | grep -E '^dbselectd_catalog_load_failures_total [1-9][0-9]*$'
+
+# Restore the delta: the chain loads again.
+cp "$WORK/delta3.bak" "$WORK/chain/delta-000003.snap"
+curl -sf -X POST "http://$ADDR_R/admin/reload" -d "{\"path\":\"$WORK/chain\"}" \
+    | grep '"catalog_generation":3'
+
+curl -sf -X POST "http://$ADDR_R/admin/shutdown"
+echo
+wait "$SERVE_PID"
+SERVE_PID=
+echo "=== live refresh pass: ok ==="
+
 echo "smoke test passed"
